@@ -1,0 +1,64 @@
+// Command proteus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	proteus-bench -list
+//	proteus-bench -exp fig8a [-scale quick|full]
+//	proteus-bench -exp all   [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"proteus/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	s := experiments.Quick
+	if *scale == "full" {
+		s = experiments.Full
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(os.Stdout, s); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

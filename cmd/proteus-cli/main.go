@@ -1,0 +1,144 @@
+// Command proteus-cli is an interactive SQL shell for Proteus. It either
+// embeds a cluster in-process (default) or connects to a running proteusd:
+//
+//	proteus-cli                      # embedded 2-site adaptive cluster
+//	proteus-cli -sites 4
+//	proteus-cli -connect host:7654   # remote daemon
+//
+// Supported statements: CREATE TABLE t (col TYPE, ...) [MAXROWS n]
+// [PARTITIONS n]; INSERT INTO t VALUES (id, ...); UPDATE t SET c = v WHERE
+// id = n; DELETE FROM t WHERE id = n; SELECT with aggregates, WHERE, one
+// JOIN and GROUP BY. Meta commands: \layouts, \help, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/rpc"
+	"os"
+	"strings"
+
+	"proteus/internal/cluster"
+	"proteus/internal/server"
+)
+
+// executor abstracts local vs remote execution.
+type executor interface {
+	Exec(sql string) (server.ExecReply, error)
+	Layouts() (map[string]int, error)
+}
+
+type localExec struct {
+	svc  *server.Service
+	sess uint64
+}
+
+func (l *localExec) Exec(sql string) (server.ExecReply, error) {
+	var reply server.ExecReply
+	err := l.svc.Exec(&server.ExecArgs{Session: l.sess, SQL: sql}, &reply)
+	return reply, err
+}
+
+func (l *localExec) Layouts() (map[string]int, error) {
+	var reply server.LayoutReply
+	err := l.svc.Layouts(&server.LayoutArgs{}, &reply)
+	return reply.Counts, err
+}
+
+type remoteExec struct {
+	c    *rpc.Client
+	sess uint64
+}
+
+func (r *remoteExec) Exec(sql string) (server.ExecReply, error) {
+	var reply server.ExecReply
+	err := r.c.Call("Proteus.Exec", &server.ExecArgs{Session: r.sess, SQL: sql}, &reply)
+	return reply, err
+}
+
+func (r *remoteExec) Layouts() (map[string]int, error) {
+	var reply server.LayoutReply
+	err := r.c.Call("Proteus.Layouts", &server.LayoutArgs{}, &reply)
+	return reply.Counts, err
+}
+
+func main() {
+	var (
+		connect = flag.String("connect", "", "proteusd address (empty = embedded)")
+		sites   = flag.Int("sites", 2, "embedded cluster sites")
+	)
+	flag.Parse()
+
+	var ex executor
+	if *connect != "" {
+		c, err := rpc.Dial("tcp", *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var open server.OpenReply
+		if err := c.Call("Proteus.OpenSession", &server.OpenArgs{}, &open); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ex = &remoteExec{c: c, sess: open.Session}
+		fmt.Printf("connected to %s (session %d)\n", *connect, open.Session)
+	} else {
+		cfg := cluster.DefaultConfig()
+		cfg.NumSites = *sites
+		eng := cluster.New(cfg)
+		defer eng.Close()
+		svc := server.NewService(eng)
+		var open server.OpenReply
+		_ = svc.OpenSession(&server.OpenArgs{}, &open)
+		ex = &localExec{svc: svc, sess: open.Session}
+		fmt.Printf("embedded %d-site adaptive cluster ready\n", *sites)
+	}
+
+	fmt.Println(`type SQL statements, or \help`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("proteus> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q` || line == "exit":
+			return
+		case line == `\help`:
+			fmt.Println(`statements: CREATE TABLE / INSERT / UPDATE / DELETE / SELECT
+meta: \layouts (storage layout report), \quit`)
+		case line == `\layouts`:
+			counts, err := ex.Layouts()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for l, n := range counts {
+				fmt.Printf("  %-40s %d\n", l, n)
+			}
+		default:
+			reply, err := ex.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printReply(reply)
+		}
+		fmt.Print("proteus> ")
+	}
+}
+
+func printReply(r server.ExecReply) {
+	if r.Message != "" {
+		fmt.Println(r.Message)
+		return
+	}
+	if len(r.Cols) > 0 {
+		fmt.Println(strings.Join(r.Cols, "\t"))
+	}
+	for _, row := range r.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(r.Rows))
+}

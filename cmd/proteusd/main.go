@@ -1,0 +1,58 @@
+// Command proteusd hosts a Proteus cluster as a network service: clients
+// connect over TCP (net/rpc with gob encoding, this repository's stand-in
+// for the paper's Thrift layer) and submit SQL statements with
+// per-connection sessions under strong session snapshot isolation.
+//
+//	proteusd -listen :7654 -sites 3 -mode proteus
+//
+// Connect with: proteus-cli -connect localhost:7654
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"proteus/internal/cluster"
+	"proteus/internal/server"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7654", "address to listen on")
+		sites  = flag.Int("sites", 2, "data sites")
+		mode   = flag.String("mode", "proteus", "architecture: proteus|rowstore|columnstore|janus|tidb")
+	)
+	flag.Parse()
+
+	modes := map[string]cluster.Mode{
+		"proteus": cluster.ModeProteus, "rowstore": cluster.ModeRowStore,
+		"columnstore": cluster.ModeColumnStore, "janus": cluster.ModeJanus,
+		"tidb": cluster.ModeTiDB,
+	}
+	m, ok := modes[*mode]
+	if !ok {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.Mode = m
+	cfg.NumSites = *sites
+	eng := cluster.New(cfg)
+	defer eng.Close()
+
+	svc := server.NewService(eng)
+	ln, err := server.Serve(svc, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("proteusd: %d sites, mode=%s, listening on %s\n", *sites, m, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

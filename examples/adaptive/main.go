@@ -1,0 +1,103 @@
+// Adaptive: watch the adaptive storage advisor at work (§2.2, §5). The
+// same table serves three workload phases — update-heavy, scan-heavy, and
+// mixed — and after each phase the program prints the layout distribution
+// the ASA chose, its cumulative layout-change count, and the cost model's
+// accuracy. Compare with a static engine (RowStore mode) that cannot
+// adapt.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"proteus"
+	"proteus/internal/cluster"
+)
+
+func workload(db *proteus.DB, tbl *proteus.Table, updates, scans int) time.Duration {
+	s := db.Session()
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		row := proteus.RowID(rng.Intn(500)) // hot head
+		if err := s.Update(tbl, row, map[string]proteus.Value{
+			"v": proteus.Float64Value(rng.Float64()),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < scans; i++ {
+		if _, err := s.QueryScalar(proteus.Sum(proteus.Scan(tbl, "v"), tbl, "v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+func build(mode proteus.Mode) (*proteus.DB, *proteus.Table) {
+	db, err := proteus.Open(proteus.Options{Sites: 2, Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := db.CreateTable("data", []proteus.Column{
+		{Name: "k", Kind: proteus.Int64},
+		{Name: "v", Kind: proteus.Float64},
+		{Name: "payload", Kind: proteus.String, AvgSize: 32},
+	}, proteus.TableOptions{MaxRows: 4096, Partitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows []proteus.Row
+	for i := int64(0); i < 4000; i++ {
+		rows = append(rows, proteus.Row{ID: proteus.RowID(i), Values: []proteus.Value{
+			proteus.Int64Value(i), proteus.Float64Value(float64(i)),
+			proteus.StringValue("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		}})
+	}
+	if err := db.Load(tbl, rows); err != nil {
+		log.Fatal(err)
+	}
+	return db, tbl
+}
+
+func main() {
+	adaptive, atbl := build(proteus.Adaptive)
+	defer adaptive.Close()
+	static, stbl := build(proteus.RowStore)
+	defer static.Close()
+
+	phases := []struct {
+		name           string
+		updates, scans int
+	}{
+		{"update-heavy", 1500, 5},
+		{"scan-heavy", 50, 120},
+		{"mixed", 600, 60},
+	}
+	for _, ph := range phases {
+		da := workload(adaptive, atbl, ph.updates, ph.scans)
+		ds := workload(static, stbl, ph.updates, ph.scans)
+		fmt.Printf("phase %-13s adaptive=%-10v static-rows=%-10v\n", ph.name, da.Round(time.Millisecond), ds.Round(time.Millisecond))
+		fmt.Printf("  adaptive layouts: %v\n", adaptive.LayoutReport())
+		if adv := adaptive.Engine().Advisor; adv != nil {
+			fmt.Printf("  layout changes so far: %d\n", adv.Changes())
+		}
+	}
+
+	fmt.Println("\ncost model relative RMSE (adaptive engine):")
+	for op, rmse := range adaptive.Engine().Model.Accuracy() {
+		fmt.Printf("  %-10v %5.0f%%\n", op, rmse*100)
+	}
+
+	// Stats accounting (Table 4 flavor).
+	st := adaptive.Engine().Stats()
+	for _, c := range []cluster.OpClass{
+		cluster.ClassOLTP, cluster.ClassOLAP,
+		cluster.ClassFormatChange, cluster.ClassPartitionChange, cluster.ClassReplicationChange,
+	} {
+		cs := st.Class(c)
+		fmt.Printf("%-20v count=%-6d avg=%v\n", c, cs.Count, cs.Avg().Round(time.Microsecond))
+	}
+}

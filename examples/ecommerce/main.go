@@ -1,0 +1,131 @@
+// E-commerce: the paper's motivating scenario (§1) — an organization that
+// processes new online orders while continuously analyzing them. An
+// orderline fact table receives a stream of NewOrder-style inserts and
+// Delivery-style updates while TPC-H Query 6 / Query 14 style analytics
+// run concurrently, joining against a replicated read-only item table.
+// Watch the adaptive storage advisor move historical data to columns while
+// keeping the write-hot tail in rows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"proteus"
+)
+
+func main() {
+	db, err := proteus.Open(proteus.Options{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	orderline, err := db.CreateTable("orderline", []proteus.Column{
+		{Name: "order_id", Kind: proteus.Int64},
+		{Name: "item_id", Kind: proteus.Int64},
+		{Name: "quantity", Kind: proteus.Float64},
+		{Name: "amount", Kind: proteus.Float64},
+		{Name: "delivery", Kind: proteus.Time},
+	}, proteus.TableOptions{MaxRows: 40000, Partitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item, err := db.CreateTable("item", []proteus.Column{
+		{Name: "i_id", Kind: proteus.Int64},
+		{Name: "i_price", Kind: proteus.Float64},
+		{Name: "i_data", Kind: proteus.String, AvgSize: 20},
+	}, proteus.TableOptions{MaxRows: 512, Partitions: 1, ReplicateAll: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const items = 300
+	var rows []proteus.Row
+	for i := int64(0); i < items; i++ {
+		data := "standard"
+		if i%10 == 0 {
+			data = "PR-promo" // promotional items (Query 14)
+		}
+		rows = append(rows, proteus.Row{ID: proteus.RowID(i), Values: []proteus.Value{
+			proteus.Int64Value(i),
+			proteus.Float64Value(1 + float64(rng.Intn(5000))/100),
+			proteus.StringValue(data),
+		}})
+	}
+	if err := db.Load(item, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Historical orderlines.
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	rows = rows[:0]
+	for i := int64(0); i < 3000; i++ {
+		rows = append(rows, proteus.Row{ID: proteus.RowID(i), Values: []proteus.Value{
+			proteus.Int64Value(i / 3),
+			proteus.Int64Value(int64(rng.Intn(items))),
+			proteus.Float64Value(float64(1 + rng.Intn(10))),
+			proteus.Float64Value(float64(1+rng.Intn(9999)) / 100),
+			proteus.TimeValue(base.AddDate(0, 0, int(i/30))),
+		}})
+	}
+	if err := db.Load(orderline, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	s := db.Session()
+	next := int64(3000)
+
+	q6 := func() float64 { // Figure 2b
+		q := proteus.Scan(orderline, "amount", "delivery", "quantity")
+		q = proteus.WhereCol(q, orderline, "delivery", proteus.Ge, proteus.TimeValue(base))
+		q = proteus.WhereCol(q, orderline, "quantity", proteus.Ge, proteus.Float64Value(1))
+		sum, err := s.QueryScalar(proteus.Sum(q, orderline, "amount"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sum.Float()
+	}
+	q14 := func() int64 { // Figure 5a: join with promotional items
+		left := proteus.Scan(orderline, "item_id", "amount")
+		right := proteus.Scan(item, "i_id")
+		right = proteus.WhereCol(right, item, "i_data", proteus.Ge, proteus.StringValue("PR"))
+		right = proteus.WhereCol(right, item, "i_data", proteus.Lt, proteus.StringValue("PS"))
+		q := proteus.Join(left, orderline, "item_id", right, item, "i_id")
+		q = proteus.GroupBy(q, nil, []proteus.AggSpec{{Func: proteus.AggCount}})
+		res, err := s.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Row(0)[0].Int()
+	}
+
+	fmt.Println("running mixed workload: NewOrder/Delivery inserts + Q6/Q14 analytics")
+	for round := 0; round < 5; round++ {
+		// OLTP burst: new orders plus delivery updates to recent lines.
+		for i := 0; i < 200; i++ {
+			id := next
+			next++
+			if err := s.Insert(orderline, proteus.RowID(id),
+				proteus.Int64Value(id/3),
+				proteus.Int64Value(int64(rng.Intn(items))),
+				proteus.Float64Value(float64(1+rng.Intn(10))),
+				proteus.Float64Value(float64(1+rng.Intn(9999))/100),
+				proteus.TimeValue(time.Now())); err != nil {
+				log.Fatal(err)
+			}
+			// Delivery transaction (Figure 5b) on a recent order.
+			recent := next - 1 - int64(rng.Intn(100))
+			if err := s.Update(orderline, proteus.RowID(recent), map[string]proteus.Value{
+				"delivery": proteus.TimeValue(time.Now()),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("round %d: revenue(Q6)=%.2f promo-lines(Q14)=%d layouts=%v\n",
+			round, q6(), q14(), db.LayoutReport())
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart: open a Proteus cluster, create a table, run transactions and
+// analytical queries through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proteus"
+)
+
+func main() {
+	db, err := proteus.Open(proteus.Options{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	orders, err := db.CreateTable("orders", []proteus.Column{
+		{Name: "id", Kind: proteus.Int64},
+		{Name: "customer", Kind: proteus.Int64},
+		{Name: "amount", Kind: proteus.Float64},
+		{Name: "note", Kind: proteus.String, AvgSize: 12},
+	}, proteus.TableOptions{MaxRows: 8192, Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulk-load some history.
+	var rows []proteus.Row
+	for i := int64(0); i < 1000; i++ {
+		rows = append(rows, proteus.Row{ID: proteus.RowID(i), Values: []proteus.Value{
+			proteus.Int64Value(i),
+			proteus.Int64Value(i % 50),
+			proteus.Float64Value(float64(i%200) + 0.99),
+			proteus.StringValue("loaded"),
+		}})
+	}
+	if err := db.Load(orders, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	s := db.Session()
+
+	// OLTP: insert a new order and update it, reading our own writes.
+	if err := s.Insert(orders, 5000,
+		proteus.Int64Value(5000), proteus.Int64Value(7),
+		proteus.Float64Value(129.99), proteus.StringValue("new")); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Update(orders, 5000, map[string]proteus.Value{
+		"amount": proteus.Float64Value(99.99),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	vals, ok, err := s.Get(orders, 5000, "amount", "note")
+	if err != nil || !ok {
+		log.Fatalf("get: %v %v", ok, err)
+	}
+	fmt.Printf("order 5000: amount=%v note=%v\n", vals[0], vals[1])
+
+	// OLAP: total revenue over orders above 100.
+	q := proteus.Scan(orders, "amount")
+	q = proteus.WhereCol(q, orders, "amount", proteus.Ge, proteus.Float64Value(100))
+	sum, err := s.QueryScalar(proteus.Sum(q, orders, "amount"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue from orders >= 100: %.2f\n", sum.Float())
+
+	// Group revenue by customer (first 3 groups shown).
+	res, err := s.Query(proteus.GroupBy(
+		proteus.Scan(orders, "customer", "amount"),
+		[]int{0},
+		[]proteus.AggSpec{{Func: proteus.AggCount}, {Func: proteus.AggSum, Col: 1}},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customers: %d; first groups:\n", res.NumRows())
+	for i := 0; i < 3 && i < res.NumRows(); i++ {
+		r := res.Row(i)
+		fmt.Printf("  customer %v: %v orders, %.2f total\n", r[0], r[1], r[2].Float())
+	}
+
+	fmt.Printf("storage layouts in use: %v\n", db.LayoutReport())
+}

@@ -1,0 +1,126 @@
+// Social: a Twitter-style application (§6.3.4) — a heavily skewed
+// many-to-many graph where inserting new tweets dominates the OLTP load
+// while timeline joins, time-range counts and per-user aggregations run
+// as analytics. Demonstrates join queries across the many-to-many schema
+// and how Proteus keeps the hot insert tail in rows while history becomes
+// columnar.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"proteus"
+)
+
+func main() {
+	db, err := proteus.Open(proteus.Options{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const users = 200
+	tweets, err := db.CreateTable("tweets", []proteus.Column{
+		{Name: "tid", Kind: proteus.Int64},
+		{Name: "uid", Kind: proteus.Int64},
+		{Name: "text", Kind: proteus.String, AvgSize: 20},
+		{Name: "ts", Kind: proteus.Time},
+	}, proteus.TableOptions{MaxRows: 6000, Partitions: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	follows, err := db.CreateTable("follows", []proteus.Column{
+		{Name: "follower", Kind: proteus.Int64},
+		{Name: "followee", Kind: proteus.Int64},
+	}, proteus.TableOptions{MaxRows: users * 32, Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.4, 1, users-1)
+
+	// Load the follow graph: popular users accumulate followers.
+	var rows []proteus.Row
+	slot := make([]int64, users)
+	for u := int64(0); u < users; u++ {
+		for k := 0; k < 10; k++ {
+			followee := int64(zipf.Uint64())
+			rows = append(rows, proteus.Row{ID: proteus.RowID(u*32 + slot[u]), Values: []proteus.Value{
+				proteus.Int64Value(u), proteus.Int64Value(followee),
+			}})
+			slot[u]++
+		}
+	}
+	if err := db.Load(follows, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	s := db.Session()
+	epoch := time.Now()
+	next := int64(0)
+	postTweet := func() {
+		u := int64(zipf.Uint64())
+		id := next
+		next++
+		if err := s.Insert(tweets, proteus.RowID(id),
+			proteus.Int64Value(id), proteus.Int64Value(u),
+			proteus.StringValue(fmt.Sprintf("tweet %d from user %d", id, u)),
+			proteus.TimeValue(time.Now())); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	timeline := func(u int64) int64 {
+		// Tweets from users u follows: follows ⋈ tweets on followee=uid.
+		left := proteus.Scan(follows, "followee")
+		left = proteus.WhereCol(left, follows, "follower", proteus.Eq, proteus.Int64Value(u))
+		right := proteus.Scan(tweets, "uid", "tid")
+		q := proteus.Join(left, follows, "followee", right, tweets, "uid")
+		q = proteus.GroupBy(q, nil, []proteus.AggSpec{{Func: proteus.AggCount}})
+		res, err := s.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Row(0)[0].Int()
+	}
+
+	fmt.Println("posting tweets and reading timelines...")
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 300; i++ {
+			postTweet()
+		}
+		u := int64(rng.Intn(users))
+		n := timeline(u)
+
+		// Tweets in the last window.
+		q := proteus.Scan(tweets, "tid", "ts")
+		q = proteus.WhereCol(q, tweets, "ts", proteus.Ge, proteus.TimeValue(epoch))
+		recent, err := s.QueryScalar(proteus.Count(q, tweets))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Most prolific author so far.
+		res, err := s.Query(proteus.GroupBy(
+			proteus.Scan(tweets, "uid"),
+			[]int{0},
+			[]proteus.AggSpec{{Func: proteus.AggCount}},
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var topUser, topN int64
+		for i := 0; i < res.NumRows(); i++ {
+			if c := res.Row(i)[1].Int(); c > topN {
+				topN, topUser = c, res.Row(i)[0].Int()
+			}
+		}
+		fmt.Printf("round %d: user %d timeline=%d tweets, %v total, top author %d (%d tweets)\n",
+			round, u, n, recent.Int(), topUser, topN)
+	}
+	fmt.Printf("layouts: %v\n", db.LayoutReport())
+}

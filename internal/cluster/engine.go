@@ -1,0 +1,436 @@
+// Package cluster assembles Proteus: data sites, the shared redo-log
+// broker, the simulated interconnect, the planner, the learned cost model
+// and the adaptive storage advisor, behind one Engine that executes OLTP
+// transactions and OLAP queries (§3). The Engine also implements the
+// comparison architectures of §6.2 — a static row store (RS), a static
+// column store (CS), Janus-style and TiDB-style dual-format full
+// replication — as configuration modes over the same substrate, mirroring
+// how the paper implements its baselines "in Proteus" for apples-to-apples
+// comparison.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/plan"
+	"proteus/internal/redolog"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/site"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+	"proteus/internal/types"
+)
+
+// Mode selects the system architecture under evaluation (§6.2).
+type Mode uint8
+
+const (
+	// ModeProteus is the full adaptive system.
+	ModeProteus Mode = iota
+	// ModeRowStore stores everything in row format, statically.
+	ModeRowStore
+	// ModeColumnStore stores everything in column format, statically.
+	ModeColumnStore
+	// ModeJanus fully replicates every partition in both formats; OLTP
+	// executes on rows, OLAP on lazily-maintained column replicas.
+	ModeJanus
+	// ModeTiDB fully replicates like Janus but charges Raft-quorum
+	// synchronous replication on writes and routes reads by cost.
+	ModeTiDB
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeProteus:
+		return "proteus"
+	case ModeRowStore:
+		return "rowstore"
+	case ModeColumnStore:
+		return "columnstore"
+	case ModeJanus:
+		return "janus"
+	case ModeTiDB:
+		return "tidb"
+	}
+	return "?"
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Mode     Mode
+	NumSites int
+	Site     site.Config
+	Net      simnet.Config
+	Tracker  forecast.Config
+	// ReplicationInterval is the background replica poll period.
+	ReplicationInterval time.Duration
+	// MaintainInterval is the background storage-maintenance period
+	// (delta merges, disk flushes).
+	MaintainInterval time.Duration
+	// DeltaThreshold triggers delta merges / buffer flushes.
+	DeltaThreshold int
+	// Adapt holds the ASA feature switches (ablation study, §6.3.7);
+	// ignored outside ModeProteus.
+	Adapt AdaptConfig
+	// RaftFollowers is the number of synchronous Raft followers charged
+	// per write in ModeTiDB.
+	RaftFollowers int
+}
+
+// DefaultConfig returns a small cluster sizing suitable for tests.
+func DefaultConfig() Config {
+	return Config{
+		Mode:                ModeProteus,
+		NumSites:            2,
+		Site:                site.DefaultConfig(),
+		Net:                 simnet.DefaultConfig(),
+		Tracker:             forecast.DefaultConfig(),
+		ReplicationInterval: 5 * time.Millisecond,
+		MaintainInterval:    20 * time.Millisecond,
+		DeltaThreshold:      256,
+		Adapt:               DefaultAdaptConfig(),
+		RaftFollowers:       2,
+	}
+}
+
+// Engine is a running Proteus cluster.
+type Engine struct {
+	cfg Config
+
+	Catalog *schema.Catalog
+	Dir     *metadata.Directory
+	Model   *cost.Model
+	Planner *plan.Planner
+	Epoch   *plan.Epoch
+	Net     *simnet.Network
+	Broker  *redolog.Broker
+	Deps    *txn.DependencyTracker
+	Locks   *txn.LockManager
+	Sites   []*site.Site
+
+	Advisor *Advisor // nil unless ModeProteus
+
+	stats Stats
+
+	tableMax map[schema.TableID]schema.RowID
+
+	txnID uint64
+	tmu   sync.Mutex
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds and starts an engine.
+func New(cfg Config) *Engine {
+	if cfg.NumSites <= 0 {
+		cfg.NumSites = 1
+	}
+	if cfg.DeltaThreshold <= 0 {
+		cfg.DeltaThreshold = 256
+	}
+	e := &Engine{
+		cfg:      cfg,
+		Catalog:  schema.NewCatalog(),
+		Dir:      metadata.NewDirectory(cfg.Tracker),
+		Model:    cost.NewModel(),
+		Epoch:    &plan.Epoch{},
+		Net:      simnet.New(cfg.Net),
+		Broker:   redolog.NewBroker(),
+		Deps:     txn.NewDependencyTracker(),
+		Locks:    txn.NewLockManager(),
+		tableMax: make(map[schema.TableID]schema.RowID),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.NumSites; i++ {
+		e.Sites = append(e.Sites, site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite))
+	}
+	e.Planner = &plan.Planner{
+		Dir:       e.Dir,
+		Model:     e.Model,
+		Decisions: plan.NewDecisionCache(),
+		Plans:     plan.NewPlanCache(),
+		Epoch:     e.Epoch,
+		MaxRow:    schema.RowID(1) << 62,
+	}
+	if cfg.Mode == ModeProteus {
+		e.Advisor = newAdvisor(e, cfg.Adapt)
+	}
+	e.startBackground()
+	return e
+}
+
+func (e *Engine) startBackground() {
+	if e.cfg.ReplicationInterval > 0 {
+		for _, s := range e.Sites {
+			s := s
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				s.Repl.Run(e.cfg.ReplicationInterval, e.stop)
+			}()
+		}
+	}
+	if e.cfg.MaintainInterval > 0 {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			t := time.NewTicker(e.cfg.MaintainInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case <-t.C:
+					for _, s := range e.Sites {
+						s.Maintain(e.cfg.DeltaThreshold)
+					}
+					e.drainObservations()
+				}
+			}
+		}()
+	}
+	if e.Advisor != nil {
+		e.Advisor.start()
+	} else {
+		// Baseline modes manage the memory/disk boundary with LRU (§6.2);
+		// the loop is a no-op until a memory capacity is set.
+		e.startTiering(200 * time.Millisecond)
+	}
+}
+
+// SetMemCapacityPerSite caps every site's memory tier (0 = unlimited).
+func (e *Engine) SetMemCapacityPerSite(c int64) {
+	for _, s := range e.Sites {
+		s.SetMemCapacity(c)
+	}
+}
+
+// TotalMemUsage sums memory-tier bytes across sites.
+func (e *Engine) TotalMemUsage() int64 {
+	var total int64
+	for _, s := range e.Sites {
+		total += s.MemUsage()
+	}
+	return total
+}
+
+// MasterMemUsage sums memory-tier bytes of master copies only — the
+// single-copy footprint of the database, independent of how many replicas
+// a mode mandates.
+func (e *Engine) MasterMemUsage() int64 {
+	var total int64
+	for _, s := range e.Sites {
+		for _, p := range s.Partitions() {
+			if s.IsMaster(p.ID) && p.Layout().Tier == storage.MemoryTier {
+				total += int64(p.Stats().Bytes)
+			}
+		}
+	}
+	return total
+}
+
+// drainObservations collects buffered site observations into the shared
+// cost model (the ASA's polling threads, §3).
+func (e *Engine) drainObservations() {
+	for _, s := range e.Sites {
+		for _, o := range s.DrainObservations() {
+			e.Model.Observe(o)
+		}
+	}
+}
+
+// Close stops background work and the sites.
+func (e *Engine) Close() {
+	close(e.stop)
+	e.wg.Wait()
+	for _, s := range e.Sites {
+		s.Close()
+	}
+}
+
+// Mode reports the configured architecture.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// nextTxnID issues transaction identifiers.
+func (e *Engine) nextTxnID() uint64 {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	e.txnID++
+	return e.txnID
+}
+
+// initialLayout is the mode's starting layout for OLTP-facing copies.
+func (e *Engine) initialLayout() storage.Layout {
+	if e.cfg.Mode == ModeColumnStore {
+		return storage.DefaultColumnLayout()
+	}
+	return storage.DefaultRowLayout()
+}
+
+// TableSpec describes a table's initial physical design. Baseline modes
+// receive workload-aware placement (the Schism advantage of §6.2) through
+// these fields; Proteus starts from the same neutral partitioning and
+// adapts on its own.
+type TableSpec struct {
+	Name string
+	Cols []schema.Column
+	// MaxRows bounds the row_id space (inserts must stay below it).
+	MaxRows schema.RowID
+	// Partitions is the initial horizontal partition count (>=1).
+	Partitions int
+	// PlaceAt optionally pins partition i to a site (Schism-style
+	// placement); nil means round-robin.
+	PlaceAt func(part int) simnet.SiteID
+	// ReplicateAll installs a full replica at every site (used for
+	// read-only tables by the advantaged baselines).
+	ReplicateAll bool
+	// ReplicaLayout is the layout of ReplicateAll copies; zero value
+	// means compressed columns.
+	ReplicaLayout *storage.Layout
+}
+
+// CreateTable defines a table and its initial partitions.
+func (e *Engine) CreateTable(spec TableSpec) (*schema.Table, error) {
+	tbl, err := e.Catalog.Create(spec.Name, spec.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Partitions <= 0 {
+		spec.Partitions = 1
+	}
+	if spec.MaxRows <= 0 {
+		spec.MaxRows = 1 << 30
+	}
+	e.tableMax[tbl.ID] = spec.MaxRows
+	avg := make([]float64, len(spec.Cols))
+	for i, c := range spec.Cols {
+		if c.AvgSize > 0 {
+			avg[i] = c.AvgSize
+		} else {
+			avg[i] = float64(c.Kind.FixedWidth())
+		}
+	}
+	e.Dir.InitColStats(tbl.ID, avg)
+
+	kinds := tbl.Kinds()
+	layout := e.initialLayout()
+	per := int64(spec.MaxRows) / int64(spec.Partitions)
+	for i := 0; i < spec.Partitions; i++ {
+		lo := schema.RowID(int64(i) * per)
+		hi := schema.RowID(int64(i+1) * per)
+		if i == spec.Partitions-1 {
+			hi = spec.MaxRows
+		}
+		siteID := simnet.SiteID(i % len(e.Sites))
+		if spec.PlaceAt != nil {
+			siteID = spec.PlaceAt(i)
+		}
+		b := partition.Bounds{Table: tbl.ID, RowStart: lo, RowEnd: hi, ColStart: 0, ColEnd: schema.ColID(len(kinds))}
+		pid := e.Dir.AllocID()
+		p := partition.New(pid, b, kinds, layout, e.siteOf(siteID).Factory)
+		e.siteOf(siteID).AddPartition(p, true)
+		e.Broker.CreateTopic(pid)
+		meta := e.Dir.Register(pid, b, metadata.Replica{Site: siteID, Layout: layout}, p.ZoneMap())
+		e.installModeReplicas(meta, p, kinds)
+		if spec.ReplicateAll {
+			rl := storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: storage.NoSort, Compressed: true}
+			if spec.ReplicaLayout != nil {
+				rl = *spec.ReplicaLayout
+			}
+			for _, s := range e.Sites {
+				if s.ID == siteID {
+					continue
+				}
+				e.installReplica(meta, s.ID, rl)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// installModeReplicas adds the dual-format copies Janus and TiDB mandate:
+// every partition gains a full column-format replica (placed at the next
+// site so each site hosts a share of both the row and column stores). The
+// row master serves OLTP; the column replica serves OLAP with lazy update
+// propagation, as in §6.2.
+func (e *Engine) installModeReplicas(meta *metadata.PartitionMeta, master *partition.Partition, kinds []types.Kind) {
+	if e.cfg.Mode != ModeJanus && e.cfg.Mode != ModeTiDB {
+		return
+	}
+	if len(e.Sites) < 2 {
+		return // a second full copy needs a second store location
+	}
+	_ = master
+	_ = kinds
+	target := simnet.SiteID((int(meta.Master().Site) + 1) % len(e.Sites))
+	e.installReplica(meta, target, storage.DefaultColumnLayout())
+}
+
+// installReplica snapshots the master and installs a replica copy at a
+// site, subscribing it to the partition's redo log (§4.4).
+func (e *Engine) installReplica(meta *metadata.PartitionMeta, siteID simnet.SiteID, l storage.Layout) {
+	masterSite := e.siteOf(meta.Master().Site)
+	mp, err := masterSite.MustPartition(meta.ID)
+	if err != nil {
+		return
+	}
+	offset := e.Broker.EndOffset(meta.ID)
+	rows := mp.ExtractAll(storage.Latest)
+	dst := e.siteOf(siteID)
+	rep := partition.New(meta.ID, meta.Bounds, mp.Kinds(), l, dst.Factory)
+	_ = rep.Load(rows, mp.Version())
+	dst.AddPartition(rep, false)
+	dst.Repl.Subscribe(meta.ID, rep, offset)
+	meta.AddReplica(metadata.Replica{Site: siteID, Layout: l})
+}
+
+// siteOf resolves a site ID.
+func (e *Engine) siteOf(id simnet.SiteID) *site.Site { return e.Sites[int(id)] }
+
+// LoadRows bulk-loads initial table data through the master partitions
+// (and any already-installed replicas).
+func (e *Engine) LoadRows(table schema.TableID, rows []schema.Row) error {
+	byPart := map[partition.ID][]schema.Row{}
+	metas := map[partition.ID]*metadata.PartitionMeta{}
+	for _, r := range rows {
+		pieces := e.Dir.PartitionForRow(table, r.ID, nil)
+		if len(pieces) == 0 {
+			return fmt.Errorf("cluster: no partition for table %d row %d", table, r.ID)
+		}
+		for _, m := range pieces {
+			metas[m.ID] = m
+			lo, hi := int(m.Bounds.ColStart), int(m.Bounds.ColEnd)
+			byPart[m.ID] = append(byPart[m.ID], schema.Row{ID: r.ID, Vals: r.Vals[lo:hi]})
+		}
+	}
+	for pid, prows := range byPart {
+		m := metas[pid]
+		for _, rep := range m.AllCopies() {
+			s := e.siteOf(rep.Site)
+			p, ok := s.Partition(pid)
+			if !ok {
+				continue
+			}
+			if err := p.Load(prows, 1); err != nil {
+				return err
+			}
+		}
+		m.Tracker.Record(forecast.Update, 0) // touch tracker
+	}
+	return nil
+}
+
+// Stats exposes the engine's experiment counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// TableMaxRow reports the configured row bound of a table.
+func (e *Engine) TableMaxRow(t schema.TableID) schema.RowID { return e.tableMax[t] }

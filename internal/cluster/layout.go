@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+)
+
+// The engine's layout-change operators (§4.4). Every operation quiesces
+// writers with the partition's exclusive lock, performs the physical
+// change, updates the metadata directory, and bumps the plan epoch so
+// cached plans re-bind.
+
+// classOfLayoutChange maps a layout delta to its accounting class.
+func classOfLayoutChange(cur, next storage.Layout) OpClass {
+	switch {
+	case cur.Format != next.Format:
+		return ClassFormatChange
+	case cur.Tier != next.Tier:
+		return ClassTierChange
+	default:
+		return ClassSortCompChange
+	}
+}
+
+// ChangeCopyLayout converts the copy of pid at a site to a new layout
+// (format, tier, sort order or compression change).
+func (e *Engine) ChangeCopyLayout(pid partition.ID, siteID simnet.SiteID, next storage.Layout) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	s := e.siteOf(siteID)
+	p, err := s.MustPartition(pid)
+	if err != nil {
+		return err
+	}
+	cur := p.Layout()
+	e.Net.Charge(simnet.ASASite, siteID, 256)
+
+	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
+	err = p.ChangeLayout(next, s.Factory, p.Version())
+	ls.ReleaseAll()
+	if err != nil {
+		return err
+	}
+	m.SetReplicaLayout(siteID, next)
+	e.Epoch.Bump()
+	e.stats.Record(classOfLayoutChange(cur, next), time.Since(start))
+	return nil
+}
+
+// dropAllReplicas removes every non-master copy of a partition (used when
+// repartitioning; adaptation re-adds replicas if beneficial).
+func (e *Engine) dropAllReplicas(m *metadata.PartitionMeta) {
+	for _, r := range m.Replicas() {
+		s := e.siteOf(r.Site)
+		s.Repl.Unsubscribe(m.ID)
+		s.RemovePartition(m.ID)
+		m.RemoveReplica(r.Site)
+	}
+}
+
+// replaceInDirectory unregisters old partitions and registers new ones
+// mastered at the given site.
+func (e *Engine) replaceInDirectory(siteID simnet.SiteID, old []*metadata.PartitionMeta, parts []*partition.Partition) {
+	for _, m := range old {
+		e.siteOf(m.Master().Site).RemovePartition(m.ID)
+		e.Dir.Unregister(m.ID)
+		e.Broker.DeleteTopic(m.ID)
+	}
+	for _, p := range parts {
+		e.siteOf(siteID).AddPartition(p, true)
+		e.Broker.CreateTopic(p.ID)
+		e.Dir.Register(p.ID, p.Bounds, metadata.Replica{Site: siteID, Layout: p.Layout()}, p.ZoneMap())
+	}
+	e.Epoch.Bump()
+}
+
+// SplitH splits pid horizontally at row `at` (§4.4).
+func (e *Engine) SplitH(pid partition.ID, at schema.RowID) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	siteID := m.Master().Site
+	s := e.siteOf(siteID)
+	p, err := s.MustPartition(pid)
+	if err != nil {
+		return err
+	}
+	e.Net.Charge(simnet.ASASite, siteID, 256)
+	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
+	defer ls.ReleaseAll()
+
+	e.dropAllReplicas(m)
+	ids := [2]partition.ID{e.Dir.AllocID(), e.Dir.AllocID()}
+	lo, hi, err := partition.SplitHorizontal(p, at, ids, p.Layout(), s.Factory, p.Version())
+	if err != nil {
+		return err
+	}
+	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{m}, []*partition.Partition{lo, hi})
+	e.stats.Record(ClassPartitionChange, time.Since(start))
+	return nil
+}
+
+// SplitV splits pid vertically at global column `at` (row splitting, §2.2).
+// The write-hot side keeps a row layout; the other side keeps the current
+// layout.
+func (e *Engine) SplitV(pid partition.ID, at schema.ColID, leftLayout, rightLayout storage.Layout) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	siteID := m.Master().Site
+	s := e.siteOf(siteID)
+	p, err := s.MustPartition(pid)
+	if err != nil {
+		return err
+	}
+	e.Net.Charge(simnet.ASASite, siteID, 256)
+	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
+	defer ls.ReleaseAll()
+
+	e.dropAllReplicas(m)
+	ids := [2]partition.ID{e.Dir.AllocID(), e.Dir.AllocID()}
+	l, r, err := partition.SplitVertical(p, at, ids, leftLayout, rightLayout, s.Factory, p.Version())
+	if err != nil {
+		return err
+	}
+	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{m}, []*partition.Partition{l, r})
+	e.stats.Record(ClassPartitionChange, time.Since(start))
+	return nil
+}
+
+// MergeH merges two row-adjacent partitions mastered at the same site.
+func (e *Engine) MergeH(a, b partition.ID) error {
+	start := time.Now()
+	ma, ok := e.Dir.Get(a)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", a)
+	}
+	mb, ok := e.Dir.Get(b)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", b)
+	}
+	if ma.Master().Site != mb.Master().Site {
+		return fmt.Errorf("cluster: merge requires co-sited masters (%d vs %d)", ma.Master().Site, mb.Master().Site)
+	}
+	siteID := ma.Master().Site
+	s := e.siteOf(siteID)
+	pa, err := s.MustPartition(a)
+	if err != nil {
+		return err
+	}
+	pb, err := s.MustPartition(b)
+	if err != nil {
+		return err
+	}
+	e.Net.Charge(simnet.ASASite, siteID, 256)
+	ls := e.Locks.AcquireAll(nil, []partition.ID{a, b})
+	defer ls.ReleaseAll()
+
+	e.dropAllReplicas(ma)
+	e.dropAllReplicas(mb)
+	merged, err := partition.MergeHorizontal(pa, pb, e.Dir.AllocID(), pa.Layout(), s.Factory, storage.Latest)
+	if err != nil {
+		return err
+	}
+	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{ma, mb}, []*partition.Partition{merged})
+	e.stats.Record(ClassPartitionChange, time.Since(start))
+	return nil
+}
+
+// AddReplicaOp snapshots pid's master and installs a replica at a site.
+func (e *Engine) AddReplicaOp(pid partition.ID, siteID simnet.SiteID, l storage.Layout) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	if m.HasCopyAt(siteID) {
+		return fmt.Errorf("cluster: partition %d already has a copy at site %d", pid, siteID)
+	}
+	// Snapshot under a shared lock so the offset and data are consistent.
+	ls := e.Locks.AcquireAll([]partition.ID{pid}, nil)
+	e.installReplica(m, siteID, l)
+	ls.ReleaseAll()
+	e.Net.Charge(m.Master().Site, siteID, 1024)
+	e.Epoch.Bump()
+	e.stats.Record(ClassReplicationChange, time.Since(start))
+	return nil
+}
+
+// RemoveReplicaOp drops the replica of pid at a site (§4.4).
+func (e *Engine) RemoveReplicaOp(pid partition.ID, siteID simnet.SiteID) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	if m.Master().Site == siteID {
+		return fmt.Errorf("cluster: cannot remove the master copy of %d", pid)
+	}
+	if !m.RemoveReplica(siteID) {
+		return fmt.Errorf("cluster: no replica of %d at site %d", pid, siteID)
+	}
+	s := e.siteOf(siteID)
+	s.Repl.Unsubscribe(pid)
+	s.RemovePartition(pid)
+	e.Net.Charge(simnet.ASASite, siteID, 128)
+	e.Epoch.Bump()
+	e.stats.Record(ClassReplicationChange, time.Since(start))
+	return nil
+}
+
+// ChangeMasterOp moves pid's mastership to a new site (§4.4): the target
+// catches up to the old master's version, new update transactions route to
+// it, and the old master becomes a replica.
+func (e *Engine) ChangeMasterOp(pid partition.ID, newSite simnet.SiteID) error {
+	start := time.Now()
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return fmt.Errorf("cluster: unknown partition %d", pid)
+	}
+	oldMaster := m.Master()
+	if oldMaster.Site == newSite {
+		return nil
+	}
+	// Block new updates while mastership moves.
+	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
+	defer ls.ReleaseAll()
+
+	if !m.HasCopyAt(newSite) {
+		e.installReplica(m, newSite, oldMaster.Layout)
+	}
+	dst := e.siteOf(newSite)
+	src := e.siteOf(oldMaster.Site)
+	srcPart, err := src.MustPartition(pid)
+	if err != nil {
+		return err
+	}
+	// The new master must apply all updates from the previous master.
+	if dst.Repl.Subscribed(pid) {
+		if _, err := dst.Repl.CatchUp(pid, srcPart.Version()); err != nil {
+			return err
+		}
+		dst.Repl.Unsubscribe(pid)
+	}
+	dstPart, err := dst.MustPartition(pid)
+	if err != nil {
+		return err
+	}
+	dstPart.SetVersion(srcPart.Version())
+	dst.SetMaster(pid, true)
+	src.SetMaster(pid, false)
+	// Old master becomes a replica from the current log position.
+	src.Repl.Subscribe(pid, srcPart, e.Broker.EndOffset(pid))
+
+	var newReplicas []metadata.Replica
+	for _, r := range m.Replicas() {
+		if r.Site != newSite {
+			newReplicas = append(newReplicas, r)
+		}
+	}
+	// Rebuild replica list: drop target from replicas, add old master.
+	for _, r := range m.Replicas() {
+		m.RemoveReplica(r.Site)
+	}
+	dl, _ := dst.Partition(pid)
+	m.SetMaster(metadata.Replica{Site: newSite, Layout: dl.Layout()})
+	for _, r := range newReplicas {
+		m.AddReplica(r)
+	}
+	m.AddReplica(metadata.Replica{Site: oldMaster.Site, Layout: oldMaster.Layout})
+
+	e.Net.Charge(oldMaster.Site, newSite, 512)
+	e.Net.Charge(newSite, oldMaster.Site, 128)
+	e.Epoch.Bump()
+	e.stats.Record(ClassMasterChange, time.Since(start))
+	return nil
+}

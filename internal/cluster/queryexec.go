@@ -1,0 +1,686 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/plan"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+	"proteus/internal/types"
+)
+
+// ErrStalePlan reports that a physical plan referenced a partition copy
+// that a concurrent layout change moved or removed; the request re-plans
+// against the new layout epoch and retries.
+var ErrStalePlan = errors.New("cluster: physical plan stale after layout change")
+
+// ExecuteQuery runs an OLAP query tree, producing the final relation at
+// the coordinating site (§4.3, Figure 7b). A plan invalidated by a
+// concurrent layout change is re-planned and retried.
+func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (exec.Rel, error) {
+	var rel exec.Rel
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		rel, err = e.executeQueryOnce(sess, q)
+		if !errors.Is(err, ErrStalePlan) {
+			return rel, err
+		}
+		// Back off briefly: the layout change that invalidated the plan is
+		// still installing.
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
+	}
+	return rel, err
+}
+
+func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, error) {
+	planStart := time.Now()
+	pn, err := e.Planner.PlanQuery(q)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	e.stats.Record(ClassOLAPPlan, time.Since(planStart))
+
+	pids := collectPIDs(pn)
+	snap := e.snapshotFor(pids, sess)
+	coord := queryCoordinator(pn)
+	e.Net.Charge(simnet.ASASite, coord, 256)
+	e.recordQueryAccesses(pn)
+
+	var result exec.Rel
+	var execErr error
+	start := time.Now()
+	e.siteOf(coord).RunOLAP(func() {
+		result, execErr = e.evalNode(pn, snap, coord)
+	})
+	d := time.Since(start)
+	if execErr != nil {
+		return exec.Rel{}, execErr
+	}
+	e.stats.Record(ClassOLAP, d)
+
+	readVec := make(txn.VersionVector, len(pids))
+	for _, pid := range pids {
+		readVec[pid] = snap[pid]
+	}
+	sess.s.Observe(readVec)
+	if e.Advisor != nil {
+		e.Advisor.onQueryExecuted(pn, d)
+	}
+	return result, nil
+}
+
+// collectPIDs gathers every partition a plan touches.
+func collectPIDs(n plan.PNode) []partition.ID {
+	seen := map[partition.ID]bool{}
+	var out []partition.ID
+	var walk func(plan.PNode)
+	walk = func(n plan.PNode) {
+		switch v := n.(type) {
+		case *plan.PScan:
+			for _, seg := range v.Segments {
+				for _, p := range seg.Pieces {
+					if !seen[p.Meta.ID] {
+						seen[p.Meta.ID] = true
+						out = append(out, p.Meta.ID)
+					}
+				}
+			}
+		case *plan.PJoin:
+			walk(v.Left)
+			walk(v.Right)
+		case *plan.PAgg:
+			walk(v.Child)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// queryCoordinator picks the site hosting the most scanned pieces.
+func queryCoordinator(n plan.PNode) simnet.SiteID {
+	counts := map[simnet.SiteID]int{}
+	var walk func(plan.PNode)
+	walk = func(n plan.PNode) {
+		switch v := n.(type) {
+		case *plan.PScan:
+			for _, seg := range v.Segments {
+				for _, p := range seg.Pieces {
+					counts[p.Copy.Site]++
+				}
+			}
+		case *plan.PJoin:
+			walk(v.Left)
+			walk(v.Right)
+		case *plan.PAgg:
+			walk(v.Child)
+		}
+	}
+	walk(n)
+	best, bestN := simnet.SiteID(0), -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// recordQueryAccesses updates scan trackers, column stats and join
+// co-access edges.
+func (e *Engine) recordQueryAccesses(n plan.PNode) {
+	switch v := n.(type) {
+	case *plan.PScan:
+		for _, seg := range v.Segments {
+			for _, p := range seg.Pieces {
+				p.Meta.Tracker.Record(forecast.Scan, 1)
+			}
+		}
+		e.Dir.RecordColumnAccess(v.Table, v.Cols, false)
+	case *plan.PJoin:
+		e.recordQueryAccesses(v.Left)
+		e.recordQueryAccesses(v.Right)
+		lp, rp := collectPIDs(v.Left), collectPIDs(v.Right)
+		if len(lp)*len(rp) <= 64 {
+			for _, a := range lp {
+				if ma, ok := e.Dir.Get(a); ok {
+					for _, b := range rp {
+						ma.RecordCoAccess(b, 1)
+					}
+				}
+			}
+		}
+	case *plan.PAgg:
+		e.recordQueryAccesses(v.Child)
+	}
+}
+
+// evalNode evaluates a physical plan node, materializing its result at the
+// coordinator.
+func (e *Engine) evalNode(n plan.PNode, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	switch v := n.(type) {
+	case *plan.PScan:
+		return e.evalScan(v, snap, coord)
+	case *plan.PJoin:
+		return e.evalJoin(v, nil, snap, coord)
+	case *plan.PAgg:
+		return e.evalAgg(v, snap, coord)
+	}
+	return exec.Rel{}, fmt.Errorf("cluster: unknown plan node %T", n)
+}
+
+// sitePartition resolves a copy of pid at a site, catching a replica up to
+// the snapshot version. When the planned copy has been moved or removed by
+// a concurrent layout change, the current master is used instead; if the
+// partition no longer exists at all, the plan is stale.
+func (e *Engine) sitePartition(pid partition.ID, siteID simnet.SiteID, snapVer uint64) (*partition.Partition, error) {
+	s := e.siteOf(siteID)
+	p, ok := s.Partition(pid)
+	if !ok {
+		m, found := e.Dir.Get(pid)
+		if !found {
+			return nil, fmt.Errorf("%w: partition %d repartitioned", ErrStalePlan, pid)
+		}
+		s = e.siteOf(m.Master().Site)
+		if p, ok = s.Partition(pid); !ok {
+			return nil, fmt.Errorf("%w: partition %d has no resolvable copy", ErrStalePlan, pid)
+		}
+	}
+	if !s.IsMaster(pid) && p.Version() < snapVer {
+		start := time.Now()
+		if _, err := s.Repl.CatchUp(pid, snapVer); err != nil {
+			return nil, err
+		}
+		s.Observe(cost.Observation{
+			Op:       cost.OpWaitUpdates,
+			Features: cost.WaitFeatures(1),
+			Latency:  time.Since(start),
+		})
+	}
+	return p, nil
+}
+
+// scanPieceAt scans one piece (bounded to a row segment) at a given site.
+func (e *Engine) scanPieceAt(piece plan.ScanPart, siteID simnet.SiteID, seg plan.RowSegment,
+	pred storage.Pred, snap txn.VersionVector) (exec.Rel, []schema.RowID, error) {
+
+	p, err := e.sitePartition(piece.Meta.ID, siteID, snap[piece.Meta.ID])
+	if err != nil {
+		return exec.Rel{}, nil, err
+	}
+	rel, ids, obs := exec.ScanRows(p, piece.Cols, pred, seg.Lo, seg.Hi, snap[piece.Meta.ID])
+	e.siteOf(siteID).Observe(obs)
+	return rel, ids, nil
+}
+
+// shipTo charges moving a relation between sites and records the network
+// observation.
+func (e *Engine) shipTo(from, to simnet.SiteID, rel exec.Rel) {
+	if from == to {
+		return
+	}
+	bytes := rel.NumRows()*rel.RowBytes() + 64
+	d := e.Net.Charge(from, to, bytes)
+	e.siteOf(from).Observe(cost.Observation{
+		Op:       cost.OpNetwork,
+		Features: cost.NetworkFeatures(e.siteOf(from).CPU(), e.siteOf(to).CPU(), bytes, 0),
+		Latency:  d,
+	})
+}
+
+// evalScan executes a PScan, stitching vertical pieces and shipping
+// results to the coordinator. Work on other sites runs on their OLAP
+// pools concurrently.
+func (e *Engine) evalScan(ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	type segResult struct {
+		idx int
+		rel exec.Rel
+		err error
+	}
+	results := make([]segResult, len(ps.Segments))
+	var wg sync.WaitGroup
+	for i, seg := range ps.Segments {
+		i, seg := i, seg
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			rel, err := e.evalSegment(ps, seg, snap, coord)
+			results[i] = segResult{idx: i, rel: rel, err: err}
+		}
+		// Single-piece remote segments execute on their owning site's
+		// OLAP pool; everything else runs inline on the coordinator.
+		if len(seg.Pieces) == 1 && seg.Pieces[0].Copy.Site != coord {
+			s := e.siteOf(seg.Pieces[0].Copy.Site)
+			go s.RunOLAP(run)
+		} else {
+			go run()
+		}
+	}
+	wg.Wait()
+	out := exec.Rel{Cols: colNames(ps.Cols)}
+	for _, r := range results {
+		if r.err != nil {
+			return exec.Rel{}, r.err
+		}
+		out.Tuples = append(out.Tuples, r.rel.Tuples...)
+	}
+	return out, nil
+}
+
+func colNames(cols []schema.ColID) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = fmt.Sprintf("c%d", c)
+	}
+	return out
+}
+
+// evalSegment scans one row segment's pieces and stitches them by row id.
+func (e *Engine) evalSegment(ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	if len(seg.Pieces) == 1 {
+		piece := seg.Pieces[0]
+		rel, _, err := e.scanPieceAt(piece, piece.Copy.Site, seg, ps.Pred, snap)
+		if err != nil {
+			return exec.Rel{}, err
+		}
+		// Reorder piece columns into the scan's output order.
+		rel = reorderCols(rel, piece.Cols, ps.Cols)
+		e.shipTo(piece.Copy.Site, coord, rel)
+		return rel, nil
+	}
+
+	// Multi-piece: scan each piece, intersect by row id (each piece's
+	// pushed-down predicate share filters independently), then stitch.
+	type pieceData struct {
+		cols []schema.ColID
+		vals map[schema.RowID][]types.Value
+		ids  []schema.RowID
+	}
+	pieces := make([]pieceData, len(seg.Pieces))
+	for i, piece := range seg.Pieces {
+		rel, ids, err := e.scanPieceAt(piece, piece.Copy.Site, seg, ps.Pred, snap)
+		if err != nil {
+			return exec.Rel{}, err
+		}
+		e.shipTo(piece.Copy.Site, coord, rel)
+		pd := pieceData{cols: piece.Cols, vals: make(map[schema.RowID][]types.Value, len(ids)), ids: ids}
+		for j, id := range ids {
+			pd.vals[id] = rel.Tuples[j]
+		}
+		pieces[i] = pd
+	}
+	// Intersect ids across pieces, preserving the first piece's order.
+	out := exec.Rel{Cols: colNames(ps.Cols)}
+	colSource := map[schema.ColID][2]int{} // global col -> (piece, offset)
+	for pi, pd := range pieces {
+		for off, c := range pd.cols {
+			if _, ok := colSource[c]; !ok {
+				colSource[c] = [2]int{pi, off}
+			}
+		}
+	}
+	for _, id := range pieces[0].ids {
+		ok := true
+		for pi := 1; pi < len(pieces); pi++ {
+			if _, present := pieces[pi].vals[id]; !present {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		tuple := make([]types.Value, len(ps.Cols))
+		for i, c := range ps.Cols {
+			src, found := colSource[c]
+			if !found {
+				continue
+			}
+			tuple[i] = pieces[src[0]].vals[id][src[1]]
+		}
+		out.Tuples = append(out.Tuples, tuple)
+	}
+	return out, nil
+}
+
+// reorderCols maps a piece's output (ordered by pieceCols) onto outCols.
+func reorderCols(rel exec.Rel, pieceCols, outCols []schema.ColID) exec.Rel {
+	if len(pieceCols) == len(outCols) {
+		same := true
+		for i := range pieceCols {
+			if pieceCols[i] != outCols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			rel.Cols = colNames(outCols)
+			return rel
+		}
+	}
+	idx := map[schema.ColID]int{}
+	for i, c := range pieceCols {
+		idx[c] = i
+	}
+	out := exec.Rel{Cols: colNames(outCols), Tuples: make([][]types.Value, len(rel.Tuples))}
+	for ti, t := range rel.Tuples {
+		row := make([]types.Value, len(outCols))
+		for i, c := range outCols {
+			if j, ok := idx[c]; ok {
+				row[i] = t[j]
+			}
+		}
+		out.Tuples[ti] = row
+	}
+	return out
+}
+
+// joinRels joins two materialized relations with the chosen algorithm.
+func (e *Engine) joinRels(l, r exec.Rel, lKey, rKey int, alg cost.Variant, at simnet.SiteID,
+	lSorted, rSorted bool) exec.Rel {
+
+	var out exec.Rel
+	var obs cost.Observation
+	switch alg {
+	case cost.JoinMerge:
+		if !lSorted {
+			var so cost.Observation
+			l, so = exec.Sort(l, []int{lKey})
+			e.siteOf(at).Observe(so)
+		}
+		if !rSorted {
+			var so cost.Observation
+			r, so = exec.Sort(r, []int{rKey})
+			e.siteOf(at).Observe(so)
+		}
+		out, obs = exec.MergeJoin(l, r, []int{lKey}, []int{rKey})
+	case cost.JoinNested:
+		out, obs = exec.NestedLoopJoin(l, r, func(lt, rt []types.Value) bool {
+			return types.Equal(lt[lKey], rt[rKey])
+		})
+	default:
+		out, obs = exec.HashJoin(l, r, []int{lKey}, []int{rKey})
+	}
+	e.siteOf(at).Observe(obs)
+	return out
+}
+
+// evalJoin executes a join; partialAgg, when non-nil, is applied to each
+// site-local join result before shipping (aggregation pushdown under a
+// two-phase PAgg).
+func (e *Engine) evalJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	if pj.Strategy == plan.JoinColocated {
+		return e.evalColocatedJoin(pj, partialAgg, snap, coord)
+	}
+	left, err := e.evalNode(pj.Left, snap, coord)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	right, err := e.evalNode(pj.Right, snap, coord)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	lSorted := sortedAt(pj.Left) == pj.LeftKey
+	rSorted := sortedAt(pj.Right) == pj.RightKey
+	out := e.joinRels(left, right, pj.LeftKey, pj.RightKey, pj.Alg, coord, lSorted, rSorted)
+	if partialAgg != nil {
+		agg, obs := exec.HashAggregate(out, partialAgg.GroupBy, partialAgg.PartialAggs)
+		e.siteOf(coord).Observe(obs)
+		return agg, nil
+	}
+	return out, nil
+}
+
+func sortedAt(n plan.PNode) int {
+	if s, ok := n.(*plan.PScan); ok {
+		return s.SortedBy
+	}
+	return -1
+}
+
+// evalColocatedJoin joins left pieces against local right copies at each
+// storage site, shipping only (optionally partially aggregated) results —
+// Figure 7b's distributed execution.
+func (e *Engine) evalColocatedJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	ls := pj.Left.(*plan.PScan)
+	rs := pj.Right.(*plan.PScan)
+
+	// Group left segments by executing site.
+	bySite := map[simnet.SiteID][]plan.RowSegment{}
+	for _, seg := range ls.Segments {
+		// A colocated segment has all its pieces on one site by planner
+		// construction; use the first piece's site.
+		bySite[seg.Pieces[0].Copy.Site] = append(bySite[seg.Pieces[0].Copy.Site], seg)
+	}
+
+	type siteOut struct {
+		rel exec.Rel
+		err error
+	}
+	outs := make(map[simnet.SiteID]*siteOut, len(bySite))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for siteID, segs := range bySite {
+		siteID, segs := siteID, segs
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			rel, err := e.siteLocalJoin(ls, rs, segs, pj, partialAgg, snap, siteID)
+			mu.Lock()
+			outs[siteID] = &siteOut{rel: rel, err: err}
+			mu.Unlock()
+		}
+		if siteID != coord {
+			go e.siteOf(siteID).RunOLAP(run)
+		} else {
+			go run()
+		}
+	}
+	wg.Wait()
+
+	var final exec.Rel
+	for siteID, so := range outs {
+		if so.err != nil {
+			return exec.Rel{}, so.err
+		}
+		e.shipTo(siteID, coord, so.rel)
+		final = exec.Concat(final, so.rel)
+	}
+	return final, nil
+}
+
+// siteLocalJoin evaluates one site's share of a colocated join.
+func (e *Engine) siteLocalJoin(ls, rs *plan.PScan, segs []plan.RowSegment, pj *plan.PJoin,
+	partialAgg *plan.PAgg, snap txn.VersionVector, siteID simnet.SiteID) (exec.Rel, error) {
+
+	// Left input: this site's segments.
+	left := exec.Rel{Cols: colNames(ls.Cols)}
+	for _, seg := range segs {
+		rel, err := e.evalSegmentAt(ls, seg, snap, siteID)
+		if err != nil {
+			return exec.Rel{}, err
+		}
+		left.Tuples = append(left.Tuples, rel.Tuples...)
+	}
+	// Right input: local copies of every right partition.
+	right := exec.Rel{Cols: colNames(rs.Cols)}
+	for _, seg := range rs.Segments {
+		rel, err := e.evalSegmentAt(rs, seg, snap, siteID)
+		if err != nil {
+			return exec.Rel{}, err
+		}
+		right.Tuples = append(right.Tuples, rel.Tuples...)
+	}
+	out := e.joinRels(left, right, pj.LeftKey, pj.RightKey, pj.Alg, siteID, false, false)
+	if partialAgg != nil {
+		agg, obs := exec.HashAggregate(out, partialAgg.GroupBy, partialAgg.PartialAggs)
+		e.siteOf(siteID).Observe(obs)
+		return agg, nil
+	}
+	return out, nil
+}
+
+// evalSegmentAt is evalSegment with every piece read from the copy at a
+// specific site (falling back to the planned copy when absent).
+func (e *Engine) evalSegmentAt(ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, siteID simnet.SiteID) (exec.Rel, error) {
+	local := seg
+	local.Pieces = make([]plan.ScanPart, len(seg.Pieces))
+	for i, piece := range seg.Pieces {
+		if piece.Meta.HasCopyAt(siteID) {
+			piece.Copy = localCopy(piece, siteID)
+		}
+		local.Pieces[i] = piece
+	}
+	// Stitch at this site (pieces' sites now local where copies exist).
+	return e.evalSegment(ps, local, snap, siteID)
+}
+
+func localCopy(piece plan.ScanPart, siteID simnet.SiteID) metadata.Replica {
+	for _, c := range piece.Meta.AllCopies() {
+		if c.Site == siteID {
+			return c
+		}
+	}
+	return piece.Copy
+}
+
+// evalAgg executes aggregation, two-phase when the child is distributed.
+func (e *Engine) evalAgg(pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	if pa.TwoPhase {
+		switch child := pa.Child.(type) {
+		case *plan.PJoin:
+			partials, err := e.evalJoin(child, pa, snap, coord)
+			if err != nil {
+				return exec.Rel{}, err
+			}
+			return e.finalizeAgg(pa, partials, coord), nil
+		case *plan.PScan:
+			partials, err := e.evalScanWithPartialAgg(child, pa, snap, coord)
+			if err != nil {
+				return exec.Rel{}, err
+			}
+			return e.finalizeAgg(pa, partials, coord), nil
+		}
+	}
+	rel, err := e.evalNode(pa.Child, snap, coord)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	var out exec.Rel
+	var obs cost.Observation
+	if s, ok := pa.Child.(*plan.PScan); ok && len(pa.GroupBy) == 1 && s.SortedBy == pa.GroupBy[0] {
+		out, obs = exec.SortedAggregate(rel, pa.GroupBy, pa.Aggs)
+	} else {
+		out, obs = exec.HashAggregate(rel, pa.GroupBy, pa.Aggs)
+	}
+	e.siteOf(coord).Observe(obs)
+	return out, nil
+}
+
+// evalScanWithPartialAgg pushes partial aggregation to each scanning site.
+func (e *Engine) evalScanWithPartialAgg(ps *plan.PScan, pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	bySite := map[simnet.SiteID][]plan.RowSegment{}
+	for _, seg := range ps.Segments {
+		bySite[seg.Pieces[0].Copy.Site] = append(bySite[seg.Pieces[0].Copy.Site], seg)
+	}
+	type siteOut struct {
+		rel exec.Rel
+		err error
+	}
+	outs := make(map[simnet.SiteID]*siteOut, len(bySite))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for siteID, segs := range bySite {
+		siteID, segs := siteID, segs
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			local := exec.Rel{Cols: colNames(ps.Cols)}
+			var err error
+			for _, seg := range segs {
+				var rel exec.Rel
+				rel, err = e.evalSegmentAt(ps, seg, snap, siteID)
+				if err != nil {
+					break
+				}
+				local.Tuples = append(local.Tuples, rel.Tuples...)
+			}
+			var out exec.Rel
+			if err == nil {
+				var obs cost.Observation
+				out, obs = exec.HashAggregate(local, pa.GroupBy, pa.PartialAggs)
+				e.siteOf(siteID).Observe(obs)
+			}
+			mu.Lock()
+			outs[siteID] = &siteOut{rel: out, err: err}
+			mu.Unlock()
+		}
+		if siteID != coord {
+			go e.siteOf(siteID).RunOLAP(run)
+		} else {
+			go run()
+		}
+	}
+	wg.Wait()
+	var partials exec.Rel
+	for siteID, so := range outs {
+		if so.err != nil {
+			return exec.Rel{}, so.err
+		}
+		e.shipTo(siteID, coord, so.rel)
+		partials = exec.Concat(partials, so.rel)
+	}
+	return partials, nil
+}
+
+// finalizeAgg combines partial aggregates at the coordinator and
+// reconstructs AVG columns.
+func (e *Engine) finalizeAgg(pa *plan.PAgg, partials exec.Rel, coord simnet.SiteID) exec.Rel {
+	groupPos := make([]int, len(pa.GroupBy))
+	for i := range pa.GroupBy {
+		groupPos[i] = i // partial layout: [groups..., partial aggs...]
+	}
+	combined, obs := exec.HashAggregate(partials, groupPos, pa.FinalAggs)
+	e.siteOf(coord).Observe(obs)
+
+	// combined layout: [groups..., finalAgg results...]; map back to the
+	// requested [groups..., aggs...] layout with AVG = sum/count.
+	out := exec.Rel{Cols: combined.Cols[:len(pa.GroupBy)]}
+	for _, a := range pa.Aggs {
+		out.Cols = append(out.Cols, a.Func.String())
+	}
+	ng := len(pa.GroupBy)
+	for _, t := range combined.Tuples {
+		row := make([]types.Value, 0, ng+len(pa.Aggs))
+		row = append(row, t[:ng]...)
+		fi := ng // cursor into final agg outputs
+		for i, a := range pa.Aggs {
+			if a.Func == exec.AggAvg {
+				sum := t[fi]
+				cnt := t[fi+1]
+				fi += 2
+				if cnt.Float() > 0 {
+					row = append(row, types.NewFloat64(sum.Float()/cnt.Float()))
+				} else {
+					row = append(row, types.Null())
+				}
+				_ = i
+			} else {
+				row = append(row, t[fi])
+				fi++
+			}
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// OpClass buckets engine activity for the time-accounting experiments
+// (Tables 4 and 5 of the paper).
+type OpClass uint8
+
+// Operation classes.
+const (
+	ClassOLTP OpClass = iota
+	ClassOLAP
+	ClassFormatChange
+	ClassTierChange
+	ClassSortCompChange
+	ClassPartitionChange
+	ClassReplicationChange
+	ClassMasterChange
+	ClassOLTPPlan
+	ClassOLAPPlan
+	ClassOLTPLayoutPlan
+	ClassOLAPLayoutPlan
+	ClassOLTPLayoutExec
+	ClassOLAPLayoutExec
+	NumOpClasses
+)
+
+// String names the class.
+func (c OpClass) String() string {
+	names := [...]string{
+		"oltp-txn", "olap-txn", "format-change", "tier-change",
+		"sort/comp-change", "partition-change", "replication-change",
+		"master-change", "oltp-plan", "olap-plan",
+		"oltp-layout-plan", "olap-layout-plan",
+		"oltp-layout-exec", "olap-layout-exec",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "?"
+}
+
+// ClassStats aggregates one class's counters.
+type ClassStats struct {
+	Count     int64
+	TotalTime time.Duration
+}
+
+// Avg reports the mean latency.
+func (s ClassStats) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(s.Count)
+}
+
+// Stats tracks engine activity. Safe for concurrent use.
+type Stats struct {
+	mu      sync.Mutex
+	classes [NumOpClasses]ClassStats
+
+	oltpLatencies []time.Duration
+	olapLatencies []time.Duration
+	// keepLatencies bounds the retained per-request samples (ring).
+	aborts int64
+}
+
+// Record adds one completed operation.
+func (s *Stats) Record(c OpClass, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.classes[c].Count++
+	s.classes[c].TotalTime += d
+	switch c {
+	case ClassOLTP:
+		s.oltpLatencies = appendBounded(s.oltpLatencies, d)
+	case ClassOLAP:
+		s.olapLatencies = appendBounded(s.olapLatencies, d)
+	}
+}
+
+func appendBounded(sl []time.Duration, d time.Duration) []time.Duration {
+	const cap = 200000
+	if len(sl) >= cap {
+		copy(sl, sl[1:])
+		sl = sl[:cap-1]
+	}
+	return append(sl, d)
+}
+
+// RecordAbort counts a transaction abort.
+func (s *Stats) RecordAbort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aborts++
+}
+
+// Class returns one class's counters.
+func (s *Stats) Class(c OpClass) ClassStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classes[c]
+}
+
+// Aborts reports aborted transactions.
+func (s *Stats) Aborts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborts
+}
+
+// Latencies returns copies of the retained per-request latency samples.
+func (s *Stats) Latencies() (oltp, olap []time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.oltpLatencies...),
+		append([]time.Duration(nil), s.olapLatencies...)
+}
+
+// Reset clears all counters (between experiment phases).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.classes = [NumOpClasses]ClassStats{}
+	s.oltpLatencies = nil
+	s.olapLatencies = nil
+	s.aborts = 0
+}

@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/plan"
+	"proteus/internal/query"
+	"proteus/internal/redolog"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+	"proteus/internal/types"
+)
+
+// Session is one client's connection; it carries the SSSI watermark.
+type Session struct {
+	s *txn.Session
+}
+
+// NewSession opens a client session.
+func (e *Engine) NewSession() *Session {
+	return &Session{s: txn.NewSession()}
+}
+
+// snapshotFor builds a consistent SI snapshot covering pids: current
+// master versions, raised to the session watermark (SSSI) and closed under
+// commit dependencies (§4.2).
+func (e *Engine) snapshotFor(pids []partition.ID, sess *Session) txn.VersionVector {
+	snap := make(txn.VersionVector, len(pids))
+	for _, pid := range pids {
+		m, ok := e.Dir.Get(pid)
+		if !ok {
+			continue
+		}
+		if p, ok := e.siteOf(m.Master().Site).Partition(pid); ok {
+			snap[pid] = p.Version()
+		}
+	}
+	if sess != nil {
+		for pid, v := range sess.s.Watermark() {
+			if cur, tracked := snap[pid]; tracked && v > cur {
+				snap[pid] = v
+			}
+		}
+	}
+	return e.Deps.Close(snap)
+}
+
+// readCopy reads one row piece at the snapshot version from the chosen
+// copy, waiting on replication freshness when the copy is a replica.
+func (e *Engine) readCopy(m *metadata.PartitionMeta, copyAt metadata.Replica, coord simnet.SiteID,
+	row schema.RowID, cols []schema.ColID, snapVer uint64) (schema.Row, bool, []cost.Observation, error) {
+
+	var obs []cost.Observation
+	s := e.siteOf(copyAt.Site)
+	p, ok := s.Partition(m.ID)
+	if !ok {
+		// Stale plan decision: fall back to the master copy.
+		master := m.Master()
+		s = e.siteOf(master.Site)
+		p, ok = s.Partition(m.ID)
+		if !ok {
+			return schema.Row{}, false, obs, fmt.Errorf("%w: partition %d unreadable", ErrStalePlan, m.ID)
+		}
+	}
+	if !s.IsMaster(m.ID) && p.Version() < snapVer {
+		start := time.Now()
+		if _, err := s.Repl.CatchUp(m.ID, snapVer); err == nil {
+			obs = append(obs, cost.Observation{
+				Op:       cost.OpWaitUpdates,
+				Features: cost.WaitFeatures(int(snapVer - p.Version() + 1)),
+				Latency:  time.Since(start),
+			})
+		}
+	}
+	r, found, o := exec.PointRead(p, row, cols, snapVer)
+	obs = append(obs, o)
+	if s.ID != coord {
+		d := e.Net.Charge(coord, s.ID, 64)
+		d += e.Net.Charge(s.ID, coord, 64+32*len(cols))
+		obs = append(obs, cost.Observation{
+			Op:       cost.OpNetwork,
+			Features: cost.NetworkFeatures(e.siteOf(coord).CPU(), s.CPU(), 64, 64+32*len(cols)),
+			Latency:  d,
+		})
+	}
+	return r, found, obs, nil
+}
+
+// coordinatorFor picks the transaction's coordinating site: the first
+// write master, else the first read copy.
+func coordinatorFor(tp *plan.TxnPlan) simnet.SiteID {
+	for _, b := range tp.Bindings {
+		if b.Op.Kind != query.OpRead {
+			return b.Copies[0].Site
+		}
+	}
+	if len(tp.Bindings) > 0 {
+		return tp.Bindings[0].Copies[0].Site
+	}
+	return 0
+}
+
+// ExecuteTxn runs an OLTP transaction under SSSI, returning the values
+// read (one tuple per read op, in op order). A plan invalidated by a
+// concurrent layout change is re-planned and retried.
+func (e *Engine) ExecuteTxn(sess *Session, t *query.Txn) (exec.Rel, error) {
+	var rel exec.Rel
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		rel, err = e.executeTxnOnce(sess, t)
+		if !errors.Is(err, ErrStalePlan) {
+			return rel, err
+		}
+		// Back off briefly: the layout change that invalidated the plan is
+		// still installing.
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
+	}
+	return rel, err
+}
+
+func (e *Engine) executeTxnOnce(sess *Session, t *query.Txn) (exec.Rel, error) {
+	planStart := time.Now()
+	tp, err := e.Planner.PlanTxn(t)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	e.stats.Record(ClassOLTPPlan, time.Since(planStart))
+	e.recordTxnAccesses(tp)
+
+	coord := coordinatorFor(tp)
+	// Dispatch from the ASA to the coordinating site.
+	e.Net.Charge(simnet.ASASite, coord, 128+32*len(t.Ops))
+
+	var result exec.Rel
+	var execErr error
+	start := time.Now()
+	e.siteOf(coord).RunOLTP(func() {
+		result, execErr = e.runTxnAt(coord, sess, t, tp)
+	})
+	d := time.Since(start)
+	if execErr != nil {
+		e.stats.RecordAbort()
+		return exec.Rel{}, execErr
+	}
+	e.stats.Record(ClassOLTP, d)
+	if e.Advisor != nil {
+		e.Advisor.onTxnExecuted(tp, d)
+	}
+	return result, nil
+}
+
+func (e *Engine) runTxnAt(coord simnet.SiteID, sess *Session, t *query.Txn, tp *plan.TxnPlan) (exec.Rel, error) {
+	coordSite := e.siteOf(coord)
+
+	allPids := append(append([]partition.ID{}, tp.ReadPIDs...), tp.WritePIDs...)
+	snap := e.snapshotFor(allPids, sess)
+
+	// Reads run lock-free under snapshot isolation; exclusive partition
+	// locks are taken only for the write/commit phase below, so remote
+	// read latency does not serialize hot partitions. Independent keyed
+	// reads execute in parallel so remote round trips overlap.
+	type readSlot struct {
+		tuple []types.Value
+		found bool
+		err   error
+	}
+	var readIdx []int
+	for bi, b := range tp.Bindings {
+		if b.Op.Kind == query.OpRead {
+			readIdx = append(readIdx, bi)
+		}
+	}
+	slots := make([]readSlot, len(readIdx))
+	var rwg sync.WaitGroup
+	for si, bi := range readIdx {
+		si, b := si, tp.Bindings[bi]
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			tuple := make([]types.Value, len(b.Op.Cols))
+			found := false
+			for i, m := range b.Pieces {
+				cols, valIdx := plan.PieceCols(b.Op, m)
+				if len(cols) == 0 {
+					continue
+				}
+				r, ok, obs, err := e.readCopy(m, b.Copies[i], coord, b.Op.Row, cols, snap[m.ID])
+				for _, o := range obs {
+					coordSite.Observe(o)
+				}
+				if err != nil {
+					slots[si].err = err
+					return
+				}
+				if !ok {
+					continue
+				}
+				found = true
+				for j, vi := range valIdx {
+					tuple[vi] = r.Vals[j]
+				}
+			}
+			slots[si].tuple, slots[si].found = tuple, found
+		}()
+	}
+	rwg.Wait()
+	result := exec.Rel{}
+	for _, sl := range slots {
+		if sl.err != nil {
+			return exec.Rel{}, sl.err
+		}
+		if sl.found {
+			result.Tuples = append(result.Tuples, sl.tuple)
+		} else {
+			result.Tuples = append(result.Tuples, nil)
+		}
+	}
+
+	// Writes: acquire exclusive locks on the write set in global order
+	// (no deadlocks), then group by master site and apply with 2PC when
+	// more than one site is involved.
+	if len(tp.WritePIDs) > 0 {
+		lockStart := time.Now()
+		ls := e.Locks.AcquireAll(nil, tp.WritePIDs)
+		waiters, recent := e.Locks.Contention(tp.WritePIDs[0])
+		coordSite.Observe(cost.Observation{
+			Op:       cost.OpLock,
+			Features: cost.LockFeatures(waiters, recent),
+			Latency:  time.Since(lockStart),
+		})
+		err := e.applyWrites(coord, tp, snap, sess)
+		ls.ReleaseAll()
+		if err != nil {
+			return exec.Rel{}, err
+		}
+	}
+
+	// SSSI: the session must observe everything it read.
+	readVec := make(txn.VersionVector)
+	for _, pid := range tp.ReadPIDs {
+		readVec[pid] = snap[pid]
+	}
+	sess.s.Observe(readVec)
+	return result, nil
+}
+
+// siteWrites groups a transaction's write ops per master site.
+type siteWrites struct {
+	site simnet.SiteID
+	ops  []writeOp
+}
+
+type writeOp struct {
+	op    query.Op
+	meta  *metadata.PartitionMeta
+	cols  []schema.ColID
+	valIx []int
+}
+
+func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, snap txn.VersionVector, sess *Session) error {
+	bySite := map[simnet.SiteID]*siteWrites{}
+	for _, b := range tp.Bindings {
+		if b.Op.Kind == query.OpRead {
+			continue
+		}
+		for _, m := range b.Pieces {
+			cols, valIx := plan.PieceCols(b.Op, m)
+			if len(cols) == 0 && b.Op.Kind == query.OpUpdate {
+				continue
+			}
+			st := m.Master().Site
+			sw, ok := bySite[st]
+			if !ok {
+				sw = &siteWrites{site: st}
+				bySite[st] = sw
+			}
+			sw.ops = append(sw.ops, writeOp{op: b.Op, meta: m, cols: cols, valIx: valIx})
+		}
+	}
+
+	// Reserve the new version of every written partition.
+	versions := make(txn.VersionVector)
+	masters := map[partition.ID]*partition.Partition{}
+	for _, sw := range bySite {
+		for _, w := range sw.ops {
+			if _, ok := versions[w.meta.ID]; ok {
+				continue
+			}
+			p, ok := e.siteOf(sw.site).Partition(w.meta.ID)
+			if !ok {
+				return fmt.Errorf("%w: write partition %d moved", ErrStalePlan, w.meta.ID)
+			}
+			masters[w.meta.ID] = p
+			versions[w.meta.ID] = p.Version() + 1
+		}
+	}
+
+	// Two-phase commit across the write sites (§4.3).
+	var participants []txn.Participant
+	for _, sw := range bySite {
+		participants = append(participants, &writeParticipant{
+			e: e, coord: coord, sw: sw, versions: versions, masters: masters,
+		})
+	}
+	c := &txn.Coordinator{OnePhase: true}
+	commitStart := time.Now()
+	if err := c.Commit(e.nextTxnID(), participants); err != nil {
+		return err
+	}
+
+	// Log one redo record per partition, carrying the co-committed
+	// dependency vector, then install versions.
+	entriesByPID := map[partition.ID][]redolog.Entry{}
+	for _, sw := range bySite {
+		for _, w := range sw.ops {
+			entriesByPID[w.meta.ID] = append(entriesByPID[w.meta.ID], toEntry(w))
+		}
+	}
+	for pid, entries := range entriesByPID {
+		deps := make(map[partition.ID]uint64, len(versions)-1)
+		for q, v := range versions {
+			if q != pid {
+				deps[q] = v
+			}
+		}
+		e.Broker.Append(redolog.Record{Partition: pid, Version: versions[pid], Entries: entries, Deps: deps})
+		masters[pid].SetVersion(versions[pid])
+	}
+	e.Deps.RecordCommit(versions)
+	sess.s.Observe(versions)
+
+	// Commit cost: partitions read/written and sites involved.
+	e.siteOf(coord).Observe(cost.Observation{
+		Op:       cost.OpCommit,
+		Features: cost.CommitFeatures(len(tp.ReadPIDs), len(tp.WritePIDs), len(bySite)),
+		Latency:  time.Since(commitStart),
+	})
+	_ = snap
+	return nil
+}
+
+func toEntry(w writeOp) redolog.Entry {
+	switch w.op.Kind {
+	case query.OpInsert:
+		vals := make([]types.Value, len(w.cols))
+		for i, vi := range w.valIx {
+			vals[i] = w.op.Vals[vi]
+		}
+		return redolog.Entry{Op: redolog.OpInsert, Row: w.op.Row, Vals: vals}
+	case query.OpDelete:
+		return redolog.Entry{Op: redolog.OpDelete, Row: w.op.Row}
+	default:
+		local := make([]schema.ColID, len(w.cols))
+		for i, c := range w.cols {
+			local[i] = w.meta.Bounds.LocalCol(c)
+		}
+		vals := make([]types.Value, len(w.cols))
+		for i, vi := range w.valIx {
+			vals[i] = w.op.Vals[vi]
+		}
+		return redolog.Entry{Op: redolog.OpUpdate, Row: w.op.Row, Cols: local, Vals: vals}
+	}
+}
+
+// writeParticipant adapts one site's write group to the 2PC interface.
+type writeParticipant struct {
+	e        *Engine
+	coord    simnet.SiteID
+	sw       *siteWrites
+	versions txn.VersionVector
+	masters  map[partition.ID]*partition.Partition
+}
+
+// Prepare validates the ops (and charges the prepare round trip).
+func (wp *writeParticipant) Prepare(txnID uint64) error {
+	if wp.sw.site != wp.coord {
+		wp.e.Net.Charge(wp.coord, wp.sw.site, 128)
+		wp.e.Net.Charge(wp.sw.site, wp.coord, 32)
+	}
+	for _, w := range wp.sw.ops {
+		p := wp.masters[w.meta.ID]
+		switch w.op.Kind {
+		case query.OpUpdate, query.OpDelete:
+			if _, ok := p.Get(w.op.Row, nil, storage.Latest); !ok {
+				return fmt.Errorf("cluster: row %d missing in partition %d", w.op.Row, w.meta.ID)
+			}
+		case query.OpInsert:
+			if _, ok := p.Get(w.op.Row, nil, storage.Latest); ok {
+				return fmt.Errorf("cluster: duplicate row %d in partition %d", w.op.Row, w.meta.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Commit applies the staged writes at the reserved versions.
+func (wp *writeParticipant) Commit(txnID uint64) error {
+	if wp.sw.site != wp.coord {
+		wp.e.Net.Charge(wp.coord, wp.sw.site, 128)
+		wp.e.Net.Charge(wp.sw.site, wp.coord, 32)
+	}
+	s := wp.e.siteOf(wp.sw.site)
+	for _, w := range wp.sw.ops {
+		p := wp.masters[w.meta.ID]
+		ver := wp.versions[w.meta.ID]
+		var obs cost.Observation
+		var err error
+		switch w.op.Kind {
+		case query.OpInsert:
+			vals := make([]types.Value, len(w.cols))
+			for i, vi := range w.valIx {
+				vals[i] = w.op.Vals[vi]
+			}
+			obs, err = exec.Insert(p, schema.Row{ID: w.op.Row, Vals: vals}, ver)
+		case query.OpDelete:
+			obs, err = exec.Delete(p, w.op.Row, ver)
+		default:
+			vals := make([]types.Value, len(w.cols))
+			for i, vi := range w.valIx {
+				vals[i] = w.op.Vals[vi]
+			}
+			obs, err = exec.Update(p, w.op.Row, w.cols, vals, ver)
+		}
+		if err != nil {
+			return err
+		}
+		s.Observe(obs)
+	}
+	// TiDB mode: synchronous Raft replication to followers per write.
+	if wp.e.cfg.Mode == ModeTiDB {
+		for f := 0; f < wp.e.cfg.RaftFollowers; f++ {
+			follower := simnet.SiteID((int(wp.sw.site) + 1 + f) % len(wp.e.Sites))
+			if follower != wp.sw.site {
+				wp.e.Net.Charge(wp.sw.site, follower, 256)
+				wp.e.Net.Charge(follower, wp.sw.site, 32)
+			}
+		}
+	}
+	return nil
+}
+
+// Abort discards (nothing staged before Commit in this engine).
+func (wp *writeParticipant) Abort(txnID uint64) error { return nil }
+
+// recordTxnAccesses updates trackers, co-access edges and column stats.
+func (e *Engine) recordTxnAccesses(tp *plan.TxnPlan) {
+	var pids []partition.ID
+	for _, b := range tp.Bindings {
+		for _, m := range b.Pieces {
+			if b.Op.Kind == query.OpRead {
+				m.Tracker.Record(forecast.PointRead, 1)
+				e.Dir.RecordColumnAccess(m.Bounds.Table, b.Op.Cols, false)
+			} else {
+				m.Tracker.Record(forecast.Update, 1)
+				e.Dir.RecordColumnAccess(m.Bounds.Table, b.Op.Cols, true)
+			}
+			pids = append(pids, m.ID)
+		}
+	}
+	// Pairwise co-access (bounded).
+	if len(pids) > 1 && len(pids) <= 8 {
+		for i, a := range pids {
+			if ma, ok := e.Dir.Get(a); ok {
+				for j, bpid := range pids {
+					if i != j {
+						ma.RecordCoAccess(bpid, 1)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package colstore implements Proteus' column-oriented (decomposition
+// storage model) layouts (§4.1.2 of the paper): in-memory columns held in
+// data arrays with offset/position index arrays, optional total sort order
+// and run-length-encoded compression, a delta store buffering updates as
+// rows in a hash table keyed by row_id, and a Parquet-like on-disk format
+// storing metadata (index arrays) followed by per-column value blocks.
+package colstore
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// colData is one column's storage: values in position order, encoded into a
+// single data array, with a position index giving each entry's byte offset
+// (the paper's "position array"; the shared rowIDs slice is the "offset
+// array" mapping array positions to row_ids). When compressed, values are
+// run-length encoded: each run is prefixed by a 4-byte count (§4.1.2), and
+// operators work directly over the runs without expanding them.
+type colData struct {
+	kind types.Kind
+	// Uncompressed representation.
+	data []byte
+	offs []uint32 // position -> offset into data; len = n+1
+	// Compressed (RLE) representation.
+	rle      bool
+	runData  []byte   // concatenated [4-byte count][encoded value] runs
+	runStart []uint32 // run index -> first covered position; sentinel n at end
+	runOff   []uint32 // run index -> offset of the run's value bytes in runData
+}
+
+// buildCol encodes vals (already in position order) into a column.
+func buildCol(kind types.Kind, vals []types.Value, compress bool) *colData {
+	c := &colData{kind: kind}
+	if !compress {
+		c.offs = make([]uint32, 0, len(vals)+1)
+		for _, v := range vals {
+			c.offs = append(c.offs, uint32(len(c.data)))
+			c.data = types.AppendVar(c.data, v)
+		}
+		c.offs = append(c.offs, uint32(len(c.data)))
+		return c
+	}
+	c.rle = true
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && types.Equal(vals[j], vals[i]) {
+			j++
+		}
+		c.runStart = append(c.runStart, uint32(i))
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(j-i))
+		c.runData = append(c.runData, cnt[:]...)
+		c.runOff = append(c.runOff, uint32(len(c.runData)))
+		c.runData = types.AppendVar(c.runData, vals[i])
+		i = j
+	}
+	c.runStart = append(c.runStart, uint32(len(vals)))
+	return c
+}
+
+// n reports the number of stored positions.
+func (c *colData) n() int {
+	if c.rle {
+		if len(c.runStart) == 0 {
+			return 0
+		}
+		return int(c.runStart[len(c.runStart)-1])
+	}
+	if len(c.offs) == 0 {
+		return 0
+	}
+	return len(c.offs) - 1
+}
+
+// bytes reports the column's data-array footprint.
+func (c *colData) bytes() int {
+	if c.rle {
+		return len(c.runData) + 4*len(c.runStart) + 4*len(c.runOff)
+	}
+	return len(c.data) + 4*len(c.offs)
+}
+
+// get decodes the value at position pos (random access; sequential access
+// should prefer iter).
+func (c *colData) get(pos int) types.Value {
+	if c.rle {
+		// Binary search the run covering pos.
+		r := sort.Search(len(c.runStart)-1, func(i int) bool { return c.runStart[i+1] > uint32(pos) })
+		v, _ := types.DecodeVar(c.runData[c.runOff[r]:], c.kind)
+		return v
+	}
+	v, _ := types.DecodeVar(c.data[c.offs[pos]:], c.kind)
+	return v
+}
+
+// iter returns a sequential accessor: calling it with strictly increasing
+// positions decodes each RLE run only once.
+func (c *colData) iter() func(pos int) types.Value {
+	if !c.rle {
+		return func(pos int) types.Value {
+			v, _ := types.DecodeVar(c.data[c.offs[pos]:], c.kind)
+			return v
+		}
+	}
+	run := 0
+	var cur types.Value
+	decoded := -1
+	return func(pos int) types.Value {
+		for run+1 < len(c.runStart)-1 && c.runStart[run+1] <= uint32(pos) {
+			run++
+		}
+		// Allow backward jumps by re-searching.
+		if run < len(c.runStart)-1 && c.runStart[run] > uint32(pos) {
+			run = sort.Search(len(c.runStart)-1, func(i int) bool { return c.runStart[i+1] > uint32(pos) })
+			decoded = -1
+		}
+		if decoded != run {
+			cur, _ = types.DecodeVar(c.runData[c.runOff[run]:], c.kind)
+			decoded = run
+		}
+		return cur
+	}
+}
+
+// serialize appends the column's disk representation: a small header, the
+// index arrays, then the value bytes (metadata before values, like Parquet).
+func (c *colData) serialize() []byte {
+	var out []byte
+	var b [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	if c.rle {
+		out = append(out, 1, byte(c.kind))
+		put32(uint32(len(c.runStart)))
+		for _, s := range c.runStart {
+			put32(s)
+		}
+		put32(uint32(len(c.runOff)))
+		for _, o := range c.runOff {
+			put32(o)
+		}
+		put32(uint32(len(c.runData)))
+		out = append(out, c.runData...)
+		return out
+	}
+	out = append(out, 0, byte(c.kind))
+	put32(uint32(len(c.offs)))
+	for _, o := range c.offs {
+		put32(o)
+	}
+	put32(uint32(len(c.data)))
+	out = append(out, c.data...)
+	return out
+}
+
+// deserializeCol reconstructs a column from its disk representation.
+func deserializeCol(buf []byte) *colData {
+	c := &colData{}
+	c.rle = buf[0] == 1
+	c.kind = types.Kind(buf[1])
+	off := 2
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v
+	}
+	if c.rle {
+		n := int(get32())
+		c.runStart = make([]uint32, n)
+		for i := range c.runStart {
+			c.runStart[i] = get32()
+		}
+		n = int(get32())
+		c.runOff = make([]uint32, n)
+		for i := range c.runOff {
+			c.runOff[i] = get32()
+		}
+		dn := int(get32())
+		c.runData = append([]byte(nil), buf[off:off+dn]...)
+		return c
+	}
+	n := int(get32())
+	c.offs = make([]uint32, n)
+	for i := range c.offs {
+		c.offs[i] = get32()
+	}
+	dn := int(get32())
+	c.data = append([]byte(nil), buf[off:off+dn]...)
+	return c
+}
+
+// base is the merged, immutable portion of a column store: every column in
+// the same position order, the offset array (position -> row_id) and the
+// position array (row_id -> position).
+type base struct {
+	rowIDs []schema.RowID
+	pos    map[schema.RowID]int
+	cols   []*colData
+}
+
+// buildBase constructs the merged representation from full rows. If sortBy
+// is a valid column, positions are ordered by that column's value (ties by
+// row_id); otherwise by row_id.
+func buildBase(kinds []types.Kind, rows []schema.Row, sortBy schema.ColID, compress bool) *base {
+	sorted := make([]schema.Row, len(rows))
+	copy(sorted, rows)
+	if sortBy >= 0 && int(sortBy) < len(kinds) {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			c := types.Compare(sorted[i].Vals[sortBy], sorted[j].Vals[sortBy])
+			if c != 0 {
+				return c < 0
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+	} else {
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	}
+	b := &base{
+		rowIDs: make([]schema.RowID, len(sorted)),
+		pos:    make(map[schema.RowID]int, len(sorted)),
+		cols:   make([]*colData, len(kinds)),
+	}
+	colVals := make([][]types.Value, len(kinds))
+	for ci := range kinds {
+		colVals[ci] = make([]types.Value, len(sorted))
+	}
+	for p, r := range sorted {
+		b.rowIDs[p] = r.ID
+		b.pos[r.ID] = p
+		for ci := range kinds {
+			colVals[ci][p] = r.Vals[ci]
+		}
+	}
+	for ci, k := range kinds {
+		b.cols[ci] = buildCol(k, colVals[ci], compress)
+	}
+	return b
+}
+
+// row materializes the projection cols of the row at position p.
+func (b *base) row(p int, cols []schema.ColID) schema.Row {
+	vals := make([]types.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = b.cols[c].get(p)
+	}
+	return schema.Row{ID: b.rowIDs[p], Vals: vals}
+}

@@ -1,0 +1,107 @@
+package colstore
+
+import (
+	"sort"
+
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// deltaStore buffers updates to column data as rows in a hash table indexed
+// by row_id (§4.1.2). Each entry is a version chain so snapshot reads can
+// observe older buffered states; a periodic merge folds the delta into the
+// column base.
+type deltaStore struct {
+	rows map[schema.RowID]*deltaVersion
+}
+
+type deltaVersion struct {
+	vals    []types.Value // full row at this version
+	ver     uint64
+	prev    *deltaVersion
+	deleted bool
+}
+
+func newDelta() *deltaStore {
+	return &deltaStore{rows: make(map[schema.RowID]*deltaVersion)}
+}
+
+// put records a new full-row version (or tombstone).
+func (d *deltaStore) put(id schema.RowID, vals []types.Value, ver uint64, deleted bool) {
+	d.rows[id] = &deltaVersion{vals: vals, ver: ver, prev: d.rows[id], deleted: deleted}
+}
+
+// visible returns the buffered state of id at snapshot snap.
+// found=false means the delta holds no version at or before snap, so the
+// base (if it contains the row) is authoritative.
+func (d *deltaStore) visible(id schema.RowID, snap uint64) (vals []types.Value, deleted, found bool) {
+	for v := d.rows[id]; v != nil; v = v.prev {
+		if v.ver <= snap {
+			return v.vals, v.deleted, true
+		}
+	}
+	return nil, false, false
+}
+
+// snapshot returns every row_id with a version visible at snap, with its
+// state, sorted by row_id.
+type deltaRow struct {
+	id      schema.RowID
+	vals    []types.Value
+	deleted bool
+}
+
+func (d *deltaStore) snapshot(snap uint64) []deltaRow {
+	out := make([]deltaRow, 0, len(d.rows))
+	for id := range d.rows {
+		if vals, del, ok := d.visible(id, snap); ok {
+			out = append(out, deltaRow{id: id, vals: vals, deleted: del})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// sortDeltaRows orders delta rows by (sort-column value, row_id).
+func sortDeltaRows(rows []deltaRow, sortBy schema.ColID) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		c := types.Compare(rows[i].vals[sortBy], rows[j].vals[sortBy])
+		if c != 0 {
+			return c < 0
+		}
+		return rows[i].id < rows[j].id
+	})
+}
+
+// size reports the number of buffered row entries.
+func (d *deltaStore) size() int { return len(d.rows) }
+
+// versions reports the total number of chained versions.
+func (d *deltaStore) versions() int {
+	n := 0
+	for _, v := range d.rows {
+		for p := v; p != nil; p = p.prev {
+			n++
+		}
+	}
+	return n
+}
+
+// bytes estimates the delta's memory footprint.
+func (d *deltaStore) bytes() int {
+	n := 0
+	for _, v := range d.rows {
+		for p := v; p != nil; p = p.prev {
+			n += 24 // chain bookkeeping
+			for _, val := range p.vals {
+				n += types.VarWidth(val)
+			}
+		}
+	}
+	return n
+}
+
+// clear drops every buffered version (after a merge).
+func (d *deltaStore) clear() {
+	d.rows = make(map[schema.RowID]*deltaVersion)
+}

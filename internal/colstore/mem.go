@@ -1,0 +1,271 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Mem is the in-memory column store. Merged data lives in per-column data
+// arrays with index arrays (§4.1.2); inserts, updates and deletes buffer in
+// the delta store until MergeDelta folds them in. The layout may maintain a
+// total sort order over one column and/or RLE compression.
+type Mem struct {
+	mu     sync.RWMutex
+	kinds  []types.Kind
+	base   *base
+	delta  *deltaStore
+	layout storage.Layout
+}
+
+// NewMem creates an empty in-memory column store with the given sort order
+// (storage.NoSort for row_id order) and compression setting.
+func NewMem(kinds []types.Kind, sortBy schema.ColID, compressed bool) *Mem {
+	return &Mem{
+		kinds: kinds,
+		base:  buildBase(kinds, nil, sortBy, compressed),
+		delta: newDelta(),
+		layout: storage.Layout{
+			Format: storage.ColumnFormat, Tier: storage.MemoryTier,
+			SortBy: sortBy, Compressed: compressed,
+		},
+	}
+}
+
+// Layout implements storage.Store.
+func (m *Mem) Layout() storage.Layout { return m.layout }
+
+// currentLocked returns the row's newest values (delta first, then base).
+func (m *Mem) currentLocked(id schema.RowID) ([]types.Value, bool) {
+	if vals, del, ok := m.delta.visible(id, storage.Latest); ok {
+		if del {
+			return nil, false
+		}
+		return vals, true
+	}
+	if p, ok := m.base.pos[id]; ok {
+		r := m.base.row(p, allCols(len(m.kinds)))
+		return r.Vals, true
+	}
+	return nil, false
+}
+
+// Insert implements storage.Store.
+func (m *Mem) Insert(row schema.Row, ver uint64) error {
+	if len(row.Vals) != len(m.kinds) {
+		return fmt.Errorf("colstore: %d values for %d columns", len(row.Vals), len(m.kinds))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, live := m.currentLocked(row.ID); live {
+		return fmt.Errorf("colstore: duplicate row %d", row.ID)
+	}
+	vals := make([]types.Value, len(row.Vals))
+	copy(vals, row.Vals)
+	m.delta.put(row.ID, vals, ver, false)
+	return nil
+}
+
+// Update implements storage.Store.
+func (m *Mem) Update(id schema.RowID, cols []schema.ColID, vals []types.Value, ver uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, live := m.currentLocked(id)
+	if !live {
+		return fmt.Errorf("colstore: update of missing row %d", id)
+	}
+	next := make([]types.Value, len(cur))
+	copy(next, cur)
+	for i, c := range cols {
+		if int(c) >= len(m.kinds) {
+			return fmt.Errorf("colstore: column %d out of range", c)
+		}
+		next[c] = vals[i]
+	}
+	m.delta.put(id, next, ver, false)
+	return nil
+}
+
+// Delete implements storage.Store.
+func (m *Mem) Delete(id schema.RowID, ver uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, live := m.currentLocked(id); !live {
+		return fmt.Errorf("colstore: delete of missing row %d", id)
+	}
+	m.delta.put(id, nil, ver, true)
+	return nil
+}
+
+// Get implements storage.Store. Point reads combine the delta store with
+// the column data located through the position index array.
+func (m *Mem) Get(id schema.RowID, cols []schema.ColID, snap uint64) (schema.Row, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if vals, del, ok := m.delta.visible(id, snap); ok {
+		if del {
+			return schema.Row{}, false
+		}
+		out := make([]types.Value, len(cols))
+		for i, c := range cols {
+			out[i] = vals[c]
+		}
+		return schema.Row{ID: id, Vals: out}, true
+	}
+	p, ok := m.base.pos[id]
+	if !ok {
+		return schema.Row{}, false
+	}
+	return m.base.row(p, cols), true
+}
+
+// sortedRange narrows the base position range [lo, hi) using predicate
+// conditions on the sort column via binary search (the "sorted scan"
+// operator of Table 1).
+func (m *Mem) sortedRange(pred storage.Pred) (int, int) {
+	n := len(m.base.rowIDs)
+	lo, hi := 0, n
+	if m.layout.SortBy == storage.NoSort {
+		return lo, hi
+	}
+	col := m.base.cols[m.layout.SortBy]
+	for _, c := range pred {
+		if c.Col != m.layout.SortBy {
+			continue
+		}
+		switch c.Op {
+		case storage.CmpEq:
+			l := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) >= 0 })
+			h := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) > 0 })
+			lo, hi = max(lo, l), min(hi, h)
+		case storage.CmpGe:
+			l := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) >= 0 })
+			lo = max(lo, l)
+		case storage.CmpGt:
+			l := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) > 0 })
+			lo = max(lo, l)
+		case storage.CmpLe:
+			h := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) > 0 })
+			hi = min(hi, h)
+		case storage.CmpLt:
+			h := sort.Search(n, func(i int) bool { return types.Compare(col.get(i), c.Val) >= 0 })
+			hi = min(hi, h)
+		}
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Scan implements storage.Store. Only the columns named by the predicate
+// and projection are decoded (the columnar advantage of Figure 3); when the
+// layout is sorted, predicate conditions on the sort column narrow the
+// scanned range by binary search, and output arrives in sort order with
+// delta rows merged into their ordered positions.
+func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	sortBy := m.layout.SortBy
+	overridden, live := prepareDelta(m.delta.snapshot(snap), sortBy, pred)
+
+	lo, hi := m.sortedRange(pred)
+
+	getCol := func(c schema.ColID) func(int) types.Value { return m.base.cols[c].iter() }
+	mergeScan(m.base.rowIDs, getCol, sortBy, lo, hi, overridden, live, cols, pred, fn)
+}
+
+// Load implements storage.Store, bulk loading into fresh column arrays.
+func (m *Mem) Load(rows []schema.Row, ver uint64) error {
+	for _, r := range rows {
+		if len(r.Vals) != len(m.kinds) {
+			return fmt.Errorf("colstore: row %d has %d values for %d columns", r.ID, len(r.Vals), len(m.kinds))
+		}
+	}
+	nb := buildBase(m.kinds, rows, m.layout.SortBy, m.layout.Compressed)
+	m.mu.Lock()
+	m.base = nb
+	m.delta.clear()
+	m.mu.Unlock()
+	return nil
+}
+
+// ExtractAll implements storage.Store (ordered by RowID regardless of the
+// layout's sort order).
+func (m *Mem) ExtractAll(snap uint64) []schema.Row {
+	var out []schema.Row
+	m.Scan(allCols(len(m.kinds)), nil, snap, func(r schema.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MergeDelta folds buffered delta updates into a new version of the column
+// data (§4.1.2), producing fresh merged arrays and clearing the delta.
+func (m *Mem) MergeDelta(ver uint64) error {
+	rows := m.ExtractAll(ver)
+	return m.Load(rows, ver)
+}
+
+// DeltaRows reports the number of buffered delta entries.
+func (m *Mem) DeltaRows() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.delta.size()
+}
+
+// Stats implements storage.Store.
+func (m *Mem) Stats() storage.Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bytes := 8 * len(m.base.rowIDs) // offset array
+	for _, c := range m.base.cols {
+		bytes += c.bytes()
+	}
+	bytes += m.delta.bytes()
+	live := len(m.base.rowIDs)
+	for _, dr := range m.delta.snapshot(storage.Latest) {
+		_, inBase := m.base.pos[dr.id]
+		switch {
+		case dr.deleted && inBase:
+			live--
+		case !dr.deleted && !inBase:
+			live++
+		}
+	}
+	return storage.Stats{
+		Rows:      live,
+		Bytes:     bytes,
+		Versions:  len(m.base.rowIDs) + m.delta.versions(),
+		DeltaRows: m.delta.size(),
+	}
+}
+
+func allCols(n int) []schema.ColID {
+	out := make([]schema.ColID, n)
+	for i := range out {
+		out[i] = schema.ColID(i)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

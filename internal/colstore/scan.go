@@ -1,0 +1,115 @@
+package colstore
+
+import (
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// mergeScan streams the merged view of column base data and delta rows in
+// layout order (sort-column order when sortBy is valid, row_id order
+// otherwise), applying predicate and projection pushdown. It is shared by
+// the memory and disk column stores; the caller supplies per-column
+// accessors over whatever representation it holds.
+//
+//   - rowIDs: the base offset array (position -> row_id)
+//   - getCol: returns a position-indexed accessor for one column; only the
+//     columns the scan touches are requested (the columnar advantage)
+//   - lo, hi: the base position range to visit (already narrowed by any
+//     sorted-scan binary search)
+//   - overridden: row_ids whose base entry is superseded by the delta
+//   - live: delta rows that pass the predicate, in layout order
+func mergeScan(
+	rowIDs []schema.RowID,
+	getCol func(schema.ColID) func(int) types.Value,
+	sortBy schema.ColID,
+	lo, hi int,
+	overridden map[schema.RowID]bool,
+	live []deltaRow,
+	cols []schema.ColID,
+	pred storage.Pred,
+	fn func(schema.Row) bool,
+) {
+	needed := map[schema.ColID]func(int) types.Value{}
+	need := func(c schema.ColID) {
+		if _, ok := needed[c]; !ok {
+			needed[c] = getCol(c)
+		}
+	}
+	for _, c := range pred.Columns() {
+		need(c)
+	}
+	for _, c := range cols {
+		need(c)
+	}
+	if sortBy != storage.NoSort {
+		need(sortBy)
+	}
+
+	emitBase := func(p int) bool {
+		for _, c := range pred {
+			if !c.Op.Eval(needed[c.Col](p), c.Val) {
+				return true // filtered out; keep scanning
+			}
+		}
+		vals := make([]types.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = needed[c](p)
+		}
+		return fn(schema.Row{ID: rowIDs[p], Vals: vals})
+	}
+	emitDelta := func(dr deltaRow) bool {
+		vals := make([]types.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = dr.vals[c]
+		}
+		return fn(schema.Row{ID: dr.id, Vals: vals})
+	}
+	baseLess := func(p int, dr deltaRow) bool {
+		if sortBy != storage.NoSort {
+			c := types.Compare(needed[sortBy](p), dr.vals[sortBy])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return rowIDs[p] < dr.id
+	}
+
+	di := 0
+	for p := lo; p < hi; p++ {
+		if overridden[rowIDs[p]] {
+			continue
+		}
+		for di < len(live) && !baseLess(p, live[di]) {
+			if !emitDelta(live[di]) {
+				return
+			}
+			di++
+		}
+		if !emitBase(p) {
+			return
+		}
+	}
+	for ; di < len(live); di++ {
+		if !emitDelta(live[di]) {
+			return
+		}
+	}
+}
+
+// prepareDelta splits a delta snapshot into the overridden-id set and the
+// predicate-passing live rows ordered by the layout's sort key.
+func prepareDelta(drows []deltaRow, sortBy schema.ColID, pred storage.Pred) (map[schema.RowID]bool, []deltaRow) {
+	overridden := make(map[schema.RowID]bool, len(drows))
+	live := drows[:0:0]
+	for _, dr := range drows {
+		overridden[dr.id] = true
+		if !dr.deleted && pred.Match(dr.vals) {
+			live = append(live, dr)
+		}
+	}
+	if sortBy != storage.NoSort {
+		sortDeltaRows(live, sortBy)
+	}
+	return overridden, live
+}

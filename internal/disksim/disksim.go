@@ -1,0 +1,181 @@
+// Package disksim provides a simulated block storage device standing in for
+// the 1 TB hard disks of the paper's testbed. The simulation preserves the
+// three properties the paper's disk tier contributes to system behaviour:
+// serialized (not directly addressable) data, block-access latency, and a
+// capacity limit that triggers the ASA's storage-pressure responses
+// (§5.3.2). Latency is modelled as seek + size/throughput and charged by
+// sleeping, so disk-resident layouts are measurably slower than memory.
+package disksim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BlockID names one stored extent on a device.
+type BlockID int64
+
+// ErrCapacity is returned when a write would exceed the device capacity.
+var ErrCapacity = errors.New("disksim: device capacity exceeded")
+
+// ErrNoBlock is returned when reading or freeing an unknown block.
+var ErrNoBlock = errors.New("disksim: no such block")
+
+// Config sets the performance envelope of a simulated device.
+type Config struct {
+	// Capacity in bytes; 0 means unlimited.
+	Capacity int64
+	// SeekLatency is charged once per read or write.
+	SeekLatency time.Duration
+	// BytesPerSecond is the sequential transfer rate; 0 disables the
+	// transfer-time charge.
+	BytesPerSecond float64
+}
+
+// DefaultConfig models a modest HDD scaled for microsecond-scale tests:
+// 60 us seek, 500 MB/s transfer, unlimited capacity.
+func DefaultConfig() Config {
+	return Config{SeekLatency: 60 * time.Microsecond, BytesPerSecond: 500 << 20}
+}
+
+// Device is a simulated block device. It is safe for concurrent use.
+type Device struct {
+	cfg Config
+
+	mu     sync.Mutex
+	blocks map[BlockID][]byte
+	used   int64
+	nextID BlockID
+	reads  int64
+	writes int64
+}
+
+// New creates a device with the given configuration.
+func New(cfg Config) *Device {
+	return &Device{cfg: cfg, blocks: make(map[BlockID][]byte)}
+}
+
+// charge sleeps for the modelled access time of n bytes.
+func (d *Device) charge(n int) {
+	delay := d.cfg.SeekLatency
+	if d.cfg.BytesPerSecond > 0 {
+		delay += time.Duration(float64(n) / d.cfg.BytesPerSecond * float64(time.Second))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+// Write stores data as a new block and returns its ID.
+func (d *Device) Write(data []byte) (BlockID, error) {
+	d.mu.Lock()
+	if d.cfg.Capacity > 0 && d.used+int64(len(data)) > d.cfg.Capacity {
+		d.mu.Unlock()
+		return 0, ErrCapacity
+	}
+	id := d.nextID
+	d.nextID++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.blocks[id] = cp
+	d.used += int64(len(cp))
+	d.writes++
+	d.mu.Unlock()
+
+	d.charge(len(data))
+	return id, nil
+}
+
+// Rewrite replaces the contents of an existing block.
+func (d *Device) Rewrite(id BlockID, data []byte) error {
+	d.mu.Lock()
+	old, ok := d.blocks[id]
+	if !ok {
+		d.mu.Unlock()
+		return ErrNoBlock
+	}
+	delta := int64(len(data)) - int64(len(old))
+	if d.cfg.Capacity > 0 && d.used+delta > d.cfg.Capacity {
+		d.mu.Unlock()
+		return ErrCapacity
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.blocks[id] = cp
+	d.used += delta
+	d.writes++
+	d.mu.Unlock()
+
+	d.charge(len(data))
+	return nil
+}
+
+// Read returns a copy of the block contents.
+func (d *Device) Read(id BlockID) ([]byte, error) {
+	d.mu.Lock()
+	data, ok := d.blocks[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, ErrNoBlock
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.reads++
+	d.mu.Unlock()
+
+	d.charge(len(cp))
+	return cp, nil
+}
+
+// ReadRange returns a copy of data[off:off+n] from the block, charging only
+// for the bytes transferred (block-based point reads, §4.1.1).
+func (d *Device) ReadRange(id BlockID, off, n int) ([]byte, error) {
+	d.mu.Lock()
+	data, ok := d.blocks[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, ErrNoBlock
+	}
+	if off < 0 || off+n > len(data) {
+		d.mu.Unlock()
+		return nil, errors.New("disksim: read out of range")
+	}
+	cp := make([]byte, n)
+	copy(cp, data[off:off+n])
+	d.reads++
+	d.mu.Unlock()
+
+	d.charge(n)
+	return cp, nil
+}
+
+// Free releases a block.
+func (d *Device) Free(id BlockID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.blocks[id]
+	if !ok {
+		return ErrNoBlock
+	}
+	d.used -= int64(len(data))
+	delete(d.blocks, id)
+	return nil
+}
+
+// Used reports the bytes currently stored.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Capacity reports the configured capacity (0 = unlimited).
+func (d *Device) Capacity() int64 { return d.cfg.Capacity }
+
+// Counters reports cumulative reads and writes.
+func (d *Device) Counters() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}

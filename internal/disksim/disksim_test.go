@@ -1,0 +1,93 @@
+package disksim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestWriteReadFree(t *testing.T) {
+	d := New(Config{})
+	id, err := d.Write([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(id)
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if d.Used() != 5 {
+		t.Errorf("used = %d", d.Used())
+	}
+	if err := d.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 0 {
+		t.Errorf("used after free = %d", d.Used())
+	}
+	if _, err := d.Read(id); err != ErrNoBlock {
+		t.Errorf("read freed block: %v", err)
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	d := New(Config{})
+	id, _ := d.Write([]byte("0123456789"))
+	got, err := d.ReadRange(id, 3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("range = %q, %v", got, err)
+	}
+	if _, err := d.ReadRange(id, 8, 5); err == nil {
+		t.Error("out-of-range read succeeded")
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	d := New(Config{})
+	id, _ := d.Write([]byte("aa"))
+	if err := d.Rewrite(id, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 4 {
+		t.Errorf("used = %d, want 4", d.Used())
+	}
+	got, _ := d.Read(id)
+	if string(got) != "bbbb" {
+		t.Errorf("read = %q", got)
+	}
+	if err := d.Rewrite(999, nil); err != ErrNoBlock {
+		t.Errorf("rewrite missing: %v", err)
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	d := New(Config{Capacity: 10})
+	if _, err := d.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(make([]byte, 8)); err != ErrCapacity {
+		t.Errorf("over-capacity write: %v", err)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	d := New(Config{SeekLatency: 2 * time.Millisecond})
+	start := time.Now()
+	if _, err := d.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("write took %v, expected >= 2ms seek charge", elapsed)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := New(Config{})
+	id, _ := d.Write([]byte("x"))
+	_, _ = d.Read(id)
+	_, _ = d.Read(id)
+	r, w := d.Counters()
+	if r != 2 || w != 1 {
+		t.Errorf("counters = %d reads %d writes", r, w)
+	}
+}

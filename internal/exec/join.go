@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/types"
+)
+
+// joinKey hashes a tuple's key columns.
+func joinKey(t []types.Value, keys []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, k := range keys {
+		h = h*1099511628211 ^ t[k].Hash()
+	}
+	return h
+}
+
+func keysEqual(a, b []types.Value, aKeys, bKeys []int) bool {
+	for i := range aKeys {
+		if !types.Equal(a[aKeys[i]], b[bKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func joinCols(l, r Rel) []string {
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	cols = append(cols, l.Cols...)
+	return append(cols, r.Cols...)
+}
+
+func concatTuple(a, b []types.Value) []types.Value {
+	t := make([]types.Value, 0, len(a)+len(b))
+	t = append(t, a...)
+	return append(t, b...)
+}
+
+func joinObs(variant cost.Variant, l, r, out Rel, d time.Duration) cost.Observation {
+	sel := 1.0
+	if denom := l.NumRows() * r.NumRows(); denom > 0 {
+		sel = float64(out.NumRows()) / float64(denom)
+	}
+	return cost.Observation{
+		Op:       cost.OpJoin,
+		Variant:  variant,
+		Features: cost.JoinFeatures(l.NumRows(), r.NumRows(), out.NumRows(), l.RowBytes()+r.RowBytes(), sel),
+		Latency:  d,
+	}
+}
+
+// HashJoin computes the inner equi-join of l and r on the given key
+// positions, building the hash table on the smaller input.
+func HashJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
+	start := time.Now()
+	build, probe := r, l
+	bKeys, pKeys := rKeys, lKeys
+	swapped := false
+	if l.NumRows() < r.NumRows() {
+		build, probe = l, r
+		bKeys, pKeys = lKeys, rKeys
+		swapped = true
+	}
+	ht := make(map[uint64][]int, build.NumRows())
+	for i, t := range build.Tuples {
+		k := joinKey(t, bKeys)
+		ht[k] = append(ht[k], i)
+	}
+	out := Rel{Cols: joinCols(l, r)}
+	for _, pt := range probe.Tuples {
+		for _, bi := range ht[joinKey(pt, pKeys)] {
+			bt := build.Tuples[bi]
+			if !keysEqual(pt, bt, pKeys, bKeys) {
+				continue
+			}
+			if swapped {
+				// build side is l, probe is r.
+				out.Tuples = append(out.Tuples, concatTuple(bt, pt))
+			} else {
+				out.Tuples = append(out.Tuples, concatTuple(pt, bt))
+			}
+		}
+	}
+	return out, joinObs(cost.JoinHash, l, r, out, time.Since(start))
+}
+
+// MergeJoin computes the inner equi-join of inputs already sorted by their
+// key columns — the storage-aware fast path when both partitions maintain
+// sort orders on the join attribute (§4.3, Figure 7b).
+func MergeJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
+	start := time.Now()
+	out := Rel{Cols: joinCols(l, r)}
+	i, j := 0, 0
+	for i < len(l.Tuples) && j < len(r.Tuples) {
+		c := compareKeys(l.Tuples[i], r.Tuples[j], lKeys, rKeys)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Emit the cross product of the equal-key groups.
+			jEnd := j
+			for jEnd < len(r.Tuples) && compareKeys(l.Tuples[i], r.Tuples[jEnd], lKeys, rKeys) == 0 {
+				jEnd++
+			}
+			for ; i < len(l.Tuples) && compareKeys(l.Tuples[i], r.Tuples[j], lKeys, rKeys) == 0; i++ {
+				for jj := j; jj < jEnd; jj++ {
+					out.Tuples = append(out.Tuples, concatTuple(l.Tuples[i], r.Tuples[jj]))
+				}
+			}
+			j = jEnd
+		}
+	}
+	return out, joinObs(cost.JoinMerge, l, r, out, time.Since(start))
+}
+
+// NestedLoopJoin joins with an arbitrary predicate (non-equi joins).
+func NestedLoopJoin(l, r Rel, pred func(lt, rt []types.Value) bool) (Rel, cost.Observation) {
+	start := time.Now()
+	out := Rel{Cols: joinCols(l, r)}
+	for _, lt := range l.Tuples {
+		for _, rt := range r.Tuples {
+			if pred(lt, rt) {
+				out.Tuples = append(out.Tuples, concatTuple(lt, rt))
+			}
+		}
+	}
+	return out, joinObs(cost.JoinNested, l, r, out, time.Since(start))
+}
+
+// SemiJoinFilter returns the l tuples whose key appears in r — the probe
+// phase of the invisible-join style execution (§4.3): the fact table's
+// foreign-key column is filtered against a hash of the dimension keys
+// before any other fact column is materialized.
+func SemiJoinFilter(l Rel, lKeys []int, r Rel, rKeys []int) (Rel, cost.Observation) {
+	start := time.Now()
+	ht := make(map[uint64][][]types.Value, r.NumRows())
+	for _, t := range r.Tuples {
+		k := joinKey(t, rKeys)
+		ht[k] = append(ht[k], t)
+	}
+	out := Rel{Cols: l.Cols}
+	for _, t := range l.Tuples {
+		for _, rt := range ht[joinKey(t, lKeys)] {
+			if keysEqual(t, rt, lKeys, rKeys) {
+				out.Tuples = append(out.Tuples, t)
+				break
+			}
+		}
+	}
+	return out, joinObs(cost.JoinHash, l, r, out, time.Since(start))
+}

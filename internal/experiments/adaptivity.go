@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"proteus/internal/asa"
+	"proteus/internal/cluster"
+	"proteus/internal/harness"
+	"proteus/internal/workload/ycsb"
+)
+
+// Fig12b runs balanced YCSB on a cold Proteus engine and reports its
+// performance over time as it learns the workload and cost models, plus
+// the cost model's relative RMSE (the paper reports ~11% cold start).
+func Fig12b(w io.Writer, s Scale) error {
+	header(w, "Fig 12b: Proteus performance over time (cold start)")
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	wl, err := ycsb.Setup(e, ycsbConfig(s))
+	if err != nil {
+		return err
+	}
+	res := timedTimeline(w, e, func(i int, r *rand.Rand) harness.Client {
+		return wl.NewClient(i, r)
+	}, s, nil)
+	fmt.Fprintf(w, "  layout changes executed: %d\n", e.Advisor.Changes())
+	fmt.Fprintf(w, "  final layout distribution: %v\n", e.LayoutCounts())
+	fmt.Fprintf(w, "  totals: %d oltp, %d olap, %d errors\n", res.OLTPCount, res.OLAPCount, res.Errors)
+	fmt.Fprintf(w, "  cost model relative RMSE by op:\n")
+	for op, rmse := range e.Model.Accuracy() {
+		fmt.Fprintf(w, "    %-10s %.0f%%\n", op, rmse*100)
+	}
+	return nil
+}
+
+// Fig12c repeats Fig12b with a shifting OLTP skew centre and pre-trained
+// models: a warm-up phase runs the full shift cycle before measurement, so
+// the engine starts with trained cost models and access predictors.
+func Fig12c(w io.Writer, s Scale) error {
+	header(w, "Fig 12c: shifting skew with pre-trained models")
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	wl, err := ycsb.Setup(e, ycsbConfig(s))
+	if err != nil {
+		return err
+	}
+	shift := func(round int) {
+		// The skew centre advances through the key space cyclically
+		// (paper: every 5 minutes on an hourly cycle).
+		wl.SetSkewCenter(int64(round) % 4 * (s.YCSBRows / 4))
+	}
+	factory := func(i int, r *rand.Rand) harness.Client { return wl.NewClient(i, r) }
+
+	// Warm-up cycle (pre-training, not reported).
+	warm := s
+	warm.Duration = s.Duration / 2
+	_ = harness.Run(e, factory, harness.Config{
+		Clients: s.Clients, Mix: ycsbMixes[1], Duration: warm.Duration, Seed: 3,
+		OnRound: func(c, round int) { shift(round) },
+	})
+	e.Stats().Reset()
+
+	fmt.Fprintf(w, "  (after pre-training)\n")
+	res := timedTimeline(w, e, factory, s, func(c, round int) { shift(round) })
+	fmt.Fprintf(w, "  layout changes executed: %d\n", e.Advisor.Changes())
+	fmt.Fprintf(w, "  totals: %d oltp, %d olap, %d errors\n", res.OLTPCount, res.OLAPCount, res.Errors)
+	return nil
+}
+
+// Fig13 shifts the workload mix during the run (balanced -> OLTP-heavy ->
+// OLAP-heavy), reporting per-interval performance and the completion time
+// of the fixed work for every system.
+func Fig13(w io.Writer, s Scale) error {
+	header(w, "Fig 13: shifting workload mix")
+	// 13a: completion time of the mixed-shift workload per system.
+	fmt.Fprintf(w, "  completion time of the shift sequence per system:\n")
+	for _, mode := range Systems {
+		e := engineFor(mode, s)
+		wl, err := ycsb.Setup(e, ycsbConfig(s))
+		if err != nil {
+			e.Close()
+			return err
+		}
+		factory := func(i int, r *rand.Rand) harness.Client { return wl.NewClient(i, r) }
+		start := time.Now()
+		for _, mix := range []harness.Mix{ycsbMixes[1], ycsbMixes[0], ycsbMixes[2]} {
+			res := harness.Run(e, factory, harness.Config{
+				Clients: s.Clients, Mix: mix, RoundsPerClient: maxI(1, s.Rounds/3), Seed: 5,
+			})
+			if res.Errors > 0 {
+				e.Close()
+				return fmt.Errorf("%s: %d errors", mode, res.Errors)
+			}
+		}
+		fmt.Fprintf(w, "    %-12s %.2fs\n", mode, time.Since(start).Seconds())
+		e.Close()
+	}
+
+	// 13b/13c: Proteus performance timeline across the shifts.
+	fmt.Fprintf(w, "\n  Proteus timeline across mix shifts:\n")
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	wl, err := ycsb.Setup(e, ycsbConfig(s))
+	if err != nil {
+		return err
+	}
+	factory := func(i int, r *rand.Rand) harness.Client { return wl.NewClient(i, r) }
+	for _, mix := range []harness.Mix{ycsbMixes[1], ycsbMixes[0], ycsbMixes[2]} {
+		res := harness.Run(e, factory, harness.Config{
+			Clients: s.Clients, Mix: mix, Duration: s.Duration / 3,
+			TimelineBucket: s.Duration / 9, Seed: 6,
+		})
+		fmt.Fprintf(w, "    mix=%s:\n", mix.Name)
+		for _, b := range res.Timeline {
+			sec := (s.Duration / 9).Seconds()
+			fmt.Fprintf(w, "      t=%-9s oltp=%-8.0f olap-lat=%s\n",
+				b.Start.Round(time.Millisecond), float64(b.OLTP)/sec, harness.FormatDuration(b.OLAPLat))
+		}
+	}
+	fmt.Fprintf(w, "  layout changes executed: %d\n", e.Advisor.Changes())
+	return nil
+}
+
+// Fig9Ablation disables each adaptive technique in turn on the balanced
+// YCSB mix (Figures 9d and 9h): vertical/horizontal partitioning and
+// replication drive OLTP latency; compression, sorting and decision reuse
+// drive OLAP latency.
+func Fig9Ablation(w io.Writer, s Scale) error {
+	header(w, "Fig 9d/9h: ablation of adaptive techniques (balanced YCSB)")
+	variants := []struct {
+		name string
+		mod  func(*asa.Flags)
+	}{
+		{"full", func(f *asa.Flags) {}},
+		{"no-vertical", func(f *asa.Flags) { f.VerticalSplit = false }},
+		{"no-horizontal", func(f *asa.Flags) { f.HorizontalSplit = false }},
+		{"no-replication", func(f *asa.Flags) { f.Replication = false }},
+		{"no-compression", func(f *asa.Flags) { f.Compression = false }},
+		{"no-sorting", func(f *asa.Flags) { f.Sorting = false }},
+		{"no-reuse", func(f *asa.Flags) { f.DecisionReuse = false }},
+	}
+	fmt.Fprintf(w, "  %-16s %-12s %-12s %-10s\n", "variant", "oltp avg", "olap avg", "changes")
+	for _, v := range variants {
+		cfg := cluster.DefaultConfig()
+		cfg.Mode = cluster.ModeProteus
+		cfg.NumSites = s.Sites
+		cfg.ReplicationInterval = 2 * time.Millisecond
+		v.mod(&cfg.Adapt.Flags)
+		e := cluster.New(cfg)
+		wl, err := ycsb.Setup(e, ycsbConfig(s))
+		if err != nil {
+			e.Close()
+			return err
+		}
+		res := harness.Run(e, func(i int, r *rand.Rand) harness.Client {
+			return wl.NewClient(i, r)
+		}, harness.Config{Clients: s.Clients, Mix: ycsbMixes[1], RoundsPerClient: s.Rounds, Seed: 8})
+		changes := e.Advisor.Changes()
+		e.Close()
+		if res.Errors > 0 {
+			return fmt.Errorf("%s: %d errors", v.name, res.Errors)
+		}
+		fmt.Fprintf(w, "  %-16s %-12s %-12s %-10d\n", v.name,
+			harness.FormatDuration(res.OLTPLatAvg), harness.FormatDuration(res.OLAPLatAvg), changes)
+	}
+	return nil
+}

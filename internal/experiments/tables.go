@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/harness"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/types"
+	"proteus/internal/workload/chbench"
+	"proteus/internal/workload/ycsb"
+)
+
+// Fig10 reports CH OLTP throughput per mix (10a) and per-query OLAP
+// latency (10b) for Proteus, RS and CS.
+func Fig10(w io.Writer, s Scale) error {
+	header(w, "Fig 10a: CH TPC-C throughput per mix")
+	fmt.Fprintf(w, "  %-12s", "system")
+	for _, mix := range chMixes {
+		fmt.Fprintf(w, " %-14s", mix.Name)
+	}
+	fmt.Fprintln(w)
+	for _, mode := range Systems {
+		fmt.Fprintf(w, "  %-12s", mode)
+		for _, mix := range chMixes {
+			pt, err := runPoint("ch", mode, mix, s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %-14.0f", pt.oltpTPS)
+		}
+		fmt.Fprintln(w)
+	}
+
+	header(w, "Fig 10b: CH per-query OLAP latency (balanced mix)")
+	queryNames := []string{"q1", "q6", "q14", "q4", "q12", "q3", "q7", "q19"}
+	fmt.Fprintf(w, "  %-12s", "system")
+	for _, qn := range queryNames {
+		fmt.Fprintf(w, " %-10s", qn)
+	}
+	fmt.Fprintln(w)
+	for _, mode := range []cluster.Mode{cluster.ModeProteus, cluster.ModeRowStore, cluster.ModeColumnStore} {
+		e := engineFor(mode, s)
+		wl, err := chbench.Setup(e, chConfig(s))
+		if err != nil {
+			e.Close()
+			return err
+		}
+		// Background OLTP pressure while measuring queries.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(12))
+			c := wl.NewClient(0, r)
+			sess := e.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_, _ = e.ExecuteTxn(sess, c.OLTP())
+				}
+			}
+		}()
+		sess := e.NewSession()
+		r := rand.New(rand.NewSource(13))
+		fmt.Fprintf(w, "  %-12s", mode)
+		for qn := range queryNames {
+			const reps = 3
+			var total time.Duration
+			for i := 0; i < reps; i++ {
+				t0 := time.Now()
+				if _, err := e.ExecuteQuery(sess, wl.Query(qn, r)); err != nil {
+					close(stop)
+					wg.Wait()
+					e.Close()
+					return fmt.Errorf("%s q%d: %v", mode, qn, err)
+				}
+				total += time.Since(t0)
+			}
+			fmt.Fprintf(w, " %-10s", harness.FormatDuration(total/reps))
+		}
+		fmt.Fprintln(w)
+		close(stop)
+		wg.Wait()
+		e.Close()
+	}
+	return nil
+}
+
+// Fig14 measures the OLAP freshness gap (Appendix B.1): writers stamp hot
+// keys with wall-clock timestamps; analytical queries take MIN over the
+// hot range; the gap is the age of the oldest stamp observed relative to
+// the newest commit preceding the query.
+func Fig14(w io.Writer, s Scale) error {
+	header(w, "Fig 14: OLAP freshness gap per YCSB mix")
+	fmt.Fprintf(w, "  %-12s %-14s %-10s\n", "mix", "avg gap", "queries")
+	for _, mix := range ycsbMixes {
+		gap, n, err := freshnessRun(mix, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-12s %-14s %-10d\n", mix.Name, harness.FormatDuration(gap), n)
+	}
+	return nil
+}
+
+func freshnessRun(mix harness.Mix, s Scale) (time.Duration, int, error) {
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	cfg := ycsbConfig(s)
+	cfg.Freshness = true
+	wl, err := ycsb.Setup(e, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	const hotKeys = 64
+	tbl := wl.Table()
+
+	// Stamp every hot key once so MIN is meaningful.
+	sess := e.NewSession()
+	stamp := func(k int64) error {
+		v := types.NewString(fmt.Sprintf("%020d", time.Now().UnixNano()))
+		_, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{{
+			Kind: query.OpUpdate, Table: tbl.ID, Row: schema.RowID(k),
+			Cols: []schema.ColID{1}, Vals: []types.Value{v},
+		}}})
+		return err
+	}
+	for k := int64(0); k < hotKeys; k++ {
+		if err := stamp(k); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	var mu sync.Mutex
+	lastCommit := time.Now()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < mix.OLTPPerOLAP; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			ws := e.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(r.Intn(hotKeys))
+				v := types.NewString(fmt.Sprintf("%020d", time.Now().UnixNano()))
+				if _, err := e.ExecuteTxn(ws, &query.Txn{Ops: []query.Op{{
+					Kind: query.OpUpdate, Table: tbl.ID, Row: schema.RowID(k),
+					Cols: []schema.ColID{1}, Vals: []types.Value{v},
+				}}}); err == nil {
+					mu.Lock()
+					lastCommit = time.Now()
+					mu.Unlock()
+				}
+			}
+		}(int64(c))
+	}
+
+	// Reader: MIN over the hot range.
+	var totalGap time.Duration
+	n := 0
+	qsess := e.NewSession()
+	deadline := time.Now().Add(s.Duration / 2)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		commitBefore := lastCommit
+		mu.Unlock()
+		res, err := e.ExecuteQuery(qsess, wl.FreshnessQuery(hotKeys))
+		if err != nil || res.NumRows() == 0 {
+			continue
+		}
+		var oldest int64
+		fmt.Sscanf(res.Tuples[0][0].Str(), "%d", &oldest)
+		if oldest == 0 {
+			continue
+		}
+		gap := commitBefore.Sub(time.Unix(0, oldest))
+		if gap < 0 {
+			gap = 0
+		}
+		totalGap += gap
+		n++
+	}
+	close(stop)
+	wg.Wait()
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return totalGap / time.Duration(n), n, nil
+}
+
+// Fig15 sweeps the cross-warehouse percentage on CH (Appendix B.3).
+func Fig15(w io.Writer, s Scale) error {
+	header(w, "Fig 15: CH cross-warehouse transaction sweep (balanced mix)")
+	for _, pct := range []int{0, 10, 20, 40} {
+		fmt.Fprintf(w, "\n  cross-warehouse=%d%%\n", pct)
+		fmt.Fprintf(w, "  %-12s %-14s %-14s %-12s\n", "system", "completion", "oltp tx/s", "olap avg")
+		for _, mode := range []cluster.Mode{cluster.ModeProteus, cluster.ModeRowStore, cluster.ModeColumnStore} {
+			e := engineFor(mode, s)
+			cfg := chConfig(s)
+			cfg.CrossWarehousePct = pct
+			wl, err := chbench.Setup(e, cfg)
+			if err != nil {
+				e.Close()
+				return err
+			}
+			res := harness.Run(e, func(i int, r *rand.Rand) harness.Client {
+				return wl.NewClient(i, r)
+			}, harness.Config{Clients: s.Clients, Mix: chMixes[1], RoundsPerClient: s.Rounds, Seed: 14})
+			e.Close()
+			if res.Errors > 0 {
+				return fmt.Errorf("%s at %d%%: %d errors", mode, pct, res.Errors)
+			}
+			fmt.Fprintf(w, "  %-12s %-14.2f %-14.0f %-12s\n", mode, res.Wall.Seconds(),
+				res.OLTPThroughput(), harness.FormatDuration(res.OLAPLatAvg))
+		}
+	}
+	return nil
+}
+
+// Tab4 reproduces Table 4: time share, average latency and frequency per
+// operation class on the balanced CH workload under Proteus.
+func Tab4(w io.Writer, s Scale) error {
+	header(w, "Table 4: time spent per operation class (balanced CH, Proteus)")
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	wl, err := chbench.Setup(e, chConfig(s))
+	if err != nil {
+		return err
+	}
+	res := harness.Run(e, func(i int, r *rand.Rand) harness.Client {
+		return wl.NewClient(i, r)
+	}, harness.Config{Clients: s.Clients, Mix: chMixes[1], RoundsPerClient: s.Rounds, Seed: 15})
+	if res.Errors > 0 {
+		return fmt.Errorf("%d errors", res.Errors)
+	}
+	classes := []cluster.OpClass{
+		cluster.ClassOLTP, cluster.ClassOLAP,
+		cluster.ClassFormatChange, cluster.ClassTierChange,
+		cluster.ClassSortCompChange, cluster.ClassPartitionChange,
+		cluster.ClassReplicationChange, cluster.ClassMasterChange,
+	}
+	printClassTable(w, e, classes, res)
+	return nil
+}
+
+// Tab5 reproduces Table 5: planning and layout-change execution overheads.
+func Tab5(w io.Writer, s Scale) error {
+	header(w, "Table 5: planning and layout-change overheads (balanced CH, Proteus)")
+	e := engineFor(cluster.ModeProteus, s)
+	defer e.Close()
+	wl, err := chbench.Setup(e, chConfig(s))
+	if err != nil {
+		return err
+	}
+	res := harness.Run(e, func(i int, r *rand.Rand) harness.Client {
+		return wl.NewClient(i, r)
+	}, harness.Config{Clients: s.Clients, Mix: chMixes[1], RoundsPerClient: s.Rounds, Seed: 16})
+	if res.Errors > 0 {
+		return fmt.Errorf("%d errors", res.Errors)
+	}
+	classes := []cluster.OpClass{
+		cluster.ClassOLTPPlan, cluster.ClassOLAPPlan,
+		cluster.ClassOLTPLayoutPlan, cluster.ClassOLAPLayoutPlan,
+		cluster.ClassOLTPLayoutExec, cluster.ClassOLAPLayoutExec,
+	}
+	printClassTable(w, e, classes, res)
+	hits, misses := e.Planner.Plans.Stats()
+	fmt.Fprintf(w, "  plan cache: %d hits / %d misses\n", hits, misses)
+	return nil
+}
+
+func printClassTable(w io.Writer, e *cluster.Engine, classes []cluster.OpClass, res harness.Result) {
+	var totalTime time.Duration
+	for _, c := range classes {
+		totalTime += e.Stats().Class(c).TotalTime
+	}
+	requests := float64(res.OLTPCount + res.OLAPCount)
+	fmt.Fprintf(w, "  %-20s %-12s %-14s %-14s\n", "operation", "share", "avg latency", "per 1000 reqs")
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		st := e.Stats().Class(c)
+		share := 0.0
+		if totalTime > 0 {
+			share = float64(st.TotalTime) / float64(totalTime) * 100
+		}
+		per1000 := 0.0
+		if requests > 0 {
+			per1000 = float64(st.Count) / requests * 1000
+		}
+		fmt.Fprintf(w, "  %-20s %-12s %-14s %-14.1f\n", c,
+			fmt.Sprintf("%.2f%%", share), harness.FormatDuration(st.Avg()), per1000)
+	}
+}

@@ -1,0 +1,187 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time       { return f.t }
+func (f *fakeClock) tick(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock            { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func testTracker(c *fakeClock) *Tracker {
+	return NewTracker(Config{
+		FineInterval: 100 * time.Millisecond, FineBuckets: 20,
+		CoarseInterval: time.Second, CoarseBuckets: 10,
+		Clock: c.now,
+	})
+}
+
+func TestTrackerBuckets(t *testing.T) {
+	c := newFakeClock()
+	tr := testTracker(c)
+	tr.Record(Update, 5)
+	c.tick(100 * time.Millisecond)
+	tr.Record(Update, 3)
+	tr.Record(Scan, 1)
+
+	fine := tr.Fine(Update)
+	if fine[len(fine)-1] != 3 || fine[len(fine)-2] != 5 {
+		t.Errorf("fine = %v", fine[len(fine)-3:])
+	}
+	if tr.Total(Update) != 8 || tr.Total(Scan) != 1 {
+		t.Error("totals wrong")
+	}
+	coarse := tr.Coarse(Update)
+	if coarse[len(coarse)-1] != 8 { // both in same coarse bucket
+		t.Errorf("coarse = %v", coarse[len(coarse)-2:])
+	}
+}
+
+func TestTrackerRingWraps(t *testing.T) {
+	c := newFakeClock()
+	tr := testTracker(c)
+	tr.Record(Update, 100)
+	// Advance past the entire fine window: old counts must be evicted.
+	c.tick(3 * time.Second)
+	fine := tr.Fine(Update)
+	for i, v := range fine {
+		if v != 0 {
+			t.Errorf("bucket %d = %f after wrap", i, v)
+		}
+	}
+}
+
+func TestRecentRate(t *testing.T) {
+	c := newFakeClock()
+	tr := testTracker(c)
+	for i := 0; i < 10; i++ {
+		tr.Record(PointRead, 10)
+		c.tick(100 * time.Millisecond)
+	}
+	rate := tr.RecentRate(PointRead, 10)
+	if rate < 80 || rate > 120 { // 10 per 100ms = 100/s
+		t.Errorf("rate = %f", rate)
+	}
+}
+
+func periodicSeries(n, period int, hi, lo float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		if (i/period)%2 == 0 {
+			s[i] = hi
+		} else {
+			s[i] = lo
+		}
+	}
+	return s
+}
+
+func TestSPARLearnsPeriodicity(t *testing.T) {
+	// Square wave with period 10 (5 hi, 5 lo pattern repeating every 10).
+	series := make([]float64, 200)
+	for i := range series {
+		if i%10 < 5 {
+			series[i] = 100
+		} else {
+			series[i] = 2
+		}
+	}
+	s := NewSPAR(10, 3, 2)
+	s.Fit(series)
+	// Next index is 200; 200 % 10 = 0 -> expect high.
+	got := s.Predict(series, 1)
+	if math.Abs(got-100) > 25 {
+		t.Errorf("SPAR predict = %f, want ~100", got)
+	}
+	// Five steps later (index 205 -> low phase).
+	got = s.Predict(series, 6)
+	if got > 60 {
+		t.Errorf("SPAR predict ahead=6 = %f, want low", got)
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	series := periodicSeries(120, 6, 50, 1) // square wave, full cycle = 12
+	p := DetectPeriod(series, 40)
+	if p != 12 && p != 24 && p != 36 {
+		t.Errorf("period = %d, want multiple of 12", p)
+	}
+	flat := make([]float64, 50)
+	if p := DetectPeriod(flat, 20); p != 0 {
+		t.Errorf("flat period = %d", p)
+	}
+	if p := DetectPeriod([]float64{1, 2}, 10); p != 0 {
+		t.Errorf("short period = %d", p)
+	}
+}
+
+func TestHybridTracksLevel(t *testing.T) {
+	h := NewHybrid(6, 1)
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 40 // constant demand
+	}
+	h.Fit(series)
+	got := h.Predict(series, 1)
+	if math.Abs(got-40) > 10 {
+		t.Errorf("constant series predict = %f", got)
+	}
+}
+
+func TestHybridTrend(t *testing.T) {
+	h := NewHybrid(6, 2)
+	series := make([]float64, 80)
+	for i := range series {
+		series[i] = float64(i) // rising demand
+	}
+	h.Fit(series)
+	got := h.Predict(series, 5)
+	if got < 60 {
+		t.Errorf("trend predict = %f, want >= 60", got)
+	}
+}
+
+func TestHybridHoliday(t *testing.T) {
+	h := NewHybrid(4, 3)
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = 10
+	}
+	h.Fit(series)
+	base := h.Predict(series, 1)
+	h.Holidays[len(series)] = 3.0 // the bucket 1 step ahead
+	boosted := h.Predict(series, 1)
+	if boosted < base*2 {
+		t.Errorf("holiday multiplier ineffective: %f vs %f", boosted, base)
+	}
+}
+
+func TestHybridUnfitted(t *testing.T) {
+	h := NewHybrid(4, 4)
+	got := h.Predict([]float64{5, 5, 5}, 1)
+	if got != 5 {
+		t.Errorf("unfitted predict = %f, want last value", got)
+	}
+	if h.Predict(nil, 1) != 0 {
+		t.Error("empty series should predict 0")
+	}
+}
+
+func TestArrivalEstimate(t *testing.T) {
+	p, d := ArrivalEstimate(0)
+	if p != 0 || !math.IsInf(d, 1) {
+		t.Errorf("zero rate: %f %f", p, d)
+	}
+	p, d = ArrivalEstimate(2)
+	if p < 0.8 || p > 0.9 {
+		t.Errorf("prob = %f", p)
+	}
+	if d != 0.5 {
+		t.Errorf("delay = %f", d)
+	}
+}

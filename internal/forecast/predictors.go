@@ -1,0 +1,237 @@
+package forecast
+
+import (
+	"math"
+
+	"proteus/internal/learn"
+)
+
+// Predictor forecasts future values of an access-count series.
+type Predictor interface {
+	// Fit trains on a series (oldest first).
+	Fit(series []float64)
+	// Predict forecasts the value `ahead` steps past the series end
+	// (ahead >= 1).
+	Predict(series []float64, ahead int) float64
+}
+
+// SPAR is sparse periodic auto-regression (Chen et al., NSDI'08, as cited
+// in §5.2.2): the next value is a learned combination of seasonal lags
+// (multiples of a user-supplied period) and a short window of recent lags.
+type SPAR struct {
+	Period       int // user-defined period in buckets
+	SeasonalLags int // how many seasonal lags to use
+	RecentLags   int // how many immediate lags to use
+
+	lin *learn.Linear
+}
+
+// NewSPAR creates a SPAR model.
+func NewSPAR(period, seasonalLags, recentLags int) *SPAR {
+	if period < 1 {
+		period = 1
+	}
+	if seasonalLags < 1 {
+		seasonalLags = 1
+	}
+	if recentLags < 1 {
+		recentLags = 1
+	}
+	return &SPAR{
+		Period: period, SeasonalLags: seasonalLags, RecentLags: recentLags,
+		lin: learn.NewLinear(seasonalLags+recentLags, 1e-3),
+	}
+}
+
+// features builds the lag vector predicting index t of the series.
+func (s *SPAR) features(series []float64, t int) []float64 {
+	x := make([]float64, 0, s.SeasonalLags+s.RecentLags)
+	for i := 1; i <= s.SeasonalLags; i++ {
+		idx := t - i*s.Period
+		if idx >= 0 {
+			x = append(x, series[idx])
+		} else {
+			x = append(x, 0)
+		}
+	}
+	for j := 1; j <= s.RecentLags; j++ {
+		idx := t - j
+		if idx >= 0 {
+			x = append(x, series[idx])
+		} else {
+			x = append(x, 0)
+		}
+	}
+	return x
+}
+
+// Fit implements Predictor.
+func (s *SPAR) Fit(series []float64) {
+	start := s.Period
+	if start < s.RecentLags {
+		start = s.RecentLags
+	}
+	for t := start; t < len(series); t++ {
+		s.lin.Observe(s.features(series, t), series[t])
+	}
+}
+
+// Predict implements Predictor, iterating one-step forecasts for ahead > 1.
+func (s *SPAR) Predict(series []float64, ahead int) float64 {
+	ext := append([]float64(nil), series...)
+	var y float64
+	for i := 0; i < ahead; i++ {
+		y = s.lin.Predict(s.features(ext, len(ext)))
+		if y < 0 {
+			y = 0
+		}
+		ext = append(ext, y)
+	}
+	return y
+}
+
+// DetectPeriod finds the lag (2..maxLag) with maximal autocorrelation,
+// returning 0 when no lag shows meaningful correlation — this is how the
+// hybrid ensemble "automatically learns the periodicity of the workload
+// without requiring a user-defined period" (§5.2.2).
+func DetectPeriod(series []float64, maxLag int) int {
+	n := len(series)
+	if n < 8 {
+		return 0
+	}
+	if maxLag > n/2 {
+		maxLag = n / 2
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	den := 0.0
+	for _, v := range series {
+		den += (v - mean) * (v - mean)
+	}
+	if den == 0 {
+		return 0
+	}
+	bestLag, bestCorr := 0, 0.3 // threshold: require meaningful correlation
+	for lag := 2; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := lag; i < n; i++ {
+			num += (series[i] - mean) * (series[i-lag] - mean)
+		}
+		corr := num / den
+		if corr > bestCorr {
+			bestCorr, bestLag = corr, lag
+		}
+	}
+	return bestLag
+}
+
+// Hybrid is the ensemble predictor of §5.2.2: a recurrent network, a
+// linear trend, and a holiday list of known non-periodic events. Each
+// component forecasts independently; the ensemble averages the RNN and
+// trend and then applies any holiday multiplier.
+type Hybrid struct {
+	// Window is the RNN input width in buckets.
+	Window int
+	// Holidays maps absolute bucket indexes (series end = index len-1;
+	// the forecast for end+ahead consults index len-1+ahead) to expected
+	// demand multipliers — e.g. a Black-Friday-style 3x spike.
+	Holidays map[int]float64
+
+	rnn    *learn.RNN
+	trendA float64 // slope per bucket
+	trendB float64 // level at series end
+	fitted bool
+}
+
+// NewHybrid creates a hybrid ensemble with the given RNN window.
+func NewHybrid(window int, seed int64) *Hybrid {
+	if window < 2 {
+		window = 2
+	}
+	return &Hybrid{Window: window, rnn: learn.NewRNN(8, 0.05, seed), Holidays: map[int]float64{}}
+}
+
+// Fit implements Predictor: trains the RNN on sliding windows and fits the
+// trend by least squares over the series tail.
+func (h *Hybrid) Fit(series []float64) {
+	for i := 0; i+h.Window < len(series); i++ {
+		h.rnn.Train(series[i:i+h.Window], series[i+h.Window])
+	}
+	// Linear trend over up to the last 4 windows of data.
+	tail := series
+	if len(tail) > 4*h.Window {
+		tail = tail[len(tail)-4*h.Window:]
+	}
+	n := float64(len(tail))
+	if n >= 2 {
+		var sx, sy, sxx, sxy float64
+		for i, v := range tail {
+			x := float64(i)
+			sx += x
+			sy += v
+			sxx += x * x
+			sxy += x * v
+		}
+		den := n*sxx - sx*sx
+		if den != 0 {
+			h.trendA = (n*sxy - sx*sy) / den
+			h.trendB = (sy - h.trendA*sx) / n // level at tail start
+			h.trendB += h.trendA * (n - 1)    // shift level to series end
+		}
+	}
+	h.fitted = true
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(series []float64, ahead int) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	// RNN component: iterate one-step forecasts.
+	win := series
+	if len(win) > h.Window {
+		win = win[len(win)-h.Window:]
+	}
+	ext := append([]float64(nil), win...)
+	var rnnPred float64
+	for i := 0; i < ahead; i++ {
+		rnnPred = h.rnn.Predict(ext)
+		if rnnPred < 0 {
+			rnnPred = 0
+		}
+		ext = append(ext, rnnPred)
+		if len(ext) > h.Window {
+			ext = ext[1:]
+		}
+	}
+	// Trend component.
+	trend := h.trendB + h.trendA*float64(ahead)
+	if trend < 0 {
+		trend = 0
+	}
+	pred := (rnnPred + trend) / 2
+	if !h.fitted {
+		pred = series[len(series)-1]
+	}
+	// Holiday adjustment for the target bucket.
+	if mult, ok := h.Holidays[len(series)-1+ahead]; ok {
+		pred *= mult
+	}
+	if math.IsNaN(pred) || pred < 0 {
+		return 0
+	}
+	return pred
+}
+
+// ArrivalEstimate converts a predicted per-bucket access count into the
+// (probability, expected delay in buckets) pair the ASA's net-benefit
+// formula needs (Appendix A): Pr(T) = 1 - e^-rate, Δ(T) ≈ 1/rate.
+func ArrivalEstimate(predictedCount float64) (prob, delayBuckets float64) {
+	if predictedCount <= 0 {
+		return 0, math.Inf(1)
+	}
+	return 1 - math.Exp(-predictedCount), 1 / predictedCount
+}

@@ -1,0 +1,176 @@
+// Package forecast implements Proteus' access-arrival estimation (§5.2.2):
+// per-partition access tracking at two time granularities (the paper's
+// 5-minute-for-a-day and hourly-for-a-month windows, scaled down for
+// laptop-scale runs), a sparse periodic auto-regression (SPAR) predictor,
+// and a hybrid ensemble combining a recurrent network, a linear trend and
+// a user-configurable holiday list. Periodicity is auto-detected by
+// autocorrelation, so the ensemble needs no user-defined period.
+package forecast
+
+import (
+	"sync"
+	"time"
+)
+
+// AccessKind distinguishes the tracked access types (§5.1).
+type AccessKind uint8
+
+const (
+	// Update covers inserts, updates and deletes.
+	Update AccessKind = iota
+	// PointRead covers keyed single-row reads.
+	PointRead
+	// Scan covers range scans.
+	Scan
+	numKinds
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Update:
+		return "update"
+	case PointRead:
+		return "pointread"
+	case Scan:
+		return "scan"
+	}
+	return "?"
+}
+
+// series is a ring of per-interval counts.
+type series struct {
+	interval time.Duration
+	buckets  []float64
+	head     int       // index of the current bucket
+	headTime time.Time // start of the current bucket
+}
+
+func newSeries(interval time.Duration, n int, now time.Time) *series {
+	return &series{interval: interval, buckets: make([]float64, n), headTime: now}
+}
+
+// advance rolls the ring forward to cover now.
+func (s *series) advance(now time.Time) {
+	for now.Sub(s.headTime) >= s.interval {
+		s.head = (s.head + 1) % len(s.buckets)
+		s.buckets[s.head] = 0
+		s.headTime = s.headTime.Add(s.interval)
+	}
+}
+
+func (s *series) add(now time.Time, n float64) {
+	s.advance(now)
+	s.buckets[s.head] += n
+}
+
+// values returns the counts oldest-first, ending at the current bucket.
+func (s *series) values(now time.Time) []float64 {
+	s.advance(now)
+	out := make([]float64, len(s.buckets))
+	for i := range out {
+		out[i] = s.buckets[(s.head+1+i)%len(s.buckets)]
+	}
+	return out
+}
+
+// Config sizes a tracker's two granularities.
+type Config struct {
+	FineInterval   time.Duration
+	FineBuckets    int
+	CoarseInterval time.Duration
+	CoarseBuckets  int
+	// Clock supplies time; nil means time.Now. Injectable for tests and
+	// for replaying historical traces (model pre-training, Fig 12c).
+	Clock func() time.Time
+}
+
+// DefaultConfig scales the paper's defaults (5-minute buckets for a day,
+// hourly for a month) down to experiment scale: 250 ms buckets for 60 s,
+// 5 s buckets for 20 min.
+func DefaultConfig() Config {
+	return Config{
+		FineInterval: 250 * time.Millisecond, FineBuckets: 240,
+		CoarseInterval: 5 * time.Second, CoarseBuckets: 240,
+	}
+}
+
+// Tracker records one partition's accesses by kind over two granularities.
+type Tracker struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	fine   [numKinds]*series
+	coarse [numKinds]*series
+	total  [numKinds]float64
+}
+
+// NewTracker creates a tracker.
+func NewTracker(cfg Config) *Tracker {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	now := clock()
+	t := &Tracker{clock: clock}
+	for k := AccessKind(0); k < numKinds; k++ {
+		t.fine[k] = newSeries(cfg.FineInterval, cfg.FineBuckets, now)
+		t.coarse[k] = newSeries(cfg.CoarseInterval, cfg.CoarseBuckets, now)
+	}
+	return t
+}
+
+// Record counts n accesses of the kind at the current time.
+func (t *Tracker) Record(kind AccessKind, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	t.fine[kind].add(now, float64(n))
+	t.coarse[kind].add(now, float64(n))
+	t.total[kind] += float64(n)
+}
+
+// Fine returns the fine-grained series (oldest first).
+func (t *Tracker) Fine(kind AccessKind) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fine[kind].values(t.clock())
+}
+
+// Coarse returns the coarse series (oldest first).
+func (t *Tracker) Coarse(kind AccessKind) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.coarse[kind].values(t.clock())
+}
+
+// Total reports the lifetime access count for a kind.
+func (t *Tracker) Total(kind AccessKind) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total[kind]
+}
+
+// RecentRate estimates accesses/second of the kind over the last w fine
+// buckets.
+func (t *Tracker) RecentRate(kind AccessKind, w int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vals := t.fine[kind].values(t.clock())
+	if w <= 0 || w > len(vals) {
+		w = len(vals)
+	}
+	sum := 0.0
+	for _, v := range vals[len(vals)-w:] {
+		sum += v
+	}
+	window := t.fine[kind].interval * time.Duration(w)
+	if window <= 0 {
+		return 0
+	}
+	return sum / window.Seconds()
+}
+
+// FineInterval reports the fine bucket width.
+func (t *Tracker) FineInterval() time.Duration {
+	return t.fine[Update].interval
+}

@@ -1,0 +1,286 @@
+// Package harness drives HTAP experiments the way the paper's OLTPBench
+// runs do (§6.1): a set of clients each submitting either OLTP or OLAP
+// requests in a configured mix, measured either to completion (fixed work)
+// or for a fixed duration, with per-class latency/throughput statistics,
+// a per-interval timeline (for the performance-over-time figures), and
+// confidence intervals across repeated runs.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/query"
+)
+
+// Client produces one logical client's requests. Implementations carry
+// client-local RNG state.
+type Client interface {
+	OLTP() *query.Txn
+	OLAP() *query.Query
+}
+
+// ClientFactory builds the i-th client.
+type ClientFactory func(i int, r *rand.Rand) Client
+
+// Mix is an HTAP client mix (§6.1): every client interleaves OLTPPerOLAP
+// transactions with each OLAP query.
+type Mix struct {
+	Name        string
+	OLTPPerOLAP int
+}
+
+// The three standard mixes for YCSB-style runs.
+var (
+	OLTPHeavy = Mix{Name: "oltp-heavy", OLTPPerOLAP: 10}
+	Balanced  = Mix{Name: "balanced", OLTPPerOLAP: 6}
+	OLAPHeavy = Mix{Name: "olap-heavy", OLTPPerOLAP: 3}
+)
+
+// Config parameterizes one run.
+type Config struct {
+	Clients int
+	Mix     Mix
+	// RoundsPerClient is the OLAP count per client in completion runs.
+	RoundsPerClient int
+	// Duration, when > 0, runs a timed experiment instead.
+	Duration time.Duration
+	// TimelineBucket aggregates the over-time series (0 disables).
+	TimelineBucket time.Duration
+	Seed           int64
+	// OnRound, when set, is invoked after every client round (for
+	// mid-run workload shifts).
+	OnRound func(client, round int)
+}
+
+// Bucket is one timeline interval.
+type Bucket struct {
+	Start   time.Duration // offset from run start
+	OLTP    int64
+	OLAP    int64
+	OLTPLat time.Duration // average within the bucket
+	OLAPLat time.Duration
+}
+
+// Result aggregates one run.
+type Result struct {
+	Wall       time.Duration
+	OLTPCount  int64
+	OLAPCount  int64
+	Errors     int64
+	OLTPLatAvg time.Duration
+	OLTPLatP95 time.Duration
+	OLAPLatAvg time.Duration
+	OLAPLatP95 time.Duration
+	Timeline   []Bucket
+	// LastOLAP carries the final OLAP result observed (freshness checks).
+	LastOLAP exec.Rel
+}
+
+// OLTPThroughput reports committed transactions per second.
+func (r Result) OLTPThroughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OLTPCount) / r.Wall.Seconds()
+}
+
+// OLAPThroughput reports queries per second.
+func (r Result) OLAPThroughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OLAPCount) / r.Wall.Seconds()
+}
+
+type sample struct {
+	at   time.Duration
+	lat  time.Duration
+	olap bool
+}
+
+// Run executes one experiment against an engine.
+func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Mix.OLTPPerOLAP <= 0 {
+		cfg.Mix.OLTPPerOLAP = 1
+	}
+	if cfg.RoundsPerClient <= 0 && cfg.Duration <= 0 {
+		cfg.RoundsPerClient = 10
+	}
+
+	var mu sync.Mutex
+	var samples []sample
+	var errs int64
+	var lastOLAP exec.Rel
+
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			client := factory(c, r)
+			sess := e.NewSession()
+			var local []sample
+			round := 0
+			for {
+				if cfg.Duration > 0 {
+					if time.Now().After(deadline) {
+						break
+					}
+				} else if round >= cfg.RoundsPerClient {
+					break
+				}
+				// One round: 1 OLAP + OLTPPerOLAP transactions.
+				t0 := time.Now()
+				res, err := e.ExecuteQuery(sess, client.OLAP())
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+				} else {
+					local = append(local, sample{at: t0.Sub(start), lat: time.Since(t0), olap: true})
+					mu.Lock()
+					lastOLAP = res
+					mu.Unlock()
+				}
+				for i := 0; i < cfg.Mix.OLTPPerOLAP; i++ {
+					if cfg.Duration > 0 && time.Now().After(deadline) {
+						break
+					}
+					t1 := time.Now()
+					if _, err := e.ExecuteTxn(sess, client.OLTP()); err != nil {
+						atomic.AddInt64(&errs, 1)
+					} else {
+						local = append(local, sample{at: t1.Sub(start), lat: time.Since(t1), olap: false})
+					}
+				}
+				if cfg.OnRound != nil {
+					cfg.OnRound(c, round)
+				}
+				round++
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := Result{Wall: wall, Errors: errs, LastOLAP: lastOLAP}
+	var oltpLats, olapLats []time.Duration
+	for _, s := range samples {
+		if s.olap {
+			res.OLAPCount++
+			olapLats = append(olapLats, s.lat)
+		} else {
+			res.OLTPCount++
+			oltpLats = append(oltpLats, s.lat)
+		}
+	}
+	res.OLTPLatAvg, res.OLTPLatP95 = latStats(oltpLats)
+	res.OLAPLatAvg, res.OLAPLatP95 = latStats(olapLats)
+
+	if cfg.TimelineBucket > 0 {
+		res.Timeline = buildTimeline(samples, wall, cfg.TimelineBucket)
+	}
+	return res
+}
+
+func latStats(lats []time.Duration) (avg, p95 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, l := range sorted {
+		total += l
+	}
+	idx := int(0.95 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return total / time.Duration(len(sorted)), sorted[idx]
+}
+
+func buildTimeline(samples []sample, wall, bucket time.Duration) []Bucket {
+	n := int(wall/bucket) + 1
+	buckets := make([]Bucket, n)
+	sums := make([]struct{ oltp, olap time.Duration }, n)
+	for i := range buckets {
+		buckets[i].Start = time.Duration(i) * bucket
+	}
+	for _, s := range samples {
+		i := int(s.at / bucket)
+		if i >= n {
+			i = n - 1
+		}
+		if s.olap {
+			buckets[i].OLAP++
+			sums[i].olap += s.lat
+		} else {
+			buckets[i].OLTP++
+			sums[i].oltp += s.lat
+		}
+	}
+	for i := range buckets {
+		if buckets[i].OLTP > 0 {
+			buckets[i].OLTPLat = sums[i].oltp / time.Duration(buckets[i].OLTP)
+		}
+		if buckets[i].OLAP > 0 {
+			buckets[i].OLAPLat = sums[i].olap / time.Duration(buckets[i].OLAP)
+		}
+	}
+	return buckets
+}
+
+// CI95 reports the mean and half-width 95% confidence interval of values
+// (normal approximation, as the paper's error bars).
+func CI95(values []float64) (mean, half float64) {
+	n := float64(len(values))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range values {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 1.96 * sd / math.Sqrt(n)
+}
+
+// FormatDuration renders a duration rounded for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

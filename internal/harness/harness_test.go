@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/types"
+)
+
+// fixtureClient reads and updates one row of a tiny table.
+type fixtureClient struct {
+	tbl *schema.Table
+	r   *rand.Rand
+}
+
+func (c *fixtureClient) OLTP() *query.Txn {
+	row := schema.RowID(c.r.Intn(50))
+	return &query.Txn{Ops: []query.Op{{
+		Kind: query.OpUpdate, Table: c.tbl.ID, Row: row,
+		Cols: []schema.ColID{1}, Vals: []types.Value{types.NewFloat64(1)},
+	}}}
+}
+
+func (c *fixtureClient) OLAP() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{Table: c.tbl.ID, Cols: []schema.ColID{1}},
+		Aggs:  []exec.AggSpec{{Func: exec.AggCount}},
+	}}
+}
+
+func fixture(t *testing.T) (*cluster.Engine, ClientFactory) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Net = simnet.Config{}
+	e := cluster.New(cfg)
+	t.Cleanup(e.Close)
+	tbl, err := e.CreateTable(cluster.TableSpec{
+		Name: "t",
+		Cols: []schema.Column{
+			{Name: "k", Kind: types.KindInt64},
+			{Name: "v", Kind: types.KindFloat64},
+		},
+		MaxRows: 50, Partitions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []schema.Row
+	for i := int64(0); i < 50; i++ {
+		rows = append(rows, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewFloat64(0),
+		}})
+	}
+	if err := e.LoadRows(tbl.ID, rows); err != nil {
+		t.Fatal(err)
+	}
+	return e, func(i int, r *rand.Rand) Client { return &fixtureClient{tbl: tbl, r: r} }
+}
+
+func TestCompletionRunCounts(t *testing.T) {
+	e, factory := fixture(t)
+	res := Run(e, factory, Config{Clients: 3, Mix: Mix{OLTPPerOLAP: 4}, RoundsPerClient: 5, Seed: 1})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.OLAPCount != 15 || res.OLTPCount != 60 {
+		t.Errorf("counts = %d olap / %d oltp", res.OLAPCount, res.OLTPCount)
+	}
+	if res.Wall <= 0 || res.OLTPThroughput() <= 0 || res.OLAPThroughput() <= 0 {
+		t.Error("timing not recorded")
+	}
+	if res.OLTPLatP95 < res.OLTPLatAvg/2 {
+		t.Error("p95 implausibly below average")
+	}
+	if res.LastOLAP.NumRows() != 1 {
+		t.Errorf("last olap = %v", res.LastOLAP)
+	}
+}
+
+func TestTimedRunHonorsDeadline(t *testing.T) {
+	e, factory := fixture(t)
+	start := time.Now()
+	res := Run(e, factory, Config{Clients: 2, Mix: Mix{OLTPPerOLAP: 2}, Duration: 150 * time.Millisecond, Seed: 2})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timed run took %v", elapsed)
+	}
+	if res.OLTPCount == 0 {
+		t.Error("timed run did no work")
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	e, factory := fixture(t)
+	rounds := 0
+	Run(e, factory, Config{Clients: 1, Mix: Mix{OLTPPerOLAP: 1}, RoundsPerClient: 4, Seed: 3,
+		OnRound: func(c, r int) { rounds++ }})
+	if rounds != 4 {
+		t.Errorf("OnRound fired %d times", rounds)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e, factory := fixture(t)
+	// Zero config: 1 client, 1:1 mix, 10 rounds.
+	res := Run(e, factory, Config{Seed: 4})
+	if res.OLAPCount != 10 || res.OLTPCount != 10 {
+		t.Errorf("default counts = %d/%d", res.OLAPCount, res.OLTPCount)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		1500 * time.Millisecond: "1.50s",
+		2500 * time.Microsecond: "2.50ms",
+		750 * time.Microsecond:  "750µs",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

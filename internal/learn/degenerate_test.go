@@ -1,0 +1,25 @@
+package learn
+
+import "testing"
+
+// Regression test: a model trained on a single repeated feature point (a
+// common situation for per-layout scan models under a uniform workload)
+// must still predict sensibly at nearby feature points, not collapse
+// toward zero.
+func TestLinearDegenerateTraining(t *testing.T) {
+	l := NewLinear(6, 1e-3)
+	x := []float64{500, 500 * 68, 500 * 8, 500 * 68, 0, 0}
+	for i := 0; i < 100; i++ {
+		l.Observe(x, 50)
+	}
+	at := l.Predict(x)
+	if at < 45 || at > 55 {
+		t.Errorf("train-point predict = %f", at)
+	}
+	q := []float64{500, 500 * 48, 500 * 16, 500 * 48, 0, 0}
+	got := l.Predict(q)
+	t.Logf("query-point predict = %f, weights = %v", got, l.Weights())
+	if got < 20 || got > 80 {
+		t.Errorf("query-point predict = %f, want within 20..80", got)
+	}
+}

@@ -1,0 +1,143 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearRecoversPlane(t *testing.T) {
+	l := NewLinear(2, 1e-6)
+	r := rand.New(rand.NewSource(1))
+	// y = 3 + 2a - 5b
+	for i := 0; i < 500; i++ {
+		a, b := r.Float64()*10, r.Float64()*10
+		l.Observe([]float64{a, b}, 3+2*a-5*b)
+	}
+	if got := l.Predict([]float64{1, 1}); math.Abs(got-0) > 1e-6 {
+		t.Errorf("predict(1,1) = %f, want 0", got)
+	}
+	w := l.Weights()
+	if math.Abs(w[0]-3) > 1e-4 || math.Abs(w[1]-2) > 1e-4 || math.Abs(w[2]+5) > 1e-4 {
+		t.Errorf("weights = %v", w)
+	}
+	if l.N() != 500 {
+		t.Errorf("N = %d", l.N())
+	}
+}
+
+func TestLinearOnlineUpdates(t *testing.T) {
+	l := NewLinear(1, 1e-6)
+	for i := 0; i < 50; i++ {
+		l.Observe([]float64{float64(i)}, float64(2*i))
+	}
+	before := l.Predict([]float64{100})
+	if math.Abs(before-200) > 1e-3 {
+		t.Fatalf("before = %f", before)
+	}
+	// Shift the relationship; new observations move the fit.
+	for i := 0; i < 5000; i++ {
+		l.Observe([]float64{float64(i % 50)}, float64(3*(i%50)))
+	}
+	after := l.Predict([]float64{100})
+	if after < 250 {
+		t.Errorf("model did not adapt: %f", after)
+	}
+}
+
+func TestLinearSingular(t *testing.T) {
+	l := NewLinear(2, 0)
+	// One observation cannot determine three coefficients: singular
+	// without a ridge penalty.
+	l.Observe([]float64{1, 2}, 3)
+	if err := l.Fit(); err == nil {
+		t.Error("expected singular error")
+	}
+	// With a ridge penalty the same system solves.
+	lr := NewLinear(2, 1e-3)
+	lr.Observe([]float64{1, 2}, 3)
+	if err := lr.Fit(); err != nil {
+		t.Errorf("ridge fit failed: %v", err)
+	}
+}
+
+func TestSetWeightsWarmStart(t *testing.T) {
+	l := NewLinear(1, 1e-6)
+	l.SetWeights([]float64{10, 1})
+	if got := l.Predict([]float64{5}); math.Abs(got-15) > 1e-9 {
+		t.Errorf("warm-start predict = %f", got)
+	}
+}
+
+func TestNonlinearFitsSqrt(t *testing.T) {
+	n := NewNonlinear(1, 1e-6)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		x := r.Float64() * 100
+		n.Observe([]float64{x}, 7*math.Sqrt(x))
+	}
+	for _, x := range []float64{4, 25, 81} {
+		got := n.Predict([]float64{x})
+		want := 7 * math.Sqrt(x)
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("predict(%f) = %f, want %f", x, got, want)
+		}
+	}
+}
+
+func TestMLPLearnsNonlinearFunction(t *testing.T) {
+	m := NewMLP(1, 12, 0.02, 3)
+	r := rand.New(rand.NewSource(4))
+	for epoch := 0; epoch < 6000; epoch++ {
+		x := r.Float64()*4 - 2
+		m.Observe([]float64{x}, x*x)
+	}
+	mse := 0.0
+	for _, x := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+		d := m.Predict([]float64{x}) - x*x
+		mse += d * d
+	}
+	mse /= 5
+	if mse > 0.35 {
+		t.Errorf("MLP mse = %f", mse)
+	}
+	if m.N() != 6000 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestRNNLearnsAlternatingSequence(t *testing.T) {
+	n := NewRNN(8, 0.05, 5)
+	seq := make([]float64, 200)
+	for i := range seq {
+		if i%2 == 0 {
+			seq[i] = 10
+		} else {
+			seq[i] = 2
+		}
+	}
+	w := 6
+	for epoch := 0; epoch < 40; epoch++ {
+		for i := 0; i+w < len(seq); i++ {
+			n.Train(seq[i:i+w], seq[i+w])
+		}
+	}
+	// After an even-ending window the next is 2 at odd index... check both phases.
+	p1 := n.Predict(seq[0:w])     // next = seq[6] = 10
+	p2 := n.Predict(seq[1 : w+1]) // next = seq[7] = 2
+	if math.Abs(p1-10) > 2.5 {
+		t.Errorf("phase-0 predict = %f, want ~10", p1)
+	}
+	if math.Abs(p2-2) > 2.5 {
+		t.Errorf("phase-1 predict = %f, want ~2", p2)
+	}
+	if n.Steps() == 0 {
+		t.Error("no training steps recorded")
+	}
+}
+
+func TestRNNEmptyWindow(t *testing.T) {
+	n := NewRNN(4, 0.05, 6)
+	n.Train(nil, 5) // no-op
+	_ = n.Predict(nil)
+}

@@ -1,0 +1,282 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// MLP is a small feed-forward network (one tanh hidden layer, linear
+// output) trained online by stochastic gradient descent — the neural
+// cost-function family of §5.2.1. Inputs and the target are standardized
+// internally from running moments so the learning rate is scale-free.
+type MLP struct {
+	mu     sync.Mutex
+	din    int
+	hidden int
+	lr     float64
+
+	w1 [][]float64 // hidden x (din+1)
+	w2 []float64   // hidden+1
+
+	// Running standardization moments.
+	n            float64
+	xMean, xVar  []float64
+	yMean, yVar  float64
+	observations int
+}
+
+// NewMLP creates a network with the given input and hidden sizes.
+func NewMLP(din, hidden int, lr float64, seed int64) *MLP {
+	r := rand.New(rand.NewSource(seed))
+	m := &MLP{din: din, hidden: hidden, lr: lr,
+		xMean: make([]float64, din), xVar: make([]float64, din)}
+	m.w1 = make([][]float64, hidden)
+	scale := 1 / math.Sqrt(float64(din+1))
+	for i := range m.w1 {
+		m.w1[i] = make([]float64, din+1)
+		for j := range m.w1[i] {
+			m.w1[i][j] = (r.Float64()*2 - 1) * scale
+		}
+	}
+	m.w2 = make([]float64, hidden+1)
+	for i := range m.w2 {
+		m.w2[i] = (r.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+func (m *MLP) normX(x []float64) []float64 {
+	out := make([]float64, m.din)
+	for i := 0; i < m.din && i < len(x); i++ {
+		sd := math.Sqrt(m.xVar[i]/math.Max(m.n, 1)) + 1e-9
+		out[i] = (x[i] - m.xMean[i]) / sd
+	}
+	return out
+}
+
+func (m *MLP) forward(xn []float64) (h []float64, y float64) {
+	h = make([]float64, m.hidden)
+	for i := 0; i < m.hidden; i++ {
+		s := m.w1[i][0]
+		for j := 0; j < m.din; j++ {
+			s += m.w1[i][j+1] * xn[j]
+		}
+		h[i] = math.Tanh(s)
+	}
+	y = m.w2[0]
+	for i := 0; i < m.hidden; i++ {
+		y += m.w2[i+1] * h[i]
+	}
+	return h, y
+}
+
+// Observe performs one SGD step on (x, y).
+func (m *MLP) Observe(x []float64, y float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Update running moments (Welford-style, simplified).
+	m.n++
+	for i := 0; i < m.din && i < len(x); i++ {
+		d := x[i] - m.xMean[i]
+		m.xMean[i] += d / m.n
+		m.xVar[i] += d * (x[i] - m.xMean[i])
+	}
+	dy := y - m.yMean
+	m.yMean += dy / m.n
+	m.yVar += dy * (y - m.yMean)
+	m.observations++
+
+	xn := m.normX(x)
+	ysd := math.Sqrt(m.yVar/math.Max(m.n, 1)) + 1e-9
+	yn := (y - m.yMean) / ysd
+
+	h, pred := m.forward(xn)
+	err := pred - yn
+
+	// Output layer gradients.
+	g2 := make([]float64, m.hidden+1)
+	g2[0] = err
+	for i := 0; i < m.hidden; i++ {
+		g2[i+1] = err * h[i]
+	}
+	// Hidden layer gradients through tanh.
+	for i := 0; i < m.hidden; i++ {
+		gh := err * m.w2[i+1] * (1 - h[i]*h[i])
+		m.w1[i][0] -= m.lr * gh
+		for j := 0; j < m.din; j++ {
+			m.w1[i][j+1] -= m.lr * gh * xn[j]
+		}
+	}
+	for i := range m.w2 {
+		m.w2[i] -= m.lr * g2[i]
+	}
+}
+
+// Predict evaluates the network at x, de-standardizing the output.
+func (m *MLP) Predict(x []float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	xn := m.normX(x)
+	_, yn := m.forward(xn)
+	ysd := math.Sqrt(m.yVar/math.Max(m.n, 1)) + 1e-9
+	return yn*ysd + m.yMean
+}
+
+// N reports the number of observations.
+func (m *MLP) N() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observations
+}
+
+// RNN is a small Elman recurrent network for sequence forecasting: given a
+// window of recent values it predicts the next one. It stands in for the
+// paper's libtorch RNN in the hybrid-ensemble access-arrival predictor
+// (§5.2.2). Training unrolls over the input window (truncated BPTT).
+type RNN struct {
+	mu     sync.Mutex
+	hidden int
+	lr     float64
+
+	wx []float64   // input -> hidden
+	wh [][]float64 // hidden -> hidden
+	bh []float64
+	wo []float64 // hidden -> output
+	bo float64
+
+	// Input scaling.
+	n     float64
+	mean  float64
+	m2    float64
+	steps int
+}
+
+// NewRNN creates an Elman network with the given hidden size.
+func NewRNN(hidden int, lr float64, seed int64) *RNN {
+	r := rand.New(rand.NewSource(seed))
+	n := &RNN{hidden: hidden, lr: lr}
+	scale := 1 / math.Sqrt(float64(hidden))
+	n.wx = make([]float64, hidden)
+	n.bh = make([]float64, hidden)
+	n.wo = make([]float64, hidden)
+	n.wh = make([][]float64, hidden)
+	for i := 0; i < hidden; i++ {
+		n.wx[i] = (r.Float64()*2 - 1) * scale
+		n.wo[i] = (r.Float64()*2 - 1) * scale
+		n.wh[i] = make([]float64, hidden)
+		for j := range n.wh[i] {
+			n.wh[i][j] = (r.Float64()*2 - 1) * scale
+		}
+	}
+	return n
+}
+
+func (n *RNN) norm(v float64) float64 {
+	sd := math.Sqrt(n.m2/math.Max(n.n, 1)) + 1e-9
+	return (v - n.mean) / sd
+}
+
+func (n *RNN) denorm(v float64) float64 {
+	sd := math.Sqrt(n.m2/math.Max(n.n, 1)) + 1e-9
+	return v*sd + n.mean
+}
+
+// run unrolls the network over the window, returning hidden states per step.
+func (n *RNN) run(window []float64) ([][]float64, float64) {
+	h := make([]float64, n.hidden)
+	states := make([][]float64, 0, len(window))
+	for _, v := range window {
+		nh := make([]float64, n.hidden)
+		x := n.norm(v)
+		for i := 0; i < n.hidden; i++ {
+			s := n.bh[i] + n.wx[i]*x
+			for j := 0; j < n.hidden; j++ {
+				s += n.wh[i][j] * h[j]
+			}
+			nh[i] = math.Tanh(s)
+		}
+		h = nh
+		states = append(states, h)
+	}
+	y := n.bo
+	for i := 0; i < n.hidden; i++ {
+		y += n.wo[i] * h[i]
+	}
+	return states, y
+}
+
+// Train performs one gradient step teaching the network to predict target
+// from the window.
+func (n *RNN) Train(window []float64, target float64) {
+	if len(window) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, v := range window {
+		n.n++
+		d := v - n.mean
+		n.mean += d / n.n
+		n.m2 += d * (v - n.mean)
+	}
+	n.steps++
+
+	states, pred := n.run(window)
+	err := pred - n.norm(target)
+	last := states[len(states)-1]
+
+	// Output layer.
+	gradH := make([]float64, n.hidden)
+	for i := 0; i < n.hidden; i++ {
+		gradH[i] = err * n.wo[i]
+		n.wo[i] -= n.lr * err * last[i]
+	}
+	n.bo -= n.lr * err
+
+	// Truncated BPTT over the last few steps.
+	depth := len(window)
+	if depth > 4 {
+		depth = 4
+	}
+	for t := 0; t < depth; t++ {
+		idx := len(states) - 1 - t
+		h := states[idx]
+		var prev []float64
+		if idx > 0 {
+			prev = states[idx-1]
+		} else {
+			prev = make([]float64, n.hidden)
+		}
+		x := n.norm(window[idx])
+		next := make([]float64, n.hidden)
+		for i := 0; i < n.hidden; i++ {
+			g := gradH[i] * (1 - h[i]*h[i])
+			n.wx[i] -= n.lr * g * x
+			n.bh[i] -= n.lr * g
+			for j := 0; j < n.hidden; j++ {
+				next[j] += g * n.wh[i][j]
+				n.wh[i][j] -= n.lr * g * prev[j]
+			}
+		}
+		gradH = next
+	}
+}
+
+// Predict forecasts the next value after the window.
+func (n *RNN) Predict(window []float64) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(window) == 0 {
+		return n.mean
+	}
+	_, y := n.run(window)
+	return n.denorm(y)
+}
+
+// Steps reports the number of training steps taken.
+func (n *RNN) Steps() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.steps
+}

@@ -1,0 +1,406 @@
+// Package metadata implements the ASA's partition-metadata directory
+// (§5.1 of the paper): for every partition it tracks bounds, the master
+// site and layout, replica sites and layouts, access frequencies over two
+// time scales (via forecast.Tracker), a zone-map reference, and the
+// partitions frequently co-accessed with it. It also maintains per-table
+// column statistics (average sizes, access rates) used for space and cost
+// estimation.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"proteus/internal/forecast"
+	"proteus/internal/partition"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/zonemap"
+)
+
+// Replica records where one copy of a partition lives and how it is stored.
+type Replica struct {
+	Site   simnet.SiteID
+	Layout storage.Layout
+}
+
+// PartitionMeta is the directory entry for one partition.
+type PartitionMeta struct {
+	ID     partition.ID
+	Bounds partition.Bounds
+
+	mu       sync.RWMutex
+	master   Replica
+	replicas []Replica // non-master copies
+
+	// Tracker records update/point-read/scan frequencies at two
+	// granularities (§5.1 item iii).
+	Tracker *forecast.Tracker
+	// ZoneMap references the master copy's zone map (§5.1 item iv).
+	ZoneMap *zonemap.ZoneMap
+
+	coMu     sync.Mutex
+	coAccess map[partition.ID]float64 // decayed co-access weights (item v)
+}
+
+// Master returns the master replica descriptor.
+func (m *PartitionMeta) Master() Replica {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.master
+}
+
+// Replicas returns the non-master replicas.
+func (m *PartitionMeta) Replicas() []Replica {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]Replica(nil), m.replicas...)
+}
+
+// AllCopies returns the master followed by every replica.
+func (m *PartitionMeta) AllCopies() []Replica {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Replica, 0, 1+len(m.replicas))
+	out = append(out, m.master)
+	return append(out, m.replicas...)
+}
+
+// SetMaster changes the master placement/layout.
+func (m *PartitionMeta) SetMaster(r Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.master = r
+}
+
+// AddReplica records a new replica.
+func (m *PartitionMeta) AddReplica(r Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicas = append(m.replicas, r)
+}
+
+// RemoveReplica drops the replica at the site. It reports whether one was
+// removed.
+func (m *PartitionMeta) RemoveReplica(site simnet.SiteID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.replicas {
+		if r.Site == site {
+			m.replicas = append(m.replicas[:i], m.replicas[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetReplicaLayout updates the stored layout of the copy at the site
+// (master or replica). It reports whether the site held a copy.
+func (m *PartitionMeta) SetReplicaLayout(site simnet.SiteID, l storage.Layout) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.master.Site == site {
+		m.master.Layout = l
+		return true
+	}
+	for i := range m.replicas {
+		if m.replicas[i].Site == site {
+			m.replicas[i].Layout = l
+			return true
+		}
+	}
+	return false
+}
+
+// HasCopyAt reports whether the site stores any copy.
+func (m *PartitionMeta) HasCopyAt(site simnet.SiteID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.master.Site == site {
+		return true
+	}
+	for _, r := range m.replicas {
+		if r.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordCoAccess strengthens the co-access edge to another partition
+// (updates or joins touching both in one request).
+func (m *PartitionMeta) RecordCoAccess(other partition.ID, w float64) {
+	m.coMu.Lock()
+	defer m.coMu.Unlock()
+	if m.coAccess == nil {
+		m.coAccess = make(map[partition.ID]float64)
+	}
+	m.coAccess[other] += w
+}
+
+// CoAccessed returns the partitions most co-accessed with this one,
+// strongest first, up to limit.
+func (m *PartitionMeta) CoAccessed(limit int) []partition.ID {
+	m.coMu.Lock()
+	defer m.coMu.Unlock()
+	type kv struct {
+		id partition.ID
+		w  float64
+	}
+	all := make([]kv, 0, len(m.coAccess))
+	for id, w := range m.coAccess {
+		all = append(all, kv{id, w})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].w > all[j].w })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	out := make([]partition.ID, len(all))
+	for i, e := range all {
+		out[i] = e.id
+	}
+	return out
+}
+
+// ColStats aggregates one column's statistics for a table (§5.1).
+type ColStats struct {
+	AvgSize float64
+	Reads   int64
+	Writes  int64
+}
+
+// Directory is the ASA's concurrent partition-metadata table.
+type Directory struct {
+	mu      sync.RWMutex
+	parts   map[partition.ID]*PartitionMeta
+	byTable map[schema.TableID][]*PartitionMeta
+	nextID  uint64
+
+	colMu    sync.Mutex
+	colStats map[schema.TableID][]ColStats
+
+	trackerCfg forecast.Config
+}
+
+// NewDirectory creates an empty directory; trackers for new partitions use
+// cfg.
+func NewDirectory(cfg forecast.Config) *Directory {
+	return &Directory{
+		parts:      make(map[partition.ID]*PartitionMeta),
+		byTable:    make(map[schema.TableID][]*PartitionMeta),
+		colStats:   make(map[schema.TableID][]ColStats),
+		trackerCfg: cfg,
+	}
+}
+
+// AllocID reserves a fresh partition ID.
+func (d *Directory) AllocID() partition.ID {
+	return partition.ID(atomic.AddUint64(&d.nextID, 1))
+}
+
+// Register adds a partition's metadata. The zone map may be nil.
+func (d *Directory) Register(id partition.ID, b partition.Bounds, master Replica, zm *zonemap.ZoneMap) *PartitionMeta {
+	m := &PartitionMeta{
+		ID: id, Bounds: b, master: master,
+		Tracker: forecast.NewTracker(d.trackerCfg),
+		ZoneMap: zm,
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.parts[id] = m
+	d.byTable[b.Table] = append(d.byTable[b.Table], m)
+	return m
+}
+
+// Unregister removes a partition (after a split or merge supersedes it).
+func (d *Directory) Unregister(id partition.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.parts[id]
+	if !ok {
+		return
+	}
+	delete(d.parts, id)
+	tbl := d.byTable[m.Bounds.Table]
+	for i, pm := range tbl {
+		if pm.ID == id {
+			d.byTable[m.Bounds.Table] = append(tbl[:i], tbl[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get looks up one partition's metadata.
+func (d *Directory) Get(id partition.ID) (*PartitionMeta, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m, ok := d.parts[id]
+	return m, ok
+}
+
+// PartitionsFor returns the partitions of a table whose row range overlaps
+// [lo, hi) and that cover at least one of cols (all columns if cols is
+// empty), ordered by (RowStart, ColStart).
+func (d *Directory) PartitionsFor(table schema.TableID, lo, hi schema.RowID, cols []schema.ColID) []*PartitionMeta {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []*PartitionMeta
+	for _, m := range d.byTable[table] {
+		if !m.Bounds.OverlapsRows(lo, hi) {
+			continue
+		}
+		if len(cols) > 0 {
+			covered := false
+			for _, c := range cols {
+				if m.Bounds.ContainsCol(c) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bounds.RowStart != out[j].Bounds.RowStart {
+			return out[i].Bounds.RowStart < out[j].Bounds.RowStart
+		}
+		return out[i].Bounds.ColStart < out[j].Bounds.ColStart
+	})
+	return out
+}
+
+// PartitionForRow returns the partitions covering a single row across the
+// given columns (several when the row range is vertically partitioned).
+func (d *Directory) PartitionForRow(table schema.TableID, row schema.RowID, cols []schema.ColID) []*PartitionMeta {
+	return d.PartitionsFor(table, row, row+1, cols)
+}
+
+// TablePartitions returns every partition of a table.
+func (d *Directory) TablePartitions(table schema.TableID) []*PartitionMeta {
+	return d.PartitionsFor(table, 0, schema.RowID(1)<<62, nil)
+}
+
+// All returns every registered partition.
+func (d *Directory) All() []*PartitionMeta {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*PartitionMeta, 0, len(d.parts))
+	for _, m := range d.parts {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InitColStats sizes a table's column statistics.
+func (d *Directory) InitColStats(table schema.TableID, avgSizes []float64) {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	cs := make([]ColStats, len(avgSizes))
+	for i, s := range avgSizes {
+		cs[i].AvgSize = s
+	}
+	d.colStats[table] = cs
+}
+
+// RecordColumnAccess bumps read/write counters for the given columns.
+func (d *Directory) RecordColumnAccess(table schema.TableID, cols []schema.ColID, write bool) {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	cs := d.colStats[table]
+	for _, c := range cols {
+		if int(c) >= len(cs) {
+			continue
+		}
+		if write {
+			cs[c].Writes++
+		} else {
+			cs[c].Reads++
+		}
+	}
+}
+
+// ColumnStats returns a copy of a table's column statistics.
+func (d *Directory) ColumnStats(table schema.TableID) []ColStats {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	return append([]ColStats(nil), d.colStats[table]...)
+}
+
+// AvgRowBytes estimates the encoded size of one row restricted to cols
+// (all columns when cols is empty).
+func (d *Directory) AvgRowBytes(table schema.TableID, cols []schema.ColID) int {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	cs := d.colStats[table]
+	total := 0.0
+	if len(cols) == 0 {
+		for _, c := range cs {
+			total += c.AvgSize
+		}
+	} else {
+		for _, c := range cols {
+			if int(c) < len(cs) {
+				total += cs[c].AvgSize
+			}
+		}
+	}
+	return int(total)
+}
+
+// Validate checks the directory's tiling invariant for a table: every
+// (row, col) cell inside the given row bound is covered by exactly one
+// partition. Used by tests and by recovery sanity checks.
+func (d *Directory) Validate(table schema.TableID, rowEnd schema.RowID, nCols int) error {
+	parts := d.TablePartitions(table)
+	// Collect row boundaries and check column coverage per row segment.
+	for _, m := range parts {
+		if m.Bounds.ColStart < 0 || int(m.Bounds.ColEnd) > nCols {
+			return fmt.Errorf("partition %d columns out of range: %v", m.ID, m.Bounds)
+		}
+	}
+	type seg struct{ lo, hi schema.RowID }
+	var segs []seg
+	bounds := map[schema.RowID]bool{0: true, rowEnd: true}
+	for _, m := range parts {
+		if m.Bounds.RowStart < rowEnd {
+			bounds[m.Bounds.RowStart] = true
+		}
+		if m.Bounds.RowEnd < rowEnd {
+			bounds[m.Bounds.RowEnd] = true
+		}
+	}
+	var cuts []schema.RowID
+	for b := range bounds {
+		cuts = append(cuts, b)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	for i := 0; i+1 < len(cuts); i++ {
+		segs = append(segs, seg{cuts[i], cuts[i+1]})
+	}
+	for _, s := range segs {
+		cover := make([]int, nCols)
+		for _, m := range parts {
+			if m.Bounds.OverlapsRows(s.lo, s.hi) {
+				if m.Bounds.RowStart > s.lo || m.Bounds.RowEnd < s.hi {
+					return fmt.Errorf("partition %d splits segment [%d,%d): %v", m.ID, s.lo, s.hi, m.Bounds)
+				}
+				for c := m.Bounds.ColStart; c < m.Bounds.ColEnd; c++ {
+					cover[c]++
+				}
+			}
+		}
+		for c, n := range cover {
+			if n != 1 {
+				return fmt.Errorf("table %d rows [%d,%d) column %d covered %d times", table, s.lo, s.hi, c, n)
+			}
+		}
+	}
+	return nil
+}

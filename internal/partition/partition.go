@@ -1,0 +1,267 @@
+// Package partition implements Proteus' unit of storage-layout decisions
+// (§2.1 of the paper): a partition is a contiguous range of rows and columns
+// of one table, stored in one layout, with a zone map and a version counter.
+// The package also implements the layout-change mechanisms of §4.4 —
+// format/tier conversion via consistent-snapshot bulk loads, horizontal and
+// vertical splits, and merges.
+package partition
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/colstore"
+	"proteus/internal/disksim"
+	"proteus/internal/rowstore"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+	"proteus/internal/zonemap"
+)
+
+// ID uniquely identifies a partition across the cluster.
+type ID uint64
+
+// Bounds delimits the table cells a partition covers: rows in
+// [RowStart, RowEnd) and columns in [ColStart, ColEnd), both over the
+// owning table.
+type Bounds struct {
+	Table    schema.TableID
+	RowStart schema.RowID
+	RowEnd   schema.RowID
+	ColStart schema.ColID
+	ColEnd   schema.ColID
+}
+
+// String renders the bounds for debugging.
+func (b Bounds) String() string {
+	return fmt.Sprintf("t%d[r%d:%d,c%d:%d]", b.Table, b.RowStart, b.RowEnd, b.ColStart, b.ColEnd)
+}
+
+// ContainsRow reports whether a row id falls inside the bounds.
+func (b Bounds) ContainsRow(id schema.RowID) bool { return id >= b.RowStart && id < b.RowEnd }
+
+// ContainsCol reports whether a global column id falls inside the bounds.
+func (b Bounds) ContainsCol(c schema.ColID) bool { return c >= b.ColStart && c < b.ColEnd }
+
+// OverlapsRows reports whether [lo, hi) intersects the row range.
+func (b Bounds) OverlapsRows(lo, hi schema.RowID) bool { return lo < b.RowEnd && hi > b.RowStart }
+
+// NumCols reports the number of covered columns.
+func (b Bounds) NumCols() int { return int(b.ColEnd - b.ColStart) }
+
+// NumRows reports the size of the covered row range.
+func (b Bounds) NumRows() int64 { return int64(b.RowEnd - b.RowStart) }
+
+// LocalCol translates a global column id into the partition-local index.
+func (b Bounds) LocalCol(c schema.ColID) schema.ColID { return c - b.ColStart }
+
+// GlobalCol translates a partition-local column index back to the table's.
+func (b Bounds) GlobalCol(c schema.ColID) schema.ColID { return c + b.ColStart }
+
+// Factory builds stores for any layout, binding the disk tier to a device.
+type Factory struct {
+	// Dev backs disk-tier stores; required if any disk layout is built.
+	Dev *disksim.Device
+}
+
+// NewStore creates an empty store with the given layout over the
+// partition-local column kinds. The layout's SortBy is partition-local.
+func (f Factory) NewStore(kinds []types.Kind, l storage.Layout) storage.Store {
+	switch {
+	case l.Format == storage.RowFormat && l.Tier == storage.MemoryTier:
+		return rowstore.NewMem(kinds)
+	case l.Format == storage.RowFormat && l.Tier == storage.DiskTier:
+		return rowstore.NewDisk(kinds, f.Dev)
+	case l.Format == storage.ColumnFormat && l.Tier == storage.MemoryTier:
+		return colstore.NewMem(kinds, l.SortBy, l.Compressed)
+	default:
+		return colstore.NewDisk(kinds, f.Dev, l.SortBy, l.Compressed)
+	}
+}
+
+// Partition is one replica of a partition's data in a concrete layout.
+// Mutations and reads take partition-local column ids produced by
+// Bounds.LocalCol; the site/executor layer performs the translation.
+type Partition struct {
+	ID     ID
+	Bounds Bounds
+
+	mu    sync.RWMutex // guards store swaps (layout changes)
+	store storage.Store
+	kinds []types.Kind
+	zm    *zonemap.ZoneMap
+
+	version atomic.Uint64 // last committed version
+}
+
+// New creates an empty partition with the given layout. kinds are the
+// partition-local column kinds (the slice [ColStart, ColEnd) of the table).
+func New(id ID, b Bounds, kinds []types.Kind, l storage.Layout, f Factory) *Partition {
+	return &Partition{
+		ID:     id,
+		Bounds: b,
+		store:  f.NewStore(kinds, l),
+		kinds:  kinds,
+		zm:     zonemap.New(len(kinds)),
+	}
+}
+
+// Layout reports the partition's current storage layout.
+func (p *Partition) Layout() storage.Layout {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.Layout()
+}
+
+// Kinds returns the partition-local column kinds.
+func (p *Partition) Kinds() []types.Kind { return p.kinds }
+
+// Version reports the last committed version.
+func (p *Partition) Version() uint64 { return p.version.Load() }
+
+// SetVersion records a newly committed version (monotone).
+func (p *Partition) SetVersion(v uint64) {
+	for {
+		cur := p.version.Load()
+		if v <= cur || p.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// NextVersion atomically reserves the next commit version.
+func (p *Partition) NextVersion() uint64 { return p.version.Add(1) }
+
+// ZoneMap exposes the partition's zone map.
+func (p *Partition) ZoneMap() *zonemap.ZoneMap { return p.zm }
+
+// Insert adds a row (local column order) at the given version.
+func (p *Partition) Insert(row schema.Row, ver uint64) error {
+	if !p.Bounds.ContainsRow(row.ID) {
+		return fmt.Errorf("partition %d: row %d outside bounds %v", p.ID, row.ID, p.Bounds)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.store.Insert(row, ver); err != nil {
+		return err
+	}
+	p.zm.Observe(row.Vals)
+	return nil
+}
+
+// Update rewrites the given local columns of a row at the given version.
+func (p *Partition) Update(id schema.RowID, cols []schema.ColID, vals []types.Value, ver uint64) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.store.Update(id, cols, vals, ver); err != nil {
+		return err
+	}
+	wide := make([]types.Value, len(p.kinds))
+	for i, c := range cols {
+		wide[c] = vals[i]
+	}
+	p.zm.Observe(wide)
+	return nil
+}
+
+// Delete removes a row at the given version.
+func (p *Partition) Delete(id schema.RowID, ver uint64) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.Delete(id, ver)
+}
+
+// Get reads a projection of one row at the snapshot version.
+func (p *Partition) Get(id schema.RowID, cols []schema.ColID, snap uint64) (schema.Row, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.Get(id, cols, snap)
+}
+
+// Scan streams matching rows. The zone map short-circuits scans whose
+// predicate provably matches nothing in this partition (§4.1.3).
+func (p *Partition) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.zm.CanSkip(pred) {
+		return
+	}
+	p.store.Scan(cols, pred, snap, fn)
+}
+
+// Load bulk-loads rows and rebuilds the zone map.
+func (p *Partition) Load(rows []schema.Row, ver uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.store.Load(rows, ver); err != nil {
+		return err
+	}
+	p.zm.Rebuild(rows)
+	p.SetVersion(ver)
+	return nil
+}
+
+// ExtractAll snapshots every live row at the given version.
+func (p *Partition) ExtractAll(snap uint64) []schema.Row {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.ExtractAll(snap)
+}
+
+// Stats reports the underlying store's footprint.
+func (p *Partition) Stats() storage.Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.Stats()
+}
+
+// ChangeLayout converts the partition to a new layout by reading a
+// consistent snapshot at version snap and bulk-loading it into a fresh
+// store (§4.4). The swap is atomic with respect to readers.
+func (p *Partition) ChangeLayout(to storage.Layout, f Factory, snap uint64) error {
+	p.mu.RLock()
+	rows := p.store.ExtractAll(snap)
+	p.mu.RUnlock()
+
+	ns := f.NewStore(p.kinds, to)
+	if err := ns.Load(rows, snap); err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store = ns
+	p.zm.Rebuild(rows)
+	return nil
+}
+
+// Maintain performs background maintenance appropriate to the layout:
+// merging column delta stores and flushing row disk buffers once they
+// exceed threshold buffered rows. It reports the number of buffered rows
+// folded in and the time the fold took, so maintenance cost can be
+// attributed to the layout's write cost model.
+func (p *Partition) Maintain(snap uint64, threshold int) (int, time.Duration, error) {
+	p.mu.RLock()
+	st := p.store
+	p.mu.RUnlock()
+	start := time.Now()
+	switch s := st.(type) {
+	case interface {
+		DeltaRows() int
+		MergeDelta(uint64) error
+	}:
+		if n := s.DeltaRows(); n >= threshold {
+			err := s.MergeDelta(snap)
+			return n, time.Since(start), err
+		}
+	case *rowstore.Disk:
+		if n := s.BufferedRows(); n >= threshold {
+			err := s.Flush(snap)
+			return n, time.Since(start), err
+		}
+	}
+	return 0, 0, nil
+}

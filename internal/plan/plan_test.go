@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"testing"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+	"proteus/internal/zonemap"
+)
+
+func testPlanner() (*Planner, *metadata.Directory) {
+	dir := metadata.NewDirectory(forecast.DefaultConfig())
+	dir.InitColStats(1, []float64{8, 8, 8})
+	dir.InitColStats(2, []float64{8, 16})
+	return &Planner{
+		Dir:       dir,
+		Model:     cost.NewModel(),
+		Decisions: NewDecisionCache(),
+		Plans:     NewPlanCache(),
+		Epoch:     &Epoch{},
+		MaxRow:    1 << 30,
+	}, dir
+}
+
+func register(dir *metadata.Directory, table schema.TableID, rlo, rhi schema.RowID,
+	clo, chi schema.ColID, site simnet.SiteID, l storage.Layout, rows int) *metadata.PartitionMeta {
+	zm := zonemap.New(int(chi - clo))
+	for i := 0; i < rows; i++ {
+		zm.Observe([]types.Value{types.NewInt64(int64(i))})
+	}
+	b := partition.Bounds{Table: table, RowStart: rlo, RowEnd: rhi, ColStart: clo, ColEnd: chi}
+	return dir.Register(dir.AllocID(), b, metadata.Replica{Site: site, Layout: l}, zm)
+}
+
+func TestPlanScanSegmentsAndPieces(t *testing.T) {
+	pl, dir := testPlanner()
+	// Table 1: rows [0,100) full cols at site 0; rows [100,200) split
+	// vertically between sites.
+	register(dir, 1, 0, 100, 0, 3, 0, storage.DefaultRowLayout(), 100)
+	register(dir, 1, 100, 200, 0, 2, 1, storage.DefaultColumnLayout(), 100)
+	register(dir, 1, 100, 200, 2, 3, 0, storage.DefaultRowLayout(), 100)
+
+	node, err := pl.PlanQuery(&query.Query{Root: &query.ScanNode{
+		Table: 1, Cols: []schema.ColID{0, 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := node.(*PScan)
+	if len(ps.Segments) != 2 {
+		t.Fatalf("segments = %d", len(ps.Segments))
+	}
+	if len(ps.Segments[0].Pieces) != 1 || len(ps.Segments[1].Pieces) != 2 {
+		t.Errorf("pieces = %d / %d", len(ps.Segments[0].Pieces), len(ps.Segments[1].Pieces))
+	}
+	if ps.EstRows <= 0 {
+		t.Error("no cardinality estimate")
+	}
+}
+
+func TestPlanCacheReuseAndEpochInvalidation(t *testing.T) {
+	pl, dir := testPlanner()
+	register(dir, 1, 0, 100, 0, 3, 0, storage.DefaultRowLayout(), 100)
+	q := &query.Query{Root: &query.ScanNode{Table: 1, Cols: []schema.ColID{0}}}
+
+	p1, err := pl.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := pl.PlanQuery(q)
+	if p1 != p2 {
+		t.Error("plan not reused within epoch")
+	}
+	hits, _ := pl.Plans.Stats()
+	if hits == 0 {
+		t.Error("no cache hit recorded")
+	}
+	pl.Epoch.Bump() // a single layout change invalidates the plan (§5.3.3)
+	p3, _ := pl.PlanQuery(q)
+	if p1 == p3 {
+		t.Error("plan survived epoch bump")
+	}
+}
+
+func TestJoinColocatedWhenReplicated(t *testing.T) {
+	pl, dir := testPlanner()
+	// Fact table partitioned across sites 0 and 1.
+	register(dir, 1, 0, 100, 0, 3, 0, storage.DefaultRowLayout(), 100)
+	register(dir, 1, 100, 200, 0, 3, 1, storage.DefaultRowLayout(), 100)
+	// Dimension table replicated at both sites.
+	dim := register(dir, 2, 0, 50, 0, 2, 0, storage.DefaultColumnLayout(), 50)
+	dim.AddReplica(metadata.Replica{Site: 1, Layout: storage.DefaultColumnLayout()})
+
+	node, err := pl.PlanQuery(&query.Query{Root: &query.JoinNode{
+		Left:       &query.ScanNode{Table: 1, Cols: []schema.ColID{1}},
+		Right:      &query.ScanNode{Table: 2, Cols: []schema.ColID{0}},
+		LeftKeyCol: 0, RightKeyCol: 0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj := node.(*PJoin)
+	if pj.Strategy != JoinColocated {
+		t.Errorf("strategy = %v, want colocated", pj.Strategy)
+	}
+	// Without the replica, the join cannot colocate.
+	pl2, dir2 := testPlanner()
+	register(dir2, 1, 0, 100, 0, 3, 0, storage.DefaultRowLayout(), 100)
+	register(dir2, 1, 100, 200, 0, 3, 1, storage.DefaultRowLayout(), 100)
+	register(dir2, 2, 0, 50, 0, 2, 0, storage.DefaultColumnLayout(), 50)
+	node2, err := pl2.PlanQuery(&query.Query{Root: &query.JoinNode{
+		Left:       &query.ScanNode{Table: 1, Cols: []schema.ColID{1}},
+		Right:      &query.ScanNode{Table: 2, Cols: []schema.ColID{0}},
+		LeftKeyCol: 0, RightKeyCol: 0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node2.(*PJoin).Strategy != JoinAtCoordinator {
+		t.Error("non-replicated join should run at coordinator")
+	}
+}
+
+func TestMergeJoinChosenForSortedScans(t *testing.T) {
+	pl, dir := testPlanner()
+	sorted := storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: 1}
+	register(dir, 1, 0, 100, 0, 3, 0, sorted, 100)
+	sortedDim := storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: 0}
+	register(dir, 2, 0, 50, 0, 2, 0, sortedDim, 50)
+
+	node, err := pl.PlanQuery(&query.Query{Root: &query.JoinNode{
+		Left:       &query.ScanNode{Table: 1, Cols: []schema.ColID{1}},
+		Right:      &query.ScanNode{Table: 2, Cols: []schema.ColID{0}},
+		LeftKeyCol: 0, RightKeyCol: 0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg := node.(*PJoin).Alg; alg != cost.JoinMerge {
+		t.Errorf("alg = %v, want merge", alg)
+	}
+}
+
+func TestTwoPhaseAggDecomposition(t *testing.T) {
+	pl, dir := testPlanner()
+	register(dir, 1, 0, 100, 0, 3, 0, storage.DefaultRowLayout(), 100)
+	register(dir, 1, 100, 200, 0, 3, 1, storage.DefaultRowLayout(), 100)
+
+	node, err := pl.PlanQuery(&query.Query{Root: &query.AggNode{
+		Child:   &query.ScanNode{Table: 1, Cols: []schema.ColID{0, 1}},
+		GroupBy: []int{0},
+		Aggs: []exec.AggSpec{
+			{Func: exec.AggAvg, Col: 1},
+			{Func: exec.AggCount},
+			{Func: exec.AggMin, Col: 1},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := node.(*PAgg)
+	if !pa.TwoPhase {
+		t.Fatal("multi-site scan should aggregate in two phases")
+	}
+	// AVG decomposes into SUM + COUNT.
+	if len(pa.PartialAggs) != 4 || len(pa.FinalAggs) != 4 {
+		t.Errorf("partial=%d final=%d", len(pa.PartialAggs), len(pa.FinalAggs))
+	}
+	if _, ok := pa.AvgPairs[0]; !ok {
+		t.Error("no avg pair recorded")
+	}
+	// COUNT's final combine is a SUM.
+	if pa.FinalAggs[2].Func != exec.AggSum {
+		t.Errorf("count combine = %v", pa.FinalAggs[2].Func)
+	}
+	// MIN combines with MIN.
+	if pa.FinalAggs[3].Func != exec.AggMin {
+		t.Errorf("min combine = %v", pa.FinalAggs[3].Func)
+	}
+}
+
+func TestPlanTxnBindings(t *testing.T) {
+	pl, dir := testPlanner()
+	register(dir, 1, 0, 100, 0, 2, 0, storage.DefaultRowLayout(), 100)
+	register(dir, 1, 0, 100, 2, 3, 1, storage.DefaultRowLayout(), 100) // vertical piece
+
+	tp, err := pl.PlanTxn(&query.Txn{Ops: []query.Op{
+		{Kind: query.OpRead, Table: 1, Row: 5, Cols: []schema.ColID{0}},
+		{Kind: query.OpUpdate, Table: 1, Row: 5, Cols: []schema.ColID{0, 2},
+			Vals: []types.Value{types.NewInt64(1), types.NewInt64(2)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Bindings) != 2 {
+		t.Fatalf("bindings = %d", len(tp.Bindings))
+	}
+	// The update touches both vertical pieces -> two write pids, two sites.
+	if len(tp.WritePIDs) != 2 || len(tp.WriteSites) != 2 {
+		t.Errorf("write pids=%v sites=%v", tp.WritePIDs, tp.WriteSites)
+	}
+	// Read pid overlaps a write pid, so ReadPIDs excludes it.
+	if len(tp.ReadPIDs) != 0 {
+		t.Errorf("read pids = %v", tp.ReadPIDs)
+	}
+	// Unknown row fails.
+	if _, err := pl.PlanTxn(&query.Txn{Ops: []query.Op{
+		{Kind: query.OpRead, Table: 9, Row: 5, Cols: []schema.ColID{0}},
+	}}); err == nil {
+		t.Error("plan for unknown table succeeded")
+	}
+}
+
+func TestPieceCols(t *testing.T) {
+	b := partition.Bounds{Table: 1, RowStart: 0, RowEnd: 10, ColStart: 2, ColEnd: 5}
+	m := &metadata.PartitionMeta{ID: 1, Bounds: b}
+	op := query.Op{Kind: query.OpUpdate, Cols: []schema.ColID{0, 3, 4}, Vals: []types.Value{{}, {}, {}}}
+	cols, idx := PieceCols(op, m)
+	if len(cols) != 2 || cols[0] != 3 || cols[1] != 4 || idx[0] != 1 || idx[1] != 2 {
+		t.Errorf("cols=%v idx=%v", cols, idx)
+	}
+	ins := query.Op{Kind: query.OpInsert}
+	cols, idx = PieceCols(ins, m)
+	if len(cols) != 3 || cols[0] != 2 || idx[0] != 2 {
+		t.Errorf("insert cols=%v idx=%v", cols, idx)
+	}
+}
+
+func TestDecisionCacheBuckets(t *testing.T) {
+	if Bucket(0) != 0 || Bucket(1) != 1 {
+		t.Error("small buckets wrong")
+	}
+	if Bucket(1000) == Bucket(4000) {
+		t.Error("1000 and 4000 should bucket apart")
+	}
+	if Bucket(1000) != Bucket(1100) {
+		t.Error("1000 and 1100 should share a bucket")
+	}
+	c := NewDecisionCache()
+	k := Key("joinalg", []string{"x"}, []float64{1000})
+	if _, ok := c.Lookup(k); ok {
+		t.Error("empty cache hit")
+	}
+	c.Store(k, 42)
+	if v, ok := c.Lookup(k); !ok || v.(int) != 42 {
+		t.Error("store/lookup failed")
+	}
+	c.Invalidate()
+	if _, ok := c.Lookup(k); ok {
+		t.Error("invalidate failed")
+	}
+	h, m := c.Stats()
+	if h != 1 || m != 2 {
+		t.Errorf("stats = %d/%d", h, m)
+	}
+}
+
+func TestOutputWidth(t *testing.T) {
+	ps := &PScan{Cols: []schema.ColID{0, 1}}
+	if OutputWidth(ps) != 2 {
+		t.Error("scan width")
+	}
+	pj := &PJoin{Left: ps, Right: ps}
+	if OutputWidth(pj) != 4 {
+		t.Error("join width")
+	}
+	pa := &PAgg{Child: pj, GroupBy: []int{0}, Aggs: []exec.AggSpec{{}}}
+	if OutputWidth(pa) != 2 {
+		t.Error("agg width")
+	}
+}

@@ -1,0 +1,477 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+)
+
+// PNode is a node of a physical execution plan (Figure 7b).
+type PNode interface{ isPNode() }
+
+// ScanPart binds one partition to a chosen copy for scanning.
+type ScanPart struct {
+	Meta *metadata.PartitionMeta
+	Copy metadata.Replica
+	// Cols are the table-global columns this piece contributes.
+	Cols []schema.ColID
+}
+
+// RowSegment is one horizontal slice of a table scan: the vertical pieces
+// tiling the needed columns for rows [Lo, Hi).
+type RowSegment struct {
+	Lo, Hi schema.RowID
+	Pieces []ScanPart
+}
+
+// PScan reads Cols of Table where Pred holds, assembled from the bound
+// partition copies segment by segment.
+type PScan struct {
+	Table    schema.TableID
+	Cols     []schema.ColID // output columns, in order
+	Pred     storage.Pred
+	Segments []RowSegment
+	EstRows  int
+	// Sorted reports the output arrives ordered by the given output
+	// position (single sorted partition covering all rows), or -1.
+	SortedBy int
+}
+
+func (*PScan) isPNode() {}
+
+// JoinStrategy selects the distributed execution shape of a join.
+type JoinStrategy uint8
+
+const (
+	// JoinAtCoordinator evaluates both children fully, then joins where
+	// the coordinator runs.
+	JoinAtCoordinator JoinStrategy = iota
+	// JoinColocated joins each left segment at its storage site against a
+	// local copy of the right side, shipping only partial results —
+	// Figure 7b's local joins with global aggregation.
+	JoinColocated
+)
+
+// PJoin joins two subplans.
+type PJoin struct {
+	Left, Right PNode
+	LeftKey     int // position in left output
+	RightKey    int // position in right output
+	Alg         cost.Variant
+	Strategy    JoinStrategy
+	EstRows     int
+}
+
+func (*PJoin) isPNode() {}
+
+// PAgg aggregates a subplan, optionally in two phases (site-local partial
+// aggregation followed by a final combine at the coordinator).
+type PAgg struct {
+	Child   PNode
+	GroupBy []int
+	Aggs    []exec.AggSpec
+	// TwoPhase: sites compute PartialAggs; the coordinator combines with
+	// FinalAggs over the concatenated partials (AVG is decomposed into
+	// SUM and COUNT).
+	TwoPhase    bool
+	PartialAggs []exec.AggSpec
+	FinalAggs   []exec.AggSpec
+	// AvgPairs maps output agg index -> (sum position, count position) in
+	// the partial layout for AVG reconstruction.
+	AvgPairs map[int][2]int
+}
+
+func (*PAgg) isPNode() {}
+
+// OutputWidth reports the number of columns a plan node produces.
+func OutputWidth(n PNode) int {
+	switch v := n.(type) {
+	case *PScan:
+		return len(v.Cols)
+	case *PJoin:
+		return OutputWidth(v.Left) + OutputWidth(v.Right)
+	case *PAgg:
+		return len(v.GroupBy) + len(v.Aggs)
+	}
+	return 0
+}
+
+// Planner builds physical plans from logical query trees (§5.3.1).
+type Planner struct {
+	Dir       *metadata.Directory
+	Model     *cost.Model
+	Decisions *DecisionCache
+	Plans     *PlanCache
+	Epoch     *Epoch
+	// Coordinator is where final results assemble (the submitting
+	// client's entry point; the ASA picks a data site per query).
+	Coordinator simnet.SiteID
+	// MaxRow bounds table row ids (for full-table partition lookups).
+	MaxRow schema.RowID
+}
+
+// PlanQuery converts a logical query into a physical plan, reusing a
+// cached plan when the layout epoch allows.
+func (pl *Planner) PlanQuery(q *query.Query) (PNode, error) {
+	fp := fingerprint(q.Root)
+	epoch := pl.Epoch.Current()
+	if cached, ok := pl.Plans.Get(fp, epoch); ok {
+		if node, ok := cached.(PNode); ok {
+			return node, nil
+		}
+	}
+	node, err := pl.planNode(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	pl.Plans.Put(fp, epoch, node)
+	return node, nil
+}
+
+func (pl *Planner) planNode(n query.Node) (PNode, error) {
+	switch v := n.(type) {
+	case *query.ScanNode:
+		return pl.planScan(v)
+	case *query.JoinNode:
+		return pl.planJoin(v)
+	case *query.AggNode:
+		return pl.planAgg(v)
+	}
+	return nil, fmt.Errorf("plan: unknown node %T", n)
+}
+
+// neededCols unions projection and predicate columns.
+func neededCols(cols []schema.ColID, pred storage.Pred) []schema.ColID {
+	seen := map[schema.ColID]bool{}
+	var out []schema.ColID
+	for _, c := range cols {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, p := range pred {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+func (pl *Planner) planScan(s *query.ScanNode) (PNode, error) {
+	need := neededCols(s.Cols, s.Pred)
+	parts := pl.Dir.PartitionsFor(s.Table, 0, pl.MaxRow, need)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("plan: no partitions for table %d", s.Table)
+	}
+	// Compute row segments from the union of partition boundaries.
+	cutSet := map[schema.RowID]bool{}
+	for _, m := range parts {
+		cutSet[m.Bounds.RowStart] = true
+		cutSet[m.Bounds.RowEnd] = true
+	}
+	cuts := make([]schema.RowID, 0, len(cutSet))
+	for c := range cutSet {
+		cuts = append(cuts, c)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	ps := &PScan{Table: s.Table, Cols: s.Cols, Pred: s.Pred, SortedBy: -1}
+	est := 0
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		seg := RowSegment{Lo: lo, Hi: hi}
+		for _, m := range parts {
+			if !m.Bounds.OverlapsRows(lo, hi) {
+				continue
+			}
+			var pieceCols []schema.ColID
+			for _, c := range need {
+				if m.Bounds.ContainsCol(c) {
+					pieceCols = append(pieceCols, c)
+				}
+			}
+			if len(need) == 0 && len(seg.Pieces) == 0 {
+				// Projection-free scans (COUNT(*)) still visit each row
+				// once: read one column of one vertical piece per segment.
+				pieceCols = []schema.ColID{m.Bounds.ColStart}
+			}
+			if len(pieceCols) == 0 {
+				continue
+			}
+			copyChoice := pl.chooseCopy(m, pieceCols, s.Pred)
+			seg.Pieces = append(seg.Pieces, ScanPart{Meta: m, Copy: copyChoice, Cols: pieceCols})
+			if m.ZoneMap != nil {
+				est += int(float64(m.ZoneMap.Rows()) * m.ZoneMap.EstimateSelectivity(globalToLocalPred(m, s.Pred)))
+			}
+		}
+		if len(seg.Pieces) > 0 {
+			ps.Segments = append(ps.Segments, seg)
+		}
+	}
+	ps.EstRows = est
+	// Sorted output: a single piece whose layout sorts by an output column.
+	if len(ps.Segments) == 1 && len(ps.Segments[0].Pieces) == 1 {
+		p := ps.Segments[0].Pieces[0]
+		if p.Copy.Layout.SortBy != storage.NoSort {
+			global := p.Meta.Bounds.GlobalCol(p.Copy.Layout.SortBy)
+			for i, c := range s.Cols {
+				if c == global {
+					ps.SortedBy = i
+				}
+			}
+		}
+	}
+	return ps, nil
+}
+
+// globalToLocalPred keeps only the conjuncts a partition covers, translated
+// to its local columns (for zone-map selectivity).
+func globalToLocalPred(m *metadata.PartitionMeta, pred storage.Pred) storage.Pred {
+	var out storage.Pred
+	for _, c := range pred {
+		if m.Bounds.ContainsCol(c.Col) {
+			out = append(out, storage.Cond{Col: m.Bounds.LocalCol(c.Col), Op: c.Op, Val: c.Val})
+		}
+	}
+	return out
+}
+
+// chooseCopy picks the replica to scan: minimal predicted scan cost plus
+// shipping the result toward the coordinator. The decision is cached by
+// bucketed cardinality and the copy layouts (§5.3.3).
+func (pl *Planner) chooseCopy(m *metadata.PartitionMeta, cols []schema.ColID, pred storage.Pred) metadata.Replica {
+	copies := m.AllCopies()
+	if len(copies) == 1 {
+		return copies[0]
+	}
+	rows := 0
+	if m.ZoneMap != nil {
+		rows = m.ZoneMap.Rows()
+	}
+	tags := make([]string, 0, len(copies)+1)
+	for _, c := range copies {
+		tags = append(tags, fmt.Sprintf("%d@%s", c.Site, c.Layout))
+	}
+	key := Key("copy", tags, []float64{float64(rows), float64(len(cols))})
+	if d, ok := pl.Decisions.Lookup(key); ok {
+		if r, ok := d.(metadata.Replica); ok && m.HasCopyAt(r.Site) {
+			return r
+		}
+	}
+	rowBytes := pl.Dir.AvgRowBytes(m.Bounds.Table, nil)
+	outBytes := pl.Dir.AvgRowBytes(m.Bounds.Table, cols)
+	sel := 1.0
+	if m.ZoneMap != nil {
+		sel = m.ZoneMap.EstimateSelectivity(globalToLocalPred(m, pred))
+	}
+	// Replicas of update-hot partitions must catch up before a consistent
+	// read (§4.2): charge the expected freshness wait.
+	updateRate := m.Tracker.RecentRate(forecast.Update, 8)
+	master := m.Master()
+	best := copies[0]
+	bestCost := float64(1 << 62)
+	for _, c := range copies {
+		variant := cost.ScanSeq
+		if c.Layout.SortBy != storage.NoSort {
+			variant = cost.ScanSorted
+		}
+		scanCost := pl.Model.Predict(cost.OpScan, variant, c.Layout, cost.ScanFeatures(rows, rowBytes, outBytes, sel))
+		shipBytes := int(float64(rows) * sel * float64(outBytes))
+		netCost := pl.Model.Predict(cost.OpNetwork, cost.VariantDefault, storage.Layout{},
+			cost.NetworkFeatures(0, 0, shipBytes, 0))
+		total := float64(scanCost)
+		if c.Site != pl.Coordinator {
+			total += float64(netCost)
+		}
+		if c != master && updateRate > 0 {
+			wait := pl.Model.Predict(cost.OpWaitUpdates, cost.VariantDefault, storage.Layout{},
+				cost.WaitFeatures(int(updateRate)+1))
+			total += float64(wait)
+		}
+		if total < bestCost {
+			bestCost, best = total, c
+		}
+	}
+	pl.Decisions.Store(key, best)
+	return best
+}
+
+func (pl *Planner) planJoin(j *query.JoinNode) (PNode, error) {
+	left, err := pl.planNode(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := pl.planNode(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	pj := &PJoin{Left: left, Right: right, LeftKey: j.LeftKeyCol, RightKey: j.RightKeyCol}
+
+	// Strategy: colocate when both children are scans and every site
+	// holding a left piece also holds a copy of every right partition
+	// ("at least one side of a join executes over precisely one copy of
+	// each partition", §4.3).
+	ls, lok := left.(*PScan)
+	rs, rok := right.(*PScan)
+	if lok && rok {
+		if colocatable(ls, rs) {
+			pj.Strategy = JoinColocated
+			retargetToLeftSites(ls, rs)
+		}
+	}
+	pj.Alg = pl.chooseJoinAlg(left, right, j.LeftKeyCol, j.RightKeyCol)
+	pj.EstRows = estRows(left) // FK join estimate: one match per left row
+	return pj, nil
+}
+
+// colocatable reports whether every site scanning a left piece has a copy
+// of every right partition.
+func colocatable(l, r *PScan) bool {
+	sites := map[simnet.SiteID]bool{}
+	for _, seg := range l.Segments {
+		for _, p := range seg.Pieces {
+			sites[p.Copy.Site] = true
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	for _, seg := range r.Segments {
+		for _, p := range seg.Pieces {
+			for s := range sites {
+				if !p.Meta.HasCopyAt(s) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// retargetToLeftSites repoints the right scan's copies to whichever site
+// will execute each local join (resolved per-site at execution; here we
+// just mark preference by leaving metadata intact — the executor resolves
+// local copies).
+func retargetToLeftSites(l, r *PScan) {
+	// No-op beyond strategy selection: the executor looks up the local
+	// copy of each right partition at each joining site.
+	_ = l
+	_ = r
+}
+
+// chooseJoinAlg picks merge join when both inputs arrive sorted on the
+// keys, otherwise cost-compares hash and nested-loop (greedy operator
+// selection, §5.3.1), reusing bucketed decisions.
+func (pl *Planner) chooseJoinAlg(left, right PNode, lKey, rKey int) cost.Variant {
+	if ls, ok := left.(*PScan); ok {
+		if rs, ok := right.(*PScan); ok {
+			if ls.SortedBy == lKey && rs.SortedBy == rKey && ls.SortedBy >= 0 && rs.SortedBy >= 0 {
+				return cost.JoinMerge
+			}
+		}
+	}
+	lRows, rRows := estRows(left), estRows(right)
+	key := Key("joinalg", nil, []float64{float64(lRows), float64(rRows)})
+	if d, ok := pl.Decisions.Lookup(key); ok {
+		if v, ok := d.(cost.Variant); ok {
+			return v
+		}
+	}
+	feat := cost.JoinFeatures(lRows, rRows, maxI(lRows, rRows), 64, 0.001)
+	hash := pl.Model.Predict(cost.OpJoin, cost.JoinHash, storage.Layout{}, feat)
+	nested := pl.Model.Predict(cost.OpJoin, cost.JoinNested, storage.Layout{}, feat)
+	choice := cost.JoinHash
+	if nested < hash {
+		choice = cost.JoinNested
+	}
+	pl.Decisions.Store(key, choice)
+	return choice
+}
+
+func (pl *Planner) planAgg(a *query.AggNode) (PNode, error) {
+	child, err := pl.planNode(a.Child)
+	if err != nil {
+		return nil, err
+	}
+	pa := &PAgg{Child: child, GroupBy: a.GroupBy, Aggs: a.Aggs}
+	// Two-phase aggregation when the child executes distributed.
+	switch c := child.(type) {
+	case *PScan:
+		pa.TwoPhase = multiSite(c)
+	case *PJoin:
+		pa.TwoPhase = c.Strategy == JoinColocated
+	}
+	if pa.TwoPhase {
+		pa.PartialAggs, pa.FinalAggs, pa.AvgPairs = decomposeAggs(a.GroupBy, a.Aggs)
+	}
+	return pa, nil
+}
+
+func multiSite(s *PScan) bool {
+	sites := map[simnet.SiteID]bool{}
+	for _, seg := range s.Segments {
+		for _, p := range seg.Pieces {
+			sites[p.Copy.Site] = true
+		}
+	}
+	return len(sites) > 1
+}
+
+// decomposeAggs rewrites aggregates for two-phase execution. The partial
+// layout is [groupBy..., partial aggs...]; the final phase re-aggregates
+// over that layout.
+func decomposeAggs(groupBy []int, aggs []exec.AggSpec) (partial, final []exec.AggSpec, avgPairs map[int][2]int) {
+	avgPairs = map[int][2]int{}
+	for i, a := range aggs {
+		switch a.Func {
+		case exec.AggAvg:
+			sumPos := len(groupBy) + len(partial)
+			partial = append(partial, exec.AggSpec{Func: exec.AggSum, Col: a.Col})
+			countPos := len(groupBy) + len(partial)
+			partial = append(partial, exec.AggSpec{Func: exec.AggCount})
+			avgPairs[i] = [2]int{sumPos, countPos}
+			final = append(final, exec.AggSpec{Func: exec.AggSum, Col: sumPos}, exec.AggSpec{Func: exec.AggSum, Col: countPos})
+		case exec.AggCount:
+			pos := len(groupBy) + len(partial)
+			partial = append(partial, a)
+			final = append(final, exec.AggSpec{Func: exec.AggSum, Col: pos})
+		case exec.AggSum, exec.AggMin, exec.AggMax:
+			pos := len(groupBy) + len(partial)
+			partial = append(partial, a)
+			final = append(final, exec.AggSpec{Func: a.Func, Col: pos})
+		}
+	}
+	return partial, final, avgPairs
+}
+
+func estRows(n PNode) int {
+	switch v := n.(type) {
+	case *PScan:
+		return v.EstRows
+	case *PJoin:
+		return v.EstRows
+	case *PAgg:
+		return 1
+	}
+	return 0
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fingerprint canonically renders a logical tree for plan-cache keying.
+func fingerprint(n query.Node) string { return n.String() }

@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/cost"
+	"proteus/internal/forecast"
+	"proteus/internal/metadata"
+	"proteus/internal/partition"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+)
+
+// OpBinding binds one OLTP operation to the partition copies it touches.
+// Reads bind a chosen copy per covering piece; writes always bind masters.
+type OpBinding struct {
+	Op query.Op
+	// Pieces are the partitions covering the op's row and columns (more
+	// than one when the row range is vertically partitioned).
+	Pieces []*metadata.PartitionMeta
+	// Copies holds, per piece, the replica chosen for reads (for writes it
+	// is the master).
+	Copies []metadata.Replica
+}
+
+// TxnPlan is the physical plan of an OLTP transaction.
+type TxnPlan struct {
+	Bindings  []OpBinding
+	ReadPIDs  []partition.ID
+	WritePIDs []partition.ID
+	// WriteSites are the master sites involved in writes; more than one
+	// requires two-phase commit (§4.3).
+	WriteSites []simnet.SiteID
+}
+
+// PlanTxn binds every operation of a transaction to partition copies.
+func (pl *Planner) PlanTxn(t *query.Txn) (*TxnPlan, error) {
+	tp := &TxnPlan{}
+	readSet := map[partition.ID]bool{}
+	writeSet := map[partition.ID]bool{}
+	writeSites := map[simnet.SiteID]bool{}
+
+	for _, op := range t.Ops {
+		cols := op.Cols
+		if op.Kind == query.OpInsert || op.Kind == query.OpDelete {
+			cols = nil // all columns
+		}
+		pieces := pl.Dir.PartitionForRow(op.Table, op.Row, cols)
+		if len(pieces) == 0 {
+			return nil, fmt.Errorf("plan: no partition for table %d row %d", op.Table, op.Row)
+		}
+		b := OpBinding{Op: op, Pieces: pieces}
+		for _, m := range pieces {
+			if op.Kind == query.OpRead {
+				b.Copies = append(b.Copies, pl.choosePointCopy(m, len(cols)))
+				readSet[m.ID] = true
+			} else {
+				master := m.Master()
+				b.Copies = append(b.Copies, master)
+				writeSet[m.ID] = true
+				writeSites[master.Site] = true
+			}
+		}
+		tp.Bindings = append(tp.Bindings, b)
+	}
+	for id := range readSet {
+		if !writeSet[id] {
+			tp.ReadPIDs = append(tp.ReadPIDs, id)
+		}
+	}
+	for id := range writeSet {
+		tp.WritePIDs = append(tp.WritePIDs, id)
+	}
+	sort.Slice(tp.ReadPIDs, func(i, j int) bool { return tp.ReadPIDs[i] < tp.ReadPIDs[j] })
+	sort.Slice(tp.WritePIDs, func(i, j int) bool { return tp.WritePIDs[i] < tp.WritePIDs[j] })
+	for s := range writeSites {
+		tp.WriteSites = append(tp.WriteSites, s)
+	}
+	sort.Slice(tp.WriteSites, func(i, j int) bool { return tp.WriteSites[i] < tp.WriteSites[j] })
+	return tp, nil
+}
+
+// choosePointCopy picks the cheapest copy for a point read, preferring the
+// coordinator's local copy, with the decision cached by layout set.
+func (pl *Planner) choosePointCopy(m *metadata.PartitionMeta, ncols int) metadata.Replica {
+	copies := m.AllCopies()
+	if len(copies) == 1 {
+		return copies[0]
+	}
+	tags := make([]string, 0, len(copies))
+	for _, c := range copies {
+		tags = append(tags, fmt.Sprintf("%d@%s", c.Site, c.Layout))
+	}
+	key := Key("pointcopy", tags, []float64{float64(ncols)})
+	if d, ok := pl.Decisions.Lookup(key); ok {
+		if r, ok := d.(metadata.Replica); ok && m.HasCopyAt(r.Site) {
+			return r
+		}
+	}
+	rowBytes := pl.Dir.AvgRowBytes(m.Bounds.Table, nil)
+	updateRate := m.Tracker.RecentRate(forecast.Update, 8)
+	master := m.Master()
+	best := copies[0]
+	bestCost := float64(1 << 62)
+	for _, c := range copies {
+		read := pl.Model.Predict(cost.OpPointRead, cost.VariantDefault, c.Layout, cost.PointReadFeatures(ncols, rowBytes))
+		total := float64(read)
+		if c.Site != pl.Coordinator {
+			net := pl.Model.Predict(cost.OpNetwork, cost.VariantDefault, storage.Layout{}, cost.NetworkFeatures(0, 0, rowBytes, rowBytes))
+			total += float64(net)
+		}
+		if c != master && updateRate > 0 {
+			// Replicas of update-hot partitions must catch up before a
+			// consistent read (§4.2): charge the expected freshness wait.
+			wait := pl.Model.Predict(cost.OpWaitUpdates, cost.VariantDefault, storage.Layout{},
+				cost.WaitFeatures(int(updateRate)+1))
+			total += float64(wait)
+		}
+		if total < bestCost {
+			bestCost, best = total, c
+		}
+	}
+	pl.Decisions.Store(key, best)
+	return best
+}
+
+// PieceCols returns the columns of op relevant to one covering piece,
+// paired with the value positions in op.Vals. Inserts return every
+// partition-local column.
+func PieceCols(op query.Op, m *metadata.PartitionMeta) (cols []schema.ColID, valIdx []int) {
+	if op.Kind == query.OpInsert {
+		for c := m.Bounds.ColStart; c < m.Bounds.ColEnd; c++ {
+			cols = append(cols, c)
+			valIdx = append(valIdx, int(c))
+		}
+		return cols, valIdx
+	}
+	for i, c := range op.Cols {
+		if m.Bounds.ContainsCol(c) {
+			cols = append(cols, c)
+			valIdx = append(valIdx, i)
+		}
+	}
+	return cols, valIdx
+}

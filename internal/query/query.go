@@ -1,0 +1,143 @@
+// Package query models Proteus' logical requests: OLTP transactions as
+// lists of keyed operations, and OLAP queries as query trees (§4.3,
+// Figure 7a). The ASA turns these into physical execution plans; the
+// sqlparse package produces them from SQL text; workloads construct them
+// directly. Clients supply their read/write sets up front (primary keys
+// and accessed columns), as §4.2 describes.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"proteus/internal/exec"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// OpKind is the kind of one OLTP operation.
+type OpKind uint8
+
+// OLTP operation kinds.
+const (
+	OpRead OpKind = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+)
+
+// Op is one keyed operation within an OLTP transaction.
+type Op struct {
+	Kind  OpKind
+	Table schema.TableID
+	Row   schema.RowID
+	// Cols are the accessed columns: the projection for reads, the written
+	// columns for updates. Inserts cover every column and leave Cols nil.
+	Cols []schema.ColID
+	Vals []types.Value
+}
+
+// Txn is an OLTP transaction: a list of operations executed atomically
+// under snapshot isolation.
+type Txn struct {
+	Ops []Op
+}
+
+// ReadSet returns the (table, row) pairs the transaction reads.
+func (t *Txn) ReadSet() []Op {
+	var out []Op
+	for _, op := range t.Ops {
+		if op.Kind == OpRead {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// WriteSet returns the mutating operations.
+func (t *Txn) WriteSet() []Op {
+	var out []Op
+	for _, op := range t.Ops {
+		if op.Kind != OpRead {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Node is a node of a logical query tree.
+type Node interface {
+	// Tables reports every table the subtree touches.
+	Tables() []schema.TableID
+	// String renders the subtree.
+	String() string
+}
+
+// ScanNode is a leaf: read cols of a table where pred holds. Pred columns
+// are table-global ColIDs.
+type ScanNode struct {
+	Table schema.TableID
+	Cols  []schema.ColID
+	Pred  storage.Pred
+}
+
+// Tables implements Node.
+func (s *ScanNode) Tables() []schema.TableID { return []schema.TableID{s.Table} }
+
+// String implements Node.
+func (s *ScanNode) String() string {
+	return fmt.Sprintf("Scan(t%d cols=%v preds=%d)", s.Table, s.Cols, len(s.Pred))
+}
+
+// JoinNode is an inner equi-join of two subtrees. The key columns are
+// positions into each side's output column list.
+type JoinNode struct {
+	Left, Right Node
+	LeftKeyCol  int
+	RightKeyCol int
+}
+
+// Tables implements Node.
+func (j *JoinNode) Tables() []schema.TableID {
+	return append(j.Left.Tables(), j.Right.Tables()...)
+}
+
+// String implements Node.
+func (j *JoinNode) String() string {
+	return fmt.Sprintf("Join(%s ⋈[%d=%d] %s)", j.Left, j.LeftKeyCol, j.RightKeyCol, j.Right)
+}
+
+// AggNode aggregates its child's output. GroupBy and the agg columns are
+// positions into the child's output columns.
+type AggNode struct {
+	Child   Node
+	GroupBy []int
+	Aggs    []exec.AggSpec
+}
+
+// Tables implements Node.
+func (a *AggNode) Tables() []schema.TableID { return a.Child.Tables() }
+
+// String implements Node.
+func (a *AggNode) String() string {
+	specs := make([]string, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		specs[i] = sp.Func.String()
+	}
+	return fmt.Sprintf("Agg(%s by=%v aggs=%s)", a.Child, a.GroupBy, strings.Join(specs, ","))
+}
+
+// Query is an OLAP request: a query tree.
+type Query struct {
+	Root Node
+}
+
+// Request is either an OLTP transaction or an OLAP query.
+type Request struct {
+	Txn   *Txn
+	Query *Query
+}
+
+// IsOLTP reports whether the request is a transaction.
+func (r Request) IsOLTP() bool { return r.Txn != nil }

@@ -1,0 +1,49 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+func TestTxnReadWriteSets(t *testing.T) {
+	txn := &Txn{Ops: []Op{
+		{Kind: OpRead, Table: 1, Row: 1},
+		{Kind: OpUpdate, Table: 1, Row: 1, Cols: []schema.ColID{0}, Vals: []types.Value{types.NewInt64(1)}},
+		{Kind: OpInsert, Table: 2, Row: 9},
+		{Kind: OpDelete, Table: 2, Row: 10},
+	}}
+	if len(txn.ReadSet()) != 1 {
+		t.Errorf("reads = %d", len(txn.ReadSet()))
+	}
+	if len(txn.WriteSet()) != 3 {
+		t.Errorf("writes = %d", len(txn.WriteSet()))
+	}
+}
+
+func TestNodeTablesAndStrings(t *testing.T) {
+	scan := &ScanNode{Table: 3, Cols: []schema.ColID{0, 1}}
+	join := &JoinNode{Left: scan, Right: &ScanNode{Table: 4}, LeftKeyCol: 0, RightKeyCol: 0}
+	agg := &AggNode{Child: join, GroupBy: []int{0}, Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 1}}}
+
+	tables := agg.Tables()
+	if len(tables) != 2 || tables[0] != 3 || tables[1] != 4 {
+		t.Errorf("tables = %v", tables)
+	}
+	s := agg.String()
+	if !strings.Contains(s, "Agg(") || !strings.Contains(s, "Join(") || !strings.Contains(s, "Scan(t3") {
+		t.Errorf("string = %s", s)
+	}
+}
+
+func TestRequestKind(t *testing.T) {
+	if !(Request{Txn: &Txn{}}).IsOLTP() {
+		t.Error("txn request not OLTP")
+	}
+	if (Request{Query: &Query{}}).IsOLTP() {
+		t.Error("query request marked OLTP")
+	}
+}

@@ -1,0 +1,242 @@
+// Package replication implements Proteus' lazy per-partition replication
+// (§4.2): replica sites subscribe to a partition's redo log, poll updates
+// into per-partition queues, and apply them either in the background or
+// on demand when a transaction needs a replica caught up to a snapshot
+// version (the SSSI freshness wait, whose duration feeds the "waiting for
+// updates" cost function of Table 1).
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/partition"
+	"proteus/internal/redolog"
+	"proteus/internal/simnet"
+)
+
+// Replicator manages one site's replica subscriptions.
+type Replicator struct {
+	broker *redolog.Broker
+	net    *simnet.Network
+	site   simnet.SiteID
+	// Exec, when set, runs background apply batches on the site's
+	// transaction-execution resources, so update propagation competes for
+	// the same compute as transactions (the paper's replication threads
+	// co-operate with transaction execution threads). Synchronous
+	// CatchUp calls bypass it to avoid self-deadlock from pooled callers.
+	Exec func(func())
+	// brokerSite is where the log broker "runs"; polls charge network
+	// round-trips to it (the paper dedicates two machines to Kafka).
+	brokerSite simnet.SiteID
+
+	mu   sync.Mutex
+	subs map[partition.ID]*subscription
+
+	applied int64
+	waits   int64
+	waitDur time.Duration
+}
+
+type subscription struct {
+	mu     sync.Mutex
+	p      *partition.Partition
+	offset int64
+	queue  []redolog.Record // polled but not yet applied
+}
+
+// New creates a replicator for one site.
+func New(broker *redolog.Broker, net *simnet.Network, site, brokerSite simnet.SiteID) *Replicator {
+	return &Replicator{
+		broker:     broker,
+		net:        net,
+		site:       site,
+		brokerSite: brokerSite,
+		subs:       make(map[partition.ID]*subscription),
+	}
+}
+
+// Subscribe registers a replica partition, consuming the log from offset.
+func (r *Replicator) Subscribe(pid partition.ID, p *partition.Partition, offset int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs[pid] = &subscription{p: p, offset: offset}
+}
+
+// Unsubscribe stops replicating a partition (replica removal, §4.4).
+func (r *Replicator) Unsubscribe(pid partition.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.subs, pid)
+}
+
+// Subscribed reports whether the partition is replicated here.
+func (r *Replicator) Subscribed(pid partition.ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.subs[pid]
+	return ok
+}
+
+func (r *Replicator) sub(pid partition.ID) *subscription {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subs[pid]
+}
+
+// pollInto fetches new records for one subscription into its queue,
+// charging network for the transfer.
+func (r *Replicator) pollInto(pid partition.ID, s *subscription) int {
+	s.mu.Lock()
+	from := s.offset
+	s.mu.Unlock()
+	recs, next := r.broker.Poll(pid, from, 0)
+	if len(recs) == 0 {
+		return 0
+	}
+	if r.net != nil {
+		n := 0
+		for _, rec := range recs {
+			n += approxRecordBytes(rec)
+		}
+		r.net.Charge(r.brokerSite, r.site, n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.offset != from {
+		return 0 // someone else polled concurrently
+	}
+	s.queue = append(s.queue, recs...)
+	s.offset = next
+	return len(recs)
+}
+
+// applyQueued drains a subscription's queue up to and including version
+// upTo (or everything if upTo == 0).
+func (r *Replicator) applyQueued(s *subscription, upTo uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := 0
+	for len(s.queue) > 0 {
+		rec := s.queue[0]
+		if upTo != 0 && rec.Version > upTo {
+			break
+		}
+		if err := redolog.Apply(s.p, rec); err != nil {
+			return applied, err
+		}
+		s.queue = s.queue[1:]
+		applied++
+	}
+	r.mu.Lock()
+	r.applied += int64(applied)
+	r.mu.Unlock()
+	return applied, nil
+}
+
+// PollOnce polls every subscription and applies all queued updates,
+// returning the number of records applied.
+func (r *Replicator) PollOnce() (int, error) {
+	r.mu.Lock()
+	pids := make([]partition.ID, 0, len(r.subs))
+	for pid := range r.subs {
+		pids = append(pids, pid)
+	}
+	r.mu.Unlock()
+
+	total := 0
+	for _, pid := range pids {
+		s := r.sub(pid)
+		if s == nil {
+			continue
+		}
+		r.pollInto(pid, s)
+		n, err := r.applyQueued(s, 0)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// CatchUp synchronously brings a replica to at least the given version —
+// the cooperation between replication and transaction execution threads the
+// paper describes for SSSI. It returns the time spent waiting.
+func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, error) {
+	s := r.sub(pid)
+	if s == nil {
+		return 0, fmt.Errorf("replication: partition %d not subscribed", pid)
+	}
+	start := time.Now()
+	for s.p.Version() < version {
+		r.pollInto(pid, s)
+		if _, err := r.applyQueued(s, version); err != nil {
+			return time.Since(start), err
+		}
+		if s.p.Version() >= version {
+			break
+		}
+		// The master may not have appended the commit record yet; yield.
+		time.Sleep(50 * time.Microsecond)
+		if time.Since(start) > 5*time.Second {
+			return time.Since(start), fmt.Errorf("replication: partition %d stuck below version %d (at %d)", pid, version, s.p.Version())
+		}
+	}
+	d := time.Since(start)
+	r.mu.Lock()
+	r.waits++
+	r.waitDur += d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// Lag reports how many log records the replica has not yet applied.
+func (r *Replicator) Lag(pid partition.ID) int64 {
+	s := r.sub(pid)
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return (r.broker.EndOffset(pid) - s.offset) + int64(len(s.queue))
+}
+
+// Run polls in the background until stop is closed (the paper's
+// replication threads). interval is the poll period.
+func (r *Replicator) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if r.Exec != nil {
+				r.Exec(func() { _, _ = r.PollOnce() })
+			} else {
+				_, _ = r.PollOnce()
+			}
+		}
+	}
+}
+
+// Applied reports cumulative applied records.
+func (r *Replicator) Applied() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// approxRecordBytes estimates a record's wire size for network charging.
+func approxRecordBytes(rec redolog.Record) int {
+	n := 24
+	for _, e := range rec.Entries {
+		n += 16 + 8*len(e.Cols)
+		for range e.Vals {
+			n += 12
+		}
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package replication
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/disksim"
+	"proteus/internal/partition"
+	"proteus/internal/redolog"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+var kinds = []types.Kind{types.KindInt64, types.KindString}
+
+func newPart(id partition.ID) *partition.Partition {
+	f := partition.Factory{Dev: disksim.New(disksim.Config{})}
+	b := partition.Bounds{RowStart: 0, RowEnd: 1000, ColStart: 0, ColEnd: 2}
+	return partition.New(id, b, kinds, storage.DefaultRowLayout(), f)
+}
+
+func insertRec(pid partition.ID, ver uint64, row schema.RowID) redolog.Record {
+	return redolog.Record{Partition: pid, Version: ver, Entries: []redolog.Entry{{
+		Op: redolog.OpInsert, Row: row,
+		Vals: []types.Value{types.NewInt64(int64(row)), types.NewString("v")},
+	}}}
+}
+
+func TestPollOnceApplies(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(7)
+	r.Subscribe(7, p, 0)
+
+	broker.Append(insertRec(7, 1, 1))
+	broker.Append(insertRec(7, 2, 2))
+	n, err := r.PollOnce()
+	if err != nil || n != 2 {
+		t.Fatalf("applied %d, %v", n, err)
+	}
+	if p.Version() != 2 {
+		t.Errorf("version = %d", p.Version())
+	}
+	if _, ok := p.Get(2, []schema.ColID{0}, storage.Latest); !ok {
+		t.Error("replicated row missing")
+	}
+	if r.Applied() != 2 {
+		t.Errorf("Applied = %d", r.Applied())
+	}
+}
+
+func TestCatchUpWaitsForVersion(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(7)
+	r.Subscribe(7, p, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		broker.Append(insertRec(7, 1, 1))
+		broker.Append(insertRec(7, 2, 2))
+	}()
+	d, err := r.CatchUp(7, 2)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() < 2 {
+		t.Errorf("version = %d after catch-up", p.Version())
+	}
+	if d <= 0 {
+		t.Error("wait duration not recorded")
+	}
+}
+
+func TestCatchUpUnknownPartition(t *testing.T) {
+	r := New(redolog.NewBroker(), nil, 1, simnet.ASASite)
+	if _, err := r.CatchUp(99, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLag(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(3)
+	r.Subscribe(3, p, 0)
+	broker.Append(insertRec(3, 1, 1))
+	broker.Append(insertRec(3, 2, 2))
+	if lag := r.Lag(3); lag != 2 {
+		t.Errorf("lag = %d", lag)
+	}
+	if _, err := r.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := r.Lag(3); lag != 0 {
+		t.Errorf("lag after poll = %d", lag)
+	}
+}
+
+func TestUnsubscribeStopsApplying(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(3)
+	r.Subscribe(3, p, 0)
+	if !r.Subscribed(3) {
+		t.Fatal("not subscribed")
+	}
+	r.Unsubscribe(3)
+	broker.Append(insertRec(3, 1, 1))
+	if _, err := r.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 0 {
+		t.Error("unsubscribed partition advanced")
+	}
+}
+
+func TestSubscribeFromOffsetSkipsHistory(t *testing.T) {
+	broker := redolog.NewBroker()
+	broker.Append(insertRec(3, 1, 1)) // history (already in snapshot)
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(3)
+	// Install "snapshot" containing row 1, then subscribe past it.
+	if err := p.Load([]schema.Row{{ID: 1, Vals: []types.Value{types.NewInt64(1), types.NewString("v")}}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	r.Subscribe(3, p, broker.EndOffset(3))
+	broker.Append(insertRec(3, 2, 2))
+	if _, err := r.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.ExtractAll(storage.Latest)); n != 2 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestBackgroundRun(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	p := newPart(3)
+	r.Subscribe(3, p, 0)
+	stop := make(chan struct{})
+	go r.Run(time.Millisecond, stop)
+	broker.Append(insertRec(3, 1, 1))
+	deadline := time.After(time.Second)
+	for p.Version() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("background replication never applied")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+}
+
+func TestNetworkCharged(t *testing.T) {
+	broker := redolog.NewBroker()
+	nw := simnet.New(simnet.Config{BaseLatency: 0})
+	r := New(broker, nw, 2, simnet.ASASite)
+	p := newPart(3)
+	r.Subscribe(3, p, 0)
+	broker.Append(insertRec(3, 1, 1))
+	if _, err := r.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if st := nw.Stats(simnet.ASASite, 2); st.Messages != 1 || st.Bytes == 0 {
+		t.Errorf("link stats = %+v", st)
+	}
+}

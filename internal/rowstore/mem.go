@@ -1,0 +1,268 @@
+// Package rowstore implements Proteus' row-oriented (n-ary) storage layouts
+// (§4.1.1 of the paper): an in-memory store holding each row as a fixed-size
+// byte array with a version-chain pointer for multi-versioning, and an
+// on-disk store with an index section plus inlined variable-size data that
+// buffers updates in memory and applies them as batches.
+package rowstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// version is one immutable row image. The paper stores an 8-byte pointer to
+// the previous version in the final bytes of each row's byte array; under
+// Go's GC we keep the pointer alongside the array (the 8-byte slot is still
+// accounted in the row width so space estimates match the paper's format).
+type version struct {
+	data    []byte
+	ver     uint64
+	prev    *version
+	deleted bool
+}
+
+// Mem is the in-memory row store. Each row of the partition is a fixed-size
+// byte array sized from the table schema and the store's column slice;
+// updates rewrite the whole row and chain the previous version.
+type Mem struct {
+	mu     sync.RWMutex
+	kinds  []types.Kind
+	offs   []int // byte offset of each column within the row array
+	width  int   // full row width including the 8-byte version-pointer slot
+	arena  *types.Arena
+	rows   map[schema.RowID]*version
+	ids    []schema.RowID // sorted live+dead ids for ordered scans
+	nvers  int
+	layout storage.Layout
+}
+
+// NewMem creates an empty in-memory row store over the given column kinds.
+func NewMem(kinds []types.Kind) *Mem {
+	offs := make([]int, len(kinds))
+	w := 0
+	for i, k := range kinds {
+		offs[i] = w
+		w += k.FixedWidth()
+	}
+	return &Mem{
+		kinds:  kinds,
+		offs:   offs,
+		width:  w + 8,
+		arena:  types.NewArena(),
+		rows:   make(map[schema.RowID]*version),
+		layout: storage.Layout{Format: storage.RowFormat, Tier: storage.MemoryTier, SortBy: storage.NoSort},
+	}
+}
+
+// Layout implements storage.Store.
+func (m *Mem) Layout() storage.Layout { return m.layout }
+
+func (m *Mem) encode(vals []types.Value) ([]byte, error) {
+	if len(vals) != len(m.kinds) {
+		return nil, fmt.Errorf("rowstore: %d values for %d columns", len(vals), len(m.kinds))
+	}
+	buf := make([]byte, m.width)
+	for i, v := range vals {
+		if v.IsNull() {
+			continue // zeroed slot encodes NULL-as-zero; workloads do not store NULLs
+		}
+		types.PutFixed(buf[m.offs[i]:], v, m.arena)
+	}
+	return buf, nil
+}
+
+func (m *Mem) insertID(id schema.RowID) {
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
+	if i < len(m.ids) && m.ids[i] == id {
+		return
+	}
+	m.ids = append(m.ids, 0)
+	copy(m.ids[i+1:], m.ids[i:])
+	m.ids[i] = id
+}
+
+// Insert implements storage.Store. Encoding happens under the lock: it
+// appends to the shared string arena.
+func (m *Mem) Insert(row schema.Row, ver uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.rows[row.ID]; ok && !cur.deleted {
+		return fmt.Errorf("rowstore: duplicate row %d", row.ID)
+	}
+	data, err := m.encode(row.Vals)
+	if err != nil {
+		return err
+	}
+	m.rows[row.ID] = &version{data: data, ver: ver, prev: m.rows[row.ID]}
+	m.insertID(row.ID)
+	m.nvers++
+	return nil
+}
+
+// Update implements storage.Store. Once written, a row array is read-only:
+// updates rewrite the entire row and link the previous version (§4.1.1).
+func (m *Mem) Update(id schema.RowID, cols []schema.ColID, vals []types.Value, ver uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.rows[id]
+	if !ok || cur.deleted {
+		return fmt.Errorf("rowstore: update of missing row %d", id)
+	}
+	data := make([]byte, m.width)
+	copy(data, cur.data)
+	for i, c := range cols {
+		if int(c) >= len(m.kinds) {
+			return fmt.Errorf("rowstore: column %d out of range", c)
+		}
+		types.PutFixed(data[m.offs[c]:], vals[i], m.arena)
+	}
+	m.rows[id] = &version{data: data, ver: ver, prev: cur}
+	m.nvers++
+	return nil
+}
+
+// Delete implements storage.Store, writing a tombstone version.
+func (m *Mem) Delete(id schema.RowID, ver uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.rows[id]
+	if !ok || cur.deleted {
+		return fmt.Errorf("rowstore: delete of missing row %d", id)
+	}
+	m.rows[id] = &version{ver: ver, prev: cur, deleted: true}
+	m.nvers++
+	return nil
+}
+
+// visible walks the version chain to the newest version at or before snap.
+func visible(v *version, snap uint64) *version {
+	for v != nil && v.ver > snap {
+		v = v.prev
+	}
+	return v
+}
+
+func (m *Mem) decodeCols(data []byte, cols []schema.ColID) []types.Value {
+	out := make([]types.Value, len(cols))
+	for i, c := range cols {
+		out[i] = types.GetFixed(data[m.offs[c]:], m.kinds[c], m.arena)
+	}
+	return out
+}
+
+// Get implements storage.Store.
+func (m *Mem) Get(id schema.RowID, cols []schema.ColID, snap uint64) (schema.Row, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v := visible(m.rows[id], snap)
+	if v == nil || v.deleted {
+		return schema.Row{}, false
+	}
+	return schema.Row{ID: id, Vals: m.decodeCols(v.data, cols)}, true
+}
+
+// Scan implements storage.Store. Rows stream in RowID order. The predicate
+// is evaluated against the full row (cell-based access is what makes row
+// scans read every attribute — the cost asymmetry of Figure 3).
+func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	all := allCols(len(m.kinds))
+	for _, id := range m.ids {
+		v := visible(m.rows[id], snap)
+		if v == nil || v.deleted {
+			continue
+		}
+		full := m.decodeCols(v.data, all)
+		if !pred.Match(full) {
+			continue
+		}
+		out := make([]types.Value, len(cols))
+		for i, c := range cols {
+			out[i] = full[c]
+		}
+		if !fn(schema.Row{ID: id, Vals: out}) {
+			return
+		}
+	}
+}
+
+// Load implements storage.Store, bulk loading by allocating a fixed-size
+// buffer for every row (§4.4).
+func (m *Mem) Load(rows []schema.Row, ver uint64) error {
+	m.mu.Lock()
+	m.rows = make(map[schema.RowID]*version, len(rows))
+	m.ids = m.ids[:0]
+	m.arena = types.NewArena()
+	m.nvers = 0
+	m.mu.Unlock()
+	for _, r := range rows {
+		if err := m.Insert(r, ver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtractAll implements storage.Store.
+func (m *Mem) ExtractAll(snap uint64) []schema.Row {
+	var out []schema.Row
+	m.Scan(allCols(len(m.kinds)), nil, snap, func(r schema.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// Stats implements storage.Store.
+func (m *Mem) Stats() storage.Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	live := 0
+	for _, v := range m.rows {
+		if !v.deleted {
+			live++
+		}
+	}
+	return storage.Stats{
+		Rows:     live,
+		Bytes:    m.nvers*m.width + m.arena.Bytes(),
+		Versions: m.nvers,
+	}
+}
+
+// GC discards version-chain entries that no snapshot at or after snap can
+// observe: everything strictly older than the newest version visible at
+// snap. Returns the number of versions reclaimed.
+func (m *Mem) GC(snap uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reclaimed := 0
+	for _, head := range m.rows {
+		cut := visible(head, snap)
+		if cut == nil {
+			// Every version is newer than snap; the oldest must stay as the
+			// chain terminus.
+			continue
+		}
+		for p := cut.prev; p != nil; p = p.prev {
+			reclaimed++
+		}
+		cut.prev = nil
+	}
+	m.nvers -= reclaimed
+	return reclaimed
+}
+
+func allCols(n int) []schema.ColID {
+	out := make([]schema.ColID, n)
+	for i := range out {
+		out[i] = schema.ColID(i)
+	}
+	return out
+}

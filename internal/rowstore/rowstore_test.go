@@ -1,0 +1,338 @@
+package rowstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/disksim"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+var testKinds = []types.Kind{types.KindInt64, types.KindString, types.KindFloat64}
+
+func mkRow(id int64) schema.Row {
+	return schema.Row{ID: schema.RowID(id), Vals: []types.Value{
+		types.NewInt64(id * 10),
+		types.NewString(fmt.Sprintf("name-%d-with-long-suffix", id)),
+		types.NewFloat64(float64(id) / 2),
+	}}
+}
+
+// stores returns both row-store variants behind the common interface so
+// every behaviour test runs against each.
+func stores(t *testing.T) map[string]storage.Store {
+	t.Helper()
+	dev := disksim.New(disksim.Config{}) // zero-latency device for unit tests
+	return map[string]storage.Store{
+		"mem":  NewMem(testKinds),
+		"disk": NewDisk(testKinds, dev),
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(mkRow(1), 1); err != nil {
+				t.Fatal(err)
+			}
+			r, ok := s.Get(1, []schema.ColID{0, 1, 2}, storage.Latest)
+			if !ok {
+				t.Fatal("row not found")
+			}
+			if r.Vals[0].Int() != 10 || r.Vals[1].Str() != "name-1-with-long-suffix" || r.Vals[2].Float() != 0.5 {
+				t.Errorf("got %v", r.Vals)
+			}
+		})
+	}
+}
+
+func TestGetProjection(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(mkRow(1), 1); err != nil {
+				t.Fatal(err)
+			}
+			r, ok := s.Get(1, []schema.ColID{2}, storage.Latest)
+			if !ok || len(r.Vals) != 1 || r.Vals[0].Float() != 0.5 {
+				t.Errorf("projection: %v %v", r, ok)
+			}
+		})
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(mkRow(1), 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert(mkRow(1), 2); err == nil {
+				t.Error("expected duplicate error")
+			}
+		})
+	}
+}
+
+func TestUpdateCreatesVersion(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(mkRow(1), 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Update(1, []schema.ColID{0}, []types.Value{types.NewInt64(999)}, 5); err != nil {
+				t.Fatal(err)
+			}
+			// Snapshot before the update sees the old value.
+			r, ok := s.Get(1, []schema.ColID{0}, 4)
+			if !ok || r.Vals[0].Int() != 10 {
+				t.Errorf("snapshot 4: %v %v", r, ok)
+			}
+			// Snapshot at/after the update sees the new value; other columns keep theirs.
+			r, ok = s.Get(1, []schema.ColID{0, 2}, 5)
+			if !ok || r.Vals[0].Int() != 999 || r.Vals[1].Float() != 0.5 {
+				t.Errorf("snapshot 5: %v %v", r, ok)
+			}
+		})
+	}
+}
+
+func TestUpdateMissingRow(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Update(42, []schema.ColID{0}, []types.Value{types.NewInt64(0)}, 1); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(mkRow(1), 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(1, 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(1, []schema.ColID{0}, 2); !ok {
+				t.Error("pre-delete snapshot should see the row")
+			}
+			if _, ok := s.Get(1, []schema.ColID{0}, 3); ok {
+				t.Error("post-delete snapshot should not see the row")
+			}
+			if err := s.Delete(1, 4); err == nil {
+				t.Error("double delete should fail")
+			}
+			// Re-insert after delete is allowed.
+			if err := s.Insert(mkRow(1), 5); err != nil {
+				t.Errorf("re-insert after delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestScanPredicateAndOrder(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(5); i >= 1; i-- { // insert out of order
+				if err := s.Insert(mkRow(i), uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pred := storage.Pred{{Col: 0, Op: storage.CmpGe, Val: types.NewInt64(30)}}
+			var got []schema.RowID
+			s.Scan([]schema.ColID{0}, pred, storage.Latest, func(r schema.Row) bool {
+				got = append(got, r.ID)
+				return true
+			})
+			want := []schema.RowID{3, 4, 5}
+			if len(got) != len(want) {
+				t.Fatalf("scan got %v", got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("scan order: got %v want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(1); i <= 10; i++ {
+				if err := s.Insert(mkRow(i), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n := 0
+			s.Scan([]schema.ColID{0}, nil, storage.Latest, func(schema.Row) bool {
+				n++
+				return n < 3
+			})
+			if n != 3 {
+				t.Errorf("early stop visited %d rows", n)
+			}
+		})
+	}
+}
+
+func TestLoadAndExtract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			rows := []schema.Row{mkRow(3), mkRow(1), mkRow(2)}
+			if err := s.Load(rows, 1); err != nil {
+				t.Fatal(err)
+			}
+			out := s.ExtractAll(storage.Latest)
+			if len(out) != 3 {
+				t.Fatalf("extracted %d rows", len(out))
+			}
+			for i, r := range out {
+				if r.ID != schema.RowID(i+1) {
+					t.Errorf("extract order: %v", out)
+				}
+				if len(r.Vals) != 3 {
+					t.Errorf("extract width: %v", r)
+				}
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(1); i <= 4; i++ {
+				if err := s.Insert(mkRow(i), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Delete(4, 2); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Rows != 3 {
+				t.Errorf("%s Rows = %d, want 3", name, st.Rows)
+			}
+			if name == "mem" && st.Bytes == 0 {
+				t.Error("mem store should report bytes")
+			}
+		})
+	}
+}
+
+func TestLayouts(t *testing.T) {
+	dev := disksim.New(disksim.Config{})
+	m, d := NewMem(testKinds), NewDisk(testKinds, dev)
+	if l := m.Layout(); l.Format != storage.RowFormat || l.Tier != storage.MemoryTier {
+		t.Errorf("mem layout = %v", l)
+	}
+	if l := d.Layout(); l.Format != storage.RowFormat || l.Tier != storage.DiskTier {
+		t.Errorf("disk layout = %v", l)
+	}
+}
+
+func TestDiskFlushAndReRead(t *testing.T) {
+	dev := disksim.New(disksim.Config{})
+	d := NewDisk(testKinds, dev)
+	if err := d.Load([]schema.Row{mkRow(1), mkRow(2)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Update(1, []schema.ColID{0}, []types.Value{types.NewInt64(-7)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(mkRow(9), 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferedRows() != 2 {
+		t.Errorf("buffered = %d, want 2", d.BufferedRows())
+	}
+	if err := d.Flush(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferedRows() != 0 {
+		t.Errorf("buffered after flush = %d", d.BufferedRows())
+	}
+	r, ok := d.Get(1, []schema.ColID{0}, storage.Latest)
+	if !ok || r.Vals[0].Int() != -7 {
+		t.Errorf("post-flush read: %v %v", r, ok)
+	}
+	if got := d.ExtractAll(storage.Latest); len(got) != 3 {
+		t.Errorf("post-flush rows = %d", len(got))
+	}
+}
+
+func TestMemGC(t *testing.T) {
+	m := NewMem(testKinds)
+	if err := m.Insert(mkRow(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(2); v <= 6; v++ {
+		if err := m.Update(1, []schema.ColID{0}, []types.Value{types.NewInt64(int64(v))}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Versions != 6 {
+		t.Fatalf("versions = %d, want 6", st.Versions)
+	}
+	reclaimed := m.GC(6)
+	if reclaimed != 5 {
+		t.Errorf("reclaimed = %d, want 5", reclaimed)
+	}
+	r, ok := m.Get(1, []schema.ColID{0}, storage.Latest)
+	if !ok || r.Vals[0].Int() != 6 {
+		t.Errorf("post-GC value: %v", r)
+	}
+}
+
+// Property: for a random batch of distinct rows, Load then ExtractAll is the
+// identity (up to RowID ordering) on both layouts.
+func TestLoadExtractRoundTripProperty(t *testing.T) {
+	dev := disksim.New(disksim.Config{})
+	f := func(seeds []int16) bool {
+		seen := map[int64]bool{}
+		var rows []schema.Row
+		for _, s := range seeds {
+			id := int64(s)
+			if id < 0 {
+				id = -id
+			}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			rows = append(rows, mkRow(id))
+		}
+		for _, s := range []storage.Store{NewMem(testKinds), NewDisk(testKinds, dev)} {
+			if err := s.Load(rows, 1); err != nil {
+				return false
+			}
+			out := s.ExtractAll(storage.Latest)
+			if len(out) != len(rows) {
+				return false
+			}
+			byID := map[schema.RowID]schema.Row{}
+			for _, r := range rows {
+				byID[r.ID] = r
+			}
+			for _, r := range out {
+				want := byID[r.ID]
+				for i := range r.Vals {
+					if !types.Equal(r.Vals[i], want.Vals[i]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

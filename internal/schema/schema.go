@@ -1,0 +1,155 @@
+// Package schema models relational schemas: tables identified by stable IDs,
+// typed columns, and primary keys expressed as dense row identifiers
+// (row_id). Partitions in Proteus are contiguous ranges of row_ids and
+// column indexes over these tables (§2.1 of the paper).
+package schema
+
+import (
+	"fmt"
+	"sync"
+
+	"proteus/internal/types"
+)
+
+// TableID identifies a table within a catalog.
+type TableID int32
+
+// ColID identifies a column by its position within the table schema.
+type ColID int32
+
+// RowID is the primary key of a row: a dense 64-bit identifier. Workloads
+// map their natural keys onto row_ids (e.g. TPC-C composes warehouse /
+// district / order numbers into one integer).
+type RowID int64
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind types.Kind
+	// AvgSize is the estimated average encoded size in bytes, maintained by
+	// the catalog from observed values and used by the ASA's space and cost
+	// estimates (§5.1).
+	AvgSize float64
+}
+
+// Table describes a relational table.
+type Table struct {
+	ID      TableID
+	Name    string
+	Columns []Column
+
+	colByName map[string]ColID
+}
+
+// NewTable constructs a table definition. Column names must be unique.
+func NewTable(id TableID, name string, cols []Column) (*Table, error) {
+	t := &Table{ID: id, Name: name, Columns: cols, colByName: make(map[string]ColID, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.colByName[c.Name]; dup {
+			return nil, fmt.Errorf("table %s: duplicate column %q", name, c.Name)
+		}
+		t.colByName[c.Name] = ColID(i)
+	}
+	return t, nil
+}
+
+// ColumnID resolves a column name to its ID.
+func (t *Table) ColumnID(name string) (ColID, bool) {
+	id, ok := t.colByName[name]
+	return id, ok
+}
+
+// NumColumns reports the number of columns.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// Kinds returns the column kinds in order.
+func (t *Table) Kinds() []types.Kind {
+	ks := make([]types.Kind, len(t.Columns))
+	for i, c := range t.Columns {
+		ks[i] = c.Kind
+	}
+	return ks
+}
+
+// RowWidth reports the fixed in-memory row-format width of a row restricted
+// to cols, plus the trailing 8-byte previous-version pointer slot (§4.1.1).
+func (t *Table) RowWidth(cols []ColID) int {
+	w := 0
+	for _, c := range cols {
+		w += t.Columns[c].Kind.FixedWidth()
+	}
+	return w + 8
+}
+
+// Catalog is a concurrent registry of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	byID   map[TableID]*Table
+	byName map[string]*Table
+	nextID TableID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byID: make(map[TableID]*Table), byName: make(map[string]*Table)}
+}
+
+// Create defines a new table and returns it.
+func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byName[name]; exists {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	t, err := NewTable(c.nextID, name, cols)
+	if err != nil {
+		return nil, err
+	}
+	c.nextID++
+	c.byID[t.ID] = t
+	c.byName[name] = t
+	return t, nil
+}
+
+// Table looks a table up by ID.
+func (c *Catalog) Table(id TableID) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.byID[id]
+	return t, ok
+}
+
+// TableByName looks a table up by name.
+func (c *Catalog) TableByName(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.byName[name]
+	return t, ok
+}
+
+// Tables returns all tables in creation order.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.byID))
+	for id := TableID(0); id < c.nextID; id++ {
+		if t, ok := c.byID[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Row is a fully materialized tuple keyed by RowID. Values are positional
+// over the owning table's columns (or a projection of them).
+type Row struct {
+	ID   RowID
+	Vals []types.Value
+}
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	vals := make([]types.Value, len(r.Vals))
+	copy(vals, r.Vals)
+	return Row{ID: r.ID, Vals: vals}
+}

@@ -1,0 +1,117 @@
+package schema
+
+import (
+	"testing"
+
+	"proteus/internal/types"
+)
+
+func orderlineCols() []Column {
+	return []Column{
+		{Name: "order_id", Kind: types.KindInt64},
+		{Name: "item_id", Kind: types.KindInt64},
+		{Name: "quantity", Kind: types.KindFloat64},
+		{Name: "amount", Kind: types.KindFloat64},
+		{Name: "delivery", Kind: types.KindTime},
+	}
+}
+
+func TestCatalogCreateAndLookup(t *testing.T) {
+	c := NewCatalog()
+	tbl, err := c.Create("orderline", orderlineCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "orderline" || tbl.NumColumns() != 5 {
+		t.Errorf("bad table: %+v", tbl)
+	}
+	got, ok := c.Table(tbl.ID)
+	if !ok || got != tbl {
+		t.Error("Table by ID failed")
+	}
+	got, ok = c.TableByName("orderline")
+	if !ok || got != tbl {
+		t.Error("TableByName failed")
+	}
+	if _, ok := c.TableByName("missing"); ok {
+		t.Error("lookup of missing table succeeded")
+	}
+}
+
+func TestCatalogDuplicateTable(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Create("t", orderlineCols()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("t", orderlineCols()); err == nil {
+		t.Error("expected duplicate-table error")
+	}
+}
+
+func TestDuplicateColumn(t *testing.T) {
+	cols := []Column{{Name: "a", Kind: types.KindInt64}, {Name: "a", Kind: types.KindInt64}}
+	if _, err := NewTable(0, "bad", cols); err == nil {
+		t.Error("expected duplicate-column error")
+	}
+}
+
+func TestColumnID(t *testing.T) {
+	tbl, _ := NewTable(1, "orderline", orderlineCols())
+	id, ok := tbl.ColumnID("amount")
+	if !ok || id != 3 {
+		t.Errorf("ColumnID(amount) = %d, %v", id, ok)
+	}
+	if _, ok := tbl.ColumnID("nope"); ok {
+		t.Error("found nonexistent column")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	// Paper example (§4.1.1): two ints + decimal + decimal + timestamp rows
+	// are stored in 8-byte slots here (we use 64-bit ints) plus the trailing
+	// 8-byte version pointer.
+	tbl, _ := NewTable(1, "orderline", orderlineCols())
+	all := []ColID{0, 1, 2, 3, 4}
+	if w := tbl.RowWidth(all); w != 5*8+8 {
+		t.Errorf("RowWidth = %d, want 48", w)
+	}
+	if w := tbl.RowWidth([]ColID{4}); w != 16 {
+		t.Errorf("RowWidth(delivery) = %d, want 16", w)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	tbl, _ := NewTable(1, "orderline", orderlineCols())
+	ks := tbl.Kinds()
+	if len(ks) != 5 || ks[0] != types.KindInt64 || ks[4] != types.KindTime {
+		t.Errorf("Kinds = %v", ks)
+	}
+}
+
+func TestTablesOrder(t *testing.T) {
+	c := NewCatalog()
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		if _, err := c.Create(n, orderlineCols()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables := c.Tables()
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for i, tbl := range tables {
+		if tbl.Name != names[i] {
+			t.Errorf("tables[%d] = %s, want %s", i, tbl.Name, names[i])
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{ID: 7, Vals: []types.Value{types.NewInt64(1)}}
+	c := r.Clone()
+	c.Vals[0] = types.NewInt64(2)
+	if r.Vals[0].Int() != 1 {
+		t.Error("clone aliases original")
+	}
+}

@@ -1,0 +1,155 @@
+// Package server exposes a Proteus engine over TCP via net/rpc with gob
+// encoding — the repository's stand-in for the paper's Thrift RPC surface
+// when running the system as a real network service (cmd/proteusd). The
+// same Service type backs the embedded CLI, so local and remote execution
+// share one statement path.
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/schema"
+	"proteus/internal/sqlparse"
+)
+
+// Service executes SQL statements against an engine on behalf of sessions.
+type Service struct {
+	Eng *cluster.Engine
+
+	mu       sync.Mutex
+	sessions map[uint64]*cluster.Session
+	nextSess uint64
+}
+
+// NewService wraps an engine.
+func NewService(eng *cluster.Engine) *Service {
+	return &Service{Eng: eng, sessions: make(map[uint64]*cluster.Session)}
+}
+
+// OpenArgs is the OpenSession request (empty; reserved for options).
+type OpenArgs struct{}
+
+// OpenReply returns the new session id.
+type OpenReply struct{ Session uint64 }
+
+// OpenSession creates a client session (SSSI watermark holder).
+func (s *Service) OpenSession(_ *OpenArgs, reply *OpenReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	s.sessions[s.nextSess] = s.Eng.NewSession()
+	reply.Session = s.nextSess
+	return nil
+}
+
+func (s *Service) session(id uint64) (*cluster.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown session %d", id)
+	}
+	return sess, nil
+}
+
+// ExecArgs is one SQL statement bound to a session.
+type ExecArgs struct {
+	Session uint64
+	SQL     string
+}
+
+// ExecReply carries a rendered result: column labels and stringified rows.
+type ExecReply struct {
+	Cols []string
+	Rows [][]string
+	// Message reports DDL/DML outcomes with no result set.
+	Message string
+}
+
+// Exec parses and executes one statement.
+func (s *Service) Exec(args *ExecArgs, reply *ExecReply) error {
+	sess, err := s.session(args.Session)
+	if err != nil {
+		return err
+	}
+	if sqlparse.IsCreate(args.SQL) {
+		ct, err := sqlparse.ParseCreate(args.SQL)
+		if err != nil {
+			return err
+		}
+		spec := cluster.TableSpec{Name: ct.Name, Cols: ct.Cols}
+		if ct.MaxRows > 0 {
+			spec.MaxRows = schema.RowID(ct.MaxRows)
+		}
+		spec.Partitions = ct.Partitions
+		if _, err := s.Eng.CreateTable(spec); err != nil {
+			return err
+		}
+		reply.Message = fmt.Sprintf("table %s created", ct.Name)
+		return nil
+	}
+	req, err := sqlparse.Parse(s.Eng.Catalog, args.SQL)
+	if err != nil {
+		return err
+	}
+	var rel exec.Rel
+	if req.IsOLTP() {
+		rel, err = s.Eng.ExecuteTxn(sess, req.Txn)
+		if err == nil && len(rel.Tuples) == 0 {
+			reply.Message = "ok"
+		}
+	} else {
+		rel, err = s.Eng.ExecuteQuery(sess, req.Query)
+	}
+	if err != nil {
+		return err
+	}
+	reply.Cols = rel.Cols
+	for _, t := range rel.Tuples {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = v.String()
+		}
+		reply.Rows = append(reply.Rows, row)
+	}
+	return nil
+}
+
+// LayoutArgs requests the layout report.
+type LayoutArgs struct{}
+
+// LayoutReply returns layout kind -> copy count.
+type LayoutReply struct{ Counts map[string]int }
+
+// Layouts reports the cluster's current physical design.
+func (s *Service) Layouts(_ *LayoutArgs, reply *LayoutReply) error {
+	reply.Counts = s.Eng.LayoutCounts()
+	return nil
+}
+
+// Serve listens on addr and serves RPC until the listener fails.
+func Serve(svc *Service, addr string) (net.Listener, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Proteus", svc); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, nil
+}

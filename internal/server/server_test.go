@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/rpc"
+	"testing"
+
+	"proteus/internal/cluster"
+	"proteus/internal/simnet"
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Net = simnet.Config{}
+	eng := cluster.New(cfg)
+	t.Cleanup(eng.Close)
+	return NewService(eng)
+}
+
+func openSession(t *testing.T, svc *Service) uint64 {
+	t.Helper()
+	var open OpenReply
+	if err := svc.OpenSession(&OpenArgs{}, &open); err != nil {
+		t.Fatal(err)
+	}
+	return open.Session
+}
+
+func mustExec(t *testing.T, svc *Service, sess uint64, sql string) ExecReply {
+	t.Helper()
+	var reply ExecReply
+	if err := svc.Exec(&ExecArgs{Session: sess, SQL: sql}, &reply); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return reply
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	svc := testService(t)
+	sess := openSession(t, svc)
+
+	r := mustExec(t, svc, sess, "CREATE TABLE orders (oid BIGINT, amount DOUBLE, note VARCHAR(16)) MAXROWS 1000 PARTITIONS 2")
+	if r.Message == "" {
+		t.Error("no DDL message")
+	}
+	mustExec(t, svc, sess, "INSERT INTO orders VALUES (1, 1, 10.5, 'a')")
+	mustExec(t, svc, sess, "INSERT INTO orders VALUES (2, 2, 4.5, 'b')")
+	mustExec(t, svc, sess, "UPDATE orders SET amount = 20 WHERE id = 1")
+
+	r = mustExec(t, svc, sess, "SELECT SUM(amount), COUNT(*) FROM orders")
+	if len(r.Rows) != 1 || r.Rows[0][0] != "24.5" || r.Rows[0][1] != "2" {
+		t.Errorf("aggregate = %v", r.Rows)
+	}
+
+	mustExec(t, svc, sess, "DELETE FROM orders WHERE id = 2")
+	r = mustExec(t, svc, sess, "SELECT COUNT(*) FROM orders")
+	if r.Rows[0][0] != "1" {
+		t.Errorf("count after delete = %v", r.Rows)
+	}
+
+	var lr LayoutReply
+	if err := svc.Layouts(&LayoutArgs{}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Counts) == 0 {
+		t.Error("no layouts reported")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	svc := testService(t)
+	var reply ExecReply
+	if err := svc.Exec(&ExecArgs{Session: 999, SQL: "SELECT 1"}, &reply); err == nil {
+		t.Error("unknown session accepted")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	svc := testService(t)
+	sess := openSession(t, svc)
+	var reply ExecReply
+	if err := svc.Exec(&ExecArgs{Session: sess, SQL: "SELECT nope FROM missing"}, &reply); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if err := svc.Exec(&ExecArgs{Session: sess, SQL: "CREATE TABLE broken ("}, &reply); err == nil {
+		t.Error("bad DDL accepted")
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	svc := testService(t)
+	ln, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c, err := rpc.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var open OpenReply
+	if err := c.Call("Proteus.OpenSession", &OpenArgs{}, &open); err != nil {
+		t.Fatal(err)
+	}
+	var reply ExecReply
+	if err := c.Call("Proteus.Exec", &ExecArgs{
+		Session: open.Session,
+		SQL:     "CREATE TABLE kv (k BIGINT, v VARCHAR(8)) MAXROWS 100",
+	}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("Proteus.Exec", &ExecArgs{
+		Session: open.Session, SQL: "INSERT INTO kv VALUES (7, 7, 'hello')",
+	}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("Proteus.Exec", &ExecArgs{
+		Session: open.Session, SQL: "SELECT COUNT(*) FROM kv",
+	}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Rows) != 1 || reply.Rows[0][0] != "1" {
+		t.Errorf("remote count = %v", reply.Rows)
+	}
+}

@@ -1,0 +1,111 @@
+// Package simnet models the cluster interconnect standing in for the
+// paper's 10 Gbps network and Thrift RPC layer. Cross-site calls charge a
+// configurable per-message latency plus a bandwidth-proportional transfer
+// time, so the ASA's cost trade-offs (local vs distributed joins, replica
+// placement, §2.2) have the same shape as on a physical cluster. Calls
+// within a site are free.
+package simnet
+
+import (
+	"sync"
+	"time"
+)
+
+// SiteID identifies a data site. The ASA is site -1 by convention.
+type SiteID int32
+
+// ASASite is the conventional SiteID of the adaptive storage advisor node.
+const ASASite SiteID = -1
+
+// Config sets the interconnect's performance envelope.
+type Config struct {
+	// BaseLatency is charged once per message.
+	BaseLatency time.Duration
+	// BytesPerSecond is the link bandwidth; 0 disables the transfer charge.
+	BytesPerSecond float64
+}
+
+// DefaultConfig models a fast LAN scaled for second-scale experiments:
+// 50 us per message, 1 GB/s.
+func DefaultConfig() Config {
+	return Config{BaseLatency: 50 * time.Microsecond, BytesPerSecond: 1 << 30}
+}
+
+// LinkStats aggregates traffic over one directed site pair.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network charges and accounts cross-site traffic. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu    sync.Mutex
+	links map[[2]SiteID]*LinkStats
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg, links: make(map[[2]SiteID]*LinkStats)}
+}
+
+// Charge models sending n bytes from one site to another, sleeping for the
+// modelled latency and returning it. Same-site messages are free.
+func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
+	if from == to {
+		return 0
+	}
+	nw.mu.Lock()
+	key := [2]SiteID{from, to}
+	ls, ok := nw.links[key]
+	if !ok {
+		ls = &LinkStats{}
+		nw.links[key] = ls
+	}
+	ls.Messages++
+	ls.Bytes += int64(n)
+	nw.mu.Unlock()
+
+	delay := nw.cfg.BaseLatency
+	if nw.cfg.BytesPerSecond > 0 {
+		delay += time.Duration(float64(n) / nw.cfg.BytesPerSecond * float64(time.Second))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return delay
+}
+
+// EstimateLatency predicts the charge for n bytes without sleeping.
+func (nw *Network) EstimateLatency(from, to SiteID, n int) time.Duration {
+	if from == to {
+		return 0
+	}
+	delay := nw.cfg.BaseLatency
+	if nw.cfg.BytesPerSecond > 0 {
+		delay += time.Duration(float64(n) / nw.cfg.BytesPerSecond * float64(time.Second))
+	}
+	return delay
+}
+
+// Stats returns a copy of the traffic counters for one directed link.
+func (nw *Network) Stats(from, to SiteID) LinkStats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if ls, ok := nw.links[[2]SiteID{from, to}]; ok {
+		return *ls
+	}
+	return LinkStats{}
+}
+
+// TotalBytes sums traffic over every link.
+func (nw *Network) TotalBytes() int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var total int64
+	for _, ls := range nw.links {
+		total += ls.Bytes
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSameSiteFree(t *testing.T) {
+	n := New(Config{BaseLatency: time.Millisecond})
+	if d := n.Charge(1, 1, 1000); d != 0 {
+		t.Errorf("same-site charge = %v", d)
+	}
+	if st := n.Stats(1, 1); st.Messages != 0 {
+		t.Error("same-site traffic recorded")
+	}
+}
+
+func TestChargeSleepsAndRecords(t *testing.T) {
+	n := New(Config{BaseLatency: 2 * time.Millisecond})
+	start := time.Now()
+	d := n.Charge(1, 2, 100)
+	if time.Since(start) < 2*time.Millisecond || d < 2*time.Millisecond {
+		t.Errorf("charge %v did not sleep", d)
+	}
+	st := n.Stats(1, 2)
+	if st.Messages != 1 || st.Bytes != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Reverse direction untouched.
+	if st := n.Stats(2, 1); st.Messages != 0 {
+		t.Error("reverse link recorded")
+	}
+}
+
+func TestBandwidthCharge(t *testing.T) {
+	n := New(Config{BaseLatency: 0, BytesPerSecond: 1 << 20}) // 1 MiB/s
+	est := n.EstimateLatency(1, 2, 1<<19)                     // 0.5 MiB -> ~0.5 s
+	if est < 400*time.Millisecond || est > 600*time.Millisecond {
+		t.Errorf("estimate = %v", est)
+	}
+	if n.EstimateLatency(3, 3, 1<<20) != 0 {
+		t.Error("same-site estimate nonzero")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	n := New(Config{})
+	n.Charge(1, 2, 10)
+	n.Charge(2, 1, 5)
+	n.Charge(1, 3, 7)
+	if got := n.TotalBytes(); got != 22 {
+		t.Errorf("total = %d", got)
+	}
+}

@@ -1,0 +1,282 @@
+// Package site implements Proteus' data sites (§3): each site stores the
+// partition copies placed on it, executes requests on separate OLTP and
+// OLAP thread pools (isolating compute between the workloads), runs a
+// replication subscriber, tracks per-tier storage usage, and buffers
+// operator latency observations for the ASA's polling threads to collect.
+package site
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"proteus/internal/cost"
+	"proteus/internal/disksim"
+	"proteus/internal/partition"
+	"proteus/internal/redolog"
+	"proteus/internal/replication"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+)
+
+// pool is a fixed-size worker pool.
+type pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	busy  atomic.Int64
+	size  int
+}
+
+func newPool(n int) *pool {
+	p := &pool{tasks: make(chan func(), 4*n), size: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				p.busy.Add(1)
+				f()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Do runs f on the pool and waits for it.
+func (p *pool) Do(f func()) {
+	done := make(chan struct{})
+	p.tasks <- func() {
+		defer close(done)
+		f()
+	}
+	<-done
+}
+
+func (p *pool) stop() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// utilization reports the fraction of workers currently busy.
+func (p *pool) utilization() float64 {
+	return float64(p.busy.Load()) / float64(p.size)
+}
+
+// Config sizes one data site.
+type Config struct {
+	// OLTPWorkers and OLAPWorkers size the two isolated pools.
+	OLTPWorkers int
+	OLAPWorkers int
+	// MemCapacity caps the memory tier in bytes (0 = unlimited); nearing
+	// it triggers the ASA's storage-pressure planning (§5.3.2).
+	MemCapacity int64
+	// Disk configures this site's simulated disk.
+	Disk disksim.Config
+}
+
+// DefaultConfig returns a modest site sizing.
+func DefaultConfig() Config {
+	return Config{OLTPWorkers: 4, OLAPWorkers: 2}
+}
+
+// Site is one data site.
+type Site struct {
+	ID      simnet.SiteID
+	Factory partition.Factory
+	Locks   *txn.LockManager
+	Repl    *replication.Replicator
+	Dev     *disksim.Device
+
+	cfg  Config
+	oltp *pool
+	olap *pool
+
+	mu      sync.RWMutex
+	parts   map[partition.ID]*partition.Partition
+	masters map[partition.ID]bool
+
+	obsMu sync.Mutex
+	obs   []cost.Observation
+}
+
+// New creates a site wired to the shared broker and network.
+func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Network, brokerSite simnet.SiteID) *Site {
+	if cfg.OLTPWorkers <= 0 {
+		cfg.OLTPWorkers = 4
+	}
+	if cfg.OLAPWorkers <= 0 {
+		cfg.OLAPWorkers = 2
+	}
+	dev := disksim.New(cfg.Disk)
+	s := &Site{
+		ID:      id,
+		Factory: partition.Factory{Dev: dev},
+		Locks:   txn.NewLockManager(),
+		Dev:     dev,
+		cfg:     cfg,
+		oltp:    newPool(cfg.OLTPWorkers),
+		olap:    newPool(cfg.OLAPWorkers),
+		parts:   make(map[partition.ID]*partition.Partition),
+		masters: make(map[partition.ID]bool),
+	}
+	s.Repl = replication.New(broker, net, id, brokerSite)
+	s.Repl.Exec = s.oltp.Do
+	return s
+}
+
+// Close stops the worker pools.
+func (s *Site) Close() {
+	s.oltp.stop()
+	s.olap.stop()
+}
+
+// AddPartition installs a partition copy at this site.
+func (s *Site) AddPartition(p *partition.Partition, master bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.parts[p.ID] = p
+	s.masters[p.ID] = master
+}
+
+// RemovePartition drops a copy.
+func (s *Site) RemovePartition(id partition.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.parts, id)
+	delete(s.masters, id)
+}
+
+// Partition looks up a hosted copy.
+func (s *Site) Partition(id partition.ID) (*partition.Partition, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.parts[id]
+	return p, ok
+}
+
+// MustPartition looks up a copy or fails.
+func (s *Site) MustPartition(id partition.ID) (*partition.Partition, error) {
+	if p, ok := s.Partition(id); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("site %d: no copy of partition %d", s.ID, id)
+}
+
+// IsMaster reports whether this site masters the partition.
+func (s *Site) IsMaster(id partition.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.masters[id]
+}
+
+// SetMaster flips the mastership flag of a hosted copy.
+func (s *Site) SetMaster(id partition.ID, master bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[id]; ok {
+		s.masters[id] = master
+	}
+}
+
+// Partitions snapshots the hosted copies.
+func (s *Site) Partitions() []*partition.Partition {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*partition.Partition, 0, len(s.parts))
+	for _, p := range s.parts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// RunOLTP executes f on the OLTP pool (blocking).
+func (s *Site) RunOLTP(f func()) { s.oltp.Do(f) }
+
+// RunOLAP executes f on the OLAP pool (blocking).
+func (s *Site) RunOLAP(f func()) { s.olap.Do(f) }
+
+// CPU reports a utilization signal combining both pools, used as the
+// network cost function's CPU argument (Table 1).
+func (s *Site) CPU() float64 {
+	return (s.oltp.utilization() + s.olap.utilization()) / 2
+}
+
+// Observe buffers an operator latency observation for the ASA to collect.
+// Observations without features (zone-map-skipped scans) are dropped: they
+// carry no signal for the cost models.
+func (s *Site) Observe(o cost.Observation) {
+	if len(o.Features) == 0 {
+		return
+	}
+	s.obsMu.Lock()
+	s.obs = append(s.obs, o)
+	s.obsMu.Unlock()
+}
+
+// DrainObservations returns and clears the buffered observations (the
+// ASA's periodic polling, §3).
+func (s *Site) DrainObservations() []cost.Observation {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	out := s.obs
+	s.obs = nil
+	return out
+}
+
+// MemUsage sums the resident bytes of memory-tier copies.
+func (s *Site) MemUsage() int64 {
+	var total int64
+	for _, p := range s.Partitions() {
+		if p.Layout().Tier == storage.MemoryTier {
+			total += int64(p.Stats().Bytes)
+		}
+	}
+	return total
+}
+
+// MemCapacity reports the configured memory cap (0 = unlimited).
+func (s *Site) MemCapacity() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.MemCapacity
+}
+
+// SetMemCapacity adjusts the memory cap (experiments size it relative to
+// loaded data).
+func (s *Site) SetMemCapacity(c int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.MemCapacity = c
+}
+
+// DiskUsage reports the simulated device usage.
+func (s *Site) DiskUsage() int64 { return s.Dev.Used() }
+
+// Maintain runs background storage maintenance on every hosted copy
+// (delta merges, disk buffer flushes). Fold costs are observed against the
+// layout's write cost function so deferred write work (delta merges) is
+// attributed to the layout that deferred it.
+func (s *Site) Maintain(threshold int) {
+	for _, p := range s.Partitions() {
+		merged, d, err := p.Maintain(p.Version(), threshold)
+		if err != nil || merged == 0 {
+			continue
+		}
+		cols := len(p.Kinds())
+		s.Observe(cost.Observation{
+			Op:       cost.OpWrite,
+			Layout:   p.Layout(),
+			Features: cost.WriteFeatures(merged*cols, p.Stats().Bytes/maxInt(p.Stats().Rows, 1)),
+			Latency:  d,
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

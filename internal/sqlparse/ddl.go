@@ -1,0 +1,119 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// CreateTable is a parsed CREATE TABLE statement.
+type CreateTable struct {
+	Name string
+	Cols []schema.Column
+	// MaxRows comes from the optional MAXROWS <n> suffix (0 = default).
+	MaxRows int64
+	// Partitions comes from the optional PARTITIONS <n> suffix.
+	Partitions int
+}
+
+var kindNames = map[string]types.Kind{
+	"BIGINT": types.KindInt64, "INT": types.KindInt64, "INTEGER": types.KindInt64,
+	"DOUBLE": types.KindFloat64, "FLOAT": types.KindFloat64, "DECIMAL": types.KindFloat64,
+	"VARCHAR": types.KindString, "TEXT": types.KindString, "STRING": types.KindString,
+	"TIMESTAMP": types.KindTime, "BOOLEAN": types.KindBool, "BOOL": types.KindBool,
+}
+
+// ParseCreate parses:
+//
+//	CREATE TABLE name (col KIND, ...) [MAXROWS n] [PARTITIONS n]
+func ParseCreate(sql string) (*CreateTable, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kindName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := kindNames[strings.ToUpper(kindName)]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown type %q", kindName)
+		}
+		// Optional (n) size suffix, recorded as the average size hint.
+		var avg float64
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			p.advance()
+			n := p.cur()
+			if n.kind != tokNumber {
+				return nil, fmt.Errorf("sql: expected size, got %q", n.text)
+			}
+			avg, _ = strconv.ParseFloat(n.text, 64)
+			p.advance()
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		ct.Cols = append(ct.Cols, schema.Column{Name: col, Kind: kind, AvgSize: avg})
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokIdent {
+		switch {
+		case p.peekKeyword("MAXROWS"):
+			p.advance()
+			n := p.cur()
+			if n.kind != tokNumber {
+				return nil, fmt.Errorf("sql: MAXROWS needs a number")
+			}
+			ct.MaxRows, _ = strconv.ParseInt(n.text, 10, 64)
+			p.advance()
+		case p.peekKeyword("PARTITIONS"):
+			p.advance()
+			n := p.cur()
+			if n.kind != tokNumber {
+				return nil, fmt.Errorf("sql: PARTITIONS needs a number")
+			}
+			v, _ := strconv.ParseInt(n.text, 10, 64)
+			ct.Partitions = int(v)
+			p.advance()
+		default:
+			return nil, fmt.Errorf("sql: unexpected %q", p.cur().text)
+		}
+	}
+	return ct, nil
+}
+
+// IsCreate reports whether the statement starts with CREATE.
+func IsCreate(sql string) bool {
+	trimmed := strings.TrimSpace(sql)
+	return len(trimmed) >= 6 && strings.EqualFold(trimmed[:6], "CREATE")
+}

@@ -1,0 +1,95 @@
+// Package sqlparse is the stand-in for the PostgreSQL parser/analyzer the
+// paper uses to obtain query trees (§5.3.1): a hand-written lexer and
+// recursive-descent parser for the SQL subset the evaluation workloads
+// need — SELECT with aggregates, WHERE conjunctions, a two-table JOIN and
+// GROUP BY, plus INSERT / UPDATE / DELETE keyed by primary key. Statements
+// resolve against a schema.Catalog into the same query.Request values the
+// programmatic API builds.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords arrive as tokIdent; the
+// parser matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(input) && input[j] != '\'' {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case strings.ContainsRune("(),*=.<>", rune(c)):
+			// Two-character operators first.
+			if i+1 < len(input) {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{tokSymbol, two, i})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "!=", i})
+				i += 2
+				continue
+			}
+			return nil, fmt.Errorf("sql: unexpected '!' at %d", i)
+		case c == ';':
+			i++ // statement terminator, ignored
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/types"
+)
+
+func TestCmpOpEval(t *testing.T) {
+	two, three := types.NewInt64(2), types.NewInt64(3)
+	cases := []struct {
+		op   CmpOp
+		a, b types.Value
+		want bool
+	}{
+		{CmpEq, two, two, true},
+		{CmpEq, two, three, false},
+		{CmpNe, two, three, true},
+		{CmpLt, two, three, true},
+		{CmpLe, two, two, true},
+		{CmpGt, three, two, true},
+		{CmpGe, two, three, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPredMatch(t *testing.T) {
+	p := Pred{
+		{Col: 0, Op: CmpGe, Val: types.NewInt64(10)},
+		{Col: 1, Op: CmpEq, Val: types.NewString("a")},
+	}
+	if !p.Match([]types.Value{types.NewInt64(10), types.NewString("a")}) {
+		t.Error("should match")
+	}
+	if p.Match([]types.Value{types.NewInt64(9), types.NewString("a")}) {
+		t.Error("conjunct 0 fails")
+	}
+	if p.Match([]types.Value{types.NewInt64(10), types.NewString("b")}) {
+		t.Error("conjunct 1 fails")
+	}
+	// Out-of-range column never matches.
+	if p.Match([]types.Value{types.NewInt64(10)}) {
+		t.Error("short row matched")
+	}
+	// Empty predicate matches everything.
+	if !(Pred{}).Match(nil) || !(Pred(nil)).Match(nil) {
+		t.Error("empty pred should match")
+	}
+}
+
+func TestPredColumns(t *testing.T) {
+	p := Pred{{Col: 2}, {Col: 0}, {Col: 2}}
+	cols := p.Columns()
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 0 {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l := Layout{Format: ColumnFormat, Tier: MemoryTier, SortBy: 1, Compressed: true}
+	if got := l.String(); got != "column/memory/sorted(1)/rle" {
+		t.Errorf("layout = %q", got)
+	}
+	l = DefaultRowLayout()
+	if got := l.String(); got != "row/memory" {
+		t.Errorf("layout = %q", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[CmpOp]string{CmpEq: "=", CmpNe: "<>", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d = %q", op, op.String())
+		}
+	}
+}
+
+// Property: Eval(CmpLt) and Eval(CmpGe) partition all int pairs.
+func TestCmpComplementProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := types.NewInt64(a), types.NewInt64(b)
+		return CmpLt.Eval(va, vb) != CmpGe.Eval(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

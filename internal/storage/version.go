@@ -1,0 +1,4 @@
+package storage
+
+// Latest is the snapshot version that observes the newest committed data.
+const Latest uint64 = ^uint64(0)

@@ -1,0 +1,150 @@
+package txn
+
+import (
+	"sync"
+
+	"proteus/internal/partition"
+)
+
+// VersionVector maps partitions to versions. As a snapshot it gives, per
+// partition, the newest version a read may observe; as a watermark it gives
+// the oldest version a read must observe.
+type VersionVector map[partition.ID]uint64
+
+// Clone deep-copies the vector.
+func (v VersionVector) Clone() VersionVector {
+	out := make(VersionVector, len(v))
+	for k, ver := range v {
+		out[k] = ver
+	}
+	return out
+}
+
+// MergeMax raises each entry to at least the other vector's version.
+func (v VersionVector) MergeMax(o VersionVector) {
+	for k, ver := range o {
+		if v[k] < ver {
+			v[k] = ver
+		}
+	}
+}
+
+// DependencyTracker records, for each committed partition version, the
+// versions of partitions co-written by the same transaction (§4.2: "the
+// dependencies among partitions and their versions"). Snapshot construction
+// closes over these dependencies so a transaction that observes P@v also
+// observes every co-committed write, yielding a consistent SI snapshot
+// without a global timestamp.
+type DependencyTracker struct {
+	mu   sync.RWMutex
+	deps map[partition.ID]map[uint64]VersionVector
+}
+
+// NewDependencyTracker creates an empty tracker.
+func NewDependencyTracker() *DependencyTracker {
+	return &DependencyTracker{deps: make(map[partition.ID]map[uint64]VersionVector)}
+}
+
+// RecordCommit notes that one transaction installed the given partition
+// versions together. Single-partition commits carry no dependencies.
+func (d *DependencyTracker) RecordCommit(installed VersionVector) {
+	if len(installed) < 2 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pid, ver := range installed {
+		byVer, ok := d.deps[pid]
+		if !ok {
+			byVer = make(map[uint64]VersionVector)
+			d.deps[pid] = byVer
+		}
+		rest := make(VersionVector, len(installed)-1)
+		for q, w := range installed {
+			if q != pid {
+				rest[q] = w
+			}
+		}
+		byVer[ver] = rest
+	}
+}
+
+// Close raises the snapshot to include every dependency of the versions it
+// already contains, iterating to a fixpoint. Only dependencies at or below
+// the snapshot's chosen version for a partition apply (observing P@v means
+// observing all commits to P up to v, each with its own dependencies).
+func (d *DependencyTracker) Close(snap VersionVector) VersionVector {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	changed := true
+	for changed {
+		changed = false
+		for pid, ver := range snap {
+			byVer, ok := d.deps[pid]
+			if !ok {
+				continue
+			}
+			for v, rest := range byVer {
+				if v > ver {
+					continue
+				}
+				for q, w := range rest {
+					if cur, tracked := snap[q]; tracked && cur < w {
+						snap[q] = w
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return snap
+}
+
+// Forget discards dependency records at or below the given version per
+// partition (safe once no active snapshot can begin below them).
+func (d *DependencyTracker) Forget(watermark VersionVector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pid, ver := range watermark {
+		byVer, ok := d.deps[pid]
+		if !ok {
+			continue
+		}
+		for v := range byVer {
+			if v <= ver {
+				delete(byVer, v)
+			}
+		}
+		if len(byVer) == 0 {
+			delete(d.deps, pid)
+		}
+	}
+}
+
+// Session carries one client's watermark for strong session snapshot
+// isolation (§4.2): every transaction in the session must observe at least
+// the versions its previous transactions read or wrote, preventing
+// transaction inversion.
+type Session struct {
+	mu        sync.Mutex
+	watermark VersionVector
+}
+
+// NewSession creates a fresh session.
+func NewSession() *Session {
+	return &Session{watermark: make(VersionVector)}
+}
+
+// Watermark returns a copy of the session's required versions.
+func (s *Session) Watermark() VersionVector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark.Clone()
+}
+
+// Observe raises the watermark with versions the session just read or wrote.
+func (s *Session) Observe(v VersionVector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watermark.MergeMax(v)
+}

@@ -1,0 +1,159 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The binary encodings below are shared by the in-memory and on-disk row and
+// column formats (§4.1). Fixed-width kinds occupy their FixedWidth() bytes in
+// little-endian order. Variable-width kinds (strings) have two encodings:
+//
+//   - the 12-byte row slot (4-byte length + 8 bytes inline-or-arena-offset),
+//     written by PutFixed against a string arena; and
+//   - the inline disk/column encoding (4-byte length + raw bytes), written
+//     by AppendVar.
+
+// Arena stores out-of-line string payloads for a row-format partition. The
+// paper stores an 8-byte pointer in each string slot; raw pointers inside
+// byte arrays are unsafe under Go's GC, so the arena holds bytes in a single
+// slab and slots store offsets. Appends are cheap, and the arena is rebuilt
+// on partition compaction.
+type Arena struct {
+	buf []byte
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Add places s in the arena and returns its offset.
+func (a *Arena) Add(s string) uint64 {
+	off := uint64(len(a.buf))
+	a.buf = append(a.buf, s...)
+	return off
+}
+
+// Get returns the string of length n stored at offset off.
+func (a *Arena) Get(off uint64, n int) string {
+	return string(a.buf[off : off+uint64(n)])
+}
+
+// Bytes reports the arena's current size in bytes.
+func (a *Arena) Bytes() int { return len(a.buf) }
+
+// PutFixed encodes v into dst, which must be at least v.K.FixedWidth() bytes.
+// Strings longer than 8 bytes spill to the arena. It returns the number of
+// bytes written.
+func PutFixed(dst []byte, v Value, arena *Arena) int {
+	switch v.K {
+	case KindInt64, KindTime:
+		binary.LittleEndian.PutUint64(dst, uint64(v.I))
+		return 8
+	case KindFloat64:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(v.F))
+		return 8
+	case KindBool:
+		if v.I != 0 {
+			dst[0] = 1
+		} else {
+			dst[0] = 0
+		}
+		return 1
+	case KindString:
+		binary.LittleEndian.PutUint32(dst, uint32(len(v.S)))
+		if len(v.S) <= 8 {
+			copy(dst[4:12], v.S)
+		} else {
+			off := arena.Add(v.S)
+			binary.LittleEndian.PutUint64(dst[4:12], off)
+		}
+		return StringSlotWidth
+	case KindNull:
+		return 0
+	}
+	panic(fmt.Sprintf("PutFixed: unsupported kind %v", v.K))
+}
+
+// GetFixed decodes a value of kind k from src, resolving arena references.
+func GetFixed(src []byte, k Kind, arena *Arena) Value {
+	switch k {
+	case KindInt64:
+		return NewInt64(int64(binary.LittleEndian.Uint64(src)))
+	case KindTime:
+		return NewTimeMicros(int64(binary.LittleEndian.Uint64(src)))
+	case KindFloat64:
+		return NewFloat64(math.Float64frombits(binary.LittleEndian.Uint64(src)))
+	case KindBool:
+		return NewBool(src[0] != 0)
+	case KindString:
+		n := int(binary.LittleEndian.Uint32(src))
+		if n <= 8 {
+			return NewString(string(src[4 : 4+n]))
+		}
+		off := binary.LittleEndian.Uint64(src[4:12])
+		return NewString(arena.Get(off, n))
+	}
+	return Null()
+}
+
+// AppendVar appends the inline (disk/column) encoding of v to dst and
+// returns the extended slice. Fixed-width kinds append FixedWidth() bytes;
+// strings append a 4-byte length followed by the raw bytes (§4.1.2).
+func AppendVar(dst []byte, v Value) []byte {
+	switch v.K {
+	case KindInt64, KindTime:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+		return append(dst, b[:]...)
+	case KindFloat64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		return append(dst, b[:]...)
+	case KindBool:
+		if v.I != 0 {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	case KindString:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(v.S)))
+		dst = append(dst, b[:]...)
+		return append(dst, v.S...)
+	case KindNull:
+		return dst
+	}
+	panic(fmt.Sprintf("AppendVar: unsupported kind %v", v.K))
+}
+
+// DecodeVar decodes one inline-encoded value of kind k from src, returning
+// the value and the number of bytes consumed.
+func DecodeVar(src []byte, k Kind) (Value, int) {
+	switch k {
+	case KindInt64:
+		return NewInt64(int64(binary.LittleEndian.Uint64(src))), 8
+	case KindTime:
+		return NewTimeMicros(int64(binary.LittleEndian.Uint64(src))), 8
+	case KindFloat64:
+		return NewFloat64(math.Float64frombits(binary.LittleEndian.Uint64(src))), 8
+	case KindBool:
+		return NewBool(src[0] != 0), 1
+	case KindString:
+		n := int(binary.LittleEndian.Uint32(src))
+		return NewString(string(src[4 : 4+n])), 4 + n
+	}
+	return Null(), 0
+}
+
+// VarWidth reports the number of bytes AppendVar would use for v.
+func VarWidth(v Value) int {
+	switch v.K {
+	case KindInt64, KindTime, KindFloat64:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return 4 + len(v.S)
+	}
+	return 0
+}

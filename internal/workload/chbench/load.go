@@ -1,0 +1,152 @@
+package chbench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// baseDate anchors loaded order entry/delivery dates; queries predicate
+// against offsets from it.
+var baseDate = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// load populates every table with the initial database.
+func (w *Workload) load() error {
+	cfg := w.cfg
+	rng := rand.New(rand.NewSource(7))
+
+	var rows []schema.Row
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		rows = append(rows, schema.Row{ID: schema.RowID(wh), Vals: []types.Value{
+			types.NewInt64(int64(wh)),
+			types.NewString(fmt.Sprintf("wh-%d", wh)),
+			types.NewFloat64(300000),
+		}})
+	}
+	if err := w.e.LoadRows(w.t.Warehouse.ID, rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			rows = append(rows, schema.Row{ID: w.districtRow(wh, d), Vals: []types.Value{
+				types.NewInt64(int64(d)), types.NewInt64(int64(wh)),
+				types.NewString(fmt.Sprintf("d-%d-%d", wh, d)),
+				types.NewFloat64(30000),
+				types.NewInt64(int64(cfg.LoadedOrdersPerDistrict)),
+			}})
+		}
+	}
+	if err := w.e.LoadRows(w.t.District.ID, rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			for c := 0; c < cfg.CustomersPerDistrict; c++ {
+				// c_id stores the global customer row id so orders can
+				// equi-join on it (o_c_id = c_id).
+				rows = append(rows, schema.Row{ID: w.customerRow(wh, d, c), Vals: []types.Value{
+					types.NewInt64(int64(w.customerRow(wh, d, c))), types.NewInt64(int64(wh)), types.NewInt64(int64(d)),
+					types.NewString(fmt.Sprintf("cust-%d", c)),
+					types.NewFloat64(-10), types.NewFloat64(10), types.NewInt64(1),
+				}})
+			}
+		}
+	}
+	if err := w.e.LoadRows(w.t.Customer.ID, rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 0; i < cfg.Items; i++ {
+		data := fmt.Sprintf("data-%d-%s", i, randLetters(rng, 12))
+		if i%10 == 0 {
+			data = "PR-" + data // promotional items for Q14
+		}
+		rows = append(rows, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(int64(i)),
+			types.NewString(fmt.Sprintf("item-%d", i)),
+			types.NewFloat64(1 + float64(rng.Intn(9999))/100),
+			types.NewString(data),
+		}})
+	}
+	if err := w.e.LoadRows(w.t.Item.ID, rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		for i := 0; i < cfg.Items; i++ {
+			rows = append(rows, schema.Row{ID: w.stockRow(wh, i), Vals: []types.Value{
+				types.NewInt64(int64(i)), types.NewInt64(int64(wh)),
+				types.NewFloat64(float64(10 + rng.Intn(90))),
+				types.NewFloat64(0), types.NewInt64(0),
+			}})
+		}
+	}
+	if err := w.e.LoadRows(w.t.Stock.ID, rows); err != nil {
+		return err
+	}
+
+	// Orders and orderlines: LoadedOrdersPerDistrict historical orders per
+	// district with increasing entry dates; older orders are delivered.
+	var orders, lines []schema.Row
+	for wh := 0; wh < cfg.Warehouses; wh++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			di := w.districtIndex(wh, d)
+			w.nextOrder[di].Store(int64(cfg.LoadedOrdersPerDistrict))
+			w.deliveredUpTo[di].Store(int64(cfg.LoadedOrdersPerDistrict * 2 / 3))
+			for o := 0; o < cfg.LoadedOrdersPerDistrict; o++ {
+				orow := w.orderRow(wh, d, int64(o))
+				entry := baseDate.AddDate(0, 0, o)
+				nOL := 3 + rng.Intn(cfg.MaxOLPerOrder-2)
+				carrier := int64(-1)
+				if o < cfg.LoadedOrdersPerDistrict*2/3 {
+					carrier = int64(1 + rng.Intn(10))
+				}
+				cust := w.customerRow(wh, d, rng.Intn(cfg.CustomersPerDistrict))
+				orders = append(orders, schema.Row{ID: orow, Vals: []types.Value{
+					types.NewInt64(int64(orow)), types.NewInt64(int64(d)), types.NewInt64(int64(wh)),
+					types.NewInt64(int64(cust)), types.NewTime(entry),
+					types.NewInt64(carrier), types.NewInt64(int64(nOL)),
+				}})
+				for l := 0; l < nOL; l++ {
+					item := rng.Intn(cfg.Items)
+					delivery := entry.AddDate(0, 0, 2)
+					if carrier < 0 {
+						delivery = time.Time{} // undelivered
+					}
+					lines = append(lines, schema.Row{ID: w.orderLineRow(orow, l), Vals: []types.Value{
+						types.NewInt64(int64(orow)), types.NewInt64(int64(l)), types.NewInt64(int64(item)),
+						types.NewFloat64(float64(1 + rng.Intn(10))),
+						types.NewFloat64(float64(1+rng.Intn(9999)) / 100),
+						types.NewTime(delivery),
+					}})
+				}
+			}
+		}
+	}
+	if err := w.e.LoadRows(w.t.Orders.ID, orders); err != nil {
+		return err
+	}
+	if err := w.e.LoadRows(w.t.OrderLine.ID, lines); err != nil {
+		return err
+	}
+	w.historySeq.Store(int64(cfg.Warehouses * cfg.DistrictsPerW * cfg.CustomersPerDistrict))
+	return nil
+}
+
+func randLetters(r *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[r.Intn(len(alpha))]
+	}
+	return string(b)
+}

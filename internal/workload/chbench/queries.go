@@ -1,0 +1,219 @@
+package chbench
+
+import (
+	"math/rand"
+
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// The TPC-H-derived analytical queries of the CH-benCHmark. The paper runs
+// all 22; this reproduction implements the eight query *shapes* its
+// evaluation discusses — single-table scan-aggregates (Q1, Q6), selective
+// predicates (Q4, Q12), fact–dimension joins (Q14, Q19), a
+// customer–orders join (Q3) and a three-way join (Q7 style) — over the CH
+// schema. Queries cycle per client.
+
+// NumQueries is the analytical query count.
+const NumQueries = 8
+
+// Query builds analytical query number qn (0-based).
+func (w *Workload) Query(qn int, r *rand.Rand) *query.Query {
+	switch qn % NumQueries {
+	case 0:
+		return w.q1()
+	case 1:
+		return w.q6()
+	case 2:
+		return w.q14()
+	case 3:
+		return w.q4()
+	case 4:
+		return w.q12()
+	case 5:
+		return w.q3()
+	case 6:
+		return w.q7()
+	default:
+		return w.q19(r)
+	}
+}
+
+func dateVal(daysFromBase int) types.Value {
+	return types.NewTime(baseDate.AddDate(0, 0, daysFromBase))
+}
+
+// q1: pricing summary — group orderlines by line number, aggregating
+// quantity and amount (TPC-H Q1 shape).
+func (w *Workload) q1() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{
+			Table: w.t.OrderLine.ID,
+			Cols:  []schema.ColID{1, 3, 4}, // ol_number, quantity, amount
+			Pred:  storage.Pred{{Col: 5, Op: storage.CmpGe, Val: dateVal(0)}},
+		},
+		GroupBy: []int{0},
+		Aggs: []exec.AggSpec{
+			{Func: exec.AggSum, Col: 1}, {Func: exec.AggSum, Col: 2},
+			{Func: exec.AggAvg, Col: 2}, {Func: exec.AggCount},
+		},
+	}}
+}
+
+// q6: revenue from orderlines in a delivery-date window with a quantity
+// bound (Figure 2b).
+func (w *Workload) q6() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{
+			Table: w.t.OrderLine.ID,
+			Cols:  []schema.ColID{4}, // amount
+			Pred: storage.Pred{
+				{Col: 5, Op: storage.CmpGe, Val: dateVal(1)},
+				{Col: 5, Op: storage.CmpLe, Val: dateVal(700)},
+				{Col: 3, Op: storage.CmpGe, Val: types.NewFloat64(1)},
+				{Col: 3, Op: storage.CmpLe, Val: types.NewFloat64(100000)},
+			},
+		},
+		Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 0}},
+	}}
+}
+
+// q14: promotional revenue — join orderlines to promotional items in a
+// date window (Figure 5a).
+func (w *Workload) q14() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.JoinNode{
+			Left: &query.ScanNode{
+				Table: w.t.OrderLine.ID,
+				Cols:  []schema.ColID{2, 4}, // ol_i_id, amount
+				Pred: storage.Pred{
+					{Col: 5, Op: storage.CmpGe, Val: dateVal(0)},
+				},
+			},
+			Right: &query.ScanNode{
+				Table: w.t.Item.ID,
+				Cols:  []schema.ColID{0}, // i_id
+				Pred: storage.Pred{
+					{Col: 3, Op: storage.CmpGe, Val: types.NewString("PR")},
+					{Col: 3, Op: storage.CmpLt, Val: types.NewString("PS")},
+				},
+			},
+			LeftKeyCol: 0, RightKeyCol: 0,
+		},
+		Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 1}, {Func: exec.AggCount}},
+	}}
+}
+
+// q4: order-priority counting — orders per carrier in a date window
+// (TPC-H Q4 shape: selective scan + group count).
+func (w *Workload) q4() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{
+			Table: w.t.Orders.ID,
+			Cols:  []schema.ColID{5}, // carrier
+			Pred: storage.Pred{
+				{Col: 4, Op: storage.CmpGe, Val: dateVal(0)},
+				{Col: 5, Op: storage.CmpGe, Val: types.NewInt64(0)},
+			},
+		},
+		GroupBy: []int{0},
+		Aggs:    []exec.AggSpec{{Func: exec.AggCount}},
+	}}
+}
+
+// q12: shipping-mode analysis — join orders to their orderlines, counting
+// lines per carrier (TPC-H Q12 shape: fact-fact join).
+func (w *Workload) q12() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.JoinNode{
+			Left: &query.ScanNode{
+				Table: w.t.OrderLine.ID,
+				Cols:  []schema.ColID{0, 3}, // ol_o_id, quantity
+			},
+			Right: &query.ScanNode{
+				Table: w.t.Orders.ID,
+				Cols:  []schema.ColID{0, 5}, // o_id, carrier
+				Pred:  storage.Pred{{Col: 5, Op: storage.CmpGe, Val: types.NewInt64(1)}},
+			},
+			LeftKeyCol: 0, RightKeyCol: 0,
+		},
+		GroupBy: []int{3}, // carrier
+		Aggs:    []exec.AggSpec{{Func: exec.AggCount}, {Func: exec.AggSum, Col: 1}},
+	}}
+}
+
+// q3: unshipped orders by customer — join customers to orders, summing
+// order counts per customer (TPC-H Q3 shape).
+func (w *Workload) q3() *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.JoinNode{
+			Left: &query.ScanNode{
+				Table: w.t.Orders.ID,
+				Cols:  []schema.ColID{3, 6},                                              // o_c_id, ol_cnt
+				Pred:  storage.Pred{{Col: 5, Op: storage.CmpLt, Val: types.NewInt64(0)}}, // undelivered
+			},
+			Right: &query.ScanNode{
+				Table: w.t.Customer.ID,
+				Cols:  []schema.ColID{0}, // c_id (global customer row id)
+			},
+			LeftKeyCol: 0, RightKeyCol: 0,
+		},
+		GroupBy: []int{0},
+		Aggs:    []exec.AggSpec{{Func: exec.AggSum, Col: 1}},
+	}}
+}
+
+// q7: volume shipping — a three-way join orderline ⋈ item ⋈ stock-like
+// aggregation (TPC-H Q7 shape: multi-join with aggregation).
+func (w *Workload) q7() *query.Query {
+	inner := &query.JoinNode{
+		Left: &query.ScanNode{
+			Table: w.t.OrderLine.ID,
+			Cols:  []schema.ColID{2, 4}, // ol_i_id, amount
+		},
+		Right: &query.ScanNode{
+			Table: w.t.Item.ID,
+			Cols:  []schema.ColID{0, 2}, // i_id, price
+		},
+		LeftKeyCol: 0, RightKeyCol: 0,
+	}
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.JoinNode{
+			Left:       inner, // output: [ol_i_id, amount, i_id, price]
+			Right:      &query.ScanNode{Table: w.t.Stock.ID, Cols: []schema.ColID{0, 2}},
+			LeftKeyCol: 0, RightKeyCol: 0,
+		},
+		Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 1}, {Func: exec.AggCount}},
+	}}
+}
+
+// q19: discounted revenue — join orderline to items in a price band with
+// a quantity band (TPC-H Q19 shape).
+func (w *Workload) q19(r *rand.Rand) *query.Query {
+	lo := float64(r.Intn(50))
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.JoinNode{
+			Left: &query.ScanNode{
+				Table: w.t.OrderLine.ID,
+				Cols:  []schema.ColID{2, 4},
+				Pred: storage.Pred{
+					{Col: 3, Op: storage.CmpGe, Val: types.NewFloat64(1)},
+					{Col: 3, Op: storage.CmpLe, Val: types.NewFloat64(10)},
+				},
+			},
+			Right: &query.ScanNode{
+				Table: w.t.Item.ID,
+				Cols:  []schema.ColID{0},
+				Pred: storage.Pred{
+					{Col: 2, Op: storage.CmpGe, Val: types.NewFloat64(lo)},
+					{Col: 2, Op: storage.CmpLe, Val: types.NewFloat64(lo + 40)},
+				},
+			},
+			LeftKeyCol: 0, RightKeyCol: 0,
+		},
+		Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 1}},
+	}}
+}

@@ -1,0 +1,214 @@
+// Package chbench implements the CH-benCHmark (§6.1): the TPC-C
+// transactional schema and its five transactions (NewOrder, Payment,
+// OrderStatus, Delivery, StockLevel) combined with TPC-H-derived
+// analytical queries over the same data. Scales are configurable and
+// default far below the paper's 100 GB so experiments run on one machine;
+// the workload *shapes* (skewed item popularity, temporal orderline
+// updates, read-only dimension tables, cross-warehouse transactions) are
+// preserved.
+package chbench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"proteus/internal/cluster"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/types"
+)
+
+// Config sizes the database.
+type Config struct {
+	Warehouses           int
+	DistrictsPerW        int
+	CustomersPerDistrict int
+	Items                int
+	// MaxOrdersPerDistrict bounds each district's order row space
+	// (pre-loaded orders plus head-room for NewOrder inserts).
+	MaxOrdersPerDistrict int
+	// LoadedOrdersPerDistrict is the initial order count per district.
+	LoadedOrdersPerDistrict int
+	// MaxOLPerOrder is the orderline slots per order.
+	MaxOLPerOrder int
+	// CrossWarehousePct is the percentage of NewOrder stock updates that
+	// target a remote warehouse (Appendix B.3; default 10).
+	CrossWarehousePct int
+	// ItemZipfS skews item popularity.
+	ItemZipfS float64
+	// Partitions per large table; defaults to the site count.
+	Partitions int
+}
+
+// DefaultConfig returns a laptop-scale CH database.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses: 2, DistrictsPerW: 5, CustomersPerDistrict: 30,
+		Items: 200, MaxOrdersPerDistrict: 5000, LoadedOrdersPerDistrict: 30,
+		MaxOLPerOrder: 5, CrossWarehousePct: 10, ItemZipfS: 1.3,
+	}
+}
+
+// Tables bundles the CH table handles.
+type Tables struct {
+	Warehouse *schema.Table
+	District  *schema.Table
+	Customer  *schema.Table
+	Item      *schema.Table
+	Stock     *schema.Table
+	Orders    *schema.Table
+	OrderLine *schema.Table
+	History   *schema.Table
+}
+
+// Workload is a loaded CH database bound to an engine.
+type Workload struct {
+	cfg Config
+	e   *cluster.Engine
+	t   Tables
+
+	// nextOrder is the per-district order sequence; deliveredUpTo tracks
+	// the Delivery transaction's progress.
+	nextOrder     []atomic.Int64
+	deliveredUpTo []atomic.Int64
+	historySeq    atomic.Int64
+}
+
+// Row-id composition helpers (dense integer keys over composite TPC-C
+// keys).
+
+func (w *Workload) districtRow(wh, d int) schema.RowID {
+	return schema.RowID(wh*w.cfg.DistrictsPerW + d)
+}
+
+func (w *Workload) customerRow(wh, d, c int) schema.RowID {
+	return schema.RowID((wh*w.cfg.DistrictsPerW+d)*w.cfg.CustomersPerDistrict + c)
+}
+
+func (w *Workload) stockRow(wh, i int) schema.RowID {
+	return schema.RowID(wh*w.cfg.Items + i)
+}
+
+func (w *Workload) orderRow(wh, d int, o int64) schema.RowID {
+	return schema.RowID((int64(wh*w.cfg.DistrictsPerW+d))*int64(w.cfg.MaxOrdersPerDistrict) + o)
+}
+
+func (w *Workload) orderLineRow(orderRow schema.RowID, l int) schema.RowID {
+	return schema.RowID(int64(orderRow)*int64(w.cfg.MaxOLPerOrder) + int64(l))
+}
+
+func (w *Workload) districtIndex(wh, d int) int { return wh*w.cfg.DistrictsPerW + d }
+
+// Tables exposes the table handles.
+func (w *Workload) Tables() Tables { return w.t }
+
+// Config exposes the sizing.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Setup creates and loads the CH database. Baselines receive the Schism
+// advantage: warehouse-aligned placement and full replication of the
+// read-only item table.
+func Setup(e *cluster.Engine, cfg Config) (*Workload, error) {
+	if cfg.Warehouses <= 0 || cfg.Items <= 0 {
+		return nil, fmt.Errorf("chbench: bad config %+v", cfg)
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = len(e.Sites)
+	}
+	w := &Workload{cfg: cfg, e: e}
+	nd := cfg.Warehouses * cfg.DistrictsPerW
+	w.nextOrder = make([]atomic.Int64, nd)
+	w.deliveredUpTo = make([]atomic.Int64, nd)
+
+	// Placement: partition p of a W-partitioned table holds a contiguous
+	// warehouse range; co-locate on the warehouse's home site.
+	whSite := func(wh int) simnet.SiteID {
+		return simnet.SiteID(wh * len(e.Sites) / cfg.Warehouses % len(e.Sites))
+	}
+	perWarehouse := func(maxRows schema.RowID) cluster.TableSpec {
+		return cluster.TableSpec{
+			MaxRows:    maxRows,
+			Partitions: cfg.Warehouses,
+			PlaceAt:    func(p int) simnet.SiteID { return whSite(p) },
+		}
+	}
+
+	var err error
+	mk := func(spec cluster.TableSpec, name string, cols []schema.Column) *schema.Table {
+		if err != nil {
+			return nil
+		}
+		spec.Name, spec.Cols = name, cols
+		var tbl *schema.Table
+		tbl, err = e.CreateTable(spec)
+		return tbl
+	}
+
+	w.t.Warehouse = mk(perWarehouse(schema.RowID(cfg.Warehouses)), "warehouse", []schema.Column{
+		{Name: "w_id", Kind: types.KindInt64},
+		{Name: "w_name", Kind: types.KindString, AvgSize: 10},
+		{Name: "w_ytd", Kind: types.KindFloat64},
+	})
+	w.t.District = mk(perWarehouse(schema.RowID(nd)), "district", []schema.Column{
+		{Name: "d_id", Kind: types.KindInt64},
+		{Name: "d_w_id", Kind: types.KindInt64},
+		{Name: "d_name", Kind: types.KindString, AvgSize: 10},
+		{Name: "d_ytd", Kind: types.KindFloat64},
+		{Name: "d_next_o_id", Kind: types.KindInt64},
+	})
+	w.t.Customer = mk(perWarehouse(schema.RowID(nd*cfg.CustomersPerDistrict)), "customer", []schema.Column{
+		{Name: "c_id", Kind: types.KindInt64},
+		{Name: "c_w_id", Kind: types.KindInt64},
+		{Name: "c_d_id", Kind: types.KindInt64},
+		{Name: "c_name", Kind: types.KindString, AvgSize: 16},
+		{Name: "c_balance", Kind: types.KindFloat64},
+		{Name: "c_ytd", Kind: types.KindFloat64},
+		{Name: "c_payments", Kind: types.KindInt64},
+	})
+	// Item is read-only: the advantaged baselines replicate it everywhere.
+	w.t.Item = mk(cluster.TableSpec{
+		MaxRows: schema.RowID(cfg.Items), Partitions: 1,
+		ReplicateAll: e.Mode() != cluster.ModeProteus,
+	}, "item", []schema.Column{
+		{Name: "i_id", Kind: types.KindInt64},
+		{Name: "i_name", Kind: types.KindString, AvgSize: 14},
+		{Name: "i_price", Kind: types.KindFloat64},
+		{Name: "i_data", Kind: types.KindString, AvgSize: 26},
+	})
+	w.t.Stock = mk(perWarehouse(schema.RowID(cfg.Warehouses*cfg.Items)), "stock", []schema.Column{
+		{Name: "s_i_id", Kind: types.KindInt64},
+		{Name: "s_w_id", Kind: types.KindInt64},
+		{Name: "s_quantity", Kind: types.KindFloat64},
+		{Name: "s_ytd", Kind: types.KindFloat64},
+		{Name: "s_order_cnt", Kind: types.KindInt64},
+	})
+	w.t.Orders = mk(perWarehouse(schema.RowID(int64(nd)*int64(cfg.MaxOrdersPerDistrict))), "orders", []schema.Column{
+		{Name: "o_id", Kind: types.KindInt64},
+		{Name: "o_d_id", Kind: types.KindInt64},
+		{Name: "o_w_id", Kind: types.KindInt64},
+		{Name: "o_c_id", Kind: types.KindInt64}, // customer row id
+		{Name: "o_entry_d", Kind: types.KindTime},
+		{Name: "o_carrier_id", Kind: types.KindInt64},
+		{Name: "o_ol_cnt", Kind: types.KindInt64},
+	})
+	w.t.OrderLine = mk(perWarehouse(schema.RowID(int64(nd)*int64(cfg.MaxOrdersPerDistrict)*int64(cfg.MaxOLPerOrder))), "orderline", []schema.Column{
+		{Name: "ol_o_id", Kind: types.KindInt64}, // orders row id
+		{Name: "ol_number", Kind: types.KindInt64},
+		{Name: "ol_i_id", Kind: types.KindInt64},
+		{Name: "ol_quantity", Kind: types.KindFloat64},
+		{Name: "ol_amount", Kind: types.KindFloat64},
+		{Name: "ol_delivery_d", Kind: types.KindTime},
+	})
+	w.t.History = mk(perWarehouse(schema.RowID(1<<40)), "history", []schema.Column{
+		{Name: "h_c_id", Kind: types.KindInt64},
+		{Name: "h_amount", Kind: types.KindFloat64},
+		{Name: "h_date", Kind: types.KindTime},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.load(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

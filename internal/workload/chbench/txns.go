@@ -1,0 +1,190 @@
+package chbench
+
+import (
+	"math/rand"
+	"time"
+
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// The five TPC-C transactions (§6.1). Clients are associated with a home
+// warehouse; NewOrder touches remote warehouses with probability
+// CrossWarehousePct (Appendix B.3).
+
+// NewOrder inserts an order with 3..MaxOL orderlines, reading item prices
+// and updating per-item stock (remote stock for cross-warehouse lines).
+func (w *Workload) NewOrder(r *rand.Rand, z *rand.Zipf, homeWH int) *query.Txn {
+	cfg := w.cfg
+	d := r.Intn(cfg.DistrictsPerW)
+	di := w.districtIndex(homeWH, d)
+	o := w.nextOrder[di].Add(1) - 1
+	if o >= int64(cfg.MaxOrdersPerDistrict) {
+		// Row space exhausted: wrap around is unrealistic; reuse the last
+		// slot's updates instead of inserting.
+		o = int64(cfg.MaxOrdersPerDistrict) - 1
+	}
+	orow := w.orderRow(homeWH, d, o)
+	cust := w.customerRow(homeWH, d, r.Intn(cfg.CustomersPerDistrict))
+	nOL := 3 + r.Intn(cfg.MaxOLPerOrder-2)
+	now := time.Now()
+
+	ops := []query.Op{
+		// Reconnaissance reads: warehouse, district, customer.
+		{Kind: query.OpRead, Table: w.t.Warehouse.ID, Row: schema.RowID(homeWH), Cols: []schema.ColID{2}},
+		{Kind: query.OpRead, Table: w.t.Customer.ID, Row: cust, Cols: []schema.ColID{3, 4}},
+		// Advance the district's next order id.
+		{Kind: query.OpUpdate, Table: w.t.District.ID, Row: w.districtRow(homeWH, d),
+			Cols: []schema.ColID{4}, Vals: []types.Value{types.NewInt64(o + 1)}},
+	}
+	if o < int64(cfg.MaxOrdersPerDistrict) {
+		ops = append(ops, query.Op{
+			Kind: query.OpInsert, Table: w.t.Orders.ID, Row: orow,
+			Vals: []types.Value{
+				types.NewInt64(int64(orow)), types.NewInt64(int64(d)), types.NewInt64(int64(homeWH)),
+				types.NewInt64(int64(cust)), types.NewTime(now),
+				types.NewInt64(-1), types.NewInt64(int64(nOL)),
+			},
+		})
+	}
+	seen := map[int]bool{}
+	for l := 0; l < nOL; l++ {
+		item := int(z.Uint64())
+		for seen[item] {
+			item = (item + 1) % cfg.Items
+		}
+		seen[item] = true
+		supplyWH := homeWH
+		if cfg.Warehouses > 1 && r.Intn(100) < cfg.CrossWarehousePct {
+			supplyWH = r.Intn(cfg.Warehouses)
+		}
+		qty := float64(1 + r.Intn(10))
+		ops = append(ops,
+			query.Op{Kind: query.OpRead, Table: w.t.Item.ID, Row: schema.RowID(item), Cols: []schema.ColID{2}},
+			query.Op{Kind: query.OpUpdate, Table: w.t.Stock.ID, Row: w.stockRow(supplyWH, item),
+				Cols: []schema.ColID{2, 3, 4},
+				Vals: []types.Value{
+					types.NewFloat64(float64(10 + r.Intn(90))),
+					types.NewFloat64(qty), types.NewInt64(1),
+				}},
+			query.Op{Kind: query.OpInsert, Table: w.t.OrderLine.ID, Row: w.orderLineRow(orow, l),
+				Vals: []types.Value{
+					types.NewInt64(int64(orow)), types.NewInt64(int64(l)), types.NewInt64(int64(item)),
+					types.NewFloat64(qty), types.NewFloat64(qty * float64(1+r.Intn(100))),
+					types.NewTime(time.Time{}),
+				}},
+		)
+	}
+	return &query.Txn{Ops: ops}
+}
+
+// Payment updates warehouse/district YTD and the customer balance, and
+// records a history row.
+func (w *Workload) Payment(r *rand.Rand, homeWH int) *query.Txn {
+	cfg := w.cfg
+	d := r.Intn(cfg.DistrictsPerW)
+	cust := w.customerRow(homeWH, d, r.Intn(cfg.CustomersPerDistrict))
+	amount := float64(1 + r.Intn(5000))
+	h := w.historySeq.Add(1)
+	return &query.Txn{Ops: []query.Op{
+		{Kind: query.OpUpdate, Table: w.t.Warehouse.ID, Row: schema.RowID(homeWH),
+			Cols: []schema.ColID{2}, Vals: []types.Value{types.NewFloat64(amount)}},
+		{Kind: query.OpUpdate, Table: w.t.District.ID, Row: w.districtRow(homeWH, d),
+			Cols: []schema.ColID{3}, Vals: []types.Value{types.NewFloat64(amount)}},
+		{Kind: query.OpRead, Table: w.t.Customer.ID, Row: cust, Cols: []schema.ColID{4, 6}},
+		{Kind: query.OpUpdate, Table: w.t.Customer.ID, Row: cust,
+			Cols: []schema.ColID{4, 5}, Vals: []types.Value{types.NewFloat64(-amount), types.NewFloat64(amount)}},
+		{Kind: query.OpInsert, Table: w.t.History.ID, Row: schema.RowID(h),
+			Vals: []types.Value{types.NewInt64(int64(cust)), types.NewFloat64(amount), types.NewTime(time.Now())}},
+	}}
+}
+
+// OrderStatus reads a customer and their most recent order with its lines.
+func (w *Workload) OrderStatus(r *rand.Rand, homeWH int) *query.Txn {
+	cfg := w.cfg
+	d := r.Intn(cfg.DistrictsPerW)
+	di := w.districtIndex(homeWH, d)
+	last := w.nextOrder[di].Load() - 1
+	if last < 0 {
+		last = 0
+	}
+	orow := w.orderRow(homeWH, d, last)
+	cust := w.customerRow(homeWH, d, r.Intn(cfg.CustomersPerDistrict))
+	ops := []query.Op{
+		{Kind: query.OpRead, Table: w.t.Customer.ID, Row: cust, Cols: []schema.ColID{3, 4}},
+		{Kind: query.OpRead, Table: w.t.Orders.ID, Row: orow, Cols: []schema.ColID{4, 5, 6}},
+	}
+	for l := 0; l < cfg.MaxOLPerOrder; l++ {
+		ops = append(ops, query.Op{
+			Kind: query.OpRead, Table: w.t.OrderLine.ID, Row: w.orderLineRow(orow, l),
+			Cols: []schema.ColID{2, 3, 4},
+		})
+	}
+	return &query.Txn{Ops: ops}
+}
+
+// Delivery marks the oldest undelivered order of a district delivered:
+// carrier assignment, per-line delivery dates (the Figure 5b update), and
+// the customer's balance credit.
+func (w *Workload) Delivery(r *rand.Rand, homeWH int) *query.Txn {
+	cfg := w.cfg
+	d := r.Intn(cfg.DistrictsPerW)
+	di := w.districtIndex(homeWH, d)
+	o := w.deliveredUpTo[di].Load()
+	if o >= w.nextOrder[di].Load() {
+		// Nothing to deliver: fall back to refreshing the latest order.
+		o = w.nextOrder[di].Load() - 1
+		if o < 0 {
+			o = 0
+		}
+	} else {
+		w.deliveredUpTo[di].Add(1)
+	}
+	orow := w.orderRow(homeWH, d, o)
+	now := time.Now()
+	ops := []query.Op{
+		{Kind: query.OpUpdate, Table: w.t.Orders.ID, Row: orow,
+			Cols: []schema.ColID{5}, Vals: []types.Value{types.NewInt64(int64(1 + r.Intn(10)))}},
+	}
+	for l := 0; l < 3; l++ { // at least 3 lines exist per order
+		ops = append(ops, query.Op{
+			Kind: query.OpUpdate, Table: w.t.OrderLine.ID, Row: w.orderLineRow(orow, l),
+			Cols: []schema.ColID{5}, Vals: []types.Value{types.NewTime(now)},
+		})
+	}
+	cust := w.customerRow(homeWH, d, r.Intn(cfg.CustomersPerDistrict))
+	ops = append(ops, query.Op{
+		Kind: query.OpUpdate, Table: w.t.Customer.ID, Row: cust,
+		Cols: []schema.ColID{4}, Vals: []types.Value{types.NewFloat64(float64(r.Intn(100)))},
+	})
+	return &query.Txn{Ops: ops}
+}
+
+// StockLevel reads the stock of items in a district's recent orders
+// (reconnaissance-read form of the TPC-C stock-level transaction).
+func (w *Workload) StockLevel(r *rand.Rand, homeWH int) *query.Txn {
+	cfg := w.cfg
+	d := r.Intn(cfg.DistrictsPerW)
+	di := w.districtIndex(homeWH, d)
+	last := w.nextOrder[di].Load() - 1
+	var ops []query.Op
+	for back := int64(0); back < 5 && last-back >= 0; back++ {
+		orow := w.orderRow(homeWH, d, last-back)
+		for l := 0; l < 2; l++ {
+			ops = append(ops, query.Op{
+				Kind: query.OpRead, Table: w.t.OrderLine.ID, Row: w.orderLineRow(orow, l),
+				Cols: []schema.ColID{2},
+			})
+		}
+	}
+	// Probe a handful of stock rows.
+	for i := 0; i < 5; i++ {
+		ops = append(ops, query.Op{
+			Kind: query.OpRead, Table: w.t.Stock.ID,
+			Row:  w.stockRow(homeWH, r.Intn(cfg.Items)),
+			Cols: []schema.ColID{2},
+		})
+	}
+	return &query.Txn{Ops: ops}
+}

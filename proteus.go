@@ -1,0 +1,453 @@
+// Package proteus is the public API of this reproduction of "Proteus:
+// Autonomous Adaptive Storage for Mixed Workloads" (SIGMOD 2022): a
+// distributed HTAP database engine that adaptively and autonomously
+// selects per-partition storage layouts — row or column format, memory or
+// disk tier, sort orders, compression, replication and mastership — from
+// learned workload and cost models.
+//
+// A DB embeds a full simulated cluster: data sites with isolated OLTP and
+// OLAP worker pools, a redo-log broker, an interconnect model, and the
+// adaptive storage advisor. Clients open sessions (strong session snapshot
+// isolation) and submit keyed transactions or analytical query trees:
+//
+//	db, _ := proteus.Open(proteus.Options{Sites: 3})
+//	defer db.Close()
+//
+//	tbl, _ := db.CreateTable("orders", []proteus.Column{
+//	    {Name: "id", Kind: proteus.Int64},
+//	    {Name: "amount", Kind: proteus.Float64},
+//	}, proteus.TableOptions{MaxRows: 1 << 20})
+//
+//	s := db.Session()
+//	_ = s.Insert(tbl, 1, proteus.Int64Value(1), proteus.Float64Value(9.99))
+//	sum, _ := s.QueryScalar(proteus.Sum(proteus.Scan(tbl, "amount"), "amount"))
+//
+// See the examples/ directory for complete programs and internal/
+// experiments for the paper's evaluation suite.
+package proteus
+
+import (
+	"fmt"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Kind aliases the value kinds.
+type Kind = types.Kind
+
+// Column kinds.
+const (
+	Int64   = types.KindInt64
+	Float64 = types.KindFloat64
+	String  = types.KindString
+	Time    = types.KindTime
+	Bool    = types.KindBool
+)
+
+// Value aliases the cell value type.
+type Value = types.Value
+
+// Value constructors.
+var (
+	Int64Value   = types.NewInt64
+	Float64Value = types.NewFloat64
+	StringValue  = types.NewString
+	TimeValue    = types.NewTime
+	BoolValue    = types.NewBool
+)
+
+// Column aliases the schema column definition.
+type Column = schema.Column
+
+// Table aliases the table handle.
+type Table = schema.Table
+
+// RowID aliases the primary-key type.
+type RowID = schema.RowID
+
+// Mode selects the storage architecture; the default is the adaptive
+// Proteus mode. Baseline architectures from the paper's evaluation are
+// available for comparison.
+type Mode = cluster.Mode
+
+// Architecture modes.
+const (
+	Adaptive    = cluster.ModeProteus
+	RowStore    = cluster.ModeRowStore
+	ColumnStore = cluster.ModeColumnStore
+	Janus       = cluster.ModeJanus
+	TiDBLike    = cluster.ModeTiDB
+)
+
+// Options configures a DB.
+type Options struct {
+	// Sites is the data-site count (default 2).
+	Sites int
+	// Mode selects the architecture (default Adaptive).
+	Mode Mode
+	// Cluster, when non-nil, overrides every knob (advanced use).
+	Cluster *cluster.Config
+}
+
+// DB is an open Proteus cluster.
+type DB struct {
+	eng *cluster.Engine
+}
+
+// Open starts a cluster.
+func Open(o Options) (*DB, error) {
+	cfg := cluster.DefaultConfig()
+	if o.Cluster != nil {
+		cfg = *o.Cluster
+	} else {
+		if o.Sites > 0 {
+			cfg.NumSites = o.Sites
+		}
+		cfg.Mode = o.Mode
+	}
+	return &DB{eng: cluster.New(cfg)}, nil
+}
+
+// Close shuts the cluster down.
+func (db *DB) Close() { db.eng.Close() }
+
+// Engine exposes the underlying cluster for advanced use (experiments,
+// layout inspection).
+func (db *DB) Engine() *cluster.Engine { return db.eng }
+
+// TableOptions refines table creation.
+type TableOptions struct {
+	// MaxRows bounds the row-id space (default 1<<30).
+	MaxRows RowID
+	// Partitions is the initial horizontal partition count (default one
+	// per site).
+	Partitions int
+	// ReplicateAll installs a replica at every site (read-only tables).
+	ReplicateAll bool
+}
+
+// CreateTable defines a table.
+func (db *DB) CreateTable(name string, cols []Column, opts TableOptions) (*Table, error) {
+	parts := opts.Partitions
+	if parts <= 0 {
+		parts = len(db.eng.Sites)
+	}
+	return db.eng.CreateTable(cluster.TableSpec{
+		Name: name, Cols: cols, MaxRows: opts.MaxRows,
+		Partitions: parts, ReplicateAll: opts.ReplicateAll,
+	})
+}
+
+// Load bulk-loads rows (id, values...) into a table.
+func (db *DB) Load(tbl *Table, rows []Row) error {
+	out := make([]schema.Row, len(rows))
+	for i, r := range rows {
+		out[i] = schema.Row{ID: r.ID, Vals: r.Values}
+	}
+	return db.eng.LoadRows(tbl.ID, out)
+}
+
+// Row is one tuple for bulk loading.
+type Row struct {
+	ID     RowID
+	Values []Value
+}
+
+// LayoutReport summarizes the cluster's current physical design.
+func (db *DB) LayoutReport() map[string]int { return db.eng.LayoutCounts() }
+
+// Session is one client connection with strong session snapshot isolation:
+// every transaction observes the effects of the session's previous reads
+// and writes.
+type Session struct {
+	db *DB
+	s  *cluster.Session
+}
+
+// Session opens a client session.
+func (db *DB) Session() *Session {
+	return &Session{db: db, s: db.eng.NewSession()}
+}
+
+// Exec runs a multi-operation transaction built with the Op helpers.
+func (s *Session) Exec(ops ...query.Op) (Result, error) {
+	rel, err := s.db.eng.ExecuteTxn(s.s, &query.Txn{Ops: ops})
+	return Result{rel: rel}, err
+}
+
+// Insert adds one row with values for every column.
+func (s *Session) Insert(tbl *Table, id RowID, vals ...Value) error {
+	if len(vals) != tbl.NumColumns() {
+		return fmt.Errorf("proteus: %d values for %d columns", len(vals), tbl.NumColumns())
+	}
+	_, err := s.Exec(InsertOp(tbl, id, vals...))
+	return err
+}
+
+// Update overwrites named columns of one row.
+func (s *Session) Update(tbl *Table, id RowID, set map[string]Value) error {
+	op, err := UpdateOp(tbl, id, set)
+	if err != nil {
+		return err
+	}
+	_, err = s.Exec(op)
+	return err
+}
+
+// Delete removes one row.
+func (s *Session) Delete(tbl *Table, id RowID) error {
+	_, err := s.Exec(DeleteOp(tbl, id))
+	return err
+}
+
+// Get reads named columns of one row; found reports existence.
+func (s *Session) Get(tbl *Table, id RowID, cols ...string) ([]Value, bool, error) {
+	ids, err := colIDs(tbl, cols)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := s.Exec(query.Op{Kind: query.OpRead, Table: tbl.ID, Row: id, Cols: ids})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res.rel.Tuples) == 0 || res.rel.Tuples[0] == nil {
+		return nil, false, nil
+	}
+	return res.rel.Tuples[0], true, nil
+}
+
+// Query executes an analytical query tree.
+func (s *Session) Query(q *query.Query) (Result, error) {
+	rel, err := s.db.eng.ExecuteQuery(s.s, q)
+	return Result{rel: rel}, err
+}
+
+// QueryScalar executes a query expected to yield a single value.
+func (s *Session) QueryScalar(q *query.Query) (Value, error) {
+	res, err := s.Query(q)
+	if err != nil {
+		return types.Null(), err
+	}
+	if len(res.rel.Tuples) != 1 || len(res.rel.Tuples[0]) < 1 {
+		return types.Null(), fmt.Errorf("proteus: query returned %d rows", len(res.rel.Tuples))
+	}
+	return res.rel.Tuples[0][0], nil
+}
+
+// Result is a materialized query or read result.
+type Result struct {
+	rel exec.Rel
+}
+
+// NumRows reports the tuple count.
+func (r Result) NumRows() int { return r.rel.NumRows() }
+
+// Row returns tuple i.
+func (r Result) Row(i int) []Value { return r.rel.Tuples[i] }
+
+// Columns returns the output column labels.
+func (r Result) Columns() []string { return r.rel.Cols }
+
+// --- Operation and query-tree builders -----------------------------------
+
+func colIDs(tbl *Table, names []string) ([]schema.ColID, error) {
+	out := make([]schema.ColID, len(names))
+	for i, n := range names {
+		id, ok := tbl.ColumnID(n)
+		if !ok {
+			return nil, fmt.Errorf("proteus: table %s has no column %q", tbl.Name, n)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// InsertOp builds an insert operation.
+func InsertOp(tbl *Table, id RowID, vals ...Value) query.Op {
+	return query.Op{Kind: query.OpInsert, Table: tbl.ID, Row: id, Vals: vals}
+}
+
+// UpdateOp builds an update of named columns.
+func UpdateOp(tbl *Table, id RowID, set map[string]Value) (query.Op, error) {
+	op := query.Op{Kind: query.OpUpdate, Table: tbl.ID, Row: id}
+	for name, v := range set {
+		cid, ok := tbl.ColumnID(name)
+		if !ok {
+			return op, fmt.Errorf("proteus: table %s has no column %q", tbl.Name, name)
+		}
+		op.Cols = append(op.Cols, cid)
+		op.Vals = append(op.Vals, v)
+	}
+	return op, nil
+}
+
+// DeleteOp builds a delete operation.
+func DeleteOp(tbl *Table, id RowID) query.Op {
+	return query.Op{Kind: query.OpDelete, Table: tbl.ID, Row: id}
+}
+
+// ReadOp builds a keyed read of named columns (panics on unknown columns;
+// use colIDs-based helpers for dynamic names).
+func ReadOp(tbl *Table, id RowID, cols ...string) query.Op {
+	ids, err := colIDs(tbl, cols)
+	if err != nil {
+		panic(err)
+	}
+	return query.Op{Kind: query.OpRead, Table: tbl.ID, Row: id, Cols: ids}
+}
+
+// Scan builds a full-table scan of named columns.
+func Scan(tbl *Table, cols ...string) *query.Query {
+	ids, err := colIDs(tbl, cols)
+	if err != nil {
+		panic(err)
+	}
+	return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: ids}}
+}
+
+// WhereCol adds a predicate conjunct (col op value) to the query's scan
+// leaf.
+func WhereCol(q *query.Query, tbl *Table, col string, op storage.CmpOp, v Value) *query.Query {
+	cid, ok := tbl.ColumnID(col)
+	if !ok {
+		panic(fmt.Sprintf("proteus: no column %q", col))
+	}
+	scan := findScan(q.Root)
+	if scan == nil || scan.Table != tbl.ID {
+		panic("proteus: WhereCol requires a scan of the same table")
+	}
+	scan.Pred = append(scan.Pred, storage.Cond{Col: cid, Op: op, Val: v})
+	return q
+}
+
+// Comparison operators for WhereCol.
+const (
+	Eq = storage.CmpEq
+	Ne = storage.CmpNe
+	Lt = storage.CmpLt
+	Le = storage.CmpLe
+	Gt = storage.CmpGt
+	Ge = storage.CmpGe
+)
+
+func findScan(n query.Node) *query.ScanNode {
+	switch v := n.(type) {
+	case *query.ScanNode:
+		return v
+	case *query.JoinNode:
+		return findScan(v.Left)
+	case *query.AggNode:
+		return findScan(v.Child)
+	}
+	return nil
+}
+
+// aggOver wraps a query's root in an aggregate over one output position.
+func aggOver(q *query.Query, tbl *Table, col string, fn exec.AggFunc) *query.Query {
+	scan := findScan(q.Root)
+	if scan == nil {
+		panic("proteus: aggregate requires a scan query")
+	}
+	pos := -1
+	if col != "" {
+		cid, ok := tbl.ColumnID(col)
+		if !ok {
+			panic(fmt.Sprintf("proteus: no column %q", col))
+		}
+		for i, c := range scan.Cols {
+			if c == cid {
+				pos = i
+			}
+		}
+		if pos < 0 {
+			panic(fmt.Sprintf("proteus: column %q not in scan output", col))
+		}
+	}
+	return &query.Query{Root: &query.AggNode{
+		Child: q.Root,
+		Aggs:  []exec.AggSpec{{Func: fn, Col: pos}},
+	}}
+}
+
+// Sum aggregates SUM(col) over a scan query. The table is inferred from
+// the query's leaf scan; col must be among the scanned columns.
+func Sum(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggSum)
+}
+
+// Count aggregates COUNT(*) over a scan query.
+func Count(q *query.Query, tbl *Table) *query.Query {
+	return aggOver(q, tbl, "", exec.AggCount)
+}
+
+// Min aggregates MIN(col) over a scan query.
+func Min(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggMin)
+}
+
+// Max aggregates MAX(col) over a scan query.
+func Max(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggMax)
+}
+
+// Avg aggregates AVG(col) over a scan query.
+func Avg(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggAvg)
+}
+
+// Join builds an inner equi-join of two scan queries on named columns.
+func Join(left *query.Query, ltbl *Table, lcol string, right *query.Query, rtbl *Table, rcol string) *query.Query {
+	ls, rs := findScan(left.Root), findScan(right.Root)
+	if ls == nil || rs == nil {
+		panic("proteus: Join requires scan queries")
+	}
+	lk, rk := -1, -1
+	lcid, _ := ltbl.ColumnID(lcol)
+	rcid, _ := rtbl.ColumnID(rcol)
+	for i, c := range ls.Cols {
+		if c == lcid {
+			lk = i
+		}
+	}
+	for i, c := range rs.Cols {
+		if c == rcid {
+			rk = i
+		}
+	}
+	if lk < 0 || rk < 0 {
+		panic("proteus: join keys must be among scanned columns")
+	}
+	return &query.Query{Root: &query.JoinNode{
+		Left: left.Root, Right: right.Root, LeftKeyCol: lk, RightKeyCol: rk,
+	}}
+}
+
+// GroupBy wraps the query root in a grouped aggregation: group positions
+// and agg specs are positions into the child's output.
+func GroupBy(q *query.Query, groupPositions []int, aggs []exec.AggSpec) *query.Query {
+	return &query.Query{Root: &query.AggNode{Child: q.Root, GroupBy: groupPositions, Aggs: aggs}}
+}
+
+// AggSpec aliases the aggregate specification for GroupBy.
+type AggSpec = exec.AggSpec
+
+// Aggregate functions for GroupBy specs.
+const (
+	AggSum   = exec.AggSum
+	AggCount = exec.AggCount
+	AggMin   = exec.AggMin
+	AggMax   = exec.AggMax
+	AggAvg   = exec.AggAvg
+)
+
+// SiteCount reports the cluster's data-site count.
+func (db *DB) SiteCount() int { return len(db.eng.Sites) }
+
+// SiteID aliases the site identifier.
+type SiteID = simnet.SiteID

@@ -1,0 +1,178 @@
+package proteus
+
+import (
+	"testing"
+)
+
+func openTest(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db, err := Open(Options{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	tbl, err := db.CreateTable("orders", []Column{
+		{Name: "id", Kind: Int64},
+		{Name: "region", Kind: Int64},
+		{Name: "amount", Kind: Float64},
+	}, TableOptions{MaxRows: 10000, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, Row{ID: RowID(i), Values: []Value{
+			Int64Value(i), Int64Value(i % 4), Float64Value(float64(i)),
+		}})
+	}
+	if err := db.Load(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+func TestCrudRoundTrip(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+
+	if err := s.Insert(tbl, 500, Int64Value(500), Int64Value(1), Float64Value(12.5)); err != nil {
+		t.Fatal(err)
+	}
+	vals, ok, err := s.Get(tbl, 500, "amount")
+	if err != nil || !ok || vals[0].Float() != 12.5 {
+		t.Fatalf("get: %v %v %v", vals, ok, err)
+	}
+	if err := s.Update(tbl, 500, map[string]Value{"amount": Float64Value(99)}); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, _ = s.Get(tbl, 500, "amount")
+	if vals[0].Float() != 99 {
+		t.Fatalf("after update: %v", vals)
+	}
+	if err := s.Delete(tbl, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(tbl, 500, "id"); ok {
+		t.Fatal("deleted row still visible")
+	}
+	// Error paths.
+	if err := s.Insert(tbl, 501, Int64Value(1)); err == nil {
+		t.Error("short insert accepted")
+	}
+	if _, _, err := s.Get(tbl, 1, "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestScalarAggregates(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	sum, err := s.QueryScalar(Sum(Scan(tbl, "amount"), tbl, "amount"))
+	if err != nil || sum.Float() != 4950 {
+		t.Fatalf("sum = %v, %v", sum, err)
+	}
+	cnt, err := s.QueryScalar(Count(Scan(tbl, "id"), tbl))
+	if err != nil || cnt.Int() != 100 {
+		t.Fatalf("count = %v, %v", cnt, err)
+	}
+	mx, err := s.QueryScalar(Max(Scan(tbl, "amount"), tbl, "amount"))
+	if err != nil || mx.Float() != 99 {
+		t.Fatalf("max = %v, %v", mx, err)
+	}
+	avg, err := s.QueryScalar(Avg(Scan(tbl, "amount"), tbl, "amount"))
+	if err != nil || avg.Float() != 49.5 {
+		t.Fatalf("avg = %v, %v", avg, err)
+	}
+}
+
+func TestWherePredicate(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	q := Scan(tbl, "amount")
+	q = WhereCol(q, tbl, "amount", Ge, Float64Value(90))
+	cnt, err := s.QueryScalar(Count(q, tbl))
+	if err != nil || cnt.Int() != 10 {
+		t.Fatalf("count >= 90: %v %v", cnt, err)
+	}
+}
+
+func TestGroupByQuery(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	q := GroupBy(Scan(tbl, "region", "amount"), []int{0}, []AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}})
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		if res.Row(i)[1].Int() != 25 {
+			t.Errorf("group %v count = %v", res.Row(i)[0], res.Row(i)[1])
+		}
+	}
+}
+
+func TestJoinBuilder(t *testing.T) {
+	db, tbl := openTest(t)
+	dim, err := db.CreateTable("regions", []Column{
+		{Name: "rid", Kind: Int64},
+		{Name: "name", Kind: String},
+	}, TableOptions{MaxRows: 10, Partitions: 1, ReplicateAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for i := int64(0); i < 4; i++ {
+		rows = append(rows, Row{ID: RowID(i), Values: []Value{Int64Value(i), StringValue("r")}})
+	}
+	if err := db.Load(dim, rows); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	q := Join(Scan(tbl, "region", "amount"), tbl, "region", Scan(dim, "rid"), dim, "rid")
+	q = GroupBy(q, nil, []AggSpec{{Func: AggCount}})
+	res, err := s.Query(q)
+	if err != nil || res.NumRows() != 1 || res.Row(0)[0].Int() != 100 {
+		t.Fatalf("join count: %v %v", res, err)
+	}
+}
+
+func TestSessionReadYourWrites(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	for i := 0; i < 10; i++ {
+		if err := s.Update(tbl, 1, map[string]Value{"amount": Float64Value(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		vals, _, err := s.Get(tbl, 1, "amount")
+		if err != nil || vals[0].Float() != float64(i) {
+			t.Fatalf("iteration %d: read %v, %v", i, vals, err)
+		}
+	}
+}
+
+func TestLayoutReportAndModes(t *testing.T) {
+	db, tbl := openTest(t)
+	_ = tbl
+	rep := db.LayoutReport()
+	total := 0
+	for _, n := range rep {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no layouts reported")
+	}
+	if db.SiteCount() != 2 {
+		t.Error("site count wrong")
+	}
+
+	for _, m := range []Mode{RowStore, ColumnStore, Janus, TiDBLike} {
+		db2, err := Open(Options{Sites: 2, Mode: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2.Close()
+	}
+}
