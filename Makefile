@@ -1,0 +1,15 @@
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check is the CI pipeline: vet + build + tests + race detector over the
+# concurrency-heavy packages.
+check:
+	./scripts/ci.sh
+
+bench:
+	go test -bench . -benchtime 100x .

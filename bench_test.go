@@ -15,6 +15,7 @@ import (
 	"proteus/internal/disksim"
 	"proteus/internal/exec"
 	"proteus/internal/harness"
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/query"
 	"proteus/internal/schema"
@@ -144,6 +145,7 @@ func benchYCSBRound(b *testing.B, mode cluster.Mode) {
 	e, w := benchYCSB(b, mode)
 	c := w.NewClient(0, rand.New(rand.NewSource(1)))
 	sess := e.NewSession()
+	e.Stats().Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.ExecuteQuery(sess, c.OLAP()); err != nil {
@@ -155,6 +157,10 @@ func benchYCSBRound(b *testing.B, mode cluster.Mode) {
 			}
 		}
 	}
+	b.StopTimer()
+	oltp, olap, _ := e.Stats().Quantiles()
+	b.ReportMetric(float64(oltp.P95), "oltp-p95-ns")
+	b.ReportMetric(float64(olap.P95), "olap-p95-ns")
 }
 
 // BenchmarkFig8aYCSBRoundProteus measures one balanced YCSB round (Fig 8a/9).
@@ -313,6 +319,34 @@ func BenchmarkTab5PlanQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Observability -----------------------------------------------------------
+
+// BenchmarkObsRecorderSteadyState measures one latency record with the
+// ring already full — the regime where the old bounded-append sampler
+// copied its whole 200k-sample window per record. The ring write is O(1)
+// no matter how many records preceded it.
+func BenchmarkObsRecorderSteadyState(b *testing.B) {
+	r := obs.NewRecorder(1 << 16)
+	for i := 0; i < r.Cap()+1; i++ {
+		r.Record(time.Duration(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(time.Duration(i))
+	}
+}
+
+// BenchmarkObsRecorderParallel measures contended recording: every client
+// goroutine records into the same per-class window on the request path.
+func BenchmarkObsRecorderParallel(b *testing.B) {
+	r := obs.NewRecorder(1 << 16)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record(time.Microsecond)
+		}
+	})
 }
 
 // --- Component micro-benchmarks ---------------------------------------------

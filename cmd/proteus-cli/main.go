@@ -8,7 +8,8 @@
 // Supported statements: CREATE TABLE t (col TYPE, ...) [MAXROWS n]
 // [PARTITIONS n]; INSERT INTO t VALUES (id, ...); UPDATE t SET c = v WHERE
 // id = n; DELETE FROM t WHERE id = n; SELECT with aggregates, WHERE, one
-// JOIN and GROUP BY. Meta commands: \layouts, \help, \quit.
+// JOIN and GROUP BY. Meta commands: \layouts, \stats, \trace [n], \help,
+// \quit.
 package main
 
 import (
@@ -17,9 +18,13 @@ import (
 	"fmt"
 	"net/rpc"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"proteus/internal/cluster"
+	"proteus/internal/obs"
 	"proteus/internal/server"
 )
 
@@ -27,6 +32,7 @@ import (
 type executor interface {
 	Exec(sql string) (server.ExecReply, error)
 	Layouts() (map[string]int, error)
+	Stats(traceLimit int) (server.StatsReply, error)
 }
 
 type localExec struct {
@@ -46,6 +52,12 @@ func (l *localExec) Layouts() (map[string]int, error) {
 	return reply.Counts, err
 }
 
+func (l *localExec) Stats(traceLimit int) (server.StatsReply, error) {
+	var reply server.StatsReply
+	err := l.svc.Stats(&server.StatsArgs{TraceLimit: traceLimit}, &reply)
+	return reply, err
+}
+
 type remoteExec struct {
 	c    *rpc.Client
 	sess uint64
@@ -61,6 +73,12 @@ func (r *remoteExec) Layouts() (map[string]int, error) {
 	var reply server.LayoutReply
 	err := r.c.Call("Proteus.Layouts", &server.LayoutArgs{}, &reply)
 	return reply.Counts, err
+}
+
+func (r *remoteExec) Stats(traceLimit int) (server.StatsReply, error) {
+	var reply server.StatsReply
+	err := r.c.Call("Proteus.Stats", &server.StatsArgs{TraceLimit: traceLimit}, &reply)
+	return reply, err
 }
 
 func main() {
@@ -107,7 +125,28 @@ func main() {
 			return
 		case line == `\help`:
 			fmt.Println(`statements: CREATE TABLE / INSERT / UPDATE / DELETE / SELECT
-meta: \layouts (storage layout report), \quit`)
+meta: \layouts (storage layout report), \stats (metrics snapshot),
+      \trace [n] (recent ASA decisions), \quit`)
+		case line == `\stats`:
+			reply, err := ex.Stats(0)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printStats(reply.Metrics)
+		case line == `\trace` || strings.HasPrefix(line, `\trace `):
+			n := 20
+			if rest := strings.TrimSpace(strings.TrimPrefix(line, `\trace`)); rest != "" {
+				if v, err := strconv.Atoi(rest); err == nil {
+					n = v
+				}
+			}
+			reply, err := ex.Stats(n)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printTrace(reply.Trace)
 		case line == `\layouts`:
 			counts, err := ex.Layouts()
 			if err != nil {
@@ -126,6 +165,58 @@ meta: \layouts (storage layout report), \quit`)
 			printReply(reply)
 		}
 		fmt.Print("proteus> ")
+	}
+}
+
+// printStats renders a metrics snapshot: counters and gauges first, then
+// each latency window with count, average and quantiles.
+func printStats(s obs.Snapshot) {
+	section := func(title string, vals map[string]int64) {
+		if len(vals) == 0 {
+			return
+		}
+		fmt.Println(title + ":")
+		names := make([]string, 0, len(vals))
+		for name := range vals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-36s %d\n", name, vals[name])
+		}
+	}
+	section("counters", s.Counters)
+	section("gauges", s.Gauges)
+	if len(s.Latencies) == 0 {
+		return
+	}
+	fmt.Println("latencies:")
+	names := make([]string, 0, len(s.Latencies))
+	for name := range s.Latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := s.Latencies[name]
+		fmt.Printf("  %-36s n=%-8d avg=%-10v p50=%-10v p95=%-10v p99=%v\n",
+			name, l.Count, l.Avg, l.P50, l.P95, l.P99)
+	}
+}
+
+// printTrace renders recent ASA decisions, oldest first.
+func printTrace(ds []obs.Decision) {
+	if len(ds) == 0 {
+		fmt.Println("(no decisions)")
+		return
+	}
+	for _, d := range ds {
+		status := "ok"
+		if !d.Executed {
+			status = "failed: " + d.Err
+		}
+		fmt.Printf("  #%-5d %s p%-5d %-10s %-10s -> %-28s net=%-8.0f plan=%-10v exec=%-10v %s\n",
+			d.Seq, d.At.Format(time.TimeOnly), d.Partition, d.Trigger, d.Kind,
+			d.Layout, d.Net, d.PlanTime, d.ExecTime, status)
 	}
 }
 

@@ -3,27 +3,33 @@
 // for the paper's Thrift layer) and submit SQL statements with
 // per-connection sessions under strong session snapshot isolation.
 //
-//	proteusd -listen :7654 -sites 3 -mode proteus
+//	proteusd -listen :7654 -sites 3 -mode proteus -metrics :7655
 //
-// Connect with: proteus-cli -connect localhost:7654
+// Connect with: proteus-cli -connect localhost:7654. The -metrics address
+// serves /metrics (plain text), /metrics.json, /trace?n=100 (recent ASA
+// decisions) and /debug/vars (expvar).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"proteus/internal/cluster"
+	"proteus/internal/obs"
 	"proteus/internal/server"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7654", "address to listen on")
-		sites  = flag.Int("sites", 2, "data sites")
-		mode   = flag.String("mode", "proteus", "architecture: proteus|rowstore|columnstore|janus|tidb")
+		listen  = flag.String("listen", ":7654", "address to listen on")
+		sites   = flag.Int("sites", 2, "data sites")
+		mode    = flag.String("mode", "proteus", "architecture: proteus|rowstore|columnstore|janus|tidb")
+		metrics = flag.String("metrics", "", "metrics HTTP address (empty = disabled), e.g. :7655")
 	)
 	flag.Parse()
 
@@ -50,6 +56,19 @@ func main() {
 	}
 	defer ln.Close()
 	fmt.Printf("proteusd: %d sites, mode=%s, listening on %s\n", *sites, m, ln.Addr())
+
+	if *metrics != "" {
+		obs.PublishExpvar("proteus", eng.MetricsSnapshot)
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mln.Close()
+		go func() {
+			_ = http.Serve(mln, obs.Handler(eng.MetricsSnapshot, eng.Trace))
+		}()
+		fmt.Printf("proteusd: metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

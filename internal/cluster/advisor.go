@@ -11,6 +11,7 @@ import (
 	"proteus/internal/asa"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/plan"
 	"proteus/internal/query"
@@ -156,6 +157,28 @@ func (a *Advisor) start() {
 // Changes reports how many layout changes the advisor has executed.
 func (a *Advisor) Changes() int64 { return a.changes.Load() }
 
+// trace appends one decision to the engine's ASA decision trace.
+func (a *Advisor) trace(pid partition.ID, trigger string, c asa.Candidate, planD, execD time.Duration, err error) {
+	if a.e.Trace == nil {
+		return
+	}
+	d := obs.Decision{
+		At:        time.Now(),
+		Partition: uint64(pid),
+		Trigger:   trigger,
+		Kind:      c.Kind.String(),
+		Layout:    c.NewLayout.String(),
+		Net:       c.Net,
+		PlanTime:  planD,
+		ExecTime:  execD,
+		Executed:  err == nil,
+	}
+	if err != nil {
+		d.Err = err.Error()
+	}
+	a.e.Trace.Add(d)
+}
+
 // shouldConsider implements §5.3.2's gating: adapt when the request's cost
 // is above the decayed average, or on a deterministic sample.
 func (a *Advisor) shouldConsider(olap bool, d time.Duration) bool {
@@ -203,7 +226,7 @@ func (a *Advisor) onTxnExecuted(tp *plan.TxnPlan, d time.Duration) {
 		}
 	}
 	if target != nil {
-		a.adaptPartition(target.ID, false, ClassOLTPLayoutPlan, ClassOLTPLayoutExec)
+		a.adaptPartition(target.ID, false, "oltp-plan", ClassOLTPLayoutPlan, ClassOLTPLayoutExec)
 	}
 }
 
@@ -247,7 +270,7 @@ func (a *Advisor) onQueryExecuted(pn plan.PNode, d time.Duration) {
 	}
 	walk(pn)
 	if bestScore >= 0 {
-		a.adaptPartition(target, false, ClassOLAPLayoutPlan, ClassOLAPLayoutExec)
+		a.adaptPartition(target, false, "olap-plan", ClassOLAPLayoutPlan, ClassOLAPLayoutExec)
 	}
 }
 
@@ -368,7 +391,7 @@ func (a *Advisor) predictedRates(m *metadata.PartitionMeta, horizonSec float64) 
 // execute the best while positive. A per-partition cooldown provides
 // hysteresis: a freshly changed partition is left alone long enough for
 // its access statistics and cost observations to reflect the new layout.
-func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, planClass, execClass OpClass) {
+func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, trigger string, planClass, execClass OpClass) {
 	const cooldown = 400 * time.Millisecond
 	a.lcMu.Lock()
 	if last, ok := a.lastChange[pid]; ok && time.Since(last) < cooldown {
@@ -397,7 +420,8 @@ func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, planClass, ex
 			return // nothing stored; no change can pay off
 		}
 		best, found := a.bestCandidate(view)
-		a.e.stats.Record(planClass, time.Since(planStart))
+		planDur := time.Since(planStart)
+		a.e.stats.Record(planClass, planDur)
 		if debugAdvisor {
 			fmt.Printf("[advisor] pid=%d layout=%v rates={u:%.1f p:%.1f s:%.1f} best=%v net=%.0f found=%v\n",
 				pid, view.Master.Layout, view.Rates.Updates, view.Rates.PointReads, view.Rates.Scans,
@@ -407,7 +431,9 @@ func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, planClass, ex
 			return
 		}
 		execStart := time.Now()
-		if err := a.execute(view, best); err != nil {
+		err := a.execute(view, best)
+		a.trace(pid, trigger, best, planDur, time.Since(execStart), err)
+		if err != nil {
 			return
 		}
 		a.changes.Add(1)
@@ -546,7 +572,7 @@ func (a *Advisor) predictiveTick() {
 		worst = worst[:4]
 	}
 	for _, w := range worst {
-		a.adaptPartition(w.pid, true, ClassOLAPLayoutPlan, ClassOLAPLayoutExec)
+		a.adaptPartition(w.pid, true, "predictive", ClassOLAPLayoutPlan, ClassOLAPLayoutExec)
 	}
 	a.considerMerges()
 }
@@ -582,6 +608,7 @@ func (a *Advisor) considerMerges() {
 				continue
 			}
 			a.mu.Lock()
+			planStart := time.Now()
 			view, ok := a.buildView(l, false)
 			if !ok || view.Rows == 0 {
 				a.mu.Unlock()
@@ -590,9 +617,12 @@ func (a *Advisor) considerMerges() {
 			cand := a.eval.Evaluate(view, asa.Candidate{
 				Kind: asa.MergeWith, PID: l.ID, Other: r.ID, Site: l.Master().Site,
 			})
+			planDur := time.Since(planStart)
 			if cand.Net > 0 {
 				start := time.Now()
-				if err := a.e.MergeH(l.ID, r.ID); err == nil {
+				err := a.e.MergeH(l.ID, r.ID)
+				a.trace(l.ID, "merge", cand, planDur, time.Since(start), err)
+				if err == nil {
 					a.changes.Add(1)
 					a.e.stats.Record(ClassOLAPLayoutExec, time.Since(start))
 					a.mu.Unlock()
@@ -672,7 +702,10 @@ func (a *Advisor) relieveSite(siteID simnet.SiteID, need int64) {
 		if !ok {
 			continue
 		}
-		if err := a.execute(view, o.o.Candidate); err == nil {
+		execStart := time.Now()
+		err := a.execute(view, o.o.Candidate)
+		a.trace(o.o.Candidate.PID, "capacity", o.o.Candidate, 0, time.Since(execStart), err)
+		if err == nil {
 			a.changes.Add(1)
 			freed += o.o.BytesFreed
 		}

@@ -17,6 +17,7 @@ import (
 	"proteus/internal/cost"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/plan"
 	"proteus/internal/redolog"
@@ -77,6 +78,11 @@ type Config struct {
 	MaintainInterval time.Duration
 	// DeltaThreshold triggers delta merges / buffer flushes.
 	DeltaThreshold int
+	// RedoRetention is how many records each redo-log topic keeps beyond
+	// the minimum subscriber offset when the maintenance loop trims it —
+	// slack that covers replica installs capturing a snapshot offset
+	// concurrently with truncation. 0 disables the slack.
+	RedoRetention int64
 	// Adapt holds the ASA feature switches (ablation study, §6.3.7);
 	// ignored outside ModeProteus.
 	Adapt AdaptConfig
@@ -96,6 +102,7 @@ func DefaultConfig() Config {
 		ReplicationInterval: 5 * time.Millisecond,
 		MaintainInterval:    20 * time.Millisecond,
 		DeltaThreshold:      256,
+		RedoRetention:       256,
 		Adapt:               DefaultAdaptConfig(),
 		RaftFollowers:       2,
 	}
@@ -117,6 +124,12 @@ type Engine struct {
 	Sites   []*site.Site
 
 	Advisor *Advisor // nil unless ModeProteus
+
+	// Obs is the cluster-wide metrics registry (simnet traffic, redo-log
+	// broker, per-site maintenance); Trace is the ASA decision trace
+	// (empty outside ModeProteus).
+	Obs   *obs.Registry
+	Trace *obs.DecisionTrace
 
 	stats Stats
 
@@ -147,11 +160,17 @@ func New(cfg Config) *Engine {
 		Broker:   redolog.NewBroker(),
 		Deps:     txn.NewDependencyTracker(),
 		Locks:    txn.NewLockManager(),
+		Obs:      obs.NewRegistry(),
+		Trace:    obs.NewDecisionTrace(4096),
 		tableMax: make(map[schema.TableID]schema.RowID),
 		stop:     make(chan struct{}),
 	}
+	e.Net.SetObs(e.Obs)
+	e.Broker.SetObs(e.Obs)
 	for i := 0; i < cfg.NumSites; i++ {
-		e.Sites = append(e.Sites, site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite))
+		s := site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite)
+		s.SetObs(e.Obs)
+		e.Sites = append(e.Sites, s)
 	}
 	e.Planner = &plan.Planner{
 		Dir:       e.Dir,
@@ -194,6 +213,7 @@ func (e *Engine) startBackground() {
 						s.Maintain(e.cfg.DeltaThreshold)
 					}
 					e.drainObservations()
+					e.truncateRedoLogs()
 				}
 			}
 		}()
@@ -244,6 +264,34 @@ func (e *Engine) drainObservations() {
 	for _, s := range e.Sites {
 		for _, o := range s.DrainObservations() {
 			e.Model.Observe(o)
+		}
+	}
+}
+
+// truncateRedoLogs trims every redo-log topic below the minimum offset
+// any replica subscription still needs, bounding log growth (the paper's
+// Kafka retention). Topics with no subscribers — unreplicated masters,
+// the common case under Proteus — trim to their end offset. A configured
+// retention slack keeps the last RedoRetention records regardless, so a
+// replica install capturing a snapshot offset concurrently with this loop
+// never finds its start already reclaimed.
+func (e *Engine) truncateRedoLogs() {
+	mins := make(map[partition.ID]int64)
+	for _, s := range e.Sites {
+		for pid, off := range s.Repl.Offsets() {
+			if cur, ok := mins[pid]; !ok || off < cur {
+				mins[pid] = off
+			}
+		}
+	}
+	for _, pid := range e.Broker.Topics() {
+		floor, ok := mins[pid]
+		if !ok {
+			floor = e.Broker.EndOffset(pid)
+		}
+		floor -= e.cfg.RedoRetention
+		if floor > 0 {
+			e.Broker.Truncate(pid, floor)
 		}
 	}
 }
@@ -431,6 +479,40 @@ func (e *Engine) LoadRows(table schema.TableID, rows []schema.Row) error {
 
 // Stats exposes the engine's experiment counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
+
+// MetricsSnapshot assembles the full observability snapshot: the shared
+// registry (net, redolog, per-site maintenance) plus per-class operation
+// counters, OLTP/OLAP/adaptation latency quantiles, per-site tier usage
+// and replication/advisor totals. This is what cmd/proteusd serves over
+// HTTP and what the proteus-cli stats command prints.
+func (e *Engine) MetricsSnapshot() obs.Snapshot {
+	snap := e.Obs.Snapshot()
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		st := e.stats.Class(c)
+		if st.Count == 0 {
+			continue
+		}
+		snap.Counters["engine."+c.String()+".count"] = st.Count
+		snap.Counters["engine."+c.String()+".time_ns"] = int64(st.TotalTime)
+	}
+	snap.Counters["engine.aborts"] = e.stats.Aborts()
+	oltp, olap, adapt := e.stats.Quantiles()
+	snap.Latencies["engine.oltp"] = oltp
+	snap.Latencies["engine.olap"] = olap
+	snap.Latencies["engine.adaptation"] = adapt
+	var applied int64
+	for _, s := range e.Sites {
+		snap.Gauges[fmt.Sprintf("site%d.mem_bytes", s.ID)] = s.MemUsage()
+		snap.Gauges[fmt.Sprintf("site%d.disk_bytes", s.ID)] = s.DiskUsage()
+		applied += s.Repl.Applied()
+	}
+	snap.Counters["repl.applied"] = applied
+	snap.Counters["asa.decisions"] = e.Trace.Total()
+	if e.Advisor != nil {
+		snap.Counters["asa.changes"] = e.Advisor.Changes()
+	}
+	return snap
+}
 
 // TableMaxRow reports the configured row bound of a table.
 func (e *Engine) TableMaxRow(t schema.TableID) schema.RowID { return e.tableMax[t] }

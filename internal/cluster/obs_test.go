@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/forecast"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// rowsAt loads n rows with IDs starting at base (targeting one partition
+// of the standard 4-partition "items" table).
+func rowsAt(t *testing.T, e *Engine, tbl *schema.Table, base, n int64) {
+	t.Helper()
+	data := make([]schema.Row, 0, n)
+	for i := base; i < base+n; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)), types.NewString("r"),
+		}})
+	}
+	if err := e.LoadRows(tbl.ID, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUPromoteSkipsOversizedPartition(t *testing.T) {
+	// One oversized hot partition must not starve smaller hot partitions
+	// behind it in the heat order: promotion skips what doesn't fit and
+	// keeps going.
+	e, tbl := newTestEngine(t, ModeRowStore, 1, 4, 2000) // partition 0: 2000 rows
+	rowsAt(t, e, tbl, 25000, 100)                        // partition 1
+	rowsAt(t, e, tbl, 50000, 100)                        // partition 2
+
+	// Demote every loaded partition to disk and record heat: partition 0
+	// hottest, then 1, then 2.
+	var sizes []int64
+	metas := e.Dir.TablePartitions(tbl.ID)
+	heat := map[schema.RowID]int{0: 300, 25000: 200, 50000: 100}
+	for _, m := range metas {
+		n, ok := heat[m.Bounds.RowStart]
+		if !ok {
+			continue
+		}
+		m.Tracker.Record(forecast.PointRead, n)
+		l := m.Master().Layout
+		l.Tier = storage.DiskTier
+		if err := e.ChangeCopyLayout(m.ID, m.Master().Site, l); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := e.Sites[0].Partition(m.ID)
+		sizes = append(sizes, int64(p.Stats().Bytes))
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("expected 3 loaded partitions, got %d", len(sizes))
+	}
+
+	// Room fits partitions 1 and 2 together but not partition 0.
+	room := sizes[1] + sizes[2] + 1
+	if room >= sizes[0] {
+		t.Fatalf("test setup: oversized partition %d not larger than room %d", sizes[0], room)
+	}
+	e.lruPromote(0, room)
+
+	for _, m := range e.Dir.TablePartitions(tbl.ID) {
+		p, ok := e.Sites[0].Partition(m.ID)
+		if !ok {
+			continue
+		}
+		tier := p.Layout().Tier
+		switch m.Bounds.RowStart {
+		case 0:
+			if tier != storage.DiskTier {
+				t.Errorf("oversized partition was promoted")
+			}
+		case 25000, 50000:
+			if tier != storage.MemoryTier {
+				t.Errorf("partition at row %d not promoted (tier %v)", m.Bounds.RowStart, tier)
+			}
+		}
+	}
+}
+
+func TestMaintenanceTruncatesRedoLog(t *testing.T) {
+	cfg := fastConfig(ModeRowStore, 1)
+	cfg.RedoRetention = 0 // trim aggressively so the test converges fast
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	tbl, err := e.CreateTable(TableSpec{Name: "items", Cols: testCols, MaxRows: 1000, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsAt(t, e, tbl, 0, 10)
+
+	sess := e.NewSession()
+	pid := e.Dir.TablePartitions(tbl.ID)[0].ID
+	deadline := time.After(3 * time.Second)
+	for e.Broker.BaseOffset(pid) == 0 {
+		if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+			updateOp(tbl, 3, 2, types.NewFloat64(1)),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("redo log never truncated: base=%d end=%d",
+				e.Broker.BaseOffset(pid), e.Broker.EndOffset(pid))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	snap := e.MetricsSnapshot()
+	if snap.Counters["redolog.truncated_records"] == 0 {
+		t.Error("truncated_records counter not incremented")
+	}
+	if got := snap.Gauges["redolog.backlog"]; got != e.Broker.Retained(pid) {
+		t.Errorf("backlog gauge = %d, retained = %d", got, e.Broker.Retained(pid))
+	}
+}
+
+func TestStatsLatenciesArrivalOrder(t *testing.T) {
+	var s Stats
+	for i := 1; i <= 10; i++ {
+		s.Record(ClassOLTP, time.Duration(i)*time.Millisecond)
+	}
+	s.Record(ClassOLAP, 7*time.Millisecond)
+	oltp, olap := s.Latencies()
+	if len(oltp) != 10 || len(olap) != 1 {
+		t.Fatalf("windows = %d oltp, %d olap", len(oltp), len(olap))
+	}
+	for i, d := range oltp {
+		if d != time.Duration(i+1)*time.Millisecond {
+			t.Fatalf("oltp[%d] = %v, want %v (arrival order)", i, d, time.Duration(i+1)*time.Millisecond)
+		}
+	}
+	oq, _, aq := s.Quantiles()
+	if oq.Count != 10 || oq.P50 != 5*time.Millisecond || oq.Max != 10*time.Millisecond {
+		t.Errorf("oltp quantiles = %+v", oq)
+	}
+	// Plan classes count but do not enter a latency window; other classes
+	// land in the adaptation window.
+	s.Record(ClassOLTPPlan, time.Millisecond)
+	s.Record(ClassTierChange, 2*time.Millisecond)
+	if _, _, aq = s.Quantiles(); aq.Count != 1 {
+		t.Errorf("adaptation window count = %d, want 1", aq.Count)
+	}
+	if s.Class(ClassOLTPPlan).Count != 1 {
+		t.Errorf("plan class not counted")
+	}
+	s.Reset()
+	if oltp, _ := s.Latencies(); len(oltp) != 0 {
+		t.Errorf("window survived reset")
+	}
+}

@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"proteus/internal/obs"
 )
 
 // OpClass buckets engine activity for the time-accounting experiments
@@ -57,75 +60,93 @@ func (s ClassStats) Avg() time.Duration {
 	return s.TotalTime / time.Duration(s.Count)
 }
 
-// Stats tracks engine activity. Safe for concurrent use.
-type Stats struct {
-	mu      sync.Mutex
-	classes [NumOpClasses]ClassStats
+// latencyRingCap sizes the per-class sample windows backing the quantile
+// snapshots.
+const latencyRingCap = 1 << 16
 
-	oltpLatencies []time.Duration
-	olapLatencies []time.Duration
-	// keepLatencies bounds the retained per-request samples (ring).
-	aborts int64
+// classCounter is one class's lock-free accumulators.
+type classCounter struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Stats tracks engine activity. The zero value is ready to use and every
+// method is safe for concurrent use; recording is lock-free (atomic
+// counters plus O(1) ring writes), replacing the former global-mutex
+// sampler whose bounded append copied the full 200k-sample window per
+// record once full.
+type Stats struct {
+	classes [NumOpClasses]classCounter
+	aborts  atomic.Int64
+
+	once  sync.Once
+	oltp  *obs.Recorder // per-request OLTP latency window
+	olap  *obs.Recorder // per-request OLAP latency window
+	adapt *obs.Recorder // adaptation work (layout plan + change execution)
+}
+
+func (s *Stats) init() {
+	s.once.Do(func() {
+		s.oltp = obs.NewRecorder(latencyRingCap)
+		s.olap = obs.NewRecorder(latencyRingCap)
+		s.adapt = obs.NewRecorder(1 << 12)
+	})
 }
 
 // Record adds one completed operation.
 func (s *Stats) Record(c OpClass, d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.classes[c].Count++
-	s.classes[c].TotalTime += d
+	s.init()
+	s.classes[c].count.Add(1)
+	s.classes[c].ns.Add(int64(d))
 	switch c {
 	case ClassOLTP:
-		s.oltpLatencies = appendBounded(s.oltpLatencies, d)
+		s.oltp.Record(d)
 	case ClassOLAP:
-		s.olapLatencies = appendBounded(s.olapLatencies, d)
+		s.olap.Record(d)
+	case ClassOLTPPlan, ClassOLAPPlan:
+		// Request planning is accounted per class only.
+	default:
+		s.adapt.Record(d)
 	}
-}
-
-func appendBounded(sl []time.Duration, d time.Duration) []time.Duration {
-	const cap = 200000
-	if len(sl) >= cap {
-		copy(sl, sl[1:])
-		sl = sl[:cap-1]
-	}
-	return append(sl, d)
 }
 
 // RecordAbort counts a transaction abort.
-func (s *Stats) RecordAbort() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.aborts++
-}
+func (s *Stats) RecordAbort() { s.aborts.Add(1) }
 
 // Class returns one class's counters.
 func (s *Stats) Class(c OpClass) ClassStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.classes[c]
+	return ClassStats{
+		Count:     s.classes[c].count.Load(),
+		TotalTime: time.Duration(s.classes[c].ns.Load()),
+	}
 }
 
 // Aborts reports aborted transactions.
-func (s *Stats) Aborts() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.aborts
+func (s *Stats) Aborts() int64 { return s.aborts.Load() }
+
+// Latencies returns the retained per-request latency windows in arrival
+// order (oldest first).
+func (s *Stats) Latencies() (oltp, olap []time.Duration) {
+	s.init()
+	return s.oltp.Samples(), s.olap.Samples()
 }
 
-// Latencies returns copies of the retained per-request latency samples.
-func (s *Stats) Latencies() (oltp, olap []time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]time.Duration(nil), s.oltpLatencies...),
-		append([]time.Duration(nil), s.olapLatencies...)
+// Quantiles snapshots the three latency windows: per-request OLTP and
+// OLAP, and adaptation work (layout planning and change execution).
+func (s *Stats) Quantiles() (oltp, olap, adapt obs.LatencySnapshot) {
+	s.init()
+	return s.oltp.Snapshot(), s.olap.Snapshot(), s.adapt.Snapshot()
 }
 
 // Reset clears all counters (between experiment phases).
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.classes = [NumOpClasses]ClassStats{}
-	s.oltpLatencies = nil
-	s.olapLatencies = nil
-	s.aborts = 0
+	s.init()
+	for i := range s.classes {
+		s.classes[i].count.Store(0)
+		s.classes[i].ns.Store(0)
+	}
+	s.aborts.Store(0)
+	s.oltp.Reset()
+	s.olap.Reset()
+	s.adapt.Reset()
 }

@@ -76,13 +76,18 @@ func (e *Engine) lruDemote(siteID simnet.SiteID, need int64) {
 }
 
 // lruPromote moves the hottest disk partitions back to memory while room
-// remains.
+// remains. Partitions too large for the remaining room are skipped, not
+// treated as a stop condition: one oversized cold partition must not
+// starve smaller hot ones behind it in the heat order.
 func (e *Engine) lruPromote(siteID simnet.SiteID, room int64) {
 	cands := e.lruCandidates(int(siteID), storage.DiskTier)
 	sort.Slice(cands, func(i, j int) bool { return cands[i].heat > cands[j].heat })
 	for _, c := range cands {
-		if c.heat == 0 || room <= c.size {
-			return
+		if c.heat == 0 {
+			return // candidates are heat-sorted; the rest are cold
+		}
+		if c.size >= room {
+			continue
 		}
 		l := c.p.Layout()
 		l.Tier = storage.MemoryTier

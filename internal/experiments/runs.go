@@ -106,6 +106,7 @@ type point struct {
 	oltpTPS      float64
 	olapLatMs    float64
 	olapP95Ms    float64
+	olapP99Ms    float64
 }
 
 func runPoint(bench string, mode cluster.Mode, mix harness.Mix, s Scale) (point, error) {
@@ -135,6 +136,7 @@ func runPoint(bench string, mode cluster.Mode, mix harness.Mix, s Scale) (point,
 		tps = append(tps, res.OLTPThroughput())
 		lats = append(lats, float64(res.OLAPLatAvg.Microseconds())/1000)
 		p.olapP95Ms = float64(res.OLAPLatP95.Microseconds()) / 1000
+		p.olapP99Ms = float64(res.OLAPLatP99.Microseconds()) / 1000
 	}
 	p.completionS, p.completionCI = harness.CI95(comps)
 	p.oltpTPS, _ = harness.CI95(tps)
@@ -209,14 +211,15 @@ func Fig9(w io.Writer, s Scale) error {
 	header(w, "Fig 9: YCSB OLTP throughput (9a-c) and OLAP latency (9e-g)")
 	for _, mix := range ycsbMixes {
 		fmt.Fprintf(w, "\n  mix=%s\n", mix.Name)
-		fmt.Fprintf(w, "  %-12s %-14s %-12s %-12s\n", "system", "oltp tx/s", "olap avg", "olap p95")
+		fmt.Fprintf(w, "  %-12s %-14s %-12s %-12s %-12s\n", "system", "oltp tx/s", "olap avg", "olap p95", "olap p99")
 		for _, mode := range Systems {
 			pt, err := runPoint("ycsb", mode, mix, s)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "  %-12s %-14.0f %-12s %-12s\n", mode, pt.oltpTPS,
-				fmt.Sprintf("%.2fms", pt.olapLatMs), fmt.Sprintf("%.2fms", pt.olapP95Ms))
+			fmt.Fprintf(w, "  %-12s %-14.0f %-12s %-12s %-12s\n", mode, pt.oltpTPS,
+				fmt.Sprintf("%.2fms", pt.olapLatMs), fmt.Sprintf("%.2fms", pt.olapP95Ms),
+				fmt.Sprintf("%.2fms", pt.olapP99Ms))
 		}
 	}
 	return nil

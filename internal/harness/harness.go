@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,16 +68,22 @@ type Bucket struct {
 	OLAPLat time.Duration
 }
 
-// Result aggregates one run.
+// Result aggregates one run. Latency statistics come from the engine's
+// lock-free latency recorders (cluster.Stats.Quantiles), which Run resets
+// at the start so the windows cover exactly this run.
 type Result struct {
 	Wall       time.Duration
 	OLTPCount  int64
 	OLAPCount  int64
 	Errors     int64
 	OLTPLatAvg time.Duration
+	OLTPLatP50 time.Duration
 	OLTPLatP95 time.Duration
+	OLTPLatP99 time.Duration
 	OLAPLatAvg time.Duration
+	OLAPLatP50 time.Duration
 	OLAPLatP95 time.Duration
+	OLAPLatP99 time.Duration
 	Timeline   []Bucket
 	// LastOLAP carries the final OLAP result observed (freshness checks).
 	LastOLAP exec.Rel
@@ -122,6 +127,10 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 	var samples []sample
 	var errs int64
 	var lastOLAP exec.Rel
+
+	// Start each run from clean engine counters so the latency windows and
+	// class stats cover exactly this run (warm-up runs are separate Runs).
+	e.Stats().Reset()
 
 	start := time.Now()
 	deadline := time.Time{}
@@ -184,40 +193,23 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 	wall := time.Since(start)
 
 	res := Result{Wall: wall, Errors: errs, LastOLAP: lastOLAP}
-	var oltpLats, olapLats []time.Duration
 	for _, s := range samples {
 		if s.olap {
 			res.OLAPCount++
-			olapLats = append(olapLats, s.lat)
 		} else {
 			res.OLTPCount++
-			oltpLats = append(oltpLats, s.lat)
 		}
 	}
-	res.OLTPLatAvg, res.OLTPLatP95 = latStats(oltpLats)
-	res.OLAPLatAvg, res.OLAPLatP95 = latStats(olapLats)
+	oltpQ, olapQ, _ := e.Stats().Quantiles()
+	res.OLTPLatAvg, res.OLTPLatP50, res.OLTPLatP95, res.OLTPLatP99 =
+		oltpQ.Avg, oltpQ.P50, oltpQ.P95, oltpQ.P99
+	res.OLAPLatAvg, res.OLAPLatP50, res.OLAPLatP95, res.OLAPLatP99 =
+		olapQ.Avg, olapQ.P50, olapQ.P95, olapQ.P99
 
 	if cfg.TimelineBucket > 0 {
 		res.Timeline = buildTimeline(samples, wall, cfg.TimelineBucket)
 	}
 	return res
-}
-
-func latStats(lats []time.Duration) (avg, p95 time.Duration) {
-	if len(lats) == 0 {
-		return 0, 0
-	}
-	sorted := append([]time.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, l := range sorted {
-		total += l
-	}
-	idx := int(0.95 * float64(len(sorted)))
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return total / time.Duration(len(sorted)), sorted[idx]
 }
 
 func buildTimeline(samples []sample, wall, bucket time.Duration) []Bucket {

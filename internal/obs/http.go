@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the observability surface over HTTP:
+//
+//	GET /metrics        - plain-text exposition (Prometheus-style lines)
+//	GET /metrics.json   - the full Snapshot as JSON
+//	GET /trace?n=100    - the most recent advisor decisions as JSON
+//	GET /debug/vars     - standard expvar output
+//
+// snap is called per request so values are always current; trace may be
+// nil when the engine runs without an advisor.
+func Handler(snap func() Snapshot, trace *DecisionTrace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteText(w, snap())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		var ds []Decision
+		if trace != nil {
+			ds = trace.Recent(n)
+		}
+		_ = json.NewEncoder(w).Encode(ds)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// WriteText renders a snapshot as Prometheus-style text lines: counters
+// and gauges as `name value`, recorders as `name_ns{q="0.95"} value` plus
+// `name_count`. Metric names have non-alphanumeric runes mapped to '_'.
+func WriteText(w interface{ Write([]byte) (int, error) }, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", sanitize(name), s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", sanitize(name), s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := s.Latencies[name]
+		base := sanitize(name)
+		fmt.Fprintf(w, "%s_count %d\n", base, l.Count)
+		fmt.Fprintf(w, "%s_avg_ns %d\n", base, int64(l.Avg))
+		fmt.Fprintf(w, "%s_ns{q=\"0.5\"} %d\n", base, int64(l.P50))
+		fmt.Fprintf(w, "%s_ns{q=\"0.95\"} %d\n", base, int64(l.P95))
+		fmt.Fprintf(w, "%s_ns{q=\"0.99\"} %d\n", base, int64(l.P99))
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// PublishExpvar registers the snapshot function as an expvar variable.
+// Safe to call more than once per process (later calls are no-ops, since
+// expvar panics on duplicate names).
+func PublishExpvar(name string, snap func() Snapshot) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return snap() }))
+}

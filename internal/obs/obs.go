@@ -1,0 +1,254 @@
+// Package obs is the engine's observability substrate: lock-free
+// counters and gauges, fixed-capacity ring recorders for latency samples
+// with quantile snapshots (p50/p95/p99), a named-instrument registry, and
+// an append-only trace of the adaptive storage advisor's decisions. Every
+// subsystem (engine op classes, simnet traffic, redo-log broker, site
+// maintenance) records into one shared Registry; cmd/proteusd exports it
+// over HTTP and expvar, and the experiment harness reads quantiles from
+// snapshots instead of re-sorting raw sample slices.
+//
+// Recording is O(1) and allocation-free on the hot path: counters and
+// gauges are single atomics, and a Recorder write is one atomic increment
+// plus one atomic slot store into a power-of-two ring — the previous
+// engine sampler did a full 200k-element copy per record once full.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may go negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Recorder retains the most recent samples in a fixed-capacity ring and
+// serves quantile snapshots over them. Record is O(1): an atomic sequence
+// increment plus one atomic slot store; concurrent writers race only on
+// distinct slots (or benignly on the same slot, where either sample is a
+// valid member of the window). Totals (count, sum) cover every sample ever
+// recorded; quantiles cover the retained window.
+type Recorder struct {
+	count atomic.Int64
+	sum   atomic.Int64 // nanoseconds
+	slots []int64      // accessed atomically; len is a power of two
+}
+
+// NewRecorder creates a recorder retaining ~capacity samples (rounded up
+// to a power of two; minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{slots: make([]int64, n)}
+}
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Record adds one latency sample.
+func (r *Recorder) Record(d time.Duration) {
+	i := r.count.Add(1) - 1
+	r.sum.Add(int64(d))
+	atomic.StoreInt64(&r.slots[int(i)&(len(r.slots)-1)], int64(d))
+}
+
+// Count reports how many samples were ever recorded.
+func (r *Recorder) Count() int64 { return r.count.Load() }
+
+// Reset clears the recorder (between experiment phases). Not atomic with
+// respect to concurrent Record calls; callers quiesce recording first.
+func (r *Recorder) Reset() {
+	r.count.Store(0)
+	r.sum.Store(0)
+}
+
+// Samples returns the retained window in arrival order (oldest first).
+func (r *Recorder) Samples() []time.Duration {
+	n := r.count.Load()
+	if n == 0 {
+		return nil
+	}
+	size := int64(len(r.slots))
+	retained := n
+	if retained > size {
+		retained = size
+	}
+	out := make([]time.Duration, retained)
+	for k := int64(0); k < retained; k++ {
+		idx := (n - retained + k) & (size - 1)
+		out[k] = time.Duration(atomic.LoadInt64(&r.slots[idx]))
+	}
+	return out
+}
+
+// LatencySnapshot summarizes a recorder: lifetime count and mean, and
+// order statistics over the retained window.
+type LatencySnapshot struct {
+	Count int64
+	Avg   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot computes the current latency summary.
+func (r *Recorder) Snapshot() LatencySnapshot {
+	n := r.count.Load()
+	if n == 0 {
+		return LatencySnapshot{}
+	}
+	snap := LatencySnapshot{Count: n, Avg: time.Duration(r.sum.Load() / n)}
+	window := r.Samples()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	snap.Min = window[0]
+	snap.Max = window[len(window)-1]
+	snap.P50 = quantile(window, 0.50)
+	snap.P95 = quantile(window, 0.95)
+	snap.P99 = quantile(window, 0.99)
+	return snap
+}
+
+// quantile picks the nearest-rank order statistic from sorted samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Registry holds named instruments. Lookup creates on first use, so
+// subsystems can fetch their instruments without coordination; hot paths
+// cache the returned pointers rather than re-looking-up per event.
+type Registry struct {
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	recorders map[string]*Recorder
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		recorders: make(map[string]*Recorder),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Recorder returns the named latency recorder, creating it with the given
+// capacity on first use.
+func (r *Registry) Recorder(name string, capacity int) *Recorder {
+	r.mu.RLock()
+	rec := r.recorders[name]
+	r.mu.RUnlock()
+	if rec != nil {
+		return rec
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec = r.recorders[name]; rec == nil {
+		rec = NewRecorder(capacity)
+		r.recorders[name] = rec
+	}
+	return rec
+}
+
+// Snapshot is a point-in-time copy of every instrument, suitable for
+// rendering, RPC transfer (gob/JSON) and test assertions.
+type Snapshot struct {
+	Counters  map[string]int64
+	Gauges    map[string]int64
+	Latencies map[string]LatencySnapshot
+}
+
+// Snapshot captures the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := Snapshot{
+		Counters:  make(map[string]int64, len(r.counters)),
+		Gauges:    make(map[string]int64, len(r.gauges)),
+		Latencies: make(map[string]LatencySnapshot, len(r.recorders)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, rec := range r.recorders {
+		snap.Latencies[name] = rec.Snapshot()
+	}
+	return snap
+}

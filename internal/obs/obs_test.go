@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if reg.Counter("x.count") != c {
+		t.Error("counter not interned")
+	}
+	g := reg.Gauge("x.gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["x.count"] != 5 || snap.Gauges["x.gauge"] != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestRecorderQuantiles(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	// 1..1000 µs uniformly: exact order statistics are known.
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	checks := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"min", s.Min, 1 * time.Microsecond},
+		{"max", s.Max, 1000 * time.Microsecond},
+		{"p50", s.P50, 500 * time.Microsecond},
+		{"p95", s.P95, 950 * time.Microsecond},
+		{"p99", s.P99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	wantAvg := 500500 * time.Microsecond / 1000
+	if s.Avg != wantAvg {
+		t.Errorf("avg = %v, want %v", s.Avg, wantAvg)
+	}
+}
+
+func TestRecorderWindowAndOrder(t *testing.T) {
+	r := NewRecorder(16) // exact power of two
+	for i := 1; i <= 40; i++ {
+		r.Record(time.Duration(i))
+	}
+	got := r.Samples()
+	if len(got) != 16 {
+		t.Fatalf("retained = %d", len(got))
+	}
+	for k, d := range got {
+		if want := time.Duration(25 + k); d != want {
+			t.Fatalf("samples[%d] = %v, want %v (arrival order)", k, d, want)
+		}
+	}
+	// Quantiles cover only the retained window.
+	if s := r.Snapshot(); s.Min != 25 || s.Max != 40 {
+		t.Errorf("window min/max = %v/%v", s.Min, s.Max)
+	}
+	r.Reset()
+	if s := r.Snapshot(); s.Count != 0 || len(r.Samples()) != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines (run
+// under -race) and checks the totals and quantile bounds stay coherent.
+func TestRecorderConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	r := reg.Recorder("conc.lat", 1<<10)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(time.Duration(w*per+i+1) * time.Microsecond)
+				if i%64 == 0 {
+					_ = r.Snapshot() // concurrent readers must be safe
+				}
+			}
+		}()
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 100; i++ {
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	s := r.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	lo, hi := time.Microsecond, time.Duration(workers*per)*time.Microsecond
+	for _, q := range []time.Duration{s.Min, s.P50, s.P95, s.P99, s.Max} {
+		if q < lo || q > hi {
+			t.Errorf("quantile %v outside recorded range [%v, %v]", q, lo, hi)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max || s.Min > s.P50 {
+		t.Errorf("quantiles not ordered: %+v", s)
+	}
+}
+
+func TestDecisionTrace(t *testing.T) {
+	tr := NewDecisionTrace(4)
+	for i := 0; i < 6; i++ {
+		seq := tr.Add(Decision{Partition: uint64(i), Trigger: "olap-plan"})
+		if seq != int64(i+1) {
+			t.Fatalf("seq = %d", seq)
+		}
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d", tr.Total())
+	}
+	got := tr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("retained = %d", len(got))
+	}
+	for k, d := range got {
+		if d.Seq != int64(3+k) || d.Partition != uint64(2+k) {
+			t.Errorf("recent[%d] = %+v", k, d)
+		}
+	}
+	if last := tr.Recent(1); len(last) != 1 || last[0].Seq != 6 {
+		t.Errorf("recent(1) = %+v", last)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("net.bytes").Add(128)
+	reg.Recorder("engine.oltp", 64).Record(3 * time.Millisecond)
+	tr := NewDecisionTrace(8)
+	tr.Add(Decision{Partition: 9, Trigger: "capacity", Kind: "tier", Executed: true})
+
+	h := Handler(reg.Snapshot, tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"net_bytes 128", "engine_oltp_count 1", `engine_oltp_ns{q="0.95"}`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if snap.Counters["net.bytes"] != 128 || snap.Latencies["engine.oltp"].Count != 1 {
+		t.Errorf("json snapshot = %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?n=5", nil))
+	var ds []Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if len(ds) != 1 || ds[0].Partition != 9 || ds[0].Trigger != "capacity" {
+		t.Errorf("trace = %+v", ds)
+	}
+}

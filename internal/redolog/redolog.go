@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/schema"
 	"proteus/internal/types"
@@ -52,16 +53,38 @@ type Record struct {
 type Broker struct {
 	mu     sync.RWMutex
 	topics map[partition.ID]*topic
+
+	// Optional observability instruments (SetObs).
+	obsAppends   *obs.Counter
+	obsPolls     *obs.Counter
+	obsPolled    *obs.Counter
+	obsTruncated *obs.Counter
+	obsBacklog   *obs.Gauge // retained records across all topics
 }
 
+// topic is one partition's log. base is the offset of records[0]: offsets
+// are stable across truncation, as with a real log broker's log-start
+// offset.
 type topic struct {
 	mu      sync.RWMutex
+	base    int64
 	records []Record
 }
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {
 	return &Broker{topics: make(map[partition.ID]*topic)}
+}
+
+// SetObs installs broker instruments: redolog.appends, redolog.polls,
+// redolog.polled_records, redolog.truncated_records and the
+// redolog.backlog gauge (retained records across topics).
+func (b *Broker) SetObs(reg *obs.Registry) {
+	b.obsAppends = reg.Counter("redolog.appends")
+	b.obsPolls = reg.Counter("redolog.polls")
+	b.obsPolled = reg.Counter("redolog.polled_records")
+	b.obsTruncated = reg.Counter("redolog.truncated_records")
+	b.obsBacklog = reg.Gauge("redolog.backlog")
 }
 
 // CreateTopic ensures a log exists for the partition.
@@ -76,8 +99,25 @@ func (b *Broker) CreateTopic(pid partition.ID) {
 // DeleteTopic removes a partition's log (after the partition is dropped).
 func (b *Broker) DeleteTopic(pid partition.ID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	t := b.topics[pid]
 	delete(b.topics, pid)
+	b.mu.Unlock()
+	if t != nil && b.obsBacklog != nil {
+		t.mu.RLock()
+		b.obsBacklog.Add(-int64(len(t.records)))
+		t.mu.RUnlock()
+	}
+}
+
+// Topics snapshots the partition IDs with a log.
+func (b *Broker) Topics() []partition.ID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]partition.ID, 0, len(b.topics))
+	for pid := range b.topics {
+		out = append(out, pid)
+	}
+	return out
 }
 
 func (b *Broker) topic(pid partition.ID) *topic {
@@ -100,29 +140,44 @@ func (b *Broker) topic(pid partition.ID) *topic {
 func (b *Broker) Append(rec Record) int64 {
 	t := b.topic(rec.Partition)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.records = append(t.records, rec)
-	return int64(len(t.records) - 1)
+	off := t.base + int64(len(t.records)) - 1
+	t.mu.Unlock()
+	if b.obsAppends != nil {
+		b.obsAppends.Inc()
+		b.obsBacklog.Add(1)
+	}
+	return off
 }
 
 // Poll returns up to max records starting at offset from. It returns the
-// records and the next offset to poll from.
+// records and the next offset to poll from. Offsets below the truncated
+// base resume from the oldest retained record (a log broker's
+// out-of-range reset to the log-start offset).
 func (b *Broker) Poll(pid partition.ID, from int64, max int) ([]Record, int64) {
 	t := b.topic(pid)
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if from < 0 {
-		from = 0
+	if from < t.base {
+		from = t.base
 	}
-	if from >= int64(len(t.records)) {
+	end := t.base + int64(len(t.records))
+	if from >= end {
+		t.mu.RUnlock()
+		if b.obsPolls != nil {
+			b.obsPolls.Inc()
+		}
 		return nil, from
 	}
-	end := from + int64(max)
-	if max <= 0 || end > int64(len(t.records)) {
-		end = int64(len(t.records))
+	if max > 0 && from+int64(max) < end {
+		end = from + int64(max)
 	}
 	out := make([]Record, end-from)
-	copy(out, t.records[from:end])
+	copy(out, t.records[from-t.base:end-t.base])
+	t.mu.RUnlock()
+	if b.obsPolls != nil {
+		b.obsPolls.Inc()
+		b.obsPolled.Add(int64(len(out)))
+	}
 	return out, end
 }
 
@@ -131,22 +186,53 @@ func (b *Broker) EndOffset(pid partition.ID) int64 {
 	t := b.topic(pid)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.base + int64(len(t.records))
+}
+
+// BaseOffset reports the oldest retained offset (the log-start offset).
+func (b *Broker) BaseOffset(pid partition.ID) int64 {
+	t := b.topic(pid)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.base
+}
+
+// Retained reports how many records the topic currently holds.
+func (b *Broker) Retained(pid partition.ID) int64 {
+	t := b.topic(pid)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return int64(len(t.records))
 }
 
-// Truncate discards records before offset (checkpointing), keeping offsets
-// stable by retaining a base index.
-func (b *Broker) Truncate(pid partition.ID, before int64) error {
-	// Offsets are indexes into the record slice; truncation would shift
-	// them. Real log brokers keep a base offset; for the scale of this
-	// simulation we simply disallow truncating the active range.
+// Truncate discards records before the offset (checkpointing). Offsets
+// stay stable: the topic keeps a base offset, so later Appends and Polls
+// address the same positions as before. The offset is clamped to the
+// retained range; the number of records reclaimed is returned.
+func (b *Broker) Truncate(pid partition.ID, before int64) int64 {
 	t := b.topic(pid)
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if before != 0 {
-		return fmt.Errorf("redolog: truncation of active topics not supported (offset %d)", before)
+	end := t.base + int64(len(t.records))
+	if before > end {
+		before = end
 	}
-	return nil
+	drop := before - t.base
+	if drop <= 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	// Copy the tail into a fresh slice so the reclaimed records' backing
+	// array becomes collectable.
+	rest := make([]Record, len(t.records)-int(drop))
+	copy(rest, t.records[drop:])
+	t.records = rest
+	t.base = before
+	t.mu.Unlock()
+	if b.obsTruncated != nil {
+		b.obsTruncated.Add(drop)
+		b.obsBacklog.Add(-drop)
+	}
+	return drop
 }
 
 // Apply replays a record's entries into a partition replica. Used by the

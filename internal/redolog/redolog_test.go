@@ -120,3 +120,58 @@ func TestApplyErrorPropagates(t *testing.T) {
 		t.Error("expected apply error")
 	}
 }
+
+func TestTruncateKeepsOffsetsStable(t *testing.T) {
+	b := NewBroker()
+	for i := uint64(1); i <= 10; i++ {
+		b.Append(rec(3, i, schema.RowID(i)))
+	}
+	if got := b.Truncate(3, 4); got != 4 {
+		t.Fatalf("reclaimed = %d, want 4", got)
+	}
+	if b.BaseOffset(3) != 4 || b.EndOffset(3) != 10 || b.Retained(3) != 6 {
+		t.Fatalf("base=%d end=%d retained=%d", b.BaseOffset(3), b.EndOffset(3), b.Retained(3))
+	}
+
+	// Polling from a retained offset sees the same records as before.
+	recs, next := b.Poll(3, 6, 2)
+	if len(recs) != 2 || next != 8 {
+		t.Fatalf("poll = %d records, next %d", len(recs), next)
+	}
+	if recs[0].Version != 7 || recs[1].Version != 8 {
+		t.Errorf("versions after truncate: %v %v", recs[0].Version, recs[1].Version)
+	}
+
+	// Polling below the base resumes from the log-start offset.
+	recs, next = b.Poll(3, 0, 0)
+	if len(recs) != 6 || next != 10 {
+		t.Fatalf("below-base poll = %d records, next %d", len(recs), next)
+	}
+	if recs[0].Version != 5 {
+		t.Errorf("oldest retained version = %v, want 5", recs[0].Version)
+	}
+
+	// Appends continue at stable offsets.
+	if off := b.Append(rec(3, 11, 11)); off != 10 {
+		t.Errorf("append after truncate offset = %d, want 10", off)
+	}
+}
+
+func TestTruncateClampsAndNoops(t *testing.T) {
+	b := NewBroker()
+	for i := uint64(1); i <= 3; i++ {
+		b.Append(rec(4, i, schema.RowID(i)))
+	}
+	if got := b.Truncate(4, 100); got != 3 {
+		t.Errorf("over-end truncate reclaimed %d, want 3 (clamped)", got)
+	}
+	if b.BaseOffset(4) != 3 || b.EndOffset(4) != 3 {
+		t.Errorf("base=%d end=%d after full truncate", b.BaseOffset(4), b.EndOffset(4))
+	}
+	if got := b.Truncate(4, 2); got != 0 {
+		t.Errorf("below-base truncate reclaimed %d, want 0", got)
+	}
+	if got := b.Truncate(4, 3); got != 0 {
+		t.Errorf("repeat truncate reclaimed %d, want 0", got)
+	}
+}

@@ -192,6 +192,27 @@ func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, e
 	return d, nil
 }
 
+// Offsets snapshots every subscription's consumed offset. Records below a
+// subscription's offset are already polled into its queue (the queue holds
+// copies), so the broker may safely truncate below the minimum of these.
+func (r *Replicator) Offsets() map[partition.ID]int64 {
+	r.mu.Lock()
+	subs := make([]*subscription, 0, len(r.subs))
+	pids := make([]partition.ID, 0, len(r.subs))
+	for pid, s := range r.subs {
+		pids = append(pids, pid)
+		subs = append(subs, s)
+	}
+	r.mu.Unlock()
+	out := make(map[partition.ID]int64, len(subs))
+	for i, s := range subs {
+		s.mu.Lock()
+		out[pids[i]] = s.offset
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Lag reports how many log records the replica has not yet applied.
 func (r *Replicator) Lag(pid partition.ID) int64 {
 	s := r.sub(pid)

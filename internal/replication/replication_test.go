@@ -174,3 +174,42 @@ func TestNetworkCharged(t *testing.T) {
 		t.Errorf("link stats = %+v", st)
 	}
 }
+
+func TestOffsetsTrackConsumption(t *testing.T) {
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	r.Subscribe(7, newPart(7), 0)
+	r.Subscribe(8, newPart(8), 2)
+
+	offs := r.Offsets()
+	if offs[7] != 0 || offs[8] != 2 {
+		t.Fatalf("initial offsets = %v", offs)
+	}
+
+	broker.Append(insertRec(7, 1, 1))
+	broker.Append(insertRec(7, 2, 2))
+	if _, err := r.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	offs = r.Offsets()
+	if offs[7] != 2 {
+		t.Errorf("offset after poll = %d, want 2", offs[7])
+	}
+
+	// Truncating below the consumed offset must not disturb replication:
+	// subsequent polls resume from the consumed offset.
+	broker.Truncate(7, offs[7])
+	broker.Append(insertRec(7, 3, 3))
+	n, err := r.PollOnce()
+	if err != nil || n != 1 {
+		t.Fatalf("poll after truncate = %d, %v", n, err)
+	}
+	if offs = r.Offsets(); offs[7] != 3 {
+		t.Errorf("offset after truncate+poll = %d, want 3", offs[7])
+	}
+
+	r.Unsubscribe(8)
+	if _, ok := r.Offsets()[8]; ok {
+		t.Error("unsubscribed partition still reported")
+	}
+}

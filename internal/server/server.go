@@ -13,6 +13,7 @@ import (
 
 	"proteus/internal/cluster"
 	"proteus/internal/exec"
+	"proteus/internal/obs"
 	"proteus/internal/schema"
 	"proteus/internal/sqlparse"
 )
@@ -129,6 +130,25 @@ type LayoutReply struct{ Counts map[string]int }
 // Layouts reports the cluster's current physical design.
 func (s *Service) Layouts(_ *LayoutArgs, reply *LayoutReply) error {
 	reply.Counts = s.Eng.LayoutCounts()
+	return nil
+}
+
+// StatsArgs requests the observability snapshot. TraceLimit caps how many
+// recent advisor decisions are returned (0 = all retained).
+type StatsArgs struct{ TraceLimit int }
+
+// StatsReply carries the metrics snapshot and the ASA decision trace.
+type StatsReply struct {
+	Metrics obs.Snapshot
+	Trace   []obs.Decision
+}
+
+// Stats reports the engine's metrics and recent advisor decisions.
+func (s *Service) Stats(args *StatsArgs, reply *StatsReply) error {
+	reply.Metrics = s.Eng.MetricsSnapshot()
+	if s.Eng.Trace != nil {
+		reply.Trace = s.Eng.Trace.Recent(args.TraceLimit)
+	}
 	return nil
 }
 

@@ -9,6 +9,8 @@ package simnet
 import (
 	"sync"
 	"time"
+
+	"proteus/internal/obs"
 )
 
 // SiteID identifies a data site. The ASA is site -1 by convention.
@@ -43,11 +45,22 @@ type Network struct {
 
 	mu    sync.Mutex
 	links map[[2]SiteID]*LinkStats
+
+	// Optional observability instruments (SetObs).
+	obsMsgs  *obs.Counter
+	obsBytes *obs.Counter
 }
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
 	return &Network{cfg: cfg, links: make(map[[2]SiteID]*LinkStats)}
+}
+
+// SetObs installs interconnect instruments: net.messages and net.bytes
+// count cross-site traffic cluster-wide (per-link detail stays in Stats).
+func (nw *Network) SetObs(reg *obs.Registry) {
+	nw.obsMsgs = reg.Counter("net.messages")
+	nw.obsBytes = reg.Counter("net.bytes")
 }
 
 // Charge models sending n bytes from one site to another, sleeping for the
@@ -66,6 +79,10 @@ func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
 	ls.Messages++
 	ls.Bytes += int64(n)
 	nw.mu.Unlock()
+	if nw.obsMsgs != nil {
+		nw.obsMsgs.Inc()
+		nw.obsBytes.Add(int64(n))
+	}
 
 	delay := nw.cfg.BaseLatency
 	if nw.cfg.BytesPerSecond > 0 {

@@ -12,6 +12,7 @@ import (
 
 	"proteus/internal/cost"
 	"proteus/internal/disksim"
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/redolog"
 	"proteus/internal/replication"
@@ -99,6 +100,10 @@ type Site struct {
 
 	obsMu sync.Mutex
 	obs   []cost.Observation
+
+	// Maintenance instruments (SetObs).
+	maintRows *obs.Counter
+	maintLat  *obs.Recorder
 }
 
 // New creates a site wired to the shared broker and network.
@@ -124,6 +129,15 @@ func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Netwo
 	s.Repl = replication.New(broker, net, id, brokerSite)
 	s.Repl.Exec = s.oltp.Do
 	return s
+}
+
+// SetObs installs this site's maintenance instruments: siteN.maintain.rows
+// counts delta rows folded by background maintenance; siteN.maintain.latency
+// records each partition's fold time.
+func (s *Site) SetObs(reg *obs.Registry) {
+	prefix := fmt.Sprintf("site%d.", s.ID)
+	s.maintRows = reg.Counter(prefix + "maintain.rows")
+	s.maintLat = reg.Recorder(prefix+"maintain.latency", 1<<10)
 }
 
 // Close stops the worker pools.
@@ -263,6 +277,10 @@ func (s *Site) Maintain(threshold int) {
 		merged, d, err := p.Maintain(p.Version(), threshold)
 		if err != nil || merged == 0 {
 			continue
+		}
+		if s.maintRows != nil {
+			s.maintRows.Add(int64(merged))
+			s.maintLat.Record(d)
 		}
 		cols := len(p.Kinds())
 		s.Observe(cost.Observation{

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's check pipeline (also `make check`):
+# vet, build, the full test suite, then the race detector over the
+# concurrency-heavy packages (engine, sites, interconnect, log broker,
+# locking, replication, metrics).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-heavy packages)"
+go test -race -count=1 \
+    ./internal/cluster/ \
+    ./internal/site/ \
+    ./internal/simnet/ \
+    ./internal/redolog/ \
+    ./internal/txn/ \
+    ./internal/replication/ \
+    ./internal/obs/
+
+echo "ok"
