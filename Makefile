@@ -1,10 +1,16 @@
-.PHONY: build test check bench
+.PHONY: build test check bench chaos
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# chaos runs the seeded kill/partition/restore harness under the race
+# detector: >=3 site crashes and >=1 network partition against an active
+# mixed workload, asserting zero committed-write loss and convergence.
+chaos:
+	go test -race -count=1 -v -run TestChaos ./internal/cluster/
 
 # check is the CI pipeline: vet + build + tests + race detector over the
 # concurrency-heavy packages.

@@ -8,8 +8,8 @@
 // Supported statements: CREATE TABLE t (col TYPE, ...) [MAXROWS n]
 // [PARTITIONS n]; INSERT INTO t VALUES (id, ...); UPDATE t SET c = v WHERE
 // id = n; DELETE FROM t WHERE id = n; SELECT with aggregates, WHERE, one
-// JOIN and GROUP BY. Meta commands: \layouts, \stats, \trace [n], \help,
-// \quit.
+// JOIN and GROUP BY. Meta commands: \layouts, \stats, \trace [n], \crash N,
+// \recover N, \partition 0,1|2,3, \heal, \faults, \help, \quit.
 package main
 
 import (
@@ -33,6 +33,7 @@ type executor interface {
 	Exec(sql string) (server.ExecReply, error)
 	Layouts() (map[string]int, error)
 	Stats(traceLimit int) (server.StatsReply, error)
+	Fault(args server.FaultArgs) (server.FaultReply, error)
 }
 
 type localExec struct {
@@ -58,6 +59,12 @@ func (l *localExec) Stats(traceLimit int) (server.StatsReply, error) {
 	return reply, err
 }
 
+func (l *localExec) Fault(args server.FaultArgs) (server.FaultReply, error) {
+	var reply server.FaultReply
+	err := l.svc.Fault(&args, &reply)
+	return reply, err
+}
+
 type remoteExec struct {
 	c    *rpc.Client
 	sess uint64
@@ -78,6 +85,12 @@ func (r *remoteExec) Layouts() (map[string]int, error) {
 func (r *remoteExec) Stats(traceLimit int) (server.StatsReply, error) {
 	var reply server.StatsReply
 	err := r.c.Call("Proteus.Stats", &server.StatsArgs{TraceLimit: traceLimit}, &reply)
+	return reply, err
+}
+
+func (r *remoteExec) Fault(args server.FaultArgs) (server.FaultReply, error) {
+	var reply server.FaultReply
+	err := r.c.Call("Proteus.Fault", &args, &reply)
 	return reply, err
 }
 
@@ -126,7 +139,10 @@ func main() {
 		case line == `\help`:
 			fmt.Println(`statements: CREATE TABLE / INSERT / UPDATE / DELETE / SELECT
 meta: \layouts (storage layout report), \stats (metrics snapshot),
-      \trace [n] (recent ASA decisions), \quit`)
+      \trace [n] (recent ASA decisions), \quit
+faults: \crash N (fail site N), \recover N (bring it back),
+        \partition 0,1|2,3 (split interconnect into groups),
+        \heal (remove partitions), \faults (current fault state)`)
 		case line == `\stats`:
 			reply, err := ex.Stats(0)
 			if err != nil {
@@ -147,6 +163,31 @@ meta: \layouts (storage layout report), \stats (metrics snapshot),
 				break
 			}
 			printTrace(reply.Trace)
+		case strings.HasPrefix(line, `\crash`) || strings.HasPrefix(line, `\recover`):
+			cmd := "crash"
+			rest := strings.TrimSpace(strings.TrimPrefix(line, `\crash`))
+			if strings.HasPrefix(line, `\recover`) {
+				cmd = "recover"
+				rest = strings.TrimSpace(strings.TrimPrefix(line, `\recover`))
+			}
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				fmt.Printf("usage: \\%s N\n", cmd)
+				break
+			}
+			printFault(ex.Fault(server.FaultArgs{Cmd: cmd, Site: n}))
+		case strings.HasPrefix(line, `\partition`):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, `\partition`))
+			groups, err := parseGroups(rest)
+			if err != nil {
+				fmt.Println("usage: \\partition 0,1|2,3 —", err)
+				break
+			}
+			printFault(ex.Fault(server.FaultArgs{Cmd: "partition", Groups: groups}))
+		case line == `\heal`:
+			printFault(ex.Fault(server.FaultArgs{Cmd: "heal"}))
+		case line == `\faults`:
+			printFault(ex.Fault(server.FaultArgs{Cmd: "status"}))
 		case line == `\layouts`:
 			counts, err := ex.Layouts()
 			if err != nil {
@@ -218,6 +259,50 @@ func printTrace(ds []obs.Decision) {
 			d.Seq, d.At.Format(time.TimeOnly), d.Partition, d.Trigger, d.Kind,
 			d.Layout, d.Net, d.PlanTime, d.ExecTime, status)
 	}
+}
+
+// parseGroups parses "0,1|2,3" into site groups.
+func parseGroups(s string) ([][]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("no groups")
+	}
+	var groups [][]int
+	for _, part := range strings.Split(s, "|") {
+		var g []int
+		for _, tok := range strings.Split(part, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad site %q", tok)
+			}
+			g = append(g, n)
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("need at least two groups")
+	}
+	return groups, nil
+}
+
+// printFault renders a fault command's outcome and the fault state.
+func printFault(r server.FaultReply, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(r.Message)
+	if len(r.Down) > 0 {
+		fmt.Printf("  down sites: %v\n", r.Down)
+	} else {
+		fmt.Println("  down sites: none")
+	}
+	fmt.Printf("  network partitioned: %v\n", r.Partitioned)
 }
 
 func printReply(r server.ExecReply) {

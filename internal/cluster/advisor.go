@@ -277,6 +277,9 @@ func (a *Advisor) onQueryExecuted(pn plan.PNode, d time.Duration) {
 // buildView assembles the decision snapshot for one partition.
 func (a *Advisor) buildView(m *metadata.PartitionMeta, predicted bool) (asa.PartitionView, bool) {
 	master := m.Master()
+	if a.e.siteOf(master.Site).Down() {
+		return asa.PartitionView{}, false // awaiting failover or recovery
+	}
 	p, ok := a.e.siteOf(master.Site).Partition(m.ID)
 	if !ok {
 		return asa.PartitionView{}, false
@@ -458,6 +461,10 @@ func (a *Advisor) bestCandidate(view asa.PartitionView) (asa.Candidate, bool) {
 		if (c.Kind == asa.SplitHorizontal || c.Kind == asa.SplitVertical) && view.Rows < a.cfg.MinSplitRows {
 			continue
 		}
+		// Never place work on a crashed site.
+		if int(c.Site) >= 0 && int(c.Site) < len(a.e.Sites) && a.e.siteOf(c.Site).Down() {
+			continue
+		}
 		viable = append(viable, c)
 	}
 	if len(viable) == 0 {
@@ -593,6 +600,9 @@ func (a *Advisor) considerMerges() {
 	}
 	groups := map[groupKey][]*metadata.PartitionMeta{}
 	for _, m := range a.e.Dir.All() {
+		if a.e.siteOf(m.Master().Site).Down() {
+			continue
+		}
 		k := groupKey{m.Bounds.Table, m.Bounds.ColStart, m.Bounds.ColEnd, m.Master().Site}
 		groups[k] = append(groups[k], m)
 	}
@@ -644,6 +654,9 @@ func partRate(m *metadata.PartitionMeta) float64 {
 // capacityTick responds to sites nearing their memory capacity (§5.3.2).
 func (a *Advisor) capacityTick() {
 	for _, s := range a.e.Sites {
+		if s.Down() {
+			continue
+		}
 		cap := s.MemCapacity()
 		if cap <= 0 {
 			continue

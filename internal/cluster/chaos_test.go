@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/faults"
+	"proteus/internal/query"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// TestChaos runs a seeded kill/partition/restore schedule against an
+// active mixed workload and asserts the recovery invariants: no
+// acknowledged write is lost, every partition ends with a live master,
+// and every surviving replica converges to its master's version.
+// `make chaos` runs it standalone under the race detector.
+func TestChaos(t *testing.T) {
+	const (
+		seed     = 7
+		numSites = 4
+		numRows  = 400
+		writers  = 4
+		duration = 1500 * time.Millisecond
+	)
+	e, tbl := newFaultEngine(t, numSites, 4, numRows, func(cfg *Config) {
+		cfg.FaultSeed = seed
+		cfg.OpDeadline = 300 * time.Millisecond
+	})
+	// Replicate every partition once so crashed masters have failover
+	// candidates (the advisor may add or remove more as it sees fit).
+	for _, m := range e.Dir.TablePartitions(tbl.ID) {
+		target := simnet.SiteID((int(m.Master().Site) + 1) % numSites)
+		if err := e.AddReplicaOp(m.ID, target, storage.DefaultColumnLayout()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sites := make([]simnet.SiteID, numSites)
+	for i := range sites {
+		sites[i] = simnet.SiteID(i)
+	}
+	schedule := faults.NewSchedule(seed, faults.ScheduleConfig{
+		Sites:      sites,
+		Duration:   duration,
+		Crashes:    3,
+		Partitions: 1,
+	})
+	crashes, partitions := 0, 0
+	for _, ev := range schedule {
+		switch ev.Kind {
+		case faults.EventCrash:
+			crashes++
+		case faults.EventPartition:
+			partitions++
+		}
+	}
+	if crashes < 3 || partitions < 1 {
+		t.Fatalf("schedule too tame: %d crashes, %d partitions", crashes, partitions)
+	}
+
+	// Mixed workload: writers own disjoint key ranges and remember every
+	// acknowledged write; readers run scans whose errors are tolerated.
+	rowsPer := int64(numRows / writers)
+	acked := make([]map[int64]float64, writers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		acked[w] = make(map[int64]float64)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := e.NewSession()
+			v := float64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v++
+				row := int64(w)*rowsPer + int64(v)%rowsPer
+				if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+					updateOp(tbl, row, 2, types.NewFloat64(v)),
+				}}); err == nil {
+					acked[w][row] = v
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := e.NewSession()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = e.ExecuteQuery(sess, scanSumQuery(tbl))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Drive the seeded schedule.
+	start := time.Now()
+	for _, ev := range schedule {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		if err := e.ApplyFault(ev); err != nil {
+			t.Errorf("apply %v: %v", ev.Kind, err)
+		}
+	}
+	if d := time.Until(start.Add(duration)); d > 0 {
+		time.Sleep(d)
+	}
+
+	// Restore the cluster: heal any partition, recover any down site.
+	e.HealNet()
+	for _, id := range e.Faults.DownSites() {
+		if err := e.RecoverSite(id); err != nil {
+			t.Fatalf("recover site %d: %v", id, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every partition ends with a live master.
+	for _, m := range e.Dir.All() {
+		ms := e.siteOf(m.Master().Site)
+		if ms.Down() {
+			t.Fatalf("partition %d mastered at down site %d", m.ID, m.Master().Site)
+		}
+		if _, ok := ms.Partition(m.ID); !ok {
+			t.Fatalf("partition %d has no copy at its master site %d", m.ID, m.Master().Site)
+		}
+	}
+
+	// Surviving replicas converge to their master's version.
+	waitAllConverged(t, e, 5*time.Second)
+
+	// Zero committed-write loss: every acknowledged write reads back.
+	sess := e.NewSession()
+	checked := 0
+	for w := 0; w < writers; w++ {
+		for row, want := range acked[w] {
+			res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+			if err != nil {
+				t.Fatalf("read row %d: %v", row, err)
+			}
+			if got := res.Tuples[0][0].Float(); got != want {
+				t.Errorf("row %d = %v, want acked %v (lost committed write)", row, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no writes were acknowledged during chaos; nothing was exercised")
+	}
+	t.Logf("chaos: %d events, %d acked rows verified, %d failovers, %d recoveries",
+		len(schedule), checked,
+		e.Obs.Counter("faults.failovers").Value(),
+		e.Obs.Counter("faults.recoveries").Value())
+}
+
+// waitAllConverged waits until every replica of every partition has
+// applied at least its master's current version.
+func waitAllConverged(t *testing.T, e *Engine, timeout time.Duration) {
+	t.Helper()
+	end := time.Now().Add(timeout)
+	for {
+		lagging := ""
+		for _, m := range e.Dir.All() {
+			mp, ok := e.siteOf(m.Master().Site).Partition(m.ID)
+			if !ok {
+				lagging = fmt.Sprintf("partition %d: master copy missing", m.ID)
+				break
+			}
+			v := mp.Version()
+			for _, r := range m.Replicas() {
+				rp, ok := e.siteOf(r.Site).Partition(m.ID)
+				if !ok {
+					lagging = fmt.Sprintf("partition %d: replica copy missing at site %d", m.ID, r.Site)
+					break
+				}
+				if rp.Version() < v {
+					lagging = fmt.Sprintf("partition %d: site %d at %d < master %d", m.ID, r.Site, rp.Version(), v)
+					break
+				}
+			}
+			if lagging != "" {
+				break
+			}
+		}
+		if lagging == "" {
+			return
+		}
+		if time.Now().After(end) {
+			t.Fatalf("replicas did not converge: %s", lagging)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

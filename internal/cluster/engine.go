@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"proteus/internal/cost"
+	"proteus/internal/faults"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
 	"proteus/internal/obs"
@@ -89,6 +90,17 @@ type Config struct {
 	// RaftFollowers is the number of synchronous Raft followers charged
 	// per write in ModeTiDB.
 	RaftFollowers int
+	// FaultSeed seeds the fault-injection registry: drop rolls, retry
+	// jitter and chaos schedules derive from it, making failure runs
+	// reproducible.
+	FaultSeed int64
+	// OpDeadline bounds each client-visible operation (query or
+	// transaction) across all its retries; expiry surfaces the typed
+	// faults.ErrTimeout. 0 means the 2 s default.
+	OpDeadline time.Duration
+	// RetryBase is the first retry's maximum backoff delay (full jitter,
+	// doubling per attempt). 0 means the 200 µs default.
+	RetryBase time.Duration
 }
 
 // DefaultConfig returns a small cluster sizing suitable for tests.
@@ -105,6 +117,8 @@ func DefaultConfig() Config {
 		RedoRetention:       256,
 		Adapt:               DefaultAdaptConfig(),
 		RaftFollowers:       2,
+		OpDeadline:          2 * time.Second,
+		RetryBase:           200 * time.Microsecond,
 	}
 }
 
@@ -125,6 +139,11 @@ type Engine struct {
 
 	Advisor *Advisor // nil unless ModeProteus
 
+	// Faults is the cluster's fault-injection registry, installed as the
+	// interconnect's fault policy. Tests, the chaos harness and the CLI's
+	// fault commands all drive it.
+	Faults *faults.Registry
+
 	// Obs is the cluster-wide metrics registry (simnet traffic, redo-log
 	// broker, per-site maintenance); Trace is the ASA decision trace
 	// (empty outside ModeProteus).
@@ -132,6 +151,18 @@ type Engine struct {
 	Trace *obs.DecisionTrace
 
 	stats Stats
+
+	// crashed remembers what each down site hosted, for recovery replay.
+	crashMu sync.Mutex
+	crashed map[simnet.SiteID][]site.HostedCopy
+
+	// Failure instruments.
+	cntRetries    *obs.Counter
+	cntTimeouts   *obs.Counter
+	cntCrashes    *obs.Counter
+	cntRecoveries *obs.Counter
+	cntFailovers  *obs.Counter
+	recoveryLat   *obs.Recorder
 
 	tableMax map[schema.TableID]schema.RowID
 
@@ -162,11 +193,20 @@ func New(cfg Config) *Engine {
 		Locks:    txn.NewLockManager(),
 		Obs:      obs.NewRegistry(),
 		Trace:    obs.NewDecisionTrace(4096),
+		Faults:   faults.New(cfg.FaultSeed),
+		crashed:  make(map[simnet.SiteID][]site.HostedCopy),
 		tableMax: make(map[schema.TableID]schema.RowID),
 		stop:     make(chan struct{}),
 	}
 	e.Net.SetObs(e.Obs)
+	e.Net.SetFaults(e.Faults)
 	e.Broker.SetObs(e.Obs)
+	e.cntRetries = e.Obs.Counter("faults.retries")
+	e.cntTimeouts = e.Obs.Counter("faults.timeouts")
+	e.cntCrashes = e.Obs.Counter("faults.crashes")
+	e.cntRecoveries = e.Obs.Counter("faults.recoveries")
+	e.cntFailovers = e.Obs.Counter("faults.failovers")
+	e.recoveryLat = e.Obs.Recorder("faults.recovery.replay", 1<<8)
 	for i := 0; i < cfg.NumSites; i++ {
 		s := site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite)
 		s.SetObs(e.Obs)
@@ -210,10 +250,13 @@ func (e *Engine) startBackground() {
 					return
 				case <-t.C:
 					for _, s := range e.Sites {
+						if s.Down() {
+							continue
+						}
 						s.Maintain(e.cfg.DeltaThreshold)
 					}
 					e.drainObservations()
-					e.truncateRedoLogs()
+					e.checkpointAndTruncate()
 				}
 			}
 		}()
@@ -268,14 +311,18 @@ func (e *Engine) drainObservations() {
 	}
 }
 
-// truncateRedoLogs trims every redo-log topic below the minimum offset
-// any replica subscription still needs, bounding log growth (the paper's
-// Kafka retention). Topics with no subscribers — unreplicated masters,
-// the common case under Proteus — trim to their end offset. A configured
-// retention slack keeps the last RedoRetention records regardless, so a
-// replica install capturing a snapshot offset concurrently with this loop
-// never finds its start already reclaimed.
-func (e *Engine) truncateRedoLogs() {
+// checkpointAndTruncate maintains each topic's durability floor: it
+// refreshes the broker checkpoint of partitions whose log has grown past
+// the retention window, then trims records no longer needed by either a
+// replica subscription or crash recovery (the paper's Kafka retention plus
+// its snapshot store, §4.3). The truncation floor is the minimum of every
+// subscriber's offset and the checkpoint offset; a topic with no
+// checkpoint is never trimmed, because replay-from-base is then the only
+// copy of bulk-loaded state. A configured retention slack keeps the last
+// RedoRetention records regardless, so a replica install capturing a
+// snapshot offset concurrently with this loop never finds its start
+// already reclaimed.
+func (e *Engine) checkpointAndTruncate() {
 	mins := make(map[partition.ID]int64)
 	for _, s := range e.Sites {
 		for pid, off := range s.Repl.Offsets() {
@@ -285,15 +332,50 @@ func (e *Engine) truncateRedoLogs() {
 		}
 	}
 	for _, pid := range e.Broker.Topics() {
-		floor, ok := mins[pid]
-		if !ok {
-			floor = e.Broker.EndOffset(pid)
+		if m, ok := e.Dir.Get(pid); ok {
+			e.maybeCheckpoint(m)
+		}
+		floor := e.Broker.CheckpointOffset(pid)
+		if off, ok := mins[pid]; ok && off < floor {
+			floor = off
 		}
 		floor -= e.cfg.RedoRetention
 		if floor > 0 {
 			e.Broker.Truncate(pid, floor)
 		}
 	}
+}
+
+// maybeCheckpoint refreshes a partition's broker checkpoint once its log
+// tail outgrows the retention window. The snapshot (rows, version, end
+// offset) is captured under the partition's exclusive lock so it is
+// consistent with commits, which append and install versions while
+// holding it.
+func (e *Engine) maybeCheckpoint(m *metadata.PartitionMeta) {
+	master := m.Master()
+	s := e.siteOf(master.Site)
+	if s.Down() {
+		return
+	}
+	p, ok := s.Partition(m.ID)
+	if !ok {
+		return
+	}
+	slack := e.cfg.RedoRetention
+	if slack < 1 {
+		slack = 1
+	}
+	if e.Broker.EndOffset(m.ID)-e.Broker.CheckpointOffset(m.ID) < slack {
+		return
+	}
+	ls := e.Locks.AcquireAll(nil, []partition.ID{m.ID})
+	ck := redolog.Checkpoint{
+		Rows:    p.ExtractAll(storage.Latest),
+		Version: p.Version(),
+		Offset:  e.Broker.EndOffset(m.ID),
+	}
+	ls.ReleaseAll()
+	e.Broker.SaveCheckpoint(m.ID, ck)
 }
 
 // Close stops background work and the sites.
@@ -398,7 +480,9 @@ func (e *Engine) CreateTable(spec TableSpec) (*schema.Table, error) {
 				if s.ID == siteID {
 					continue
 				}
-				e.installReplica(meta, s.ID, rl)
+				if err := e.installReplica(meta, s.ID, rl); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -420,25 +504,38 @@ func (e *Engine) installModeReplicas(meta *metadata.PartitionMeta, master *parti
 	_ = master
 	_ = kinds
 	target := simnet.SiteID((int(meta.Master().Site) + 1) % len(e.Sites))
-	e.installReplica(meta, target, storage.DefaultColumnLayout())
+	_ = e.installReplica(meta, target, storage.DefaultColumnLayout())
 }
 
 // installReplica snapshots the master and installs a replica copy at a
-// site, subscribing it to the partition's redo log (§4.4).
-func (e *Engine) installReplica(meta *metadata.PartitionMeta, siteID simnet.SiteID, l storage.Layout) {
+// site, subscribing it to the partition's redo log (§4.4). It fails with
+// a typed error when either endpoint is down or partitioned away.
+func (e *Engine) installReplica(meta *metadata.PartitionMeta, siteID simnet.SiteID, l storage.Layout) error {
+	dst := e.siteOf(siteID)
+	if dst.Down() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, siteID)
+	}
 	masterSite := e.siteOf(meta.Master().Site)
+	if masterSite.Down() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, masterSite.ID)
+	}
+	if err := e.Net.Reachable(masterSite.ID, siteID); err != nil {
+		return err
+	}
 	mp, err := masterSite.MustPartition(meta.ID)
 	if err != nil {
-		return
+		return err
 	}
 	offset := e.Broker.EndOffset(meta.ID)
 	rows := mp.ExtractAll(storage.Latest)
-	dst := e.siteOf(siteID)
 	rep := partition.New(meta.ID, meta.Bounds, mp.Kinds(), l, dst.Factory)
-	_ = rep.Load(rows, mp.Version())
+	if err := rep.Load(rows, mp.Version()); err != nil {
+		return err
+	}
 	dst.AddPartition(rep, false)
 	dst.Repl.Subscribe(meta.ID, rep, offset)
 	meta.AddReplica(metadata.Replica{Site: siteID, Layout: l})
+	return nil
 }
 
 // siteOf resolves a site ID.
@@ -472,6 +569,16 @@ func (e *Engine) LoadRows(table schema.TableID, rows []schema.Row) error {
 				return err
 			}
 		}
+		// Bulk-loaded rows never enter the redo log, so checkpoint each
+		// partition now: crash recovery replays checkpoint + log, and
+		// without this the loaded state would be unrecoverable.
+		if mp, ok := e.siteOf(m.Master().Site).Partition(pid); ok {
+			e.Broker.SaveCheckpoint(pid, redolog.Checkpoint{
+				Rows:    mp.ExtractAll(storage.Latest),
+				Version: mp.Version(),
+				Offset:  e.Broker.EndOffset(pid),
+			})
+		}
 		m.Tracker.Record(forecast.Update, 0) // touch tracker
 	}
 	return nil
@@ -504,6 +611,11 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	for _, s := range e.Sites {
 		snap.Gauges[fmt.Sprintf("site%d.mem_bytes", s.ID)] = s.MemUsage()
 		snap.Gauges[fmt.Sprintf("site%d.disk_bytes", s.ID)] = s.DiskUsage()
+		up := int64(1)
+		if s.Down() {
+			up = 0
+		}
+		snap.Gauges[fmt.Sprintf("site%d.up", s.ID)] = up
 		applied += s.Repl.Applied()
 	}
 	snap.Counters["repl.applied"] = applied

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"proteus/internal/faults"
 	"proteus/internal/metadata"
 	"proteus/internal/partition"
+	"proteus/internal/redolog"
 	"proteus/internal/schema"
 	"proteus/internal/simnet"
 	"proteus/internal/storage"
@@ -79,6 +81,15 @@ func (e *Engine) replaceInDirectory(siteID simnet.SiteID, old []*metadata.Partit
 		e.siteOf(siteID).AddPartition(p, true)
 		e.Broker.CreateTopic(p.ID)
 		e.Dir.Register(p.ID, p.Bounds, metadata.Replica{Site: siteID, Layout: p.Layout()}, p.ZoneMap())
+		// The old partitions' topics are gone and the new partitions'
+		// rows predate their (empty) topics, so checkpoint immediately:
+		// without this a crash before the next checkpoint cycle would
+		// lose the repartitioned data.
+		e.Broker.SaveCheckpoint(p.ID, redolog.Checkpoint{
+			Rows:    p.ExtractAll(storage.Latest),
+			Version: p.Version(),
+			Offset:  e.Broker.EndOffset(p.ID),
+		})
 	}
 	e.Epoch.Bump()
 }
@@ -192,8 +203,11 @@ func (e *Engine) AddReplicaOp(pid partition.ID, siteID simnet.SiteID, l storage.
 	}
 	// Snapshot under a shared lock so the offset and data are consistent.
 	ls := e.Locks.AcquireAll([]partition.ID{pid}, nil)
-	e.installReplica(m, siteID, l)
+	err := e.installReplica(m, siteID, l)
 	ls.ReleaseAll()
+	if err != nil {
+		return err
+	}
 	e.Net.Charge(m.Master().Site, siteID, 1024)
 	e.Epoch.Bump()
 	e.stats.Record(ClassReplicationChange, time.Since(start))
@@ -235,12 +249,20 @@ func (e *Engine) ChangeMasterOp(pid partition.ID, newSite simnet.SiteID) error {
 	if oldMaster.Site == newSite {
 		return nil
 	}
+	if e.siteOf(newSite).Down() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, newSite)
+	}
+	if e.siteOf(oldMaster.Site).Down() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, oldMaster.Site)
+	}
 	// Block new updates while mastership moves.
 	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
 	defer ls.ReleaseAll()
 
 	if !m.HasCopyAt(newSite) {
-		e.installReplica(m, newSite, oldMaster.Layout)
+		if err := e.installReplica(m, newSite, oldMaster.Layout); err != nil {
+			return err
+		}
 	}
 	dst := e.siteOf(newSite)
 	src := e.siteOf(oldMaster.Site)

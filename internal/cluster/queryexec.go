@@ -8,6 +8,7 @@ import (
 
 	"proteus/internal/cost"
 	"proteus/internal/exec"
+	"proteus/internal/faults"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
 	"proteus/internal/partition"
@@ -26,21 +27,30 @@ import (
 var ErrStalePlan = errors.New("cluster: physical plan stale after layout change")
 
 // ExecuteQuery runs an OLAP query tree, producing the final relation at
-// the coordinating site (§4.3, Figure 7b). A plan invalidated by a
-// concurrent layout change is re-planned and retried.
+// the coordinating site (§4.3, Figure 7b). Retriable failures — a plan
+// invalidated by a concurrent layout change, a crashed site awaiting
+// failover, a dropped message or transient partition — are re-planned and
+// retried with seeded full-jitter backoff until the operation deadline,
+// after which the typed faults.ErrTimeout surfaces.
 func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
-	for attempt := 0; attempt < 10; attempt++ {
+	deadline := time.Now().Add(e.opDeadline())
+	delay := e.retryBase()
+	for {
 		rel, err = e.executeQueryOnce(sess, q)
-		if !errors.Is(err, ErrStalePlan) {
+		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
-		// Back off briefly: the layout change that invalidated the plan is
-		// still installing.
-		time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
+		if time.Now().After(deadline) {
+			return rel, e.deadlineErr(err)
+		}
+		e.cntRetries.Inc()
+		time.Sleep(e.Faults.Jitter(delay))
+		if delay *= 2; delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
 	}
-	return rel, err
 }
 
 func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, error) {
@@ -53,16 +63,23 @@ func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, erro
 
 	pids := collectPIDs(pn)
 	snap := e.snapshotFor(pids, sess)
-	coord := queryCoordinator(pn)
-	e.Net.Charge(simnet.ASASite, coord, 256)
+	coord, err := e.pickCoordinator(pn)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	if _, err := e.Net.Send(simnet.ASASite, coord, 256); err != nil {
+		return exec.Rel{}, err
+	}
 	e.recordQueryAccesses(pn)
 
 	var result exec.Rel
 	var execErr error
 	start := time.Now()
-	e.siteOf(coord).RunOLAP(func() {
+	if err := e.siteOf(coord).RunOLAP(func() {
 		result, execErr = e.evalNode(pn, snap, coord)
-	})
+	}); err != nil {
+		return exec.Rel{}, err
+	}
 	d := time.Since(start)
 	if execErr != nil {
 		return exec.Rel{}, execErr
@@ -107,8 +124,10 @@ func collectPIDs(n plan.PNode) []partition.ID {
 	return out
 }
 
-// queryCoordinator picks the site hosting the most scanned pieces.
-func queryCoordinator(n plan.PNode) simnet.SiteID {
+// pickCoordinator picks the live site hosting the most scanned pieces.
+// Sites that are down are skipped (graceful degradation); if every site
+// is down the typed error surfaces instead of dispatching into a crash.
+func (e *Engine) pickCoordinator(n plan.PNode) (simnet.SiteID, error) {
 	counts := map[simnet.SiteID]int{}
 	var walk func(plan.PNode)
 	walk = func(n plan.PNode) {
@@ -129,11 +148,23 @@ func queryCoordinator(n plan.PNode) simnet.SiteID {
 	walk(n)
 	best, bestN := simnet.SiteID(0), -1
 	for s, n := range counts {
+		if e.siteOf(s).Down() {
+			continue
+		}
 		if n > bestN || (n == bestN && s < best) {
 			best, bestN = s, n
 		}
 	}
-	return best
+	if bestN >= 0 {
+		return best, nil
+	}
+	// No planned site is up: coordinate from any live site.
+	for _, s := range e.Sites {
+		if !s.Down() {
+			return s.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no live site to coordinate query", faults.ErrSiteDown)
 }
 
 // recordQueryAccesses updates scan trackers, column stats and join
@@ -186,12 +217,16 @@ func (e *Engine) evalNode(n plan.PNode, snap txn.VersionVector, coord simnet.Sit
 func (e *Engine) sitePartition(pid partition.ID, siteID simnet.SiteID, snapVer uint64) (*partition.Partition, error) {
 	s := e.siteOf(siteID)
 	p, ok := s.Partition(pid)
-	if !ok {
+	if !ok || s.Down() {
 		m, found := e.Dir.Get(pid)
 		if !found {
 			return nil, fmt.Errorf("%w: partition %d repartitioned", ErrStalePlan, pid)
 		}
-		s = e.siteOf(m.Master().Site)
+		rep, live := e.liveCopy(m)
+		if !live {
+			return nil, fmt.Errorf("%w: partition %d has no live copy", faults.ErrSiteDown, pid)
+		}
+		s = e.siteOf(rep.Site)
 		if p, ok = s.Partition(pid); !ok {
 			return nil, fmt.Errorf("%w: partition %d has no resolvable copy", ErrStalePlan, pid)
 		}
@@ -223,19 +258,28 @@ func (e *Engine) scanPieceAt(piece plan.ScanPart, siteID simnet.SiteID, seg plan
 	return rel, ids, nil
 }
 
-// shipTo charges moving a relation between sites and records the network
-// observation.
-func (e *Engine) shipTo(from, to simnet.SiteID, rel exec.Rel) {
+// shipTo moves a relation between sites (retrying dropped messages) and
+// records the network observation. A persistent fault surfaces as the
+// typed error so the query can re-plan around it.
+func (e *Engine) shipTo(from, to simnet.SiteID, rel exec.Rel) error {
 	if from == to {
-		return
+		return nil
 	}
 	bytes := rel.NumRows()*rel.RowBytes() + 64
-	d := e.Net.Charge(from, to, bytes)
+	var d time.Duration
+	if err := e.Faults.Retry(e.sendBackoff(), func() error {
+		dd, err := e.Net.Send(from, to, bytes)
+		d += dd
+		return err
+	}); err != nil {
+		return err
+	}
 	e.siteOf(from).Observe(cost.Observation{
 		Op:       cost.OpNetwork,
 		Features: cost.NetworkFeatures(e.siteOf(from).CPU(), e.siteOf(to).CPU(), bytes, 0),
 		Latency:  d,
 	})
+	return nil
 }
 
 // evalScan executes a PScan, stitching vertical pieces and shipping
@@ -253,17 +297,26 @@ func (e *Engine) evalScan(ps *plan.PScan, snap txn.VersionVector, coord simnet.S
 		i, seg := i, seg
 		wg.Add(1)
 		run := func() {
-			defer wg.Done()
 			rel, err := e.evalSegment(ps, seg, snap, coord)
 			results[i] = segResult{idx: i, rel: rel, err: err}
 		}
 		// Single-piece remote segments execute on their owning site's
-		// OLAP pool; everything else runs inline on the coordinator.
+		// OLAP pool; everything else runs inline on the coordinator. A
+		// remote site that crashed rejects the work; run the segment at
+		// the coordinator instead — evalSegment redirects to a live copy.
 		if len(seg.Pieces) == 1 && seg.Pieces[0].Copy.Site != coord {
 			s := e.siteOf(seg.Pieces[0].Copy.Site)
-			go s.RunOLAP(run)
+			go func() {
+				defer wg.Done()
+				if err := s.RunOLAP(run); err != nil {
+					run()
+				}
+			}()
 		} else {
-			go run()
+			go func() {
+				defer wg.Done()
+				run()
+			}()
 		}
 	}
 	wg.Wait()
@@ -295,7 +348,9 @@ func (e *Engine) evalSegment(ps *plan.PScan, seg plan.RowSegment, snap txn.Versi
 		}
 		// Reorder piece columns into the scan's output order.
 		rel = reorderCols(rel, piece.Cols, ps.Cols)
-		e.shipTo(piece.Copy.Site, coord, rel)
+		if err := e.shipTo(piece.Copy.Site, coord, rel); err != nil {
+			return exec.Rel{}, err
+		}
 		return rel, nil
 	}
 
@@ -312,7 +367,9 @@ func (e *Engine) evalSegment(ps *plan.PScan, seg plan.RowSegment, snap txn.Versi
 		if err != nil {
 			return exec.Rel{}, err
 		}
-		e.shipTo(piece.Copy.Site, coord, rel)
+		if err := e.shipTo(piece.Copy.Site, coord, rel); err != nil {
+			return exec.Rel{}, err
+		}
 		pd := pieceData{cols: piece.Cols, vals: make(map[schema.RowID][]types.Value, len(ids)), ids: ids}
 		for j, id := range ids {
 			pd.vals[id] = rel.Tuples[j]
@@ -474,17 +531,23 @@ func (e *Engine) evalColocatedJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap t
 		siteID, segs := siteID, segs
 		wg.Add(1)
 		run := func() {
-			defer wg.Done()
 			rel, err := e.siteLocalJoin(ls, rs, segs, pj, partialAgg, snap, siteID)
 			mu.Lock()
 			outs[siteID] = &siteOut{rel: rel, err: err}
 			mu.Unlock()
 		}
-		if siteID != coord {
-			go e.siteOf(siteID).RunOLAP(run)
-		} else {
-			go run()
-		}
+		go func() {
+			defer wg.Done()
+			if siteID != coord {
+				// A crashed site rejects the work; evaluate its share at
+				// the coordinator against live copies instead.
+				if err := e.siteOf(siteID).RunOLAP(run); err != nil {
+					run()
+				}
+			} else {
+				run()
+			}
+		}()
 	}
 	wg.Wait()
 
@@ -493,7 +556,9 @@ func (e *Engine) evalColocatedJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap t
 		if so.err != nil {
 			return exec.Rel{}, so.err
 		}
-		e.shipTo(siteID, coord, so.rel)
+		if err := e.shipTo(siteID, coord, so.rel); err != nil {
+			return exec.Rel{}, err
+		}
 		final = exec.Concat(final, so.rel)
 	}
 	return final, nil
@@ -604,7 +669,6 @@ func (e *Engine) evalScanWithPartialAgg(ps *plan.PScan, pa *plan.PAgg, snap txn.
 		siteID, segs := siteID, segs
 		wg.Add(1)
 		run := func() {
-			defer wg.Done()
 			local := exec.Rel{Cols: colNames(ps.Cols)}
 			var err error
 			for _, seg := range segs {
@@ -625,11 +689,18 @@ func (e *Engine) evalScanWithPartialAgg(ps *plan.PScan, pa *plan.PAgg, snap txn.
 			outs[siteID] = &siteOut{rel: out, err: err}
 			mu.Unlock()
 		}
-		if siteID != coord {
-			go e.siteOf(siteID).RunOLAP(run)
-		} else {
-			go run()
-		}
+		go func() {
+			defer wg.Done()
+			if siteID != coord {
+				// A crashed site rejects the work; evaluate its share at
+				// the coordinator against live copies instead.
+				if err := e.siteOf(siteID).RunOLAP(run); err != nil {
+					run()
+				}
+			} else {
+				run()
+			}
+		}()
 	}
 	wg.Wait()
 	var partials exec.Rel
@@ -637,7 +708,9 @@ func (e *Engine) evalScanWithPartialAgg(ps *plan.PScan, pa *plan.PAgg, snap txn.
 		if so.err != nil {
 			return exec.Rel{}, so.err
 		}
-		e.shipTo(siteID, coord, so.rel)
+		if err := e.shipTo(siteID, coord, so.rel); err != nil {
+			return exec.Rel{}, err
+		}
 		partials = exec.Concat(partials, so.rel)
 	}
 	return partials, nil

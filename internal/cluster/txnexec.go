@@ -1,13 +1,13 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"proteus/internal/cost"
 	"proteus/internal/exec"
+	"proteus/internal/faults"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
 	"proteus/internal/partition"
@@ -41,7 +41,13 @@ func (e *Engine) snapshotFor(pids []partition.ID, sess *Session) txn.VersionVect
 		if !ok {
 			continue
 		}
-		if p, ok := e.siteOf(m.Master().Site).Partition(pid); ok {
+		// Read the version from a live copy: with the master down, a
+		// replica's applied version still defines a serviceable snapshot.
+		rep, ok := e.liveCopy(m)
+		if !ok {
+			continue
+		}
+		if p, ok := e.siteOf(rep.Site).Partition(pid); ok {
 			snap[pid] = p.Version()
 		}
 	}
@@ -62,6 +68,14 @@ func (e *Engine) readCopy(m *metadata.PartitionMeta, copyAt metadata.Replica, co
 
 	var obs []cost.Observation
 	s := e.siteOf(copyAt.Site)
+	if s.Down() {
+		// The planned copy's site crashed: redirect to any live copy.
+		rep, ok := e.liveCopy(m)
+		if !ok {
+			return schema.Row{}, false, obs, fmt.Errorf("%w: partition %d has no live copy", faults.ErrSiteDown, m.ID)
+		}
+		s = e.siteOf(rep.Site)
+	}
 	p, ok := s.Partition(m.ID)
 	if !ok {
 		// Stale plan decision: fall back to the master copy.
@@ -74,19 +88,35 @@ func (e *Engine) readCopy(m *metadata.PartitionMeta, copyAt metadata.Replica, co
 	}
 	if !s.IsMaster(m.ID) && p.Version() < snapVer {
 		start := time.Now()
-		if _, err := s.Repl.CatchUp(m.ID, snapVer); err == nil {
-			obs = append(obs, cost.Observation{
-				Op:       cost.OpWaitUpdates,
-				Features: cost.WaitFeatures(int(snapVer - p.Version() + 1)),
-				Latency:  time.Since(start),
-			})
+		if _, err := s.Repl.CatchUp(m.ID, snapVer); err != nil {
+			// The replica cannot reach the snapshot (broker partitioned
+			// away, or catch-up timed out): surface the typed error rather
+			// than silently reading stale data.
+			return schema.Row{}, false, obs, err
 		}
+		obs = append(obs, cost.Observation{
+			Op:       cost.OpWaitUpdates,
+			Features: cost.WaitFeatures(int(snapVer - p.Version() + 1)),
+			Latency:  time.Since(start),
+		})
 	}
 	r, found, o := exec.PointRead(p, row, cols, snapVer)
 	obs = append(obs, o)
 	if s.ID != coord {
-		d := e.Net.Charge(coord, s.ID, 64)
-		d += e.Net.Charge(s.ID, coord, 64+32*len(cols))
+		var d time.Duration
+		err := e.Faults.Retry(e.sendBackoff(), func() error {
+			dd, err := e.Net.Send(coord, s.ID, 64)
+			if err != nil {
+				return err
+			}
+			d += dd
+			dd, err = e.Net.Send(s.ID, coord, 64+32*len(cols))
+			d += dd
+			return err
+		})
+		if err != nil {
+			return schema.Row{}, false, obs, err
+		}
 		obs = append(obs, cost.Observation{
 			Op:       cost.OpNetwork,
 			Features: cost.NetworkFeatures(e.siteOf(coord).CPU(), s.CPU(), 64, 64+32*len(cols)),
@@ -111,21 +141,30 @@ func coordinatorFor(tp *plan.TxnPlan) simnet.SiteID {
 }
 
 // ExecuteTxn runs an OLTP transaction under SSSI, returning the values
-// read (one tuple per read op, in op order). A plan invalidated by a
-// concurrent layout change is re-planned and retried.
+// read (one tuple per read op, in op order). Retriable failures — a plan
+// invalidated by a concurrent layout change, a crashed site awaiting
+// failover, a dropped message or transient partition — are re-planned and
+// retried with seeded full-jitter backoff until the operation deadline,
+// after which the typed faults.ErrTimeout surfaces.
 func (e *Engine) ExecuteTxn(sess *Session, t *query.Txn) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
-	for attempt := 0; attempt < 10; attempt++ {
+	deadline := time.Now().Add(e.opDeadline())
+	delay := e.retryBase()
+	for {
 		rel, err = e.executeTxnOnce(sess, t)
-		if !errors.Is(err, ErrStalePlan) {
+		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
-		// Back off briefly: the layout change that invalidated the plan is
-		// still installing.
-		time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
+		if time.Now().After(deadline) {
+			return rel, e.deadlineErr(err)
+		}
+		e.cntRetries.Inc()
+		time.Sleep(e.Faults.Jitter(delay))
+		if delay *= 2; delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
 	}
-	return rel, err
 }
 
 func (e *Engine) executeTxnOnce(sess *Session, t *query.Txn) (exec.Rel, error) {
@@ -139,14 +178,18 @@ func (e *Engine) executeTxnOnce(sess *Session, t *query.Txn) (exec.Rel, error) {
 
 	coord := coordinatorFor(tp)
 	// Dispatch from the ASA to the coordinating site.
-	e.Net.Charge(simnet.ASASite, coord, 128+32*len(t.Ops))
+	if _, err := e.Net.Send(simnet.ASASite, coord, 128+32*len(t.Ops)); err != nil {
+		return exec.Rel{}, err
+	}
 
 	var result exec.Rel
 	var execErr error
 	start := time.Now()
-	e.siteOf(coord).RunOLTP(func() {
+	if err := e.siteOf(coord).RunOLTP(func() {
 		result, execErr = e.runTxnAt(coord, sess, t, tp)
-	})
+	}); err != nil {
+		return exec.Rel{}, err
+	}
 	d := time.Since(start)
 	if execErr != nil {
 		e.stats.RecordAbort()
@@ -381,11 +424,21 @@ type writeParticipant struct {
 	masters  map[partition.ID]*partition.Partition
 }
 
-// Prepare validates the ops (and charges the prepare round trip).
+// Prepare validates the ops (and charges the prepare round trip). A
+// fault on the prepare round trip aborts the transaction before the
+// commit point — no participant has applied anything yet — and the
+// typed error drives the coordinator's retry.
 func (wp *writeParticipant) Prepare(txnID uint64) error {
 	if wp.sw.site != wp.coord {
-		wp.e.Net.Charge(wp.coord, wp.sw.site, 128)
-		wp.e.Net.Charge(wp.sw.site, wp.coord, 32)
+		if err := wp.e.Faults.Retry(wp.e.sendBackoff(), func() error {
+			if _, err := wp.e.Net.Send(wp.coord, wp.sw.site, 128); err != nil {
+				return err
+			}
+			_, err := wp.e.Net.Send(wp.sw.site, wp.coord, 32)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	for _, w := range wp.sw.ops {
 		p := wp.masters[w.meta.ID]
@@ -403,7 +456,10 @@ func (wp *writeParticipant) Prepare(txnID uint64) error {
 	return nil
 }
 
-// Commit applies the staged writes at the reserved versions.
+// Commit applies the staged writes at the reserved versions. Past the
+// commit point network faults are absorbed (Charge), not surfaced: every
+// prepared participant must apply, or participants would diverge on a
+// decided transaction.
 func (wp *writeParticipant) Commit(txnID uint64) error {
 	if wp.sw.site != wp.coord {
 		wp.e.Net.Charge(wp.coord, wp.sw.site, 128)

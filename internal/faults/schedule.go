@@ -1,0 +1,153 @@
+// Chaos schedules: a seeded generator producing a reproducible sequence
+// of site crashes/recoveries and network partitions/heals for the chaos
+// harness to replay against a live workload.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"proteus/internal/simnet"
+)
+
+// EventKind is the kind of one scheduled fault event.
+type EventKind uint8
+
+const (
+	// EventCrash takes a site down.
+	EventCrash EventKind = iota
+	// EventRecover brings a crashed site back.
+	EventRecover
+	// EventPartition splits the network into groups.
+	EventPartition
+	// EventHeal removes the partition.
+	EventHeal
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRecover:
+		return "recover"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("event(%d)", k)
+	}
+}
+
+// Event is one scheduled fault, fired At after the run starts.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Site is the target of crash/recover events.
+	Site simnet.SiteID
+	// Groups carries the partition groups of EventPartition.
+	Groups [][]simnet.SiteID
+}
+
+// ScheduleConfig parameterizes chaos schedule generation.
+type ScheduleConfig struct {
+	// Sites are the crashable data sites.
+	Sites []simnet.SiteID
+	// Duration is the workload window events must fall inside.
+	Duration time.Duration
+	// Crashes is the number of crash/recover pairs (default 3).
+	Crashes int
+	// Partitions is the number of partition/heal pairs (default 1).
+	Partitions int
+	// MinDowntime/MaxDowntime bound each crash's duration
+	// (defaults Duration/8 and Duration/4).
+	MinDowntime time.Duration
+	MaxDowntime time.Duration
+	// PartitionExtra is appended to the first partition group — schedules
+	// that want the split to also cut broker or ASA access place those
+	// pseudo-sites here.
+	PartitionExtra []simnet.SiteID
+}
+
+// NewSchedule generates a reproducible fault schedule from seed: Crashes
+// crash/recover pairs over random sites and Partitions partition/heal
+// pairs splitting the sites into two random non-empty groups, all inside
+// [0.05·Duration, 0.95·Duration], sorted by fire time.
+func NewSchedule(seed int64, cfg ScheduleConfig) []Event {
+	if len(cfg.Sites) == 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	if cfg.Crashes <= 0 {
+		cfg.Crashes = 3
+	}
+	if cfg.Partitions < 0 {
+		cfg.Partitions = 0
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.MinDowntime <= 0 {
+		cfg.MinDowntime = cfg.Duration / 8
+	}
+	if cfg.MaxDowntime < cfg.MinDowntime {
+		cfg.MaxDowntime = cfg.Duration / 4
+	}
+	if cfg.MaxDowntime < cfg.MinDowntime {
+		cfg.MaxDowntime = cfg.MinDowntime
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo := cfg.Duration / 20
+	hi := cfg.Duration * 19 / 20
+
+	window := func(down time.Duration) (time.Duration, time.Duration) {
+		latest := hi - down
+		if latest < lo {
+			latest = lo
+		}
+		at := lo + time.Duration(rng.Int63n(int64(latest-lo)+1))
+		end := at + down
+		if end > hi {
+			end = hi
+		}
+		return at, end
+	}
+
+	var events []Event
+	for i := 0; i < cfg.Crashes; i++ {
+		site := cfg.Sites[rng.Intn(len(cfg.Sites))]
+		down := cfg.MinDowntime
+		if cfg.MaxDowntime > cfg.MinDowntime {
+			down += time.Duration(rng.Int63n(int64(cfg.MaxDowntime - cfg.MinDowntime)))
+		}
+		at, end := window(down)
+		events = append(events,
+			Event{At: at, Kind: EventCrash, Site: site},
+			Event{At: end, Kind: EventRecover, Site: site})
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		// Split the sites into two non-empty groups.
+		perm := rng.Perm(len(cfg.Sites))
+		cut := 1
+		if len(cfg.Sites) > 2 {
+			cut = 1 + rng.Intn(len(cfg.Sites)-1)
+		}
+		a := append([]simnet.SiteID{}, cfg.PartitionExtra...)
+		var bGroup []simnet.SiteID
+		for j, idx := range perm {
+			if j < cut {
+				a = append(a, cfg.Sites[idx])
+			} else {
+				bGroup = append(bGroup, cfg.Sites[idx])
+			}
+		}
+		at, end := window(cfg.MinDowntime)
+		events = append(events,
+			Event{At: at, Kind: EventPartition, Groups: [][]simnet.SiteID{a, bGroup}},
+			Event{At: end, Kind: EventHeal})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}

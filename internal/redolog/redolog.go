@@ -48,6 +48,17 @@ type Record struct {
 	Deps map[partition.ID]uint64
 }
 
+// Checkpoint is a durable snapshot of one partition's full state held by
+// the broker alongside the log — the stand-in for the paper's snapshot
+// store that bounds recovery replay (§4.3). Offset is the log position the
+// snapshot covers: recovery loads Rows at Version and replays from Offset.
+// Rows is shared, not copied; treat it as read-only.
+type Checkpoint struct {
+	Rows    []schema.Row
+	Version uint64
+	Offset  int64
+}
+
 // Broker is an in-process log broker: one topic per partition.
 // All methods are safe for concurrent use.
 type Broker struct {
@@ -59,6 +70,7 @@ type Broker struct {
 	obsPolls     *obs.Counter
 	obsPolled    *obs.Counter
 	obsTruncated *obs.Counter
+	obsCkpts     *obs.Counter
 	obsBacklog   *obs.Gauge // retained records across all topics
 }
 
@@ -69,6 +81,7 @@ type topic struct {
 	mu      sync.RWMutex
 	base    int64
 	records []Record
+	ckpt    *Checkpoint
 }
 
 // NewBroker creates an empty broker.
@@ -84,6 +97,7 @@ func (b *Broker) SetObs(reg *obs.Registry) {
 	b.obsPolls = reg.Counter("redolog.polls")
 	b.obsPolled = reg.Counter("redolog.polled_records")
 	b.obsTruncated = reg.Counter("redolog.truncated_records")
+	b.obsCkpts = reg.Counter("redolog.checkpoints")
 	b.obsBacklog = reg.Gauge("redolog.backlog")
 }
 
@@ -233,6 +247,63 @@ func (b *Broker) Truncate(pid partition.ID, before int64) int64 {
 		b.obsBacklog.Add(-drop)
 	}
 	return drop
+}
+
+// SaveCheckpoint installs a partition snapshot, replacing any prior one.
+// Callers must capture Rows/Version/Offset atomically with respect to
+// commits (the engine holds the partition's exclusive lock).
+func (b *Broker) SaveCheckpoint(pid partition.ID, ck Checkpoint) {
+	t := b.topic(pid)
+	t.mu.Lock()
+	t.ckpt = &ck
+	t.mu.Unlock()
+	if b.obsCkpts != nil {
+		b.obsCkpts.Inc()
+	}
+}
+
+// Checkpoint returns the latest snapshot for the partition, if any.
+func (b *Broker) Checkpoint(pid partition.ID) (Checkpoint, bool) {
+	t := b.topic(pid)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.ckpt == nil {
+		return Checkpoint{}, false
+	}
+	return *t.ckpt, true
+}
+
+// CheckpointOffset reports the offset covered by the latest snapshot
+// (0 when none exists). Truncation must never pass beyond it on topics
+// without one, or recovery would lose the records' effects.
+func (b *Broker) CheckpointOffset(pid partition.ID) int64 {
+	t := b.topic(pid)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.ckpt == nil {
+		return 0
+	}
+	return t.ckpt.Offset
+}
+
+// ReplayInto applies every retained record from offset `from` whose
+// version the partition has not yet installed — crash recovery's replay
+// after loading the checkpoint. It returns the number of records applied
+// and the offset replay reached (the subscription point for the rebuilt
+// copy).
+func (b *Broker) ReplayInto(p *partition.Partition, pid partition.ID, from int64) (int, int64, error) {
+	recs, next := b.Poll(pid, from, 0)
+	applied := 0
+	for _, rec := range recs {
+		if rec.Version <= p.Version() {
+			continue
+		}
+		if err := Apply(p, rec); err != nil {
+			return applied, next, err
+		}
+		applied++
+	}
+	return applied, next, nil
 }
 
 // Apply replays a record's entries into a partition replica. Used by the

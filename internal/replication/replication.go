@@ -7,14 +7,22 @@
 package replication
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"proteus/internal/faults"
 	"proteus/internal/partition"
 	"proteus/internal/redolog"
 	"proteus/internal/simnet"
 )
+
+// DefaultCatchUpDeadline bounds synchronous catch-up waits.
+const DefaultCatchUpDeadline = 5 * time.Second
+
+// DefaultPollBackoff is the yield between catch-up polls.
+const DefaultPollBackoff = 50 * time.Microsecond
 
 // Replicator manages one site's replica subscriptions.
 type Replicator struct {
@@ -27,6 +35,12 @@ type Replicator struct {
 	// co-operate with transaction execution threads). Synchronous
 	// CatchUp calls bypass it to avoid self-deadlock from pooled callers.
 	Exec func(func())
+	// CatchUpDeadline bounds a synchronous CatchUp before it returns the
+	// typed faults.ErrTimeout (DefaultCatchUpDeadline when 0).
+	CatchUpDeadline time.Duration
+	// PollBackoff is the yield between catch-up polls while waiting for
+	// the master's commit record (DefaultPollBackoff when 0).
+	PollBackoff time.Duration
 	// brokerSite is where the log broker "runs"; polls charge network
 	// round-trips to it (the paper dedicates two machines to Kafka).
 	brokerSite simnet.SiteID
@@ -71,6 +85,15 @@ func (r *Replicator) Unsubscribe(pid partition.ID) {
 	delete(r.subs, pid)
 }
 
+// Reset drops every subscription — a site crash loses the subscriber's
+// in-memory queues and offsets; recovery re-subscribes from the rebuilt
+// copies' replay positions.
+func (r *Replicator) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = make(map[partition.ID]*subscription)
+}
+
 // Subscribed reports whether the partition is replicated here.
 func (r *Replicator) Subscribed(pid partition.ID) bool {
 	r.mu.Lock()
@@ -86,30 +109,39 @@ func (r *Replicator) sub(pid partition.ID) *subscription {
 }
 
 // pollInto fetches new records for one subscription into its queue,
-// charging network for the transfer.
-func (r *Replicator) pollInto(pid partition.ID, s *subscription) int {
+// charging network for the transfer. A fault between this site and the
+// broker (crash, partition, drop) fails the poll without advancing the
+// offset, so no record is lost.
+func (r *Replicator) pollInto(pid partition.ID, s *subscription) (int, error) {
+	if r.net != nil {
+		if err := r.net.Reachable(r.brokerSite, r.site); err != nil {
+			return 0, err
+		}
+	}
 	s.mu.Lock()
 	from := s.offset
 	s.mu.Unlock()
 	recs, next := r.broker.Poll(pid, from, 0)
 	if len(recs) == 0 {
-		return 0
+		return 0, nil
 	}
 	if r.net != nil {
 		n := 0
 		for _, rec := range recs {
 			n += approxRecordBytes(rec)
 		}
-		r.net.Charge(r.brokerSite, r.site, n)
+		if _, err := r.net.Send(r.brokerSite, r.site, n); err != nil {
+			return 0, err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.offset != from {
-		return 0 // someone else polled concurrently
+		return 0, nil // someone else polled concurrently
 	}
 	s.queue = append(s.queue, recs...)
 	s.offset = next
-	return len(recs)
+	return len(recs), nil
 }
 
 // applyQueued drains a subscription's queue up to and including version
@@ -136,7 +168,9 @@ func (r *Replicator) applyQueued(s *subscription, upTo uint64) (int, error) {
 }
 
 // PollOnce polls every subscription and applies all queued updates,
-// returning the number of records applied.
+// returning the number of records applied. One partition's poll or apply
+// error no longer aborts the remaining subscriptions: every subscription
+// is visited and the errors are joined.
 func (r *Replicator) PollOnce() (int, error) {
 	r.mu.Lock()
 	pids := make([]partition.ID, 0, len(r.subs))
@@ -146,43 +180,97 @@ func (r *Replicator) PollOnce() (int, error) {
 	r.mu.Unlock()
 
 	total := 0
+	var errs []error
 	for _, pid := range pids {
 		s := r.sub(pid)
 		if s == nil {
 			continue
 		}
-		r.pollInto(pid, s)
+		if _, err := r.pollInto(pid, s); err != nil {
+			errs = append(errs, fmt.Errorf("poll partition %d: %w", pid, err))
+			// Still apply whatever an earlier poll already queued.
+		}
 		n, err := r.applyQueued(s, 0)
 		total += n
 		if err != nil {
-			return total, err
+			errs = append(errs, fmt.Errorf("apply partition %d: %w", pid, err))
 		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
+}
+
+// Drain polls and applies until the replica has consumed every record the
+// broker currently retains for the partition — failover uses it to bring
+// a promotion candidate fully up to date. It returns the replica's version
+// afterwards; a fault on the broker path returns the typed error with the
+// version reached so far.
+func (r *Replicator) Drain(pid partition.ID) (uint64, error) {
+	s := r.sub(pid)
+	if s == nil {
+		return 0, fmt.Errorf("replication: partition %d not subscribed", pid)
+	}
+	for {
+		n, perr := r.pollInto(pid, s)
+		if _, err := r.applyQueued(s, 0); err != nil {
+			return s.p.Version(), err
+		}
+		if perr != nil {
+			return s.p.Version(), perr
+		}
+		if n == 0 {
+			s.mu.Lock()
+			done := len(s.queue) == 0 && s.offset >= r.broker.EndOffset(pid)
+			s.mu.Unlock()
+			if done {
+				return s.p.Version(), nil
+			}
+		}
+	}
 }
 
 // CatchUp synchronously brings a replica to at least the given version —
 // the cooperation between replication and transaction execution threads the
-// paper describes for SSSI. It returns the time spent waiting.
+// paper describes for SSSI. It returns the time spent waiting. The wait is
+// bounded by CatchUpDeadline, after which the typed faults.ErrTimeout
+// surfaces; waiting on a crashed site fails fast with the poll's error.
 func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, error) {
 	s := r.sub(pid)
 	if s == nil {
 		return 0, fmt.Errorf("replication: partition %d not subscribed", pid)
 	}
+	deadline := r.CatchUpDeadline
+	if deadline <= 0 {
+		deadline = DefaultCatchUpDeadline
+	}
+	backoff := r.PollBackoff
+	if backoff <= 0 {
+		backoff = DefaultPollBackoff
+	}
 	start := time.Now()
 	for s.p.Version() < version {
-		r.pollInto(pid, s)
+		pollErr := error(nil)
+		if _, err := r.pollInto(pid, s); err != nil {
+			pollErr = err
+			if errors.Is(err, faults.ErrSiteDown) {
+				return time.Since(start), err
+			}
+		}
 		if _, err := r.applyQueued(s, version); err != nil {
 			return time.Since(start), err
 		}
 		if s.p.Version() >= version {
 			break
 		}
-		// The master may not have appended the commit record yet; yield.
-		time.Sleep(50 * time.Microsecond)
-		if time.Since(start) > 5*time.Second {
-			return time.Since(start), fmt.Errorf("replication: partition %d stuck below version %d (at %d)", pid, version, s.p.Version())
+		if time.Since(start) > deadline {
+			err := fmt.Errorf("replication: partition %d below version %d (at %d): %w",
+				pid, version, s.p.Version(), faults.ErrTimeout)
+			if pollErr != nil {
+				err = fmt.Errorf("%w (last poll: %v)", err, pollErr)
+			}
+			return time.Since(start), err
 		}
+		// The master may not have appended the commit record yet; yield.
+		time.Sleep(backoff)
 	}
 	d := time.Since(start)
 	r.mu.Lock()

@@ -15,6 +15,7 @@ import (
 	"proteus/internal/exec"
 	"proteus/internal/obs"
 	"proteus/internal/schema"
+	"proteus/internal/simnet"
 	"proteus/internal/sqlparse"
 )
 
@@ -149,6 +150,65 @@ func (s *Service) Stats(args *StatsArgs, reply *StatsReply) error {
 	if s.Eng.Trace != nil {
 		reply.Trace = s.Eng.Trace.Recent(args.TraceLimit)
 	}
+	return nil
+}
+
+// FaultArgs is one fault-injection command: Cmd is "crash", "recover",
+// "partition", "heal" or "status". Site names the target site for
+// crash/recover; Groups lists the site groups for partition.
+type FaultArgs struct {
+	Cmd    string
+	Site   int
+	Groups [][]int
+}
+
+// FaultReply reports the command outcome and the cluster's fault state.
+type FaultReply struct {
+	Message     string
+	Down        []int
+	Partitioned bool
+}
+
+// Fault injects or clears a fault on the running engine (crash a site,
+// recover it, partition the interconnect, heal it) and reports the
+// current fault state.
+func (s *Service) Fault(args *FaultArgs, reply *FaultReply) error {
+	*reply = FaultReply{} // net/rpc may reuse reply values
+	switch args.Cmd {
+	case "crash":
+		if err := s.Eng.CrashSite(simnet.SiteID(args.Site)); err != nil {
+			return err
+		}
+		reply.Message = fmt.Sprintf("site %d crashed", args.Site)
+	case "recover":
+		if err := s.Eng.RecoverSite(simnet.SiteID(args.Site)); err != nil {
+			return err
+		}
+		reply.Message = fmt.Sprintf("site %d recovered", args.Site)
+	case "partition":
+		if len(args.Groups) < 2 {
+			return fmt.Errorf("server: partition needs at least two groups")
+		}
+		groups := make([][]simnet.SiteID, len(args.Groups))
+		for i, g := range args.Groups {
+			for _, s := range g {
+				groups[i] = append(groups[i], simnet.SiteID(s))
+			}
+		}
+		s.Eng.PartitionNet(groups...)
+		reply.Message = fmt.Sprintf("network partitioned into %d groups", len(groups))
+	case "heal":
+		s.Eng.HealNet()
+		reply.Message = "network healed"
+	case "status":
+		reply.Message = "fault status"
+	default:
+		return fmt.Errorf("server: unknown fault command %q", args.Cmd)
+	}
+	for _, id := range s.Eng.Faults.DownSites() {
+		reply.Down = append(reply.Down, int(id))
+	}
+	reply.Partitioned = s.Eng.Faults.Partitioned()
 	return nil
 }
 

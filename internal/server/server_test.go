@@ -126,3 +126,44 @@ func TestServeOverTCP(t *testing.T) {
 		t.Errorf("remote count = %v", reply.Rows)
 	}
 }
+
+func TestFaultRPC(t *testing.T) {
+	svc := testService(t)
+	sess := openSession(t, svc)
+	mustExec(t, svc, sess, "CREATE TABLE kv (k BIGINT, v DOUBLE) MAXROWS 100 PARTITIONS 2")
+	mustExec(t, svc, sess, "INSERT INTO kv VALUES (1, 1, 2.5)")
+
+	var fr FaultReply
+	if err := svc.Fault(&FaultArgs{Cmd: "crash", Site: 1}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Down) != 1 || fr.Down[0] != 1 {
+		t.Fatalf("down sites after crash = %v", fr.Down)
+	}
+	if err := svc.Fault(&FaultArgs{Cmd: "partition", Groups: [][]int{{0}, {1}}}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Partitioned {
+		t.Fatal("partition not reported")
+	}
+	if err := svc.Fault(&FaultArgs{Cmd: "heal"}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Partitioned {
+		t.Fatal("heal did not clear the partition")
+	}
+	if err := svc.Fault(&FaultArgs{Cmd: "recover", Site: 1}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Down) != 0 {
+		t.Fatalf("down sites after recover = %v", fr.Down)
+	}
+	if err := svc.Fault(&FaultArgs{Cmd: "bogus"}, &fr); err == nil {
+		t.Fatal("unknown fault command accepted")
+	}
+	// The cluster still serves requests after the crash/recover cycle.
+	r := mustExec(t, svc, sess, "SELECT COUNT(*) FROM kv")
+	if r.Rows[0][0] != "1" {
+		t.Errorf("count after recovery = %v", r.Rows)
+	}
+}

@@ -39,16 +39,30 @@ type LinkStats struct {
 	Bytes    int64
 }
 
+// FaultPolicy lets a fault-injection layer (internal/faults) intercept
+// cross-site traffic without simnet depending on it.
+type FaultPolicy interface {
+	// Check reports whether messages can flow between the sites at all
+	// (crashed endpoint, network partition). It must not consume
+	// randomness: reachability probes call it repeatedly.
+	Check(from, to SiteID) error
+	// Intercept is consulted once per message; it returns latency to add
+	// and a delivery error (down endpoint, partition, or message drop).
+	Intercept(from, to SiteID, bytes int) (time.Duration, error)
+}
+
 // Network charges and accounts cross-site traffic. Safe for concurrent use.
 type Network struct {
 	cfg Config
 
-	mu    sync.Mutex
-	links map[[2]SiteID]*LinkStats
+	mu     sync.Mutex
+	links  map[[2]SiteID]*LinkStats
+	policy FaultPolicy
 
 	// Optional observability instruments (SetObs).
-	obsMsgs  *obs.Counter
-	obsBytes *obs.Counter
+	obsMsgs    *obs.Counter
+	obsBytes   *obs.Counter
+	obsDropped *obs.Counter
 }
 
 // New creates a network with the given configuration.
@@ -61,13 +75,54 @@ func New(cfg Config) *Network {
 func (nw *Network) SetObs(reg *obs.Registry) {
 	nw.obsMsgs = reg.Counter("net.messages")
 	nw.obsBytes = reg.Counter("net.bytes")
+	nw.obsDropped = reg.Counter("net.dropped")
 }
 
-// Charge models sending n bytes from one site to another, sleeping for the
-// modelled latency and returning it. Same-site messages are free.
-func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
+// SetFaults installs a fault policy consulted on every cross-site message.
+// Install before traffic starts (cluster.New does); a nil policy means a
+// perfect network.
+func (nw *Network) SetFaults(p FaultPolicy) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.policy = p
+}
+
+func (nw *Network) faults() FaultPolicy {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.policy
+}
+
+// Reachable reports whether messages can currently flow between the sites
+// (no charge, no sleep). With no fault policy the network is perfect.
+func (nw *Network) Reachable(from, to SiteID) error {
 	if from == to {
-		return 0
+		return nil
+	}
+	if p := nw.faults(); p != nil {
+		return p.Check(from, to)
+	}
+	return nil
+}
+
+// Send models delivering n bytes from one site to another: it consults the
+// fault policy, sleeps for the modelled latency (base + transfer + injected
+// link latency) and returns it. Failed deliveries return the fault's typed
+// error without sleeping. Same-site messages are free.
+func (nw *Network) Send(from, to SiteID, n int) (time.Duration, error) {
+	if from == to {
+		return 0, nil
+	}
+	var extra time.Duration
+	if p := nw.faults(); p != nil {
+		var err error
+		extra, err = p.Intercept(from, to, n)
+		if err != nil {
+			if nw.obsDropped != nil {
+				nw.obsDropped.Inc()
+			}
+			return 0, err
+		}
 	}
 	nw.mu.Lock()
 	key := [2]SiteID{from, to}
@@ -84,14 +139,21 @@ func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
 		nw.obsBytes.Add(int64(n))
 	}
 
-	delay := nw.cfg.BaseLatency
+	delay := nw.cfg.BaseLatency + extra
 	if nw.cfg.BytesPerSecond > 0 {
 		delay += time.Duration(float64(n) / nw.cfg.BytesPerSecond * float64(time.Second))
 	}
 	if delay > 0 {
 		time.Sleep(delay)
 	}
-	return delay
+	return delay, nil
+}
+
+// Charge is Send for callers that tolerate loss (best-effort messages):
+// the fault error, if any, is absorbed and the charged latency returned.
+func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
+	d, _ := nw.Send(from, to, n)
+	return d
 }
 
 // EstimateLatency predicts the charge for n bytes without sleeping.

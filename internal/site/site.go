@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"proteus/internal/cost"
+	"proteus/internal/faults"
 	"proteus/internal/disksim"
 	"proteus/internal/obs"
 	"proteus/internal/partition"
@@ -23,10 +25,12 @@ import (
 
 // pool is a fixed-size worker pool.
 type pool struct {
-	tasks chan func()
-	wg    sync.WaitGroup
-	busy  atomic.Int64
-	size  int
+	mu     sync.RWMutex
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+	busy   atomic.Int64
+	size   int
 }
 
 func newPool(n int) *pool {
@@ -45,18 +49,36 @@ func newPool(n int) *pool {
 	return p
 }
 
-// Do runs f on the pool and waits for it.
-func (p *pool) Do(f func()) {
+// Do runs f on the pool and waits for it. It reports false without
+// running f if the pool has been stopped (submitting used to panic with a
+// send on the closed channel). The read lock is held across the send so
+// stop cannot close the channel underneath a racing submitter; workers
+// never take the lock, so queued tasks keep draining.
+func (p *pool) Do(f func()) bool {
 	done := make(chan struct{})
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return false
+	}
 	p.tasks <- func() {
 		defer close(done)
 		f()
 	}
+	p.mu.RUnlock()
 	<-done
+	return true
 }
 
 func (p *pool) stop() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
 	close(p.tasks)
+	p.mu.Unlock()
 	p.wg.Wait()
 }
 
@@ -75,6 +97,11 @@ type Config struct {
 	MemCapacity int64
 	// Disk configures this site's simulated disk.
 	Disk disksim.Config
+	// CatchUpDeadline bounds synchronous replica catch-up before the
+	// typed timeout surfaces (0 = replication default).
+	CatchUpDeadline time.Duration
+	// CatchUpBackoff is the yield between catch-up polls (0 = default).
+	CatchUpBackoff time.Duration
 }
 
 // DefaultConfig returns a modest site sizing.
@@ -93,6 +120,7 @@ type Site struct {
 	cfg  Config
 	oltp *pool
 	olap *pool
+	down atomic.Bool
 
 	mu      sync.RWMutex
 	parts   map[partition.ID]*partition.Partition
@@ -127,7 +155,13 @@ func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Netwo
 		masters: make(map[partition.ID]bool),
 	}
 	s.Repl = replication.New(broker, net, id, brokerSite)
-	s.Repl.Exec = s.oltp.Do
+	if cfg.CatchUpDeadline > 0 {
+		s.Repl.CatchUpDeadline = cfg.CatchUpDeadline
+	}
+	if cfg.CatchUpBackoff > 0 {
+		s.Repl.PollBackoff = cfg.CatchUpBackoff
+	}
+	s.Repl.Exec = func(f func()) { _ = s.oltp.Do(f) }
 	return s
 }
 
@@ -205,11 +239,69 @@ func (s *Site) Partitions() []*partition.Partition {
 	return out
 }
 
-// RunOLTP executes f on the OLTP pool (blocking).
-func (s *Site) RunOLTP(f func()) { s.oltp.Do(f) }
+// RunOLTP executes f on the OLTP pool (blocking). A crashed or stopped
+// site rejects work with a typed faults.ErrSiteDown.
+func (s *Site) RunOLTP(f func()) error {
+	if s.down.Load() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, s.ID)
+	}
+	if !s.oltp.Do(f) {
+		return fmt.Errorf("%w: site %d (pool stopped)", faults.ErrSiteDown, s.ID)
+	}
+	return nil
+}
 
-// RunOLAP executes f on the OLAP pool (blocking).
-func (s *Site) RunOLAP(f func()) { s.olap.Do(f) }
+// RunOLAP executes f on the OLAP pool (blocking). A crashed or stopped
+// site rejects work with a typed faults.ErrSiteDown.
+func (s *Site) RunOLAP(f func()) error {
+	if s.down.Load() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, s.ID)
+	}
+	if !s.olap.Do(f) {
+		return fmt.Errorf("%w: site %d (pool stopped)", faults.ErrSiteDown, s.ID)
+	}
+	return nil
+}
+
+// HostedCopy remembers one copy a crashed site was hosting, so recovery
+// can rebuild it from the redo log.
+type HostedCopy struct {
+	ID     partition.ID
+	Master bool
+	Layout storage.Layout
+}
+
+// Down reports whether the site is crashed.
+func (s *Site) Down() bool { return s.down.Load() }
+
+// Crash fails the site: all in-memory partition state is dropped, replica
+// subscriptions are reset, and subsequent work is rejected with
+// faults.ErrSiteDown until Recover. It returns the copies the site was
+// hosting (the durable state lives in the redo-log broker). Crashing a
+// crashed site is a no-op returning nil.
+func (s *Site) Crash() []HostedCopy {
+	if !s.down.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	hosted := make([]HostedCopy, 0, len(s.parts))
+	for id, p := range s.parts {
+		hosted = append(hosted, HostedCopy{ID: id, Master: s.masters[id], Layout: p.Layout()})
+	}
+	s.parts = make(map[partition.ID]*partition.Partition)
+	s.masters = make(map[partition.ID]bool)
+	s.mu.Unlock()
+	s.Repl.Reset()
+	s.obsMu.Lock()
+	s.obs = nil
+	s.obsMu.Unlock()
+	return hosted
+}
+
+// Recover marks the site up again. The engine rebuilds hosted copies from
+// the redo log before calling this, so the site never serves partial
+// state.
+func (s *Site) Recover() { s.down.Store(false) }
 
 // CPU reports a utilization signal combining both pools, used as the
 // network cost function's CPU argument (Table 1).

@@ -23,6 +23,7 @@ go test -race -count=1 \
     ./internal/redolog/ \
     ./internal/txn/ \
     ./internal/replication/ \
+    ./internal/faults/ \
     ./internal/obs/
 
 echo "ok"
