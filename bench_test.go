@@ -6,6 +6,7 @@
 package proteus
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -112,6 +113,98 @@ func BenchmarkFig3cScanRow100(b *testing.B) { benchScan(b, storage.DefaultRowLay
 // BenchmarkFig3cScanColumn100 measures Fig 3c (column, full scan).
 func BenchmarkFig3cScanColumn100(b *testing.B) { benchScan(b, storage.DefaultColumnLayout(), 1) }
 
+// --- Morsel executor vs legacy scan path -----------------------------------
+
+// morselBenchEngine loads one multi-partition analytical table; disable
+// forces the legacy per-segment executor for A/B comparison.
+func morselBenchEngine(b *testing.B, disable bool) (*cluster.Engine, *schema.Table) {
+	b.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Mode = cluster.ModeColumnStore
+	cfg.NumSites = 2
+	cfg.Net = simnet.Config{}
+	cfg.ReplicationInterval = 50 * time.Millisecond
+	cfg.DisableMorselExec = disable
+	e := cluster.New(cfg)
+	b.Cleanup(e.Close)
+	const rows = 20000
+	tbl, err := e.CreateTable(cluster.TableSpec{
+		Name: "scanbench",
+		Cols: []schema.Column{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "grp", Kind: types.KindInt64},
+			{Name: "val", Kind: types.KindFloat64},
+		},
+		MaxRows: rows, Partitions: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]schema.Row, 0, rows)
+	for i := int64(0); i < rows; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)),
+		}})
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
+		b.Fatal(err)
+	}
+	return e, tbl
+}
+
+func benchScanQuery(b *testing.B, disable bool, mk func(*schema.Table) *query.Query) {
+	e, tbl := morselBenchEngine(b, disable)
+	sess := e.NewSession()
+	q := mk(tbl)
+	if _, err := e.ExecuteQuery(context.Background(), sess, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExecuteQuery(context.Background(), sess, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sumQuery(tbl *schema.Table) *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{2}},
+		Aggs:  []exec.AggSpec{{Func: exec.AggSum, Col: 0}},
+	}}
+}
+
+func limitQuery(tbl *schema.Table) *query.Query {
+	return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0}}, Limit: 100}
+}
+
+func filterQuery(tbl *schema.Table) *query.Query {
+	return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 2},
+		Pred: storage.Pred{{Col: 1, Op: storage.CmpEq, Val: types.NewInt64(0)}}}}
+}
+
+// BenchmarkScanSumMorsel measures a full-table SUM on the morsel executor
+// (partial aggregation inside the scan workers, no tuple materialization).
+func BenchmarkScanSumMorsel(b *testing.B) { benchScanQuery(b, false, sumQuery) }
+
+// BenchmarkScanSumLegacy is the same SUM on the legacy per-segment path.
+func BenchmarkScanSumLegacy(b *testing.B) { benchScanQuery(b, true, sumQuery) }
+
+// BenchmarkScanLimitMorsel measures LIMIT early termination: the feed
+// closes once enough rows arrive, so most morsels are never scheduled.
+func BenchmarkScanLimitMorsel(b *testing.B) { benchScanQuery(b, false, limitQuery) }
+
+// BenchmarkScanLimitLegacy scans everything and truncates at the end.
+func BenchmarkScanLimitLegacy(b *testing.B) { benchScanQuery(b, true, limitQuery) }
+
+// BenchmarkScanFilterMorsel measures a 10%-selective row stream in bounded
+// batches.
+func BenchmarkScanFilterMorsel(b *testing.B) { benchScanQuery(b, false, filterQuery) }
+
+// BenchmarkScanFilterLegacy materializes each segment whole.
+func BenchmarkScanFilterLegacy(b *testing.B) { benchScanQuery(b, true, filterQuery) }
+
 // --- Engine fixtures ------------------------------------------------------
 
 func benchEngine(b *testing.B, mode cluster.Mode) *cluster.Engine {
@@ -148,11 +241,11 @@ func benchYCSBRound(b *testing.B, mode cluster.Mode) {
 	e.Stats().Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ExecuteQuery(sess, c.OLAP()); err != nil {
+		if _, err := e.ExecuteQuery(context.Background(), sess, c.OLAP()); err != nil {
 			b.Fatal(err)
 		}
 		for k := 0; k < harness.Balanced.OLTPPerOLAP; k++ {
-			if _, err := e.ExecuteTxn(sess, c.OLTP()); err != nil {
+			if _, err := e.ExecuteTxn(context.Background(), sess, c.OLTP()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -199,7 +292,7 @@ func BenchmarkFig8bCHTransaction(b *testing.B) {
 	sess := e.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ExecuteTxn(sess, c.OLTP()); err != nil {
+		if _, err := e.ExecuteTxn(context.Background(), sess, c.OLTP()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -214,7 +307,7 @@ func BenchmarkFig10bCHQuery(b *testing.B) {
 		qn := qn
 		b.Run(fmt.Sprintf("q%d", qn), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := e.ExecuteQuery(sess, w.Query(qn, r)); err != nil {
+				if _, err := e.ExecuteQuery(context.Background(), sess, w.Query(qn, r)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -237,11 +330,11 @@ func BenchmarkFig11TwitterRound(b *testing.B) {
 	sess := e.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ExecuteQuery(sess, c.OLAP()); err != nil {
+		if _, err := e.ExecuteQuery(context.Background(), sess, c.OLAP()); err != nil {
 			b.Fatal(err)
 		}
 		for k := 0; k < 10; k++ {
-			if _, err := e.ExecuteTxn(sess, c.OLTP()); err != nil {
+			if _, err := e.ExecuteTxn(context.Background(), sess, c.OLTP()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -282,7 +375,7 @@ func BenchmarkFig14FreshnessQuery(b *testing.B) {
 	sess := e.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ExecuteQuery(sess, w.FreshnessQuery(64)); err != nil {
+		if _, err := e.ExecuteQuery(context.Background(), sess, w.FreshnessQuery(64)); err != nil {
 			b.Fatal(err)
 		}
 	}

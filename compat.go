@@ -1,0 +1,151 @@
+package proteus
+
+import (
+	"fmt"
+
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/storage"
+)
+
+// Deprecated free-function query builders, kept as thin wrappers over the
+// chainable builder (builder.go) for one release. New code should write
+//
+//	tbl.Scan("a", "b").Where("a", proteus.Gt, v).Sum("b")
+//
+// instead of Sum(WhereCol(Scan(tbl, "a", "b"), tbl, "a", Gt, v), tbl, "b").
+
+// Scan builds a full-table scan of named columns.
+//
+// Deprecated: use Table.Scan, the chainable builder entry point.
+func Scan(tbl *Table, cols ...string) *query.Query {
+	return tbl.Scan(cols...).Build()
+}
+
+// WhereCol adds a predicate conjunct (col op value) to the query's scan
+// leaf.
+//
+// Deprecated: use ScanBuilder.Where.
+func WhereCol(q *query.Query, tbl *Table, col string, op storage.CmpOp, v Value) *query.Query {
+	cid, ok := tbl.ColumnID(col)
+	if !ok {
+		panic(fmt.Sprintf("proteus: no column %q", col))
+	}
+	scan := findScan(q.Root)
+	if scan == nil || scan.Table != tbl.Table.ID {
+		panic("proteus: WhereCol requires a scan of the same table")
+	}
+	scan.Pred = append(scan.Pred, storage.Cond{Col: cid, Op: op, Val: v})
+	return q
+}
+
+func findScan(n query.Node) *query.ScanNode {
+	switch v := n.(type) {
+	case *query.ScanNode:
+		return v
+	case *query.JoinNode:
+		return findScan(v.Left)
+	case *query.AggNode:
+		return findScan(v.Child)
+	}
+	return nil
+}
+
+// aggOver wraps a query's root in an aggregate over one output position.
+func aggOver(q *query.Query, tbl *Table, col string, fn exec.AggFunc) *query.Query {
+	scan := findScan(q.Root)
+	if scan == nil {
+		panic("proteus: aggregate requires a scan query")
+	}
+	pos := -1
+	if col != "" {
+		cid, ok := tbl.ColumnID(col)
+		if !ok {
+			panic(fmt.Sprintf("proteus: no column %q", col))
+		}
+		for i, c := range scan.Cols {
+			if c == cid {
+				pos = i
+			}
+		}
+		if pos < 0 {
+			panic(fmt.Sprintf("proteus: column %q not in scan output", col))
+		}
+	}
+	return &query.Query{
+		Root:  &query.AggNode{Child: q.Root, Aggs: []exec.AggSpec{{Func: fn, Col: pos}}},
+		Limit: q.Limit,
+	}
+}
+
+// Sum aggregates SUM(col) over a scan query.
+//
+// Deprecated: use ScanBuilder.Sum.
+func Sum(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggSum)
+}
+
+// Count aggregates COUNT(*) over a scan query.
+//
+// Deprecated: use ScanBuilder.Count.
+func Count(q *query.Query, tbl *Table) *query.Query {
+	return aggOver(q, tbl, "", exec.AggCount)
+}
+
+// Min aggregates MIN(col) over a scan query.
+//
+// Deprecated: use ScanBuilder.Min.
+func Min(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggMin)
+}
+
+// Max aggregates MAX(col) over a scan query.
+//
+// Deprecated: use ScanBuilder.Max.
+func Max(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggMax)
+}
+
+// Avg aggregates AVG(col) over a scan query.
+//
+// Deprecated: use ScanBuilder.Avg.
+func Avg(q *query.Query, tbl *Table, col string) *query.Query {
+	return aggOver(q, tbl, col, exec.AggAvg)
+}
+
+// Join builds an inner equi-join of two scan queries on named columns.
+//
+// Deprecated: use ScanBuilder.Join.
+func Join(left *query.Query, ltbl *Table, lcol string, right *query.Query, rtbl *Table, rcol string) *query.Query {
+	ls, rs := findScan(left.Root), findScan(right.Root)
+	if ls == nil || rs == nil {
+		panic("proteus: Join requires scan queries")
+	}
+	lk, rk := -1, -1
+	lcid, _ := ltbl.ColumnID(lcol)
+	rcid, _ := rtbl.ColumnID(rcol)
+	for i, c := range ls.Cols {
+		if c == lcid {
+			lk = i
+		}
+	}
+	for i, c := range rs.Cols {
+		if c == rcid {
+			rk = i
+		}
+	}
+	if lk < 0 || rk < 0 {
+		panic("proteus: join keys must be among scanned columns")
+	}
+	return &query.Query{Root: &query.JoinNode{
+		Left: left.Root, Right: right.Root, LeftKeyCol: lk, RightKeyCol: rk,
+	}}
+}
+
+// GroupBy wraps the query root in a grouped aggregation: group positions
+// and agg specs are positions into the child's output.
+//
+// Deprecated: use ScanBuilder.GroupBy.
+func GroupBy(q *query.Query, groupPositions []int, aggs []exec.AggSpec) *query.Query {
+	return &query.Query{Root: &query.AggNode{Child: q.Root, GroupBy: groupPositions, Aggs: aggs}, Limit: q.Limit}
+}

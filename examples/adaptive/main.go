@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,14 +23,14 @@ func workload(db *proteus.DB, tbl *proteus.Table, updates, scans int) time.Durat
 	start := time.Now()
 	for i := 0; i < updates; i++ {
 		row := proteus.RowID(rng.Intn(500)) // hot head
-		if err := s.Update(tbl, row, map[string]proteus.Value{
+		if err := s.Update(context.Background(), tbl, row, map[string]proteus.Value{
 			"v": proteus.Float64Value(rng.Float64()),
 		}); err != nil {
 			log.Fatal(err)
 		}
 	}
 	for i := 0; i < scans; i++ {
-		if _, err := s.QueryScalar(proteus.Sum(proteus.Scan(tbl, "v"), tbl, "v")); err != nil {
+		if _, err := s.QueryScalar(context.Background(), tbl.Scan("v").Sum("v")); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -56,7 +57,7 @@ func build(mode proteus.Mode) (*proteus.DB, *proteus.Table) {
 			proteus.StringValue("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
 		}})
 	}
-	if err := db.Load(tbl, rows); err != nil {
+	if err := db.Load(context.Background(), tbl, rows); err != nil {
 		log.Fatal(err)
 	}
 	return db, tbl

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := proteus.Open(proteus.Options{Sites: 2})
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +58,7 @@ func main() {
 			proteus.StringValue(data),
 		}})
 	}
-	if err := db.Load(item, rows); err != nil {
+	if err := db.Load(ctx, item, rows); err != nil {
 		log.Fatal(err)
 	}
 
@@ -72,7 +74,7 @@ func main() {
 			proteus.TimeValue(base.AddDate(0, 0, int(i/30))),
 		}})
 	}
-	if err := db.Load(orderline, rows); err != nil {
+	if err := db.Load(ctx, orderline, rows); err != nil {
 		log.Fatal(err)
 	}
 
@@ -80,23 +82,23 @@ func main() {
 	next := int64(3000)
 
 	q6 := func() float64 { // Figure 2b
-		q := proteus.Scan(orderline, "amount", "delivery", "quantity")
-		q = proteus.WhereCol(q, orderline, "delivery", proteus.Ge, proteus.TimeValue(base))
-		q = proteus.WhereCol(q, orderline, "quantity", proteus.Ge, proteus.Float64Value(1))
-		sum, err := s.QueryScalar(proteus.Sum(q, orderline, "amount"))
+		sum, err := s.QueryScalar(ctx, orderline.Scan("amount", "delivery", "quantity").
+			Where("delivery", proteus.Ge, proteus.TimeValue(base)).
+			Where("quantity", proteus.Ge, proteus.Float64Value(1)).
+			Sum("amount"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		return sum.Float()
 	}
 	q14 := func() int64 { // Figure 5a: join with promotional items
-		left := proteus.Scan(orderline, "item_id", "amount")
-		right := proteus.Scan(item, "i_id")
-		right = proteus.WhereCol(right, item, "i_data", proteus.Ge, proteus.StringValue("PR"))
-		right = proteus.WhereCol(right, item, "i_data", proteus.Lt, proteus.StringValue("PS"))
-		q := proteus.Join(left, orderline, "item_id", right, item, "i_id")
-		q = proteus.GroupBy(q, nil, []proteus.AggSpec{{Func: proteus.AggCount}})
-		res, err := s.Query(q)
+		promo := item.Scan("i_id").
+			Where("i_data", proteus.Ge, proteus.StringValue("PR")).
+			Where("i_data", proteus.Lt, proteus.StringValue("PS"))
+		q := orderline.Scan("item_id", "amount").
+			Join(promo, "item_id", "i_id").
+			GroupBy(nil, []proteus.AggSpec{{Func: proteus.AggCount}})
+		res, err := s.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,7 +111,7 @@ func main() {
 		for i := 0; i < 200; i++ {
 			id := next
 			next++
-			if err := s.Insert(orderline, proteus.RowID(id),
+			if err := s.Insert(ctx, orderline, proteus.RowID(id),
 				proteus.Int64Value(id/3),
 				proteus.Int64Value(int64(rng.Intn(items))),
 				proteus.Float64Value(float64(1+rng.Intn(10))),
@@ -119,7 +121,7 @@ func main() {
 			}
 			// Delivery transaction (Figure 5b) on a recent order.
 			recent := next - 1 - int64(rng.Intn(100))
-			if err := s.Update(orderline, proteus.RowID(recent), map[string]proteus.Value{
+			if err := s.Update(ctx, orderline, proteus.RowID(recent), map[string]proteus.Value{
 				"delivery": proteus.TimeValue(time.Now()),
 			}); err != nil {
 				log.Fatal(err)

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := proteus.Open(proteus.Options{Sites: 2})
 	if err != nil {
 		log.Fatal(err)
@@ -36,41 +38,40 @@ func main() {
 			proteus.StringValue("loaded"),
 		}})
 	}
-	if err := db.Load(orders, rows); err != nil {
+	if err := db.Load(ctx, orders, rows); err != nil {
 		log.Fatal(err)
 	}
 
 	s := db.Session()
 
 	// OLTP: insert a new order and update it, reading our own writes.
-	if err := s.Insert(orders, 5000,
+	if err := s.Insert(ctx, orders, 5000,
 		proteus.Int64Value(5000), proteus.Int64Value(7),
 		proteus.Float64Value(129.99), proteus.StringValue("new")); err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Update(orders, 5000, map[string]proteus.Value{
+	if err := s.Update(ctx, orders, 5000, map[string]proteus.Value{
 		"amount": proteus.Float64Value(99.99),
 	}); err != nil {
 		log.Fatal(err)
 	}
-	vals, ok, err := s.Get(orders, 5000, "amount", "note")
+	vals, ok, err := s.Get(ctx, orders, 5000, "amount", "note")
 	if err != nil || !ok {
 		log.Fatalf("get: %v %v", ok, err)
 	}
 	fmt.Printf("order 5000: amount=%v note=%v\n", vals[0], vals[1])
 
 	// OLAP: total revenue over orders above 100.
-	q := proteus.Scan(orders, "amount")
-	q = proteus.WhereCol(q, orders, "amount", proteus.Ge, proteus.Float64Value(100))
-	sum, err := s.QueryScalar(proteus.Sum(q, orders, "amount"))
+	sum, err := s.QueryScalar(ctx, orders.Scan("amount").
+		Where("amount", proteus.Ge, proteus.Float64Value(100)).
+		Sum("amount"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("revenue from orders >= 100: %.2f\n", sum.Float())
 
 	// Group revenue by customer (first 3 groups shown).
-	res, err := s.Query(proteus.GroupBy(
-		proteus.Scan(orders, "customer", "amount"),
+	res, err := s.Query(ctx, orders.Scan("customer", "amount").GroupBy(
 		[]int{0},
 		[]proteus.AggSpec{{Func: proteus.AggCount}, {Func: proteus.AggSum, Col: 1}},
 	))

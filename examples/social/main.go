@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := proteus.Open(proteus.Options{Sites: 2})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +57,7 @@ func main() {
 			slot[u]++
 		}
 	}
-	if err := db.Load(follows, rows); err != nil {
+	if err := db.Load(ctx, follows, rows); err != nil {
 		log.Fatal(err)
 	}
 
@@ -66,7 +68,7 @@ func main() {
 		u := int64(zipf.Uint64())
 		id := next
 		next++
-		if err := s.Insert(tweets, proteus.RowID(id),
+		if err := s.Insert(ctx, tweets, proteus.RowID(id),
 			proteus.Int64Value(id), proteus.Int64Value(u),
 			proteus.StringValue(fmt.Sprintf("tweet %d from user %d", id, u)),
 			proteus.TimeValue(time.Now())); err != nil {
@@ -76,12 +78,11 @@ func main() {
 
 	timeline := func(u int64) int64 {
 		// Tweets from users u follows: follows ⋈ tweets on followee=uid.
-		left := proteus.Scan(follows, "followee")
-		left = proteus.WhereCol(left, follows, "follower", proteus.Eq, proteus.Int64Value(u))
-		right := proteus.Scan(tweets, "uid", "tid")
-		q := proteus.Join(left, follows, "followee", right, tweets, "uid")
-		q = proteus.GroupBy(q, nil, []proteus.AggSpec{{Func: proteus.AggCount}})
-		res, err := s.Query(q)
+		q := follows.Scan("followee").
+			Where("follower", proteus.Eq, proteus.Int64Value(u)).
+			Join(tweets.Scan("uid", "tid"), "followee", "uid").
+			GroupBy(nil, []proteus.AggSpec{{Func: proteus.AggCount}})
+		res, err := s.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,16 +98,15 @@ func main() {
 		n := timeline(u)
 
 		// Tweets in the last window.
-		q := proteus.Scan(tweets, "tid", "ts")
-		q = proteus.WhereCol(q, tweets, "ts", proteus.Ge, proteus.TimeValue(epoch))
-		recent, err := s.QueryScalar(proteus.Count(q, tweets))
+		recent, err := s.QueryScalar(ctx, tweets.Scan("tid", "ts").
+			Where("ts", proteus.Ge, proteus.TimeValue(epoch)).
+			Count())
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Most prolific author so far.
-		res, err := s.Query(proteus.GroupBy(
-			proteus.Scan(tweets, "uid"),
+		res, err := s.Query(ctx, tweets.Scan("uid").GroupBy(
 			[]int{0},
 			[]proteus.AggSpec{{Func: proteus.AggCount}},
 		))

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -84,7 +85,7 @@ func TestChaos(t *testing.T) {
 				}
 				v++
 				row := int64(w)*rowsPer + int64(v)%rowsPer
-				if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+				if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 					updateOp(tbl, row, 2, types.NewFloat64(v)),
 				}}); err == nil {
 					acked[w][row] = v
@@ -102,7 +103,7 @@ func TestChaos(t *testing.T) {
 				return
 			default:
 			}
-			_, _ = e.ExecuteQuery(sess, scanSumQuery(tbl))
+			_, _ = e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 			time.Sleep(5 * time.Millisecond)
 		}
 	}()
@@ -150,7 +151,7 @@ func TestChaos(t *testing.T) {
 	checked := 0
 	for w := 0; w < writers; w++ {
 		for row, want := range acked[w] {
-			res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+			res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
 			if err != nil {
 				t.Fatalf("read row %d: %v", row, err)
 			}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -49,7 +50,7 @@ func newTestEngine(t *testing.T, mode Mode, sites, parts int, rows int64) (*Engi
 			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)), types.NewString(fmt.Sprintf("row-%d", i)),
 		}})
 	}
-	if err := e.LoadRows(tbl.ID, data); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
 		t.Fatal(err)
 	}
 	return e, tbl
@@ -75,7 +76,7 @@ func TestTxnReadAndUpdate(t *testing.T) {
 	e, tbl := newTestEngine(t, ModeProteus, 2, 4, 100)
 	sess := e.NewSession()
 
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 7, 0, 2)}})
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 7, 0, 2)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,13 +84,13 @@ func TestTxnReadAndUpdate(t *testing.T) {
 		t.Fatalf("read = %v", res.Tuples)
 	}
 
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, 7, 2, types.NewFloat64(-70)),
 	}}); err != nil {
 		t.Fatal(err)
 	}
 	// Read-your-writes (SSSI).
-	res, err = e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 7, 2)}})
+	res, err = e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 7, 2)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,18 +105,18 @@ func TestTxnInsertDelete(t *testing.T) {
 	ins := query.Op{Kind: query.OpInsert, Table: tbl.ID, Row: 5000, Vals: []types.Value{
 		types.NewInt64(5000), types.NewInt64(1), types.NewFloat64(1), types.NewString("new"),
 	}}
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{ins}}); err != nil {
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{ins}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5000, 3)}})
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5000, 3)}})
 	if err != nil || res.Tuples[0][0].Str() != "new" {
 		t.Fatalf("insert read: %v %v", res.Tuples, err)
 	}
 	del := query.Op{Kind: query.OpDelete, Table: tbl.ID, Row: 5000}
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{del}}); err != nil {
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{del}}); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5000, 0)}})
+	res, _ = e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5000, 0)}})
 	if res.Tuples[0] != nil {
 		t.Errorf("deleted row read: %v", res.Tuples[0])
 	}
@@ -123,7 +124,7 @@ func TestTxnInsertDelete(t *testing.T) {
 	ins2 := query.Op{Kind: query.OpInsert, Table: tbl.ID, Row: 3, Vals: []types.Value{
 		types.NewInt64(3), types.NewInt64(0), types.NewFloat64(0), types.NewString("dup"),
 	}}
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{ins2}}); err == nil {
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{ins2}}); err == nil {
 		t.Error("duplicate insert committed")
 	}
 	if e.Stats().Aborts() == 0 {
@@ -136,7 +137,7 @@ func TestScanAggregateQuery(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			e, tbl := newTestEngine(t, mode, 2, 4, 200)
 			sess := e.NewSession()
-			res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+			res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,7 +164,7 @@ func TestQueryWithPredicateAndGroupBy(t *testing.T) {
 		GroupBy: []int{0},
 		Aggs:    []exec.AggSpec{{Func: exec.AggCount}, {Func: exec.AggAvg, Col: 1}},
 	}}
-	res, err := e.ExecuteQuery(sess, q)
+	res, err := e.ExecuteQuery(context.Background(), sess, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +187,13 @@ func TestUpdatesVisibleToQueries(t *testing.T) {
 	e, tbl := newTestEngine(t, ModeProteus, 2, 2, 50)
 	sess := e.NewSession()
 	for i := int64(0); i < 50; i++ {
-		if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+		if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 			updateOp(tbl, i, 2, types.NewFloat64(1)),
 		}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestJoinQueryWithReplicatedDimension(t *testing.T) {
 			types.NewInt64(g), types.NewFloat64(float64(g) * 10),
 		}})
 	}
-	if err := e.LoadRows(dim.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), dim.ID, rows); err != nil {
 		t.Fatal(err)
 	}
 
@@ -234,7 +235,7 @@ func TestJoinQueryWithReplicatedDimension(t *testing.T) {
 		},
 		Aggs: []exec.AggSpec{{Func: exec.AggCount}, {Func: exec.AggSum, Col: 3}},
 	}}
-	res, err := e.ExecuteQuery(sess, q)
+	res, err := e.ExecuteQuery(context.Background(), sess, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +257,10 @@ func TestDistributedTxn2PC(t *testing.T) {
 		types.NewInt64(60000), types.NewInt64(0), types.NewFloat64(5), types.NewString("far"),
 	}}
 	upd := updateOp(tbl, 1, 2, types.NewFloat64(99))
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{ins, upd}}); err != nil {
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{ins, upd}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		readOp(tbl, 60000, 2), readOp(tbl, 1, 2),
 	}})
 	if err != nil {
@@ -284,7 +285,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 			sess := e.NewSession()
 			for i := 0; i < 25; i++ {
 				row := int64(w*25 + i)
-				if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+				if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 					updateOp(tbl, row, 2, types.NewFloat64(1000)),
 				}}); err != nil {
 					errs <- err
@@ -298,7 +299,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 		defer wg.Done()
 		sess := e.NewSession()
 		for i := 0; i < 10; i++ {
-			if _, err := e.ExecuteQuery(sess, scanSumQuery(tbl)); err != nil {
+			if _, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl)); err != nil {
 				errs <- err
 				return
 			}
@@ -311,7 +312,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 	}
 	// Final state: 100 rows at 1000, rows 100..199 keep value i.
 	sess := e.NewSession()
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestLayoutChangePreservesData(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,12 +340,12 @@ func TestLayoutChangePreservesData(t *testing.T) {
 		t.Errorf("after format change: %v", res.Tuples[0])
 	}
 	// And updates still work on the new layout.
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, 10, 2, types.NewFloat64(0)),
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, _ = e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if res.Tuples[0][0].Float() != 4940 {
 		t.Errorf("after update on columns: %v", res.Tuples[0])
 	}
@@ -361,7 +362,7 @@ func TestSplitVerticalThenReadAndScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Point read spanning both pieces.
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5, 0, 2, 3)}})
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5, 0, 2, 3)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestSplitVerticalThenReadAndScan(t *testing.T) {
 		},
 		Aggs: []exec.AggSpec{{Func: exec.AggCount}},
 	}}
-	res2, err := e.ExecuteQuery(sess, q)
+	res2, err := e.ExecuteQuery(context.Background(), sess, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,14 +388,14 @@ func TestSplitVerticalThenReadAndScan(t *testing.T) {
 		t.Errorf("cross-piece scan count = %v", res2.Tuples[0])
 	}
 	// Updates to both pieces commit atomically.
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		{Kind: query.OpUpdate, Table: tbl.ID, Row: 5,
 			Cols: []schema.ColID{2, 3},
 			Vals: []types.Value{types.NewFloat64(-5), types.NewString("both")}},
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5, 2, 3)}})
+	res, _ = e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 5, 2, 3)}})
 	if res.Tuples[0][0].Float() != -5 || res.Tuples[0][1].Str() != "both" {
 		t.Errorf("cross-piece update: %v", res.Tuples[0])
 	}
@@ -410,7 +411,7 @@ func TestSplitHorizontalAndMerge(t *testing.T) {
 	if err := e.Dir.Validate(tbl.ID, e.TableMaxRow(tbl.ID), len(testCols)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil || res.Tuples[0][1].Int() != 100 {
 		t.Fatalf("after split: %v %v", res.Tuples, err)
 	}
@@ -422,7 +423,7 @@ func TestSplitHorizontalAndMerge(t *testing.T) {
 	if err := e.MergeH(np[0].ID, np[1].ID); err != nil {
 		t.Fatal(err)
 	}
-	res, err = e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err = e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil || res.Tuples[0][1].Int() != 100 {
 		t.Fatalf("after merge: %v %v", res.Tuples, err)
 	}
@@ -442,12 +443,12 @@ func TestReplicaAddRemoveAndMasterChange(t *testing.T) {
 		t.Fatal("replica not registered")
 	}
 	// Update flows to the replica lazily; a query through it must be fresh.
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, 1, 2, types.NewFloat64(500)),
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,12 +464,12 @@ func TestReplicaAddRemoveAndMasterChange(t *testing.T) {
 	if m.Master().Site != other {
 		t.Fatal("master not moved")
 	}
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, 2, 2, types.NewFloat64(0)),
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 2, 2)}})
+	r2, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 2, 2)}})
 	if err != nil || r2.Tuples[0][0].Float() != 0 {
 		t.Fatalf("after master change: %v %v", r2.Tuples, err)
 	}
@@ -477,7 +478,7 @@ func TestReplicaAddRemoveAndMasterChange(t *testing.T) {
 	if err := e.RemoveReplicaOp(m.ID, oldMaster); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ExecuteQuery(sess, scanSumQuery(tbl)); err != nil {
+	if _, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -499,20 +500,20 @@ func TestAdaptiveSmokeUnderMixedLoad(t *testing.T) {
 			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(1), types.NewString("x"),
 		}})
 	}
-	if err := e.LoadRows(tbl.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, rows); err != nil {
 		t.Fatal(err)
 	}
 	sess := e.NewSession()
 	for round := 0; round < 30; round++ {
 		for i := 0; i < 10; i++ {
 			row := int64((round*10 + i) % 100) // skewed to first quarter
-			if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+			if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 				updateOp(tbl, row, 2, types.NewFloat64(1)),
 			}}); err != nil {
 				t.Fatal(err)
 			}
 		}
-		res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+		res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -531,7 +532,7 @@ func TestModesReportAndStats(t *testing.T) {
 		t.Error("mode wrong")
 	}
 	sess := e.NewSession()
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, 1, 2, types.NewFloat64(3)),
 	}}); err != nil {
 		t.Fatal(err)
@@ -554,7 +555,7 @@ func TestLRUTieringUnderMemoryPressure(t *testing.T) {
 	// Heat up the first partition's rows.
 	warm := func() {
 		for i := 0; i < 40; i++ {
-			if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+			if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 				readOp(tbl, int64(i%50), 0),
 			}}); err != nil {
 				t.Fatal(err)
@@ -578,7 +579,7 @@ func TestLRUTieringUnderMemoryPressure(t *testing.T) {
 		}
 	}
 	// Data stays correct across tier changes.
-	res, err := e.ExecuteQuery(sess, scanSumQuery(tbl))
+	res, err := e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
 	if err != nil || res.Tuples[0][1].Int() != 800 {
 		t.Fatalf("post-demotion scan: %v %v", res.Tuples, err)
 	}

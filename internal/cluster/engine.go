@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -101,6 +102,15 @@ type Config struct {
 	// RetryBase is the first retry's maximum backoff delay (full jitter,
 	// doubling per attempt). 0 means the 200 µs default.
 	RetryBase time.Duration
+	// MorselRows sizes the parallel scan executor's scheduling quantum
+	// (rows per morsel). 0 means exec.DefaultMorselRows.
+	MorselRows int
+	// ScanBatchRows bounds one result batch flowing from scan workers to
+	// the coordinator. 0 means exec.DefaultBatchRows.
+	ScanBatchRows int
+	// DisableMorselExec forces analytical scans back onto the legacy
+	// one-goroutine-per-segment executor (A/B comparisons, debugging).
+	DisableMorselExec bool
 }
 
 // DefaultConfig returns a small cluster sizing suitable for tests.
@@ -164,6 +174,13 @@ type Engine struct {
 	cntFailovers  *obs.Counter
 	recoveryLat   *obs.Recorder
 
+	// Morsel-executor instruments.
+	cntMorselsScheduled *obs.Counter // units actually handed to workers
+	cntMorselsPruned    *obs.Counter // units skipped by zone maps at build
+	cntMorselRows       *obs.Counter // rows produced by morsel scans
+	cntScanBatches      *obs.Counter // result batches shipped coordinator-ward
+	recMorselsPerQuery  *obs.Recorder
+
 	tableMax map[schema.TableID]schema.RowID
 
 	txnID uint64
@@ -207,6 +224,11 @@ func New(cfg Config) *Engine {
 	e.cntRecoveries = e.Obs.Counter("faults.recoveries")
 	e.cntFailovers = e.Obs.Counter("faults.failovers")
 	e.recoveryLat = e.Obs.Recorder("faults.recovery.replay", 1<<8)
+	e.cntMorselsScheduled = e.Obs.Counter("exec.morsels.scheduled")
+	e.cntMorselsPruned = e.Obs.Counter("exec.morsels.pruned")
+	e.cntMorselRows = e.Obs.Counter("exec.morsels.rows")
+	e.cntScanBatches = e.Obs.Counter("exec.scan.batches")
+	e.recMorselsPerQuery = e.Obs.Recorder("exec.morsels.per_query", 1<<10)
 	for i := 0; i < cfg.NumSites; i++ {
 		s := site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite)
 		s.SetObs(e.Obs)
@@ -542,8 +564,9 @@ func (e *Engine) installReplica(meta *metadata.PartitionMeta, siteID simnet.Site
 func (e *Engine) siteOf(id simnet.SiteID) *site.Site { return e.Sites[int(id)] }
 
 // LoadRows bulk-loads initial table data through the master partitions
-// (and any already-installed replicas).
-func (e *Engine) LoadRows(table schema.TableID, rows []schema.Row) error {
+// (and any already-installed replicas). ctx cancellation aborts between
+// partitions.
+func (e *Engine) LoadRows(ctx context.Context, table schema.TableID, rows []schema.Row) error {
 	byPart := map[partition.ID][]schema.Row{}
 	metas := map[partition.ID]*metadata.PartitionMeta{}
 	for _, r := range rows {
@@ -558,6 +581,9 @@ func (e *Engine) LoadRows(table schema.TableID, rows []schema.Row) error {
 		}
 	}
 	for pid, prows := range byPart {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m := metas[pid]
 		for _, rep := range m.AllCopies() {
 			s := e.siteOf(rep.Site)

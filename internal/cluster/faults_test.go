@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,7 +43,7 @@ func newFaultEngine(t *testing.T, sites, parts int, rows int64, tune func(*Confi
 			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)), types.NewString(fmt.Sprintf("row-%d", i)),
 		}})
 	}
-	if err := e.LoadRows(tbl.ID, data); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
 		t.Fatal(err)
 	}
 	return e, tbl
@@ -113,7 +114,7 @@ func TestCrashDuringWriteRecovery(t *testing.T) {
 				}
 				v++
 				row := int64(w)*rowsPer + int64(v)%rowsPer
-				_, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+				_, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 					updateOp(tbl, row, 2, types.NewFloat64(v)),
 				}})
 				if err == nil {
@@ -140,7 +141,7 @@ func TestCrashDuringWriteRecovery(t *testing.T) {
 	checked := 0
 	for w := 0; w < writers; w++ {
 		for row, want := range acked[w] {
-			res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+			res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
 			if err != nil {
 				t.Fatalf("read row %d: %v", row, err)
 			}
@@ -178,7 +179,7 @@ func TestFailoverPromotesFreshestReplica(t *testing.T) {
 	sess := e.NewSession()
 	write := func(row int64, v float64) {
 		t.Helper()
-		if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+		if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 			updateOp(tbl, row, 2, types.NewFloat64(v)),
 		}}); err != nil {
 			t.Fatal(err)
@@ -208,7 +209,7 @@ func TestFailoverPromotesFreshestReplica(t *testing.T) {
 		t.Fatalf("promoted master at version %v, want >= %d", p, want)
 	}
 	// Committed writes survive the failover.
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, 30, 2)}})
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 30, 2)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestPartitionHealsAndConverges(t *testing.T) {
 	sess := e.NewSession()
 	row := int64(m.Bounds.RowStart)
 	for i := 0; i < 25; i++ {
-		if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+		if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 			updateOp(tbl, row, 2, types.NewFloat64(float64(100+i))),
 		}}); err != nil {
 			t.Fatalf("write at master during partition: %v", err)
@@ -275,7 +276,7 @@ func TestPartitionHealsAndConverges(t *testing.T) {
 	// Background replication converges the replica after the heal.
 	waitReplicaVersion(t, e, m.ID, replicaSite, want, 2*time.Second)
 
-	res, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestUnavailablePartitionTimesOutTyped(t *testing.T) {
 	}
 	sess := e.NewSession()
 	start := time.Now()
-	_, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	_, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, int64(m.Bounds.RowStart), 2, types.NewFloat64(1)),
 	}})
 	if !errors.Is(err, faults.ErrTimeout) {
@@ -307,7 +308,7 @@ func TestUnavailablePartitionTimesOutTyped(t *testing.T) {
 	if err := e.RecoverSite(downSite); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 		updateOp(tbl, int64(m.Bounds.RowStart), 2, types.NewFloat64(1)),
 	}}); err != nil {
 		t.Fatalf("write after recovery: %v", err)

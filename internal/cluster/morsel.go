@@ -1,0 +1,546 @@
+// Morsel-driven parallel scan execution (the NUMA-aware morsel scheduling
+// idea of Leis et al., adapted to Proteus' per-partition layouts): each
+// site splits its hosted partitions into fixed-size row-range morsels, a
+// per-site worker pool sized to the machine's parallelism and shared by
+// every concurrent query pulls morsels from a feed, evaluates predicate +
+// projection + partial aggregation over them on the layout-native path,
+// and results flow to the coordinator as bounded batches over channels
+// with backpressure. LIMIT and context cancellation terminate early by
+// closing the morsel feed. Zone maps prune whole partitions before a
+// single morsel is scheduled.
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/partition"
+	"proteus/internal/plan"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+	"proteus/internal/types"
+)
+
+func (e *Engine) morselRows() int {
+	if e.cfg.MorselRows > 0 {
+		return e.cfg.MorselRows
+	}
+	return exec.DefaultMorselRows
+}
+
+func (e *Engine) scanBatchRows() int {
+	if e.cfg.ScanBatchRows > 0 {
+		return e.cfg.ScanBatchRows
+	}
+	return exec.DefaultBatchRows
+}
+
+// morselEligible reports whether the morsel executor can run a scan: every
+// segment must be a single vertical piece (vertically partitioned scans
+// stitch by row id on the legacy path).
+func (e *Engine) morselEligible(ps *plan.PScan) bool {
+	if e.cfg.DisableMorselExec || len(ps.Segments) == 0 {
+		return false
+	}
+	for _, seg := range ps.Segments {
+		if len(seg.Pieces) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// partScan is the per-partition state shared by that partition's morsels:
+// the captured store (stable under concurrent layout swaps — newer versions
+// are invisible at the read snapshot), the pre-translated local predicate
+// and projection, and atomics aggregating scan work for one cost
+// observation per partition per query.
+type partScan struct {
+	p      *partition.Partition
+	st     storage.Store
+	siteID simnet.SiteID
+	lcols  []schema.ColID
+	lp     storage.Pred
+	snap   uint64
+
+	rows  atomic.Int64
+	nanos atomic.Int64
+}
+
+// morselUnit is one scheduled scan unit: a row-id range of one partition.
+type morselUnit struct {
+	ps     *partScan
+	lo, hi schema.RowID
+}
+
+// morselJob is one built parallel scan, ready to run in either row or
+// partial-aggregation mode.
+type morselJob struct {
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	coord  simnet.SiteID
+	cols   []string // output labels
+	units  map[simnet.SiteID][]morselUnit
+	parts  []*partScan
+
+	errOnce sync.Once
+	err     error
+}
+
+func (j *morselJob) fail(err error) {
+	j.errOnce.Do(func() {
+		j.err = err
+		j.cancel()
+	})
+}
+
+// buildMorselJob resolves every segment's partition copy, prunes whole
+// partitions through their zone maps, and splits the survivors into
+// morsels grouped by hosting site. The returned job owns a ctx derived
+// from the caller's; cancelling it closes the morsel feeds.
+func (e *Engine) buildMorselJob(ctx context.Context, ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID) (*morselJob, error) {
+	jctx, cancel := context.WithCancel(ctx)
+	j := &morselJob{
+		e:      e,
+		ctx:    jctx,
+		cancel: cancel,
+		coord:  coord,
+		cols:   colNames(ps.Cols),
+		units:  make(map[simnet.SiteID][]morselUnit),
+	}
+	target := e.morselRows()
+	scheduled := 0
+	byPart := map[*partition.Partition]*partScan{}
+	for _, seg := range ps.Segments {
+		piece := seg.Pieces[0]
+		p, err := e.sitePartition(piece.Meta.ID, piece.Copy.Site, snap[piece.Meta.ID])
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		lp, _ := exec.LocalPred(p.Bounds, ps.Pred)
+		morsels := p.Morsels(target)
+		// Clip to the segment's row range (segments tile the table).
+		clipped := morsels[:0]
+		for _, m := range morsels {
+			if m.Lo < seg.Lo {
+				m.Lo = seg.Lo
+			}
+			if m.Hi > seg.Hi {
+				m.Hi = seg.Hi
+			}
+			if m.Lo < m.Hi {
+				clipped = append(clipped, m)
+			}
+		}
+		if len(clipped) == 0 {
+			continue
+		}
+		if p.ZoneMap().CanSkip(lp) {
+			// Pruned before scheduling: no worker ever sees these units.
+			e.cntMorselsPruned.Add(int64(len(clipped)))
+			continue
+		}
+		sc := byPart[p]
+		if sc == nil {
+			lcols := make([]schema.ColID, len(ps.Cols))
+			for i, c := range ps.Cols {
+				lcols[i] = p.Bounds.LocalCol(c)
+			}
+			sc = &partScan{
+				p: p, st: p.StoreSnapshot(), siteID: piece.Copy.Site,
+				lcols: lcols, lp: lp, snap: snap[piece.Meta.ID],
+			}
+			byPart[p] = sc
+			j.parts = append(j.parts, sc)
+		}
+		for _, m := range clipped {
+			j.units[sc.siteID] = append(j.units[sc.siteID], morselUnit{ps: sc, lo: m.Lo, hi: m.Hi})
+			scheduled++
+		}
+	}
+	e.recMorselsPerQuery.Record(time.Duration(scheduled)) // count, not ns
+	return j, nil
+}
+
+// scanUnit runs one morsel through the layout-native range path, streaming
+// matching rows into fn and charging the work to the unit's partition.
+func (u morselUnit) scanUnit(fn func(schema.Row) bool) {
+	start := time.Now()
+	partition.ScanStoreRange(u.ps.st, u.ps.lcols, u.ps.lp, u.lo, u.hi, u.ps.snap, fn)
+	u.ps.nanos.Add(int64(time.Since(start)))
+}
+
+// runSite drains one site's morsel feed through its scan pool: a feeder
+// goroutine doles out units (so a cancelled query stops scheduling and the
+// scheduled counter reflects units workers actually saw), and up to
+// ScanWorkers loops pull from the feed. A crashed site's rejected loops run
+// inline on the scatter goroutine, mirroring the legacy executor's
+// coordinator fallback. newWorker returns a per-worker drain loop.
+func (j *morselJob) runSite(siteID simnet.SiteID, units []morselUnit, wg *sync.WaitGroup, newWorker func(siteID simnet.SiteID) func(<-chan morselUnit)) {
+	feed := make(chan morselUnit)
+	go func() {
+		defer close(feed)
+		for _, u := range units {
+			select {
+			case feed <- u:
+				j.e.cntMorselsScheduled.Inc()
+			case <-j.ctx.Done():
+				return
+			}
+		}
+	}()
+	s := j.e.siteOf(siteID)
+	w := s.ScanWorkers()
+	if w > len(units) {
+		w = len(units)
+	}
+	if w < 1 {
+		w = 1
+	}
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		loop := newWorker(siteID)
+		go func() {
+			defer wg.Done()
+			if err := s.RunScan(func() { loop(feed) }); err != nil {
+				loop(feed)
+			}
+		}()
+	}
+}
+
+// runRows streams projected tuples as bounded batches into out, closing it
+// when every worker has finished. Each worker accumulates up to batchRows
+// tuples, ships the batch from its site to the coordinator (network
+// accounting + fault injection), then hands it over with backpressure:
+// a full out channel blocks workers, bounding in-flight memory.
+func (j *morselJob) runRows(out chan<- exec.Rel) {
+	batchRows := j.e.scanBatchRows()
+	var wg sync.WaitGroup
+	newWorker := func(siteID simnet.SiteID) func(<-chan morselUnit) {
+		return func(feed <-chan morselUnit) {
+			batch := make([][]types.Value, 0, batchRows)
+			flush := func() bool {
+				if len(batch) == 0 {
+					return true
+				}
+				rel := exec.Rel{Cols: j.cols, Tuples: batch}
+				batch = make([][]types.Value, 0, batchRows)
+				if err := j.e.shipTo(siteID, j.coord, rel); err != nil {
+					j.fail(err)
+					return false
+				}
+				select {
+				case out <- rel:
+					j.e.cntScanBatches.Inc()
+					j.e.cntMorselRows.Add(int64(rel.NumRows()))
+					return true
+				case <-j.ctx.Done():
+					return false
+				}
+			}
+			for u := range feed {
+				u := u
+				u.scanUnit(func(r schema.Row) bool {
+					u.ps.rows.Add(1)
+					batch = append(batch, r.Vals)
+					if len(batch) >= batchRows {
+						return flush()
+					}
+					return j.ctx.Err() == nil
+				})
+				if j.ctx.Err() != nil {
+					return
+				}
+			}
+			flush()
+		}
+	}
+	for siteID, units := range j.units {
+		j.runSite(siteID, units, &wg, newWorker)
+	}
+	go func() {
+		wg.Wait()
+		j.observeScans()
+		close(out)
+	}()
+}
+
+// runAgg aggregates partially inside the morsel scan: each worker owns an
+// accumulator (no tuple materialization), worker states merge per site,
+// and one partial relation per site ships to the coordinator. The caller
+// finalizes over the concatenated partials exactly as the legacy two-phase
+// path does.
+func (j *morselJob) runAgg(groupBy []int, specs []exec.AggSpec) (exec.Rel, error) {
+	var mu sync.Mutex
+	var partials exec.Rel
+	var scatter sync.WaitGroup
+	for siteID, units := range j.units {
+		siteID, units := siteID, units
+		scatter.Add(1)
+		go func() {
+			defer scatter.Done()
+			var siteMu sync.Mutex
+			siteAgg := exec.NewAggregator(groupBy, specs)
+			var wg sync.WaitGroup
+			newWorker := func(simnet.SiteID) func(<-chan morselUnit) {
+				return func(feed <-chan morselUnit) {
+					agg := exec.NewAggregator(groupBy, specs)
+					for u := range feed {
+						u := u
+						u.scanUnit(func(r schema.Row) bool {
+							u.ps.rows.Add(1)
+							agg.Observe(r.Vals)
+							return j.ctx.Err() == nil
+						})
+						if j.ctx.Err() != nil {
+							return
+						}
+					}
+					siteMu.Lock()
+					siteAgg.MergeFrom(agg)
+					siteMu.Unlock()
+				}
+			}
+			j.runSite(siteID, units, &wg, newWorker)
+			wg.Wait()
+			if j.ctx.Err() != nil {
+				return
+			}
+			rel := siteAgg.Rel(j.cols)
+			if err := j.e.shipTo(siteID, j.coord, rel); err != nil {
+				j.fail(err)
+				return
+			}
+			mu.Lock()
+			partials = exec.Concat(partials, rel)
+			mu.Unlock()
+		}()
+	}
+	scatter.Wait()
+	j.observeScans()
+	if j.err != nil {
+		return exec.Rel{}, j.err
+	}
+	if err := j.ctx.Err(); err != nil {
+		return exec.Rel{}, err
+	}
+	var n int64
+	for _, sc := range j.parts {
+		n += sc.rows.Load()
+	}
+	j.e.cntMorselRows.Add(n)
+	return partials, nil
+}
+
+// observeScans emits one scan cost observation per touched partition so
+// the ASA's cost models keep training under the morsel executor. Features
+// mirror exec.Scan's: store stats, per-row bytes, and the realized
+// selectivity; latency is the partition's summed morsel scan time.
+func (j *morselJob) observeScans() {
+	for _, sc := range j.parts {
+		rows := int(sc.rows.Load())
+		nanos := sc.nanos.Load()
+		if nanos == 0 && rows == 0 {
+			continue
+		}
+		st := sc.st.Stats()
+		layout := sc.st.Layout()
+		inBytes := 0
+		if st.Rows > 0 {
+			inBytes = st.Bytes / st.Rows
+		}
+		outBytes := inBytes
+		if n := len(sc.p.Kinds()); n > 0 && len(sc.lcols) > 0 {
+			outBytes = inBytes * len(sc.lcols) / n
+		}
+		sel := 1.0
+		if st.Rows > 0 {
+			sel = float64(rows) / float64(st.Rows)
+		}
+		j.e.siteOf(sc.siteID).Observe(cost.Observation{
+			Op:       cost.OpScan,
+			Variant:  exec.ScanVariant(layout, sc.lp),
+			Layout:   layout,
+			Features: cost.ScanFeatures(st.Rows, inBytes, outBytes, sel),
+			Latency:  time.Duration(nanos),
+		})
+	}
+}
+
+// morselGather materializes a morsel scan at the coordinator, terminating
+// early once limit rows (0 = unlimited) have arrived by cancelling the
+// feeds, then draining the workers.
+func (e *Engine) morselGather(ctx context.Context, ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID, limit int) (exec.Rel, error) {
+	j, err := e.buildMorselJob(ctx, ps, snap, coord)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	defer j.cancel()
+	out := make(chan exec.Rel, 2*len(e.Sites)+2)
+	j.runRows(out)
+	res := exec.Rel{Cols: j.cols}
+	for batch := range out {
+		if limit > 0 && len(res.Tuples) >= limit {
+			continue // draining after early termination
+		}
+		res.Tuples = append(res.Tuples, batch.Tuples...)
+		if limit > 0 && len(res.Tuples) >= limit {
+			j.cancel() // close the morsel feeds; workers wind down
+		}
+	}
+	if j.err != nil {
+		return exec.Rel{}, j.err
+	}
+	if err := ctx.Err(); err != nil {
+		return exec.Rel{}, err
+	}
+	if limit > 0 && len(res.Tuples) > limit {
+		res.Tuples = res.Tuples[:limit]
+	}
+	return res, nil
+}
+
+// morselAgg runs an aggregation-over-scan on the morsel executor: partial
+// aggregation inside the scan workers, one partial per site, finalized at
+// the coordinator. For plans the planner did not decompose (single-site
+// scans), the decomposition happens here so worker-local partials compose
+// identically.
+func (e *Engine) morselAgg(ctx context.Context, pa *plan.PAgg, ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	partialSpecs := pa.PartialAggs
+	finalPA := pa
+	if !pa.TwoPhase {
+		p2 := *pa
+		p2.PartialAggs, p2.FinalAggs, p2.AvgPairs = plan.DecomposeAggs(pa.GroupBy, pa.Aggs)
+		partialSpecs = p2.PartialAggs
+		finalPA = &p2
+	}
+	j, err := e.buildMorselJob(ctx, ps, snap, coord)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	defer j.cancel()
+	partials, err := j.runAgg(pa.GroupBy, partialSpecs)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	return e.finalizeAgg(finalPA, partials, coord), nil
+}
+
+// RowCursor streams a query's result rows incrementally: Next advances to
+// the next row (pulling bounded batches off the workers' channel), Row
+// returns it, Err reports a terminal error, and Close cancels the scan and
+// waits for every worker to exit, so a cursor abandoned mid-stream leaks
+// no goroutines. Cursors over materialized results iterate a fixed
+// relation with the same interface.
+type RowCursor struct {
+	cols  []string
+	ch    <-chan exec.Rel
+	stop  func()       // cancels producers; idempotent
+	tail  func() error // terminal producer error, valid once ch is drained
+	onEOF func(err error)
+
+	cur    exec.Rel
+	idx    int
+	limit  int
+	seen   int
+	err    error
+	closed bool
+	eof    bool
+}
+
+// newMorselCursor wraps a running morsel job's batch channel. limit > 0
+// ends the stream — cancelling the job — after that many rows.
+func newMorselCursor(j *morselJob, ch <-chan exec.Rel, limit int, onEOF func(error)) *RowCursor {
+	return &RowCursor{
+		cols:  j.cols,
+		ch:    ch,
+		stop:  j.cancel,
+		tail:  func() error { return j.err },
+		onEOF: onEOF,
+		idx:   -1,
+		limit: limit,
+	}
+}
+
+// newStaticCursor iterates an already-materialized relation.
+func newStaticCursor(rel exec.Rel, onEOF func(error)) *RowCursor {
+	ch := make(chan exec.Rel, 1)
+	ch <- rel
+	close(ch)
+	return &RowCursor{
+		cols:  rel.Cols,
+		ch:    ch,
+		stop:  func() {},
+		tail:  func() error { return nil },
+		onEOF: onEOF,
+		idx:   -1,
+	}
+}
+
+// Cols returns the result column labels.
+func (c *RowCursor) Cols() []string { return c.cols }
+
+// Next advances to the next row, reporting whether one is available.
+func (c *RowCursor) Next() bool {
+	if c.closed || c.eof {
+		return false
+	}
+	if c.limit > 0 && c.seen >= c.limit {
+		c.finish(nil)
+		return false
+	}
+	c.idx++
+	for c.idx >= len(c.cur.Tuples) {
+		batch, ok := <-c.ch
+		if !ok {
+			c.finish(nil)
+			return false
+		}
+		c.cur, c.idx = batch, 0
+	}
+	c.seen++
+	return true
+}
+
+// Row returns the current row. Valid after Next reports true; the slice is
+// owned by the cursor until the following Next call.
+func (c *RowCursor) Row() []types.Value { return c.cur.Tuples[c.idx] }
+
+// Err returns the terminal error, if any, once Next has reported false.
+func (c *RowCursor) Err() error { return c.err }
+
+// finish terminates the stream: cancel the feeds, drain the channel until
+// the producer closes it (guaranteeing every worker has exited), then
+// record the error and notify the completion hook.
+func (c *RowCursor) finish(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.eof = true
+	c.stop()
+	for range c.ch {
+	}
+	if err == nil {
+		err = c.tail()
+	}
+	c.err = err
+	if c.onEOF != nil {
+		c.onEOF(err)
+	}
+}
+
+// Close releases the cursor; safe to call at any point and more than once.
+func (c *RowCursor) Close() error {
+	c.finish(nil)
+	return c.err
+}

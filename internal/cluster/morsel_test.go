@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// newMorselEngine builds an engine whose table's MaxRows equals the loaded
+// row count, so the horizontal partitions tile the data evenly (the shared
+// newTestEngine fixture leaves most partitions empty, which defeats
+// multi-partition coverage). mutate tweaks the config before New.
+func newMorselEngine(t *testing.T, mode Mode, sites, parts int, rows int64, mutate func(*Config)) (*Engine, *schema.Table) {
+	t.Helper()
+	cfg := fastConfig(mode, sites)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	tbl, err := e.CreateTable(TableSpec{
+		Name: "items", Cols: testCols, MaxRows: schema.RowID(rows), Partitions: parts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, testRows(rows)); err != nil {
+		t.Fatal(err)
+	}
+	return e, tbl
+}
+
+func testRows(rows int64) []schema.Row {
+	data := make([]schema.Row, 0, rows)
+	for i := int64(0); i < rows; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)), types.NewString("x"),
+		}})
+	}
+	return data
+}
+
+// sortTuples orders a relation's tuples lexicographically so results from
+// differently-ordered executions compare positionally.
+func sortTuples(rel exec.Rel) {
+	sort.Slice(rel.Tuples, func(i, j int) bool {
+		a, b := rel.Tuples[i], rel.Tuples[j]
+		for k := range a {
+			if c := types.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// sameRels compares two sorted relations, exactly for ints and strings and
+// within a relative tolerance for floats (partial-aggregate merge order
+// differs between the executors, so float sums differ in the last ulps).
+func sameRels(t *testing.T, name string, got, want exec.Rel) {
+	t.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got.Tuples), len(want.Tuples))
+	}
+	for i := range want.Tuples {
+		if len(got.Tuples[i]) != len(want.Tuples[i]) {
+			t.Fatalf("%s row %d: width %d, want %d", name, i, len(got.Tuples[i]), len(want.Tuples[i]))
+		}
+		for k := range want.Tuples[i] {
+			g, w := got.Tuples[i][k], want.Tuples[i][k]
+			if g.K == types.KindFloat64 && w.K == types.KindFloat64 {
+				if d := math.Abs(g.Float() - w.Float()); d > 1e-6*math.Max(1, math.Abs(w.Float())) {
+					t.Fatalf("%s row %d col %d: %v, want %v", name, i, k, g, w)
+				}
+				continue
+			}
+			if types.Compare(g, w) != 0 {
+				t.Fatalf("%s row %d col %d: %v, want %v", name, i, k, g, w)
+			}
+		}
+	}
+}
+
+// TestMorselMatchesLegacy cross-checks the morsel executor against the
+// legacy per-segment path on identical engines: randomized scans,
+// every aggregate, grouped aggregation, a join and a LIMIT, over both the
+// row and the column layout.
+func TestMorselMatchesLegacy(t *testing.T) {
+	for _, mode := range []Mode{ModeRowStore, ModeColumnStore} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const rows = 3000
+			morsel, tbl := newMorselEngine(t, mode, 2, 4, rows, func(c *Config) {
+				c.MorselRows = 128
+				c.ScanBatchRows = 256
+			})
+			legacy, ltbl := newMorselEngine(t, mode, 2, 4, rows, func(c *Config) {
+				c.DisableMorselExec = true
+			})
+			if tbl.ID != ltbl.ID {
+				t.Fatal("fixture tables diverge")
+			}
+			run := func(name string, mq, lq *query.Query) {
+				t.Helper()
+				got, err := morsel.ExecuteQuery(context.Background(), morsel.NewSession(), mq)
+				if err != nil {
+					t.Fatalf("%s morsel: %v", name, err)
+				}
+				want, err := legacy.ExecuteQuery(context.Background(), legacy.NewSession(), lq)
+				if err != nil {
+					t.Fatalf("%s legacy: %v", name, err)
+				}
+				sortTuples(got)
+				sortTuples(want)
+				sameRels(t, name, got, want)
+			}
+
+			// Randomized projections and predicates.
+			ops := []storage.CmpOp{storage.CmpLt, storage.CmpLe, storage.CmpGt, storage.CmpGe, storage.CmpEq}
+			r := rand.New(rand.NewSource(7))
+			for i := 0; i < 25; i++ {
+				ncols := 1 + r.Intn(4)
+				cols := r.Perm(4)[:ncols]
+				proj := make([]schema.ColID, ncols)
+				for j, c := range cols {
+					proj[j] = schema.ColID(c)
+				}
+				var pred storage.Pred
+				if r.Intn(3) > 0 {
+					pred = append(pred, storage.Cond{Col: 1, Op: ops[r.Intn(len(ops))], Val: types.NewInt64(int64(r.Intn(10)))})
+				}
+				if r.Intn(3) == 0 {
+					pred = append(pred, storage.Cond{Col: 2, Op: ops[r.Intn(len(ops))], Val: types.NewFloat64(float64(r.Intn(rows)))})
+				}
+				mk := func() *query.Query {
+					p := append(storage.Pred{}, pred...)
+					return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: proj, Pred: p}}
+				}
+				run("scan", mk(), mk())
+			}
+
+			// Every ungrouped aggregate over val, with a predicate.
+			for _, fn := range []exec.AggFunc{exec.AggSum, exec.AggCount, exec.AggMin, exec.AggMax, exec.AggAvg} {
+				mk := func() *query.Query {
+					return &query.Query{Root: &query.AggNode{
+						Child: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{2},
+							Pred: storage.Pred{{Col: 1, Op: storage.CmpLt, Val: types.NewInt64(7)}}},
+						Aggs: []exec.AggSpec{{Func: fn, Col: 0}},
+					}}
+				}
+				run("agg", mk(), mk())
+			}
+
+			// Grouped aggregation with an AVG (exercises decomposition).
+			mkGroup := func() *query.Query {
+				return &query.Query{Root: &query.AggNode{
+					Child:   &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{1, 2}},
+					GroupBy: []int{0},
+					Aggs: []exec.AggSpec{
+						{Func: exec.AggSum, Col: 1}, {Func: exec.AggCount}, {Func: exec.AggAvg, Col: 1},
+					},
+				}}
+			}
+			run("groupby", mkGroup(), mkGroup())
+
+			// Join of two scans (morsel path feeds both join inputs).
+			mkJoin := func() *query.Query {
+				return &query.Query{Root: &query.JoinNode{
+					Left: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{1, 2},
+						Pred: storage.Pred{{Col: 2, Op: storage.CmpLt, Val: types.NewFloat64(50)}}},
+					Right: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 1},
+						Pred: storage.Pred{{Col: 0, Op: storage.CmpLt, Val: types.NewInt64(100)}}},
+					LeftKeyCol: 0, RightKeyCol: 1,
+				}}
+			}
+			run("join", mkJoin(), mkJoin())
+
+			// LIMIT: row content is nondeterministic, the count is not.
+			mkLimit := func() *query.Query {
+				return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0},
+					Pred: storage.Pred{{Col: 1, Op: storage.CmpEq, Val: types.NewInt64(3)}}}, Limit: 37}
+			}
+			got, err := morsel.ExecuteQuery(context.Background(), morsel.NewSession(), mkLimit())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := legacy.ExecuteQuery(context.Background(), legacy.NewSession(), mkLimit())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Tuples) != 37 || len(want.Tuples) != 37 {
+				t.Fatalf("limit rows: morsel %d legacy %d, want 37", len(got.Tuples), len(want.Tuples))
+			}
+		})
+	}
+}
+
+// TestMorselZoneMapPruning pins the pruning accounting: with 4 partitions
+// of 250 rows and 100-row morsels (3 morsels each), a predicate excluding
+// the lower half of the id space must prune exactly the two low partitions'
+// morsels and schedule exactly the two high partitions'.
+func TestMorselZoneMapPruning(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeRowStore, 2, 4, 1000, func(c *Config) {
+		c.MorselRows = 100
+	})
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 2},
+		Pred: storage.Pred{{Col: 0, Op: storage.CmpGe, Val: types.NewInt64(500)}}}}
+	res, err := e.ExecuteQuery(context.Background(), e.NewSession(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 500 {
+		t.Fatalf("rows = %d, want 500", len(res.Tuples))
+	}
+	snap := e.MetricsSnapshot()
+	if got := snap.Counters["exec.morsels.pruned"]; got != 6 {
+		t.Errorf("pruned morsels = %d, want 6", got)
+	}
+	if got := snap.Counters["exec.morsels.scheduled"]; got != 6 {
+		t.Errorf("scheduled morsels = %d, want 6", got)
+	}
+	if got := snap.Counters["exec.morsels.rows"]; got != 500 {
+		t.Errorf("morsel rows = %d, want 500", got)
+	}
+}
+
+// TestMorselLimitStopsScheduling verifies early termination reaches the
+// feeders: a LIMIT query over a table worth thousands of morsels must
+// schedule only a small fraction of them before the coordinator cancels
+// the feeds (backpressure bounds how far scheduling can run ahead).
+func TestMorselLimitStopsScheduling(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeRowStore, 2, 4, 40000, func(c *Config) {
+		c.MorselRows = 16
+		c.ScanBatchRows = 64
+	})
+	before := e.MetricsSnapshot().Counters["exec.morsels.scheduled"]
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0}}, Limit: 32}
+	res, err := e.ExecuteQuery(context.Background(), e.NewSession(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 32 {
+		t.Fatalf("rows = %d, want 32", len(res.Tuples))
+	}
+	total := int64(40000 / 16)
+	delta := e.MetricsSnapshot().Counters["exec.morsels.scheduled"] - before
+	if delta == 0 {
+		t.Fatal("no morsels scheduled")
+	}
+	if delta >= total/2 {
+		t.Errorf("scheduled %d of %d morsels; early termination did not stop the feed", delta, total)
+	}
+}
+
+// TestMorselStreamMatchesMaterialized drains a streaming cursor and checks
+// it yields exactly the materialized result, and that a stream-side LIMIT
+// ends the cursor after that many rows with no error.
+func TestMorselStreamMatchesMaterialized(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeColumnStore, 2, 4, 2000, nil)
+	sess := e.NewSession()
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 2},
+		Pred: storage.Pred{{Col: 1, Op: storage.CmpLt, Val: types.NewInt64(5)}}}}
+
+	want, err := e.ExecuteQuery(context.Background(), sess, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := e.ExecuteQueryStream(context.Background(), sess, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exec.Rel{Cols: cur.Cols()}
+	for cur.Next() {
+		row := append([]types.Value(nil), cur.Row()...)
+		got.Tuples = append(got.Tuples, row)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sortTuples(got)
+	sortTuples(want)
+	sameRels(t, "stream", got, want)
+
+	lq := &query.Query{Root: q.Root, Limit: 10}
+	cur, err = e.ExecuteQueryStream(context.Background(), sess, lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	if n != 10 || cur.Err() != nil {
+		t.Fatalf("limited stream: %d rows, err %v", n, cur.Err())
+	}
+	cur.Close()
+}
+
+// TestMorselCancelNoGoroutineLeak abandons streams mid-scan — by cursor
+// Close and by context cancellation — and requires the goroutine count to
+// settle back to its baseline: Close drains until the producer closes the
+// batch channel, so every feeder and worker must have exited.
+func TestMorselCancelNoGoroutineLeak(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeRowStore, 2, 4, 20000, func(c *Config) {
+		c.MorselRows = 32
+		c.ScanBatchRows = 64
+	})
+	sess := e.NewSession()
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 1, 2}}}
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cur, err := e.ExecuteQueryStream(ctx, sess, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3 && cur.Next(); k++ {
+		}
+		if i%2 == 0 {
+			cancel() // abandon via context; Close still drains the workers
+		}
+		if err := cur.Close(); err != nil && i%2 != 0 {
+			t.Fatalf("close: %v", err)
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMorselContextCancelAborts cancels a materializing query's context
+// and expects a prompt context.Canceled, not a hang or a partial result.
+func TestMorselContextCancelAborts(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeRowStore, 2, 4, 20000, func(c *Config) {
+		c.MorselRows = 32
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0}}}
+	if _, err := e.ExecuteQuery(ctx, e.NewSession(), q); err == nil {
+		t.Fatal("cancelled query returned nil error")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func rowsAt(t *testing.T, e *Engine, tbl *schema.Table, base, n int64) {
 			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)), types.NewString("r"),
 		}})
 	}
-	if err := e.LoadRows(tbl.ID, data); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -98,7 +99,7 @@ func TestMaintenanceTruncatesRedoLog(t *testing.T) {
 	pid := e.Dir.TablePartitions(tbl.ID)[0].ID
 	deadline := time.After(3 * time.Second)
 	for e.Broker.BaseOffset(pid) == 0 {
-		if _, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{
+		if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 			updateOp(tbl, 3, 2, types.NewFloat64(1)),
 		}}); err != nil {
 			t.Fatal(err)

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -30,15 +32,17 @@ var ErrStalePlan = errors.New("cluster: physical plan stale after layout change"
 // the coordinating site (§4.3, Figure 7b). Retriable failures — a plan
 // invalidated by a concurrent layout change, a crashed site awaiting
 // failover, a dropped message or transient partition — are re-planned and
-// retried with seeded full-jitter backoff until the operation deadline,
-// after which the typed faults.ErrTimeout surfaces.
-func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (exec.Rel, error) {
+// retried with seeded full-jitter backoff until the deadline (the
+// context's, if set, else the configured operation deadline), after which
+// the typed faults.ErrTimeout surfaces. Cancelling ctx aborts the query,
+// closing the morsel feeds of any in-flight parallel scan.
+func (e *Engine) ExecuteQuery(ctx context.Context, sess *Session, q *query.Query) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
-	deadline := time.Now().Add(e.opDeadline())
+	deadline := e.queryDeadline(ctx)
 	delay := e.retryBase()
 	for {
-		rel, err = e.executeQueryOnce(sess, q)
+		rel, err = e.executeQueryOnce(ctx, sess, q)
 		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
@@ -46,14 +50,40 @@ func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (exec.Rel, error) {
 			return rel, e.deadlineErr(err)
 		}
 		e.cntRetries.Inc()
-		time.Sleep(e.Faults.Jitter(delay))
+		if serr := e.sleepRetry(ctx, e.Faults.Jitter(delay)); serr != nil {
+			return rel, serr
+		}
 		if delay *= 2; delay > maxRetryDelay {
 			delay = maxRetryDelay
 		}
 	}
 }
 
-func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, error) {
+// queryDeadline is the retry cutoff: the context's deadline when one is
+// set, else now + the configured operation deadline.
+func (e *Engine) queryDeadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Now().Add(e.opDeadline())
+}
+
+// sleepRetry waits out a backoff delay, aborting early when ctx ends.
+func (e *Engine) sleepRetry(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) executeQueryOnce(ctx context.Context, sess *Session, q *query.Query) (exec.Rel, error) {
+	if err := ctx.Err(); err != nil {
+		return exec.Rel{}, err
+	}
 	planStart := time.Now()
 	pn, err := e.Planner.PlanQuery(q)
 	if err != nil {
@@ -76,7 +106,7 @@ func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, erro
 	var execErr error
 	start := time.Now()
 	if err := e.siteOf(coord).RunOLAP(func() {
-		result, execErr = e.evalNode(pn, snap, coord)
+		result, execErr = e.evalRoot(ctx, pn, snap, coord, q.Limit)
 	}); err != nil {
 		return exec.Rel{}, err
 	}
@@ -95,6 +125,70 @@ func (e *Engine) executeQueryOnce(sess *Session, q *query.Query) (exec.Rel, erro
 		e.Advisor.onQueryExecuted(pn, d)
 	}
 	return result, nil
+}
+
+// evalRoot evaluates the plan root, applying the query's LIMIT. A
+// morsel-eligible scan root pushes the limit into the executor — morsel
+// scheduling stops once enough rows exist; any other root materializes and
+// truncates.
+func (e *Engine) evalRoot(ctx context.Context, pn plan.PNode, snap txn.VersionVector, coord simnet.SiteID, limit int) (exec.Rel, error) {
+	if ps, ok := pn.(*plan.PScan); ok && e.morselEligible(ps) {
+		return e.morselGather(ctx, ps, snap, coord, limit)
+	}
+	rel, err := e.evalNode(ctx, pn, snap, coord)
+	if err != nil {
+		return rel, err
+	}
+	if limit > 0 && len(rel.Tuples) > limit {
+		rel.Tuples = rel.Tuples[:limit]
+	}
+	return rel, nil
+}
+
+// scatter runs n indexed tasks concurrently with bounded parallelism,
+// cancelling the remainder as soon as any task fails. It waits for every
+// launched task to exit (they may write into caller-owned slots) and
+// returns the first error. Tasks receive a context derived from ctx that
+// is cancelled on the first failure.
+func (e *Engine) scatter(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	limit := 2 * runtime.GOMAXPROCS(0)
+	if n < limit {
+		limit = n
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if sctx.Err() != nil {
+			break // first error already cancelled; stop launching
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if sctx.Err() != nil {
+				return
+			}
+			if err := task(sctx, i); err != nil {
+				once.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // collectPIDs gathers every partition a plan touches.
@@ -197,15 +291,20 @@ func (e *Engine) recordQueryAccesses(n plan.PNode) {
 }
 
 // evalNode evaluates a physical plan node, materializing its result at the
-// coordinator.
-func (e *Engine) evalNode(n plan.PNode, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+// coordinator. Scans over single-piece segments run on the morsel executor
+// (morsel.go); vertically partitioned scans and joins keep the
+// segment-granular path.
+func (e *Engine) evalNode(ctx context.Context, n plan.PNode, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
 	switch v := n.(type) {
 	case *plan.PScan:
-		return e.evalScan(v, snap, coord)
+		if e.morselEligible(v) {
+			return e.morselGather(ctx, v, snap, coord, 0)
+		}
+		return e.evalScan(ctx, v, snap, coord)
 	case *plan.PJoin:
-		return e.evalJoin(v, nil, snap, coord)
+		return e.evalJoin(ctx, v, nil, snap, coord)
 	case *plan.PAgg:
-		return e.evalAgg(v, snap, coord)
+		return e.evalAgg(ctx, v, snap, coord)
 	}
 	return exec.Rel{}, fmt.Errorf("cluster: unknown plan node %T", n)
 }
@@ -282,50 +381,43 @@ func (e *Engine) shipTo(from, to simnet.SiteID, rel exec.Rel) error {
 	return nil
 }
 
-// evalScan executes a PScan, stitching vertical pieces and shipping
-// results to the coordinator. Work on other sites runs on their OLAP
-// pools concurrently.
-func (e *Engine) evalScan(ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
-	type segResult struct {
-		idx int
-		rel exec.Rel
-		err error
-	}
-	results := make([]segResult, len(ps.Segments))
-	var wg sync.WaitGroup
-	for i, seg := range ps.Segments {
-		i, seg := i, seg
-		wg.Add(1)
-		run := func() {
-			rel, err := e.evalSegment(ps, seg, snap, coord)
-			results[i] = segResult{idx: i, rel: rel, err: err}
+// evalScan executes a PScan on the legacy segment-granular path (used for
+// vertically partitioned scans the morsel executor does not handle),
+// stitching vertical pieces and shipping results to the coordinator. Work
+// on other sites runs on their OLAP pools concurrently; the first failure
+// cancels the remaining segments.
+func (e *Engine) evalScan(ctx context.Context, ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	results := make([]exec.Rel, len(ps.Segments))
+	err := e.scatter(ctx, len(ps.Segments), func(sctx context.Context, i int) error {
+		seg := ps.Segments[i]
+		run := func() error {
+			rel, err := e.evalSegment(sctx, ps, seg, snap, coord)
+			if err != nil {
+				return err
+			}
+			results[i] = rel
+			return nil
 		}
 		// Single-piece remote segments execute on their owning site's
-		// OLAP pool; everything else runs inline on the coordinator. A
-		// remote site that crashed rejects the work; run the segment at
-		// the coordinator instead — evalSegment redirects to a live copy.
+		// OLAP pool; everything else runs inline. A remote site that
+		// crashed rejects the work; run the segment at the coordinator
+		// instead — evalSegment redirects to a live copy.
 		if len(seg.Pieces) == 1 && seg.Pieces[0].Copy.Site != coord {
 			s := e.siteOf(seg.Pieces[0].Copy.Site)
-			go func() {
-				defer wg.Done()
-				if err := s.RunOLAP(run); err != nil {
-					run()
-				}
-			}()
-		} else {
-			go func() {
-				defer wg.Done()
-				run()
-			}()
+			var inner error
+			if err := s.RunOLAP(func() { inner = run() }); err != nil {
+				return run()
+			}
+			return inner
 		}
+		return run()
+	})
+	if err != nil {
+		return exec.Rel{}, err
 	}
-	wg.Wait()
 	out := exec.Rel{Cols: colNames(ps.Cols)}
 	for _, r := range results {
-		if r.err != nil {
-			return exec.Rel{}, r.err
-		}
-		out.Tuples = append(out.Tuples, r.rel.Tuples...)
+		out.Tuples = append(out.Tuples, r.Tuples...)
 	}
 	return out, nil
 }
@@ -339,7 +431,10 @@ func colNames(cols []schema.ColID) []string {
 }
 
 // evalSegment scans one row segment's pieces and stitches them by row id.
-func (e *Engine) evalSegment(ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+func (e *Engine) evalSegment(ctx context.Context, ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	if err := ctx.Err(); err != nil {
+		return exec.Rel{}, err
+	}
 	if len(seg.Pieces) == 1 {
 		piece := seg.Pieces[0]
 		rel, _, err := e.scanPieceAt(piece, piece.Copy.Site, seg, ps.Pred, snap)
@@ -363,6 +458,9 @@ func (e *Engine) evalSegment(ps *plan.PScan, seg plan.RowSegment, snap txn.Versi
 	}
 	pieces := make([]pieceData, len(seg.Pieces))
 	for i, piece := range seg.Pieces {
+		if err := ctx.Err(); err != nil {
+			return exec.Rel{}, err
+		}
 		rel, ids, err := e.scanPieceAt(piece, piece.Copy.Site, seg, ps.Pred, snap)
 		if err != nil {
 			return exec.Rel{}, err
@@ -475,15 +573,15 @@ func (e *Engine) joinRels(l, r exec.Rel, lKey, rKey int, alg cost.Variant, at si
 // evalJoin executes a join; partialAgg, when non-nil, is applied to each
 // site-local join result before shipping (aggregation pushdown under a
 // two-phase PAgg).
-func (e *Engine) evalJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+func (e *Engine) evalJoin(ctx context.Context, pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
 	if pj.Strategy == plan.JoinColocated {
-		return e.evalColocatedJoin(pj, partialAgg, snap, coord)
+		return e.evalColocatedJoin(ctx, pj, partialAgg, snap, coord)
 	}
-	left, err := e.evalNode(pj.Left, snap, coord)
+	left, err := e.evalNode(ctx, pj.Left, snap, coord)
 	if err != nil {
 		return exec.Rel{}, err
 	}
-	right, err := e.evalNode(pj.Right, snap, coord)
+	right, err := e.evalNode(ctx, pj.Right, snap, coord)
 	if err != nil {
 		return exec.Rel{}, err
 	}
@@ -507,71 +605,69 @@ func sortedAt(n plan.PNode) int {
 
 // evalColocatedJoin joins left pieces against local right copies at each
 // storage site, shipping only (optionally partially aggregated) results —
-// Figure 7b's distributed execution.
-func (e *Engine) evalColocatedJoin(pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+// Figure 7b's distributed execution. The first site failure cancels the
+// remaining sites' work.
+func (e *Engine) evalColocatedJoin(ctx context.Context, pj *plan.PJoin, partialAgg *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
 	ls := pj.Left.(*plan.PScan)
 	rs := pj.Right.(*plan.PScan)
 
 	// Group left segments by executing site.
 	bySite := map[simnet.SiteID][]plan.RowSegment{}
+	var siteIDs []simnet.SiteID
 	for _, seg := range ls.Segments {
 		// A colocated segment has all its pieces on one site by planner
 		// construction; use the first piece's site.
-		bySite[seg.Pieces[0].Copy.Site] = append(bySite[seg.Pieces[0].Copy.Site], seg)
+		sid := seg.Pieces[0].Copy.Site
+		if _, ok := bySite[sid]; !ok {
+			siteIDs = append(siteIDs, sid)
+		}
+		bySite[sid] = append(bySite[sid], seg)
 	}
 
-	type siteOut struct {
-		rel exec.Rel
-		err error
-	}
-	outs := make(map[simnet.SiteID]*siteOut, len(bySite))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for siteID, segs := range bySite {
-		siteID, segs := siteID, segs
-		wg.Add(1)
-		run := func() {
-			rel, err := e.siteLocalJoin(ls, rs, segs, pj, partialAgg, snap, siteID)
-			mu.Lock()
-			outs[siteID] = &siteOut{rel: rel, err: err}
-			mu.Unlock()
-		}
-		go func() {
-			defer wg.Done()
-			if siteID != coord {
-				// A crashed site rejects the work; evaluate its share at
-				// the coordinator against live copies instead.
-				if err := e.siteOf(siteID).RunOLAP(run); err != nil {
-					run()
-				}
-			} else {
-				run()
+	outs := make([]exec.Rel, len(siteIDs))
+	err := e.scatter(ctx, len(siteIDs), func(sctx context.Context, i int) error {
+		siteID := siteIDs[i]
+		run := func() error {
+			rel, err := e.siteLocalJoin(sctx, ls, rs, bySite[siteID], pj, partialAgg, snap, siteID)
+			if err != nil {
+				return err
 			}
-		}()
+			outs[i] = rel
+			return nil
+		}
+		if siteID != coord {
+			// A crashed site rejects the work; evaluate its share at
+			// the coordinator against live copies instead.
+			var inner error
+			if err := e.siteOf(siteID).RunOLAP(func() { inner = run() }); err != nil {
+				return run()
+			}
+			return inner
+		}
+		return run()
+	})
+	if err != nil {
+		return exec.Rel{}, err
 	}
-	wg.Wait()
 
 	var final exec.Rel
-	for siteID, so := range outs {
-		if so.err != nil {
-			return exec.Rel{}, so.err
-		}
-		if err := e.shipTo(siteID, coord, so.rel); err != nil {
+	for i, rel := range outs {
+		if err := e.shipTo(siteIDs[i], coord, rel); err != nil {
 			return exec.Rel{}, err
 		}
-		final = exec.Concat(final, so.rel)
+		final = exec.Concat(final, rel)
 	}
 	return final, nil
 }
 
 // siteLocalJoin evaluates one site's share of a colocated join.
-func (e *Engine) siteLocalJoin(ls, rs *plan.PScan, segs []plan.RowSegment, pj *plan.PJoin,
+func (e *Engine) siteLocalJoin(ctx context.Context, ls, rs *plan.PScan, segs []plan.RowSegment, pj *plan.PJoin,
 	partialAgg *plan.PAgg, snap txn.VersionVector, siteID simnet.SiteID) (exec.Rel, error) {
 
 	// Left input: this site's segments.
 	left := exec.Rel{Cols: colNames(ls.Cols)}
 	for _, seg := range segs {
-		rel, err := e.evalSegmentAt(ls, seg, snap, siteID)
+		rel, err := e.evalSegmentAt(ctx, ls, seg, snap, siteID)
 		if err != nil {
 			return exec.Rel{}, err
 		}
@@ -580,7 +676,7 @@ func (e *Engine) siteLocalJoin(ls, rs *plan.PScan, segs []plan.RowSegment, pj *p
 	// Right input: local copies of every right partition.
 	right := exec.Rel{Cols: colNames(rs.Cols)}
 	for _, seg := range rs.Segments {
-		rel, err := e.evalSegmentAt(rs, seg, snap, siteID)
+		rel, err := e.evalSegmentAt(ctx, rs, seg, snap, siteID)
 		if err != nil {
 			return exec.Rel{}, err
 		}
@@ -597,7 +693,7 @@ func (e *Engine) siteLocalJoin(ls, rs *plan.PScan, segs []plan.RowSegment, pj *p
 
 // evalSegmentAt is evalSegment with every piece read from the copy at a
 // specific site (falling back to the planned copy when absent).
-func (e *Engine) evalSegmentAt(ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, siteID simnet.SiteID) (exec.Rel, error) {
+func (e *Engine) evalSegmentAt(ctx context.Context, ps *plan.PScan, seg plan.RowSegment, snap txn.VersionVector, siteID simnet.SiteID) (exec.Rel, error) {
 	local := seg
 	local.Pieces = make([]plan.ScanPart, len(seg.Pieces))
 	for i, piece := range seg.Pieces {
@@ -607,7 +703,7 @@ func (e *Engine) evalSegmentAt(ps *plan.PScan, seg plan.RowSegment, snap txn.Ver
 		local.Pieces[i] = piece
 	}
 	// Stitch at this site (pieces' sites now local where copies exist).
-	return e.evalSegment(ps, local, snap, siteID)
+	return e.evalSegment(ctx, ps, local, snap, siteID)
 }
 
 func localCopy(piece plan.ScanPart, siteID simnet.SiteID) metadata.Replica {
@@ -619,25 +715,31 @@ func localCopy(piece plan.ScanPart, siteID simnet.SiteID) metadata.Replica {
 	return piece.Copy
 }
 
-// evalAgg executes aggregation, two-phase when the child is distributed.
-func (e *Engine) evalAgg(pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+// evalAgg executes aggregation. An aggregation directly over a
+// morsel-eligible scan fuses partial aggregation into the scan workers;
+// otherwise the legacy two-phase (distributed child) or single-phase path
+// runs.
+func (e *Engine) evalAgg(ctx context.Context, pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	if ps, ok := pa.Child.(*plan.PScan); ok && e.morselEligible(ps) {
+		return e.morselAgg(ctx, pa, ps, snap, coord)
+	}
 	if pa.TwoPhase {
 		switch child := pa.Child.(type) {
 		case *plan.PJoin:
-			partials, err := e.evalJoin(child, pa, snap, coord)
+			partials, err := e.evalJoin(ctx, child, pa, snap, coord)
 			if err != nil {
 				return exec.Rel{}, err
 			}
 			return e.finalizeAgg(pa, partials, coord), nil
 		case *plan.PScan:
-			partials, err := e.evalScanWithPartialAgg(child, pa, snap, coord)
+			partials, err := e.evalScanWithPartialAgg(ctx, child, pa, snap, coord)
 			if err != nil {
 				return exec.Rel{}, err
 			}
 			return e.finalizeAgg(pa, partials, coord), nil
 		}
 	}
-	rel, err := e.evalNode(pa.Child, snap, coord)
+	rel, err := e.evalNode(ctx, pa.Child, snap, coord)
 	if err != nil {
 		return exec.Rel{}, err
 	}
@@ -652,66 +754,56 @@ func (e *Engine) evalAgg(pa *plan.PAgg, snap txn.VersionVector, coord simnet.Sit
 	return out, nil
 }
 
-// evalScanWithPartialAgg pushes partial aggregation to each scanning site.
-func (e *Engine) evalScanWithPartialAgg(ps *plan.PScan, pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+// evalScanWithPartialAgg pushes partial aggregation to each scanning site
+// (legacy path for vertically partitioned scans). The first site failure
+// cancels the rest.
+func (e *Engine) evalScanWithPartialAgg(ctx context.Context, ps *plan.PScan, pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
 	bySite := map[simnet.SiteID][]plan.RowSegment{}
+	var siteIDs []simnet.SiteID
 	for _, seg := range ps.Segments {
-		bySite[seg.Pieces[0].Copy.Site] = append(bySite[seg.Pieces[0].Copy.Site], seg)
+		sid := seg.Pieces[0].Copy.Site
+		if _, ok := bySite[sid]; !ok {
+			siteIDs = append(siteIDs, sid)
+		}
+		bySite[sid] = append(bySite[sid], seg)
 	}
-	type siteOut struct {
-		rel exec.Rel
-		err error
-	}
-	outs := make(map[simnet.SiteID]*siteOut, len(bySite))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for siteID, segs := range bySite {
-		siteID, segs := siteID, segs
-		wg.Add(1)
-		run := func() {
+	outs := make([]exec.Rel, len(siteIDs))
+	err := e.scatter(ctx, len(siteIDs), func(sctx context.Context, i int) error {
+		siteID := siteIDs[i]
+		run := func() error {
 			local := exec.Rel{Cols: colNames(ps.Cols)}
-			var err error
-			for _, seg := range segs {
-				var rel exec.Rel
-				rel, err = e.evalSegmentAt(ps, seg, snap, siteID)
+			for _, seg := range bySite[siteID] {
+				rel, err := e.evalSegmentAt(sctx, ps, seg, snap, siteID)
 				if err != nil {
-					break
+					return err
 				}
 				local.Tuples = append(local.Tuples, rel.Tuples...)
 			}
-			var out exec.Rel
-			if err == nil {
-				var obs cost.Observation
-				out, obs = exec.HashAggregate(local, pa.GroupBy, pa.PartialAggs)
-				e.siteOf(siteID).Observe(obs)
-			}
-			mu.Lock()
-			outs[siteID] = &siteOut{rel: out, err: err}
-			mu.Unlock()
+			out, obs := exec.HashAggregate(local, pa.GroupBy, pa.PartialAggs)
+			e.siteOf(siteID).Observe(obs)
+			outs[i] = out
+			return nil
 		}
-		go func() {
-			defer wg.Done()
-			if siteID != coord {
-				// A crashed site rejects the work; evaluate its share at
-				// the coordinator against live copies instead.
-				if err := e.siteOf(siteID).RunOLAP(run); err != nil {
-					run()
-				}
-			} else {
-				run()
+		if siteID != coord {
+			// A crashed site rejects the work; evaluate its share at
+			// the coordinator against live copies instead.
+			var inner error
+			if err := e.siteOf(siteID).RunOLAP(func() { inner = run() }); err != nil {
+				return run()
 			}
-		}()
+			return inner
+		}
+		return run()
+	})
+	if err != nil {
+		return exec.Rel{}, err
 	}
-	wg.Wait()
 	var partials exec.Rel
-	for siteID, so := range outs {
-		if so.err != nil {
-			return exec.Rel{}, so.err
-		}
-		if err := e.shipTo(siteID, coord, so.rel); err != nil {
+	for i, rel := range outs {
+		if err := e.shipTo(siteIDs[i], coord, rel); err != nil {
 			return exec.Rel{}, err
 		}
-		partials = exec.Concat(partials, so.rel)
+		partials = exec.Concat(partials, rel)
 	}
 	return partials, nil
 }
@@ -737,7 +829,7 @@ func (e *Engine) finalizeAgg(pa *plan.PAgg, partials exec.Rel, coord simnet.Site
 		row := make([]types.Value, 0, ng+len(pa.Aggs))
 		row = append(row, t[:ng]...)
 		fi := ng // cursor into final agg outputs
-		for i, a := range pa.Aggs {
+		for _, a := range pa.Aggs {
 			if a.Func == exec.AggAvg {
 				sum := t[fi]
 				cnt := t[fi+1]
@@ -747,7 +839,6 @@ func (e *Engine) finalizeAgg(pa *plan.PAgg, partials exec.Rel, coord simnet.Site
 				} else {
 					row = append(row, types.Null())
 				}
-				_ = i
 			} else {
 				row = append(row, t[fi])
 				fi++
@@ -756,4 +847,96 @@ func (e *Engine) finalizeAgg(pa *plan.PAgg, partials exec.Rel, coord simnet.Site
 		out.Tuples = append(out.Tuples, row)
 	}
 	return out
+}
+
+// ExecuteQueryStream runs an OLAP query and returns a cursor streaming
+// result rows incrementally. A morsel-eligible scan root streams natively:
+// rows arrive as bounded batches while the scan is still running, and
+// closing the cursor early (or cancelling ctx, or reaching the query's
+// Limit) closes the morsel feeds so workers stop promptly. Other plan
+// shapes materialize at the coordinator first and the cursor iterates the
+// result. Retriable planning/setup failures are retried exactly as
+// ExecuteQuery retries them; once streaming has begun, failures surface
+// through the cursor's Err and are not retried.
+func (e *Engine) ExecuteQueryStream(ctx context.Context, sess *Session, q *query.Query) (*RowCursor, error) {
+	deadline := e.queryDeadline(ctx)
+	delay := e.retryBase()
+	for {
+		cur, err := e.streamOnce(ctx, sess, q)
+		if err == nil || !e.retriable(err) {
+			return cur, err
+		}
+		if time.Now().After(deadline) {
+			return nil, e.deadlineErr(err)
+		}
+		e.cntRetries.Inc()
+		if serr := e.sleepRetry(ctx, e.Faults.Jitter(delay)); serr != nil {
+			return nil, serr
+		}
+		if delay *= 2; delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+	}
+}
+
+func (e *Engine) streamOnce(ctx context.Context, sess *Session, q *query.Query) (*RowCursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	planStart := time.Now()
+	pn, err := e.Planner.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Record(ClassOLAPPlan, time.Since(planStart))
+
+	pids := collectPIDs(pn)
+	snap := e.snapshotFor(pids, sess)
+	coord, err := e.pickCoordinator(pn)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Net.Send(simnet.ASASite, coord, 256); err != nil {
+		return nil, err
+	}
+	e.recordQueryAccesses(pn)
+	readVec := make(txn.VersionVector, len(pids))
+	for _, pid := range pids {
+		readVec[pid] = snap[pid]
+	}
+	sess.s.Observe(readVec)
+
+	start := time.Now()
+	onEOF := func(err error) {
+		if err == nil {
+			d := time.Since(start)
+			e.stats.Record(ClassOLAP, d)
+			if e.Advisor != nil {
+				e.Advisor.onQueryExecuted(pn, d)
+			}
+		}
+	}
+
+	if ps, ok := pn.(*plan.PScan); ok && e.morselEligible(ps) {
+		j, err := e.buildMorselJob(ctx, ps, snap, coord)
+		if err != nil {
+			return nil, err
+		}
+		out := make(chan exec.Rel, 2*len(e.Sites)+2)
+		j.runRows(out)
+		return newMorselCursor(j, out, q.Limit, onEOF), nil
+	}
+
+	// Non-streaming plan shape: materialize, then iterate.
+	var result exec.Rel
+	var execErr error
+	if err := e.siteOf(coord).RunOLAP(func() {
+		result, execErr = e.evalRoot(ctx, pn, snap, coord, q.Limit)
+	}); err != nil {
+		return nil, err
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+	return newStaticCursor(result, onEOF), nil
 }

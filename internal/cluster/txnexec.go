@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -144,15 +145,17 @@ func coordinatorFor(tp *plan.TxnPlan) simnet.SiteID {
 // read (one tuple per read op, in op order). Retriable failures — a plan
 // invalidated by a concurrent layout change, a crashed site awaiting
 // failover, a dropped message or transient partition — are re-planned and
-// retried with seeded full-jitter backoff until the operation deadline,
-// after which the typed faults.ErrTimeout surfaces.
-func (e *Engine) ExecuteTxn(sess *Session, t *query.Txn) (exec.Rel, error) {
+// retried with seeded full-jitter backoff until the deadline (the
+// context's, if set, else the configured operation deadline), after which
+// the typed faults.ErrTimeout surfaces. Cancelling ctx aborts between
+// attempts.
+func (e *Engine) ExecuteTxn(ctx context.Context, sess *Session, t *query.Txn) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
-	deadline := time.Now().Add(e.opDeadline())
+	deadline := e.queryDeadline(ctx)
 	delay := e.retryBase()
 	for {
-		rel, err = e.executeTxnOnce(sess, t)
+		rel, err = e.executeTxnOnce(ctx, sess, t)
 		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
@@ -160,14 +163,19 @@ func (e *Engine) ExecuteTxn(sess *Session, t *query.Txn) (exec.Rel, error) {
 			return rel, e.deadlineErr(err)
 		}
 		e.cntRetries.Inc()
-		time.Sleep(e.Faults.Jitter(delay))
+		if serr := e.sleepRetry(ctx, e.Faults.Jitter(delay)); serr != nil {
+			return rel, serr
+		}
 		if delay *= 2; delay > maxRetryDelay {
 			delay = maxRetryDelay
 		}
 	}
 }
 
-func (e *Engine) executeTxnOnce(sess *Session, t *query.Txn) (exec.Rel, error) {
+func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn) (exec.Rel, error) {
+	if err := ctx.Err(); err != nil {
+		return exec.Rel{}, err
+	}
 	planStart := time.Now()
 	tp, err := e.Planner.PlanTxn(t)
 	if err != nil {

@@ -180,6 +180,67 @@ func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(
 	mergeScan(m.base.rowIDs, getCol, sortBy, lo, hi, overridden, live, cols, pred, fn)
 }
 
+// MorselBounds implements storage.RangeScanner. When the layout keeps
+// row_id order the base offset array is ascending, so cut points are read
+// straight off it; a value-sorted layout scatters ids across positions and
+// returns nil (the whole store is one morsel — cross-partition parallelism
+// still applies).
+func (m *Mem) MorselBounds(targetRows int) []schema.RowID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if targetRows <= 0 || m.layout.SortBy != storage.NoSort {
+		return nil
+	}
+	ids := m.base.rowIDs
+	if len(ids) == 0 {
+		return nil
+	}
+	bounds := make([]schema.RowID, 0, len(ids)/targetRows+2)
+	for i := 0; i < len(ids); i += targetRows {
+		bounds = append(bounds, ids[i])
+	}
+	bounds = append(bounds, ids[len(ids)-1]+1)
+	return bounds
+}
+
+// ScanRange implements storage.RangeScanner: Scan restricted to
+// lo <= id < hi. Delta rows are pre-filtered to the id range; base
+// positions narrow by binary search when the offset array is id-ordered,
+// and fall back to an id filter on the sorted-layout path.
+func (m *Mem) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	sortBy := m.layout.SortBy
+	drows := m.delta.snapshot(snap)
+	inRange := drows[:0:0]
+	for _, dr := range drows {
+		if dr.id >= lo && dr.id < hi {
+			inRange = append(inRange, dr)
+		}
+	}
+	overridden, live := prepareDelta(inRange, sortBy, pred)
+
+	plo, phi := m.sortedRange(pred)
+	getCol := func(c schema.ColID) func(int) types.Value { return m.base.cols[c].iter() }
+	if sortBy == storage.NoSort {
+		n := len(m.base.rowIDs)
+		l := sort.Search(n, func(i int) bool { return m.base.rowIDs[i] >= lo })
+		h := sort.Search(n, func(i int) bool { return m.base.rowIDs[i] >= hi })
+		mergeScan(m.base.rowIDs, getCol, sortBy, max(plo, l), min(phi, h), overridden, live, cols, pred, fn)
+		return
+	}
+	// Value-sorted positions interleave ids arbitrarily; filter per row.
+	// (Delta rows excluded above have base twins outside [lo,hi) too, so
+	// the missing overridden entries cannot leak a superseded base row.)
+	mergeScan(m.base.rowIDs, getCol, sortBy, plo, phi, overridden, live, cols, pred, func(r schema.Row) bool {
+		if r.ID < lo || r.ID >= hi {
+			return true
+		}
+		return fn(r)
+	})
+}
+
 // Load implements storage.Store, bulk loading into fresh column arrays.
 func (m *Mem) Load(rows []schema.Row, ver uint64) error {
 	for _, r := range rows {

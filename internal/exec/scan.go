@@ -18,20 +18,11 @@ import (
 // vertically partitioned scans, the row-id intersection across pieces
 // does this).
 func localPred(p *partition.Partition, pred storage.Pred) (storage.Pred, bool) {
-	out := make(storage.Pred, 0, len(pred))
-	all := true
-	for _, c := range pred {
-		if !p.Bounds.ContainsCol(c.Col) {
-			all = false
-			continue
-		}
-		out = append(out, storage.Cond{Col: p.Bounds.LocalCol(c.Col), Op: c.Op, Val: c.Val})
-	}
-	return out, all
+	return LocalPred(p.Bounds, pred)
 }
 
-// scanVariant picks the cost-function variant for the partition's layout.
-func scanVariant(l storage.Layout, pred storage.Pred) cost.Variant {
+// ScanVariant picks the cost-function variant for the partition's layout.
+func ScanVariant(l storage.Layout, pred storage.Pred) cost.Variant {
 	if l.SortBy != storage.NoSort {
 		for _, c := range pred {
 			if c.Col == l.SortBy {
@@ -79,7 +70,7 @@ func Scan(p *partition.Partition, cols []schema.ColID, pred storage.Pred, snap u
 	}
 	obs := cost.Observation{
 		Op:       cost.OpScan,
-		Variant:  scanVariant(layout, lp),
+		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
 		Features: cost.ScanFeatures(st.Rows, inBytes, rel.RowBytes(), sel),
 		Latency:  time.Since(start),
@@ -107,7 +98,7 @@ func ScanWithRowIDs(p *partition.Partition, cols []schema.ColID, pred storage.Pr
 	st := p.Stats()
 	obs := cost.Observation{
 		Op:       cost.OpScan,
-		Variant:  scanVariant(layout, lp),
+		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
 		Features: cost.ScanFeatures(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows)),
 		Latency:  time.Since(start),
@@ -142,7 +133,7 @@ func ScanRows(p *partition.Partition, cols []schema.ColID, pred storage.Pred, lo
 	st := p.Stats()
 	obs := cost.Observation{
 		Op:       cost.OpScan,
-		Variant:  scanVariant(layout, lp),
+		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
 		Features: cost.ScanFeatures(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows)),
 		Latency:  time.Since(start),

@@ -80,6 +80,7 @@ var All = []Experiment{
 	{"fig15", "Fig 15: cross-warehouse transaction sweep", Fig15},
 	{"tab4", "Table 4: time share per operation class", Tab4},
 	{"tab5", "Table 5: planning and layout-change overheads", Tab5},
+	{"scan", "Scan throughput: morsel executor vs legacy path (BENCH_scan.json)", ScanBench},
 }
 
 // Find locates an experiment by ID.

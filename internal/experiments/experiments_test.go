@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ var tiny = Scale{
 }
 
 func TestFindAndRegistry(t *testing.T) {
-	if len(All) != 17 {
+	if len(All) != 18 {
 		t.Errorf("registry has %d experiments", len(All))
 	}
 	seen := map[string]bool{}
@@ -58,6 +59,8 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 	for _, e := range All {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			// Experiments that emit artifact files write into a scratch dir.
+			t.Setenv("PROTEUS_SCAN_BENCH_PATH", filepath.Join(t.TempDir(), "BENCH_scan.json"))
 			var buf bytes.Buffer
 			if err := e.Run(&buf, tiny); err != nil {
 				t.Fatalf("%s: %v\n%s", e.ID, err, buf.String())

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// ScanBench compares the morsel-driven parallel scan executor against the
+// legacy per-segment path on a mixed analytical scan workload — a full
+// aggregation, a zone-map-prunable aggregation, a selective row stream and
+// a LIMIT probe — over one multi-partition table, and writes a
+// machine-readable report to BENCH_scan.json (override the path with
+// PROTEUS_SCAN_BENCH_PATH). rows_per_sec counts logical coverage: each
+// query's input is the whole table, so an executor that prunes partitions
+// or terminates early covers the same logical rows in less time.
+func ScanBench(w io.Writer, s Scale) error {
+	header(w, "Scan executor: morsel vs legacy path")
+	rows := s.YCSBRows * 4
+	rounds := s.Rounds * 4 * s.Repeats
+	parts := 8
+
+	legacy, err := runScanVariant(s, rows, parts, rounds, true)
+	if err != nil {
+		return err
+	}
+	morsel, err := runScanVariant(s, rows, parts, rounds, false)
+	if err != nil {
+		return err
+	}
+
+	rep := scanReport{
+		Rows: rows, Partitions: parts, Sites: s.Sites,
+		Workload: "sum-full, sum-pruned(1/8), filter-stream(10%), limit-100",
+		Legacy:   legacy, Morsel: morsel,
+		Speedup: legacy.ElapsedMillis / morsel.ElapsedMillis,
+	}
+	if morsel.AllocsPerOp > 0 {
+		rep.AllocRatio = legacy.AllocsPerOp / morsel.AllocsPerOp
+	}
+
+	path := os.Getenv("PROTEUS_SCAN_BENCH_PATH")
+	if path == "" {
+		path = "BENCH_scan.json"
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "table: %d rows, %d partitions, %d sites; %d queries/variant\n",
+		rows, parts, s.Sites, legacy.Queries)
+	fmt.Fprintf(w, "legacy: %10.0f rows/s  p95 %6.2f ms  %8.0f allocs/op\n",
+		legacy.RowsPerSec, legacy.P95Millis, legacy.AllocsPerOp)
+	fmt.Fprintf(w, "morsel: %10.0f rows/s  p95 %6.2f ms  %8.0f allocs/op\n",
+		morsel.RowsPerSec, morsel.P95Millis, morsel.AllocsPerOp)
+	fmt.Fprintf(w, "speedup %.2fx, alloc ratio %.2fx -> %s\n", rep.Speedup, rep.AllocRatio, path)
+	return nil
+}
+
+type scanResult struct {
+	RowsPerSec    float64 `json:"rows_per_sec"`
+	P95Millis     float64 `json:"p95_ms"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	Queries       int     `json:"queries"`
+}
+
+type scanReport struct {
+	Rows       int64      `json:"rows"`
+	Partitions int        `json:"partitions"`
+	Sites      int        `json:"sites"`
+	Workload   string     `json:"workload"`
+	Legacy     scanResult `json:"legacy"`
+	Morsel     scanResult `json:"morsel"`
+	Speedup    float64    `json:"speedup"`
+	AllocRatio float64    `json:"alloc_ratio"`
+}
+
+// runScanVariant loads one engine and times the query mix. Background
+// intervals are slowed so the allocation delta reflects the query path.
+func runScanVariant(s Scale, rows int64, parts, rounds int, disableMorsel bool) (scanResult, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Mode = cluster.ModeColumnStore
+	cfg.NumSites = s.Sites
+	cfg.Net = simnet.Config{}
+	cfg.ReplicationInterval = 50 * time.Millisecond
+	cfg.MaintainInterval = 100 * time.Millisecond
+	cfg.DisableMorselExec = disableMorsel
+	e := cluster.New(cfg)
+	defer e.Close()
+
+	tbl, err := e.CreateTable(cluster.TableSpec{
+		Name: "scanbench",
+		Cols: []schema.Column{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "grp", Kind: types.KindInt64},
+			{Name: "val", Kind: types.KindFloat64},
+		},
+		MaxRows: schema.RowID(rows), Partitions: parts,
+	})
+	if err != nil {
+		return scanResult{}, err
+	}
+	data := make([]schema.Row, 0, rows)
+	for i := int64(0); i < rows; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)),
+		}})
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
+		return scanResult{}, err
+	}
+
+	mix := scanMix(tbl, rows)
+	sess := e.NewSession()
+	ctx := context.Background()
+	for _, q := range mix { // warm plans and cost models
+		if _, err := e.ExecuteQuery(ctx, sess, q); err != nil {
+			return scanResult{}, err
+		}
+	}
+
+	var lat []time.Duration
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range mix {
+			qs := time.Now()
+			if _, err := e.ExecuteQuery(ctx, sess, q); err != nil {
+				return scanResult{}, err
+			}
+			lat = append(lat, time.Since(qs))
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p95 := lat[len(lat)*95/100]
+	queries := rounds * len(mix)
+	return scanResult{
+		RowsPerSec:    float64(rows) * float64(queries) / elapsed.Seconds(),
+		P95Millis:     float64(p95) / float64(time.Millisecond),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(queries),
+		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
+		Queries:       queries,
+	}, nil
+}
+
+// scanMix builds the four-query workload over the bench table.
+func scanMix(tbl *schema.Table, rows int64) []*query.Query {
+	sum := func(pred storage.Pred) *query.Query {
+		return &query.Query{Root: &query.AggNode{
+			Child: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{2}, Pred: pred},
+			Aggs:  []exec.AggSpec{{Func: exec.AggSum, Col: 0}},
+		}}
+	}
+	return []*query.Query{
+		sum(nil),
+		sum(storage.Pred{{Col: 0, Op: storage.CmpGe, Val: types.NewInt64(rows * 7 / 8)}}),
+		{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 2},
+			Pred: storage.Pred{{Col: 1, Op: storage.CmpEq, Val: types.NewInt64(0)}}}},
+		{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0}}, Limit: 100},
+	}
+}

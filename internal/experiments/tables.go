@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -66,7 +67,7 @@ func Fig10(w io.Writer, s Scale) error {
 				case <-stop:
 					return
 				default:
-					_, _ = e.ExecuteTxn(sess, c.OLTP())
+					_, _ = e.ExecuteTxn(context.Background(), sess, c.OLTP())
 				}
 			}
 		}()
@@ -78,7 +79,7 @@ func Fig10(w io.Writer, s Scale) error {
 			var total time.Duration
 			for i := 0; i < reps; i++ {
 				t0 := time.Now()
-				if _, err := e.ExecuteQuery(sess, wl.Query(qn, r)); err != nil {
+				if _, err := e.ExecuteQuery(context.Background(), sess, wl.Query(qn, r)); err != nil {
 					close(stop)
 					wg.Wait()
 					e.Close()
@@ -129,7 +130,7 @@ func freshnessRun(mix harness.Mix, s Scale) (time.Duration, int, error) {
 	sess := e.NewSession()
 	stamp := func(k int64) error {
 		v := types.NewString(fmt.Sprintf("%020d", time.Now().UnixNano()))
-		_, err := e.ExecuteTxn(sess, &query.Txn{Ops: []query.Op{{
+		_, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{{
 			Kind: query.OpUpdate, Table: tbl.ID, Row: schema.RowID(k),
 			Cols: []schema.ColID{1}, Vals: []types.Value{v},
 		}}})
@@ -160,7 +161,7 @@ func freshnessRun(mix harness.Mix, s Scale) (time.Duration, int, error) {
 				}
 				k := int64(r.Intn(hotKeys))
 				v := types.NewString(fmt.Sprintf("%020d", time.Now().UnixNano()))
-				if _, err := e.ExecuteTxn(ws, &query.Txn{Ops: []query.Op{{
+				if _, err := e.ExecuteTxn(context.Background(), ws, &query.Txn{Ops: []query.Op{{
 					Kind: query.OpUpdate, Table: tbl.ID, Row: schema.RowID(k),
 					Cols: []schema.ColID{1}, Vals: []types.Value{v},
 				}}}); err == nil {
@@ -181,7 +182,7 @@ func freshnessRun(mix harness.Mix, s Scale) (time.Duration, int, error) {
 		mu.Lock()
 		commitBefore := lastCommit
 		mu.Unlock()
-		res, err := e.ExecuteQuery(qsess, wl.FreshnessQuery(hotKeys))
+		res, err := e.ExecuteQuery(context.Background(), qsess, wl.FreshnessQuery(hotKeys))
 		if err != nil || res.NumRows() == 0 {
 			continue
 		}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -159,7 +160,7 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 				}
 				// One round: 1 OLAP + OLTPPerOLAP transactions.
 				t0 := time.Now()
-				res, err := e.ExecuteQuery(sess, client.OLAP())
+				res, err := e.ExecuteQuery(context.Background(), sess, client.OLAP())
 				if err != nil {
 					atomic.AddInt64(&errs, 1)
 				} else {
@@ -173,7 +174,7 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 						break
 					}
 					t1 := time.Now()
-					if _, err := e.ExecuteTxn(sess, client.OLTP()); err != nil {
+					if _, err := e.ExecuteTxn(context.Background(), sess, client.OLTP()); err != nil {
 						atomic.AddInt64(&errs, 1)
 					} else {
 						local = append(local, sample{at: t1.Sub(start), lat: time.Since(t1), olap: false})

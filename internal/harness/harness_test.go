@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -57,7 +58,7 @@ func fixture(t *testing.T) (*cluster.Engine, ClientFactory) {
 			types.NewInt64(i), types.NewFloat64(0),
 		}})
 	}
-	if err := e.LoadRows(tbl.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, rows); err != nil {
 		t.Fatal(err)
 	}
 	return e, func(i int, r *rand.Rand) Client { return &fixtureClient{tbl: tbl, r: r} }

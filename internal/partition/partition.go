@@ -149,6 +149,7 @@ func (p *Partition) Insert(row schema.Row, ver uint64) error {
 		return err
 	}
 	p.zm.Observe(row.Vals)
+	p.zm.ObserveID(row.ID)
 	return nil
 }
 
@@ -190,6 +191,101 @@ func (p *Partition) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn
 		return
 	}
 	p.store.Scan(cols, pred, snap, fn)
+}
+
+// Morsel is one fixed-size scan unit: the rows of this partition with
+// Lo <= id < Hi. Morsels are the scheduling quantum of the parallel scan
+// executor; workers pull them independently.
+type Morsel struct {
+	Lo, Hi schema.RowID
+}
+
+// Morsels splits the partition's populated row range into units of roughly
+// targetRows each. Stores that cannot address id ranges cheaply (value-
+// sorted layouts, disk stores) yield a single morsel covering the populated
+// span — parallelism then comes from scanning partitions concurrently. An
+// empty partition yields nil.
+func (p *Partition) Morsels(targetRows int) []Morsel {
+	p.mu.RLock()
+	st := p.store
+	p.mu.RUnlock()
+
+	lo, hi := p.Bounds.RowStart, p.Bounds.RowEnd
+	slo, shi, populated := p.zm.IDSpan()
+	if populated {
+		// Clip to the span that actually holds rows: partition bounds
+		// default to the table's MaxRows and are often far wider.
+		if slo > lo {
+			lo = slo
+		}
+		if shi+1 < hi {
+			hi = shi + 1
+		}
+	} else if p.zm.Rows() == 0 && st.Stats().Rows == 0 {
+		return nil
+	}
+	if lo >= hi {
+		return nil
+	}
+
+	rs, ok := st.(storage.RangeScanner)
+	if !ok {
+		return []Morsel{{Lo: lo, Hi: hi}}
+	}
+	bounds := rs.MorselBounds(targetRows)
+	if len(bounds) < 2 {
+		return []Morsel{{Lo: lo, Hi: hi}}
+	}
+	// Stretch the outer cuts to the populated span so rows outside the
+	// store's current id range (e.g. unmerged column-delta inserts) stay
+	// covered by exactly one morsel.
+	if bounds[0] > lo {
+		bounds[0] = lo
+	}
+	if bounds[len(bounds)-1] < hi {
+		bounds[len(bounds)-1] = hi
+	}
+	out := make([]Morsel, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] < bounds[i+1] {
+			out = append(out, Morsel{Lo: bounds[i], Hi: bounds[i+1]})
+		}
+	}
+	return out
+}
+
+// StoreSnapshot returns the current store object. A captured store stays
+// valid for snapshot reads even if a concurrent layout change swaps
+// p.store: every version at or below the read snapshot is already in it,
+// and later mutations carry newer versions that the snapshot ignores.
+func (p *Partition) StoreSnapshot() storage.Store {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store
+}
+
+// ScanRange streams matching rows with lo <= id < hi, using the store's
+// native range path when available.
+func (p *Partition) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
+	p.mu.RLock()
+	st := p.store
+	p.mu.RUnlock()
+	ScanStoreRange(st, cols, pred, lo, hi, snap, fn)
+}
+
+// ScanStoreRange scans an id range on any store: natively through
+// storage.RangeScanner, or by filtering a full scan otherwise.
+func ScanStoreRange(st storage.Store, cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
+	if rs, ok := st.(storage.RangeScanner); ok {
+		rs.ScanRange(cols, pred, lo, hi, snap, fn)
+		return
+	}
+	st.Scan(cols, pred, snap, func(r schema.Row) bool {
+		if r.ID < lo || r.ID >= hi {
+			return true
+		}
+		return fn(r)
+	})
 }
 
 // Load bulk-loads rows and rebuilds the zone map.

@@ -412,7 +412,7 @@ func (pl *Planner) planAgg(a *query.AggNode) (PNode, error) {
 		pa.TwoPhase = c.Strategy == JoinColocated
 	}
 	if pa.TwoPhase {
-		pa.PartialAggs, pa.FinalAggs, pa.AvgPairs = decomposeAggs(a.GroupBy, a.Aggs)
+		pa.PartialAggs, pa.FinalAggs, pa.AvgPairs = DecomposeAggs(a.GroupBy, a.Aggs)
 	}
 	return pa, nil
 }
@@ -427,10 +427,11 @@ func multiSite(s *PScan) bool {
 	return len(sites) > 1
 }
 
-// decomposeAggs rewrites aggregates for two-phase execution. The partial
+// DecomposeAggs rewrites aggregates for two-phase execution. The partial
 // layout is [groupBy..., partial aggs...]; the final phase re-aggregates
-// over that layout.
-func decomposeAggs(groupBy []int, aggs []exec.AggSpec) (partial, final []exec.AggSpec, avgPairs map[int][2]int) {
+// over that layout. The morsel executor also uses it for single-site scans
+// so worker-local partial aggregation composes the same way everywhere.
+func DecomposeAggs(groupBy []int, aggs []exec.AggSpec) (partial, final []exec.AggSpec, avgPairs map[int][2]int) {
 	avgPairs = map[int][2]int{}
 	for i, a := range aggs {
 		switch a.Func {

@@ -128,10 +128,17 @@ func (a *AggNode) String() string {
 	return fmt.Sprintf("Agg(%s by=%v aggs=%s)", a.Child, a.GroupBy, strings.Join(specs, ","))
 }
 
-// Query is an OLAP request: a query tree.
+// Query is an OLAP request: a query tree plus result modifiers.
 type Query struct {
 	Root Node
+	// Limit caps the number of result rows (0 = unlimited). The executor
+	// terminates early — closing the morsel feed — once Limit rows exist.
+	Limit int
 }
+
+// Build returns the query itself, letting *Query satisfy builder-style
+// interfaces in client packages.
+func (q *Query) Build() *Query { return q }
 
 // Request is either an OLTP transaction or an OLAP query.
 type Request struct {

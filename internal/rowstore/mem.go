@@ -192,6 +192,51 @@ func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(
 	}
 }
 
+// MorselBounds implements storage.RangeScanner: cut points every targetRows
+// entries of the sorted id slice.
+func (m *Mem) MorselBounds(targetRows int) []schema.RowID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if targetRows <= 0 || len(m.ids) == 0 {
+		return nil
+	}
+	bounds := make([]schema.RowID, 0, len(m.ids)/targetRows+2)
+	for i := 0; i < len(m.ids); i += targetRows {
+		bounds = append(bounds, m.ids[i])
+	}
+	bounds = append(bounds, m.ids[len(m.ids)-1]+1)
+	return bounds
+}
+
+// ScanRange implements storage.RangeScanner: Scan restricted to
+// lo <= id < hi via binary search on the sorted id slice.
+func (m *Mem) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	start := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= lo })
+	all := allCols(len(m.kinds))
+	for _, id := range m.ids[start:] {
+		if id >= hi {
+			return
+		}
+		v := visible(m.rows[id], snap)
+		if v == nil || v.deleted {
+			continue
+		}
+		full := m.decodeCols(v.data, all)
+		if !pred.Match(full) {
+			continue
+		}
+		out := make([]types.Value, len(cols))
+		for i, c := range cols {
+			out[i] = full[c]
+		}
+		if !fn(schema.Row{ID: id, Vals: out}) {
+			return
+		}
+	}
+}
+
 // Load implements storage.Store, bulk loading by allocating a fixed-size
 // buffer for every row (§4.4).
 func (m *Mem) Load(rows []schema.Row, ver uint64) error {

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -101,12 +102,12 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) error {
 	}
 	var rel exec.Rel
 	if req.IsOLTP() {
-		rel, err = s.Eng.ExecuteTxn(sess, req.Txn)
+		rel, err = s.Eng.ExecuteTxn(context.Background(), sess, req.Txn)
 		if err == nil && len(rel.Tuples) == 0 {
 			reply.Message = "ok"
 		}
 	} else {
-		rel, err = s.Eng.ExecuteQuery(sess, req.Query)
+		rel, err = s.Eng.ExecuteQuery(context.Background(), sess, req.Query)
 	}
 	if err != nil {
 		return err

@@ -7,13 +7,14 @@ package site
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"proteus/internal/cost"
-	"proteus/internal/faults"
 	"proteus/internal/disksim"
+	"proteus/internal/faults"
 	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/redolog"
@@ -92,6 +93,9 @@ type Config struct {
 	// OLTPWorkers and OLAPWorkers size the two isolated pools.
 	OLTPWorkers int
 	OLAPWorkers int
+	// ScanWorkers sizes the morsel-scan pool shared by every concurrent
+	// analytical query at this site (0 = runtime.GOMAXPROCS).
+	ScanWorkers int
 	// MemCapacity caps the memory tier in bytes (0 = unlimited); nearing
 	// it triggers the ASA's storage-pressure planning (§5.3.2).
 	MemCapacity int64
@@ -120,6 +124,7 @@ type Site struct {
 	cfg  Config
 	oltp *pool
 	olap *pool
+	scan *pool
 	down atomic.Bool
 
 	mu      sync.RWMutex
@@ -142,6 +147,9 @@ func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Netwo
 	if cfg.OLAPWorkers <= 0 {
 		cfg.OLAPWorkers = 2
 	}
+	if cfg.ScanWorkers <= 0 {
+		cfg.ScanWorkers = runtime.GOMAXPROCS(0)
+	}
 	dev := disksim.New(cfg.Disk)
 	s := &Site{
 		ID:      id,
@@ -151,6 +159,7 @@ func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Netwo
 		cfg:     cfg,
 		oltp:    newPool(cfg.OLTPWorkers),
 		olap:    newPool(cfg.OLAPWorkers),
+		scan:    newPool(cfg.ScanWorkers),
 		parts:   make(map[partition.ID]*partition.Partition),
 		masters: make(map[partition.ID]bool),
 	}
@@ -178,6 +187,7 @@ func (s *Site) SetObs(reg *obs.Registry) {
 func (s *Site) Close() {
 	s.oltp.stop()
 	s.olap.stop()
+	s.scan.stop()
 }
 
 // AddPartition installs a partition copy at this site.
@@ -262,6 +272,23 @@ func (s *Site) RunOLAP(f func()) error {
 	}
 	return nil
 }
+
+// RunScan executes f on the morsel-scan pool (blocking). The pool is sized
+// to the machine's parallelism and shared by every concurrent query at this
+// site, so total scan compute stays bounded no matter how many queries are
+// in flight. A crashed or stopped site rejects work with faults.ErrSiteDown.
+func (s *Site) RunScan(f func()) error {
+	if s.down.Load() {
+		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, s.ID)
+	}
+	if !s.scan.Do(f) {
+		return fmt.Errorf("%w: site %d (pool stopped)", faults.ErrSiteDown, s.ID)
+	}
+	return nil
+}
+
+// ScanWorkers reports the size of the morsel-scan pool.
+func (s *Site) ScanWorkers() int { return s.cfg.ScanWorkers }
 
 // HostedCopy remembers one copy a crashed site was hosting, so recovery
 // can rebuild it from the redo log.

@@ -219,3 +219,18 @@ type Store interface {
 	// Stats reports the store's physical footprint.
 	Stats() Stats
 }
+
+// RangeScanner is an optional Store capability used by the morsel-driven
+// scan executor. A store that can address contiguous row-id ranges cheaply
+// implements it so a partition can be split into fixed-size morsels that
+// independent workers scan in parallel.
+type RangeScanner interface {
+	// MorselBounds returns ascending row-id cut points splitting the live
+	// rows into runs of roughly targetRows each. A nil result means the
+	// store cannot split itself (e.g. the layout maintains a value sort and
+	// row ids are scattered); callers then treat the whole store as one
+	// morsel.
+	MorselBounds(targetRows int) []schema.RowID
+	// ScanRange behaves like Scan restricted to rows with lo <= id < hi.
+	ScanRange(cols []schema.ColID, pred Pred, lo, hi schema.RowID, version uint64, fn func(schema.Row) bool)
+}

@@ -1,6 +1,7 @@
 package chbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,7 +27,7 @@ func (w *Workload) load() error {
 			types.NewFloat64(300000),
 		}})
 	}
-	if err := w.e.LoadRows(w.t.Warehouse.ID, rows); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.Warehouse.ID, rows); err != nil {
 		return err
 	}
 
@@ -41,7 +42,7 @@ func (w *Workload) load() error {
 			}})
 		}
 	}
-	if err := w.e.LoadRows(w.t.District.ID, rows); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.District.ID, rows); err != nil {
 		return err
 	}
 
@@ -59,7 +60,7 @@ func (w *Workload) load() error {
 			}
 		}
 	}
-	if err := w.e.LoadRows(w.t.Customer.ID, rows); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.Customer.ID, rows); err != nil {
 		return err
 	}
 
@@ -76,7 +77,7 @@ func (w *Workload) load() error {
 			types.NewString(data),
 		}})
 	}
-	if err := w.e.LoadRows(w.t.Item.ID, rows); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.Item.ID, rows); err != nil {
 		return err
 	}
 
@@ -90,7 +91,7 @@ func (w *Workload) load() error {
 			}})
 		}
 	}
-	if err := w.e.LoadRows(w.t.Stock.ID, rows); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.Stock.ID, rows); err != nil {
 		return err
 	}
 
@@ -132,10 +133,10 @@ func (w *Workload) load() error {
 			}
 		}
 	}
-	if err := w.e.LoadRows(w.t.Orders.ID, orders); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.Orders.ID, orders); err != nil {
 		return err
 	}
-	if err := w.e.LoadRows(w.t.OrderLine.ID, lines); err != nil {
+	if err := w.e.LoadRows(context.Background(), w.t.OrderLine.ID, lines); err != nil {
 		return err
 	}
 	w.historySeq.Store(int64(cfg.Warehouses * cfg.DistrictsPerW * cfg.CustomersPerDistrict))

@@ -8,6 +8,7 @@
 package twitter
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -119,7 +120,7 @@ func Setup(e *cluster.Engine, cfg Config) (*Workload, error) {
 			types.NewInt64(0), types.NewInt64(0),
 		}})
 	}
-	if err := e.LoadRows(w.users.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), w.users.ID, rows); err != nil {
 		return nil, err
 	}
 
@@ -133,7 +134,7 @@ func Setup(e *cluster.Engine, cfg Config) (*Workload, error) {
 			types.NewTime(ts),
 		}})
 	}
-	if err := e.LoadRows(w.tweets.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), w.tweets.ID, rows); err != nil {
 		return nil, err
 	}
 	w.nextTweet.Store(int64(cfg.InitialTweets))
@@ -154,7 +155,7 @@ func Setup(e *cluster.Engine, cfg Config) (*Workload, error) {
 			}})
 		}
 	}
-	if err := e.LoadRows(w.follows.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), w.follows.ID, rows); err != nil {
 		return nil, err
 	}
 	return w, nil

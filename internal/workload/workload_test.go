@@ -4,6 +4,7 @@
 package workload_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -134,7 +135,7 @@ func TestCHQueriesAllShapesExecute(t *testing.T) {
 	sess := e.NewSession()
 	r := rand.New(rand.NewSource(5))
 	for qn := 0; qn < chbench.NumQueries; qn++ {
-		res, err := e.ExecuteQuery(sess, w.Query(qn, r))
+		res, err := e.ExecuteQuery(context.Background(), sess, w.Query(qn, r))
 		if err != nil {
 			t.Fatalf("q%d: %v", qn, err)
 		}
@@ -155,7 +156,7 @@ func TestCHQ6AndQ14Semantics(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	// q6 (index 1): one SUM row with a positive revenue (delivered lines
 	// exist in the window).
-	res, err := e.ExecuteQuery(sess, w.Query(1, r))
+	res, err := e.ExecuteQuery(context.Background(), sess, w.Query(1, r))
 	if err != nil || res.NumRows() != 1 {
 		t.Fatalf("q6: %v %v", res, err)
 	}
@@ -164,7 +165,7 @@ func TestCHQ6AndQ14Semantics(t *testing.T) {
 	}
 	// q14 (index 2): promotional items are 1 in 10; the join must produce
 	// a positive count well below the total orderline count.
-	res, err = e.ExecuteQuery(sess, w.Query(2, r))
+	res, err = e.ExecuteQuery(context.Background(), sess, w.Query(2, r))
 	if err != nil || res.NumRows() != 1 {
 		t.Fatalf("q14: %v %v", res, err)
 	}
@@ -221,7 +222,7 @@ func TestTwitterQueriesExecute(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	z := rand.NewZipf(r, 1.4, 1, uint64(twitter.DefaultConfig().Users-1))
 	for qn := 0; qn < twitter.NumQueries; qn++ {
-		if _, err := e.ExecuteQuery(sess, w.Query(qn, r, z)); err != nil {
+		if _, err := e.ExecuteQuery(context.Background(), sess, w.Query(qn, r, z)); err != nil {
 			t.Fatalf("q%d: %v", qn, err)
 		}
 	}

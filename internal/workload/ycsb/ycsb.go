@@ -6,6 +6,7 @@
 package ycsb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -98,7 +99,7 @@ func Setup(e *cluster.Engine, cfg Config) (*Workload, error) {
 		}
 		rows = append(rows, schema.Row{ID: schema.RowID(i), Vals: vals})
 	}
-	if err := e.LoadRows(tbl.ID, rows); err != nil {
+	if err := e.LoadRows(context.Background(), tbl.ID, rows); err != nil {
 		return nil, err
 	}
 	return w, nil

@@ -20,6 +20,11 @@ type ZoneMap struct {
 	mins []types.Value
 	maxs []types.Value
 	n    int // observed rows
+
+	// Populated row-id span, used to clip scan morsels to the id range
+	// that actually holds rows (partition bounds are often far wider).
+	idLo, idHi schema.RowID
+	hasID      bool
 }
 
 // New creates a zone map over ncols columns.
@@ -46,14 +51,45 @@ func (z *ZoneMap) Observe(vals []types.Value) {
 	}
 }
 
+// ObserveID widens the populated row-id span. Like value ranges, the span
+// only widens; deletions keep it conservative until Rebuild.
+func (z *ZoneMap) ObserveID(id schema.RowID) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.observeIDLocked(id)
+}
+
+func (z *ZoneMap) observeIDLocked(id schema.RowID) {
+	if !z.hasID {
+		z.idLo, z.idHi, z.hasID = id, id, true
+		return
+	}
+	if id < z.idLo {
+		z.idLo = id
+	}
+	if id > z.idHi {
+		z.idHi = id
+	}
+}
+
+// IDSpan returns the inclusive [lo, hi] row-id span of observed rows; ok is
+// false when no row was ever observed.
+func (z *ZoneMap) IDSpan() (lo, hi schema.RowID, ok bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.idLo, z.idHi, z.hasID
+}
+
 // Rebuild replaces the ranges from a full set of rows.
 func (z *ZoneMap) Rebuild(rows []schema.Row) {
 	nz := New(len(z.mins))
 	for _, r := range rows {
 		nz.Observe(r.Vals)
+		nz.observeIDLocked(r.ID)
 	}
 	z.mu.Lock()
 	z.mins, z.maxs, z.n = nz.mins, nz.maxs, nz.n
+	z.idLo, z.idHi, z.hasID = nz.idLo, nz.idHi, nz.hasID
 	z.mu.Unlock()
 }
 

@@ -5,10 +5,12 @@
 // disk tier, sort orders, compression, replication and mastership — from
 // learned workload and cost models.
 //
-// A DB embeds a full simulated cluster: data sites with isolated OLTP and
-// OLAP worker pools, a redo-log broker, an interconnect model, and the
-// adaptive storage advisor. Clients open sessions (strong session snapshot
-// isolation) and submit keyed transactions or analytical query trees:
+// A DB embeds a full simulated cluster: data sites with isolated OLTP,
+// OLAP and parallel-scan worker pools, a redo-log broker, an interconnect
+// model, and the adaptive storage advisor. Clients open sessions (strong
+// session snapshot isolation) and submit keyed transactions or chainable
+// analytical queries; every call takes a context controlling cancellation
+// and deadlines:
 //
 //	db, _ := proteus.Open(proteus.Options{Sites: 3})
 //	defer db.Close()
@@ -18,15 +20,26 @@
 //	    {Name: "amount", Kind: proteus.Float64},
 //	}, proteus.TableOptions{MaxRows: 1 << 20})
 //
+//	ctx := context.Background()
 //	s := db.Session()
-//	_ = s.Insert(tbl, 1, proteus.Int64Value(1), proteus.Float64Value(9.99))
-//	sum, _ := s.QueryScalar(proteus.Sum(proteus.Scan(tbl, "amount"), "amount"))
+//	_ = s.Insert(ctx, tbl, 1, proteus.Int64Value(1), proteus.Float64Value(9.99))
+//	sum, _ := s.QueryScalar(ctx, tbl.Scan("amount").Sum("amount"))
+//
+// Large scans can stream instead of materializing:
+//
+//	rows, _ := s.QueryRows(ctx, tbl.Scan("id", "amount").
+//	    Where("amount", proteus.Gt, proteus.Float64Value(5)))
+//	defer rows.Close()
+//	for rows.Next() {
+//	    fmt.Println(rows.Row())
+//	}
 //
 // See the examples/ directory for complete programs and internal/
 // experiments for the paper's evaluation suite.
 package proteus
 
 import (
+	"context"
 	"fmt"
 
 	"proteus/internal/cluster"
@@ -65,8 +78,11 @@ var (
 // Column aliases the schema column definition.
 type Column = schema.Column
 
-// Table aliases the table handle.
-type Table = schema.Table
+// Table is a table handle: the schema definition plus the chainable query
+// builder entry point (see Table.Scan in builder.go).
+type Table struct {
+	*schema.Table
+}
 
 // RowID aliases the primary-key type.
 type RowID = schema.RowID
@@ -138,19 +154,23 @@ func (db *DB) CreateTable(name string, cols []Column, opts TableOptions) (*Table
 	if parts <= 0 {
 		parts = len(db.eng.Sites)
 	}
-	return db.eng.CreateTable(cluster.TableSpec{
+	t, err := db.eng.CreateTable(cluster.TableSpec{
 		Name: name, Cols: cols, MaxRows: opts.MaxRows,
 		Partitions: parts, ReplicateAll: opts.ReplicateAll,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Table: t}, nil
 }
 
 // Load bulk-loads rows (id, values...) into a table.
-func (db *DB) Load(tbl *Table, rows []Row) error {
+func (db *DB) Load(ctx context.Context, tbl *Table, rows []Row) error {
 	out := make([]schema.Row, len(rows))
 	for i, r := range rows {
 		out[i] = schema.Row{ID: r.ID, Vals: r.Values}
 	}
-	return db.eng.LoadRows(tbl.ID, out)
+	return db.eng.LoadRows(ctx, tbl.Table.ID, out)
 }
 
 // Row is one tuple for bulk loading.
@@ -176,43 +196,44 @@ func (db *DB) Session() *Session {
 }
 
 // Exec runs a multi-operation transaction built with the Op helpers.
-func (s *Session) Exec(ops ...query.Op) (Result, error) {
-	rel, err := s.db.eng.ExecuteTxn(s.s, &query.Txn{Ops: ops})
+// ctx bounds the attempt (including retries) and cancels it early.
+func (s *Session) Exec(ctx context.Context, ops ...query.Op) (Result, error) {
+	rel, err := s.db.eng.ExecuteTxn(ctx, s.s, &query.Txn{Ops: ops})
 	return Result{rel: rel}, err
 }
 
 // Insert adds one row with values for every column.
-func (s *Session) Insert(tbl *Table, id RowID, vals ...Value) error {
+func (s *Session) Insert(ctx context.Context, tbl *Table, id RowID, vals ...Value) error {
 	if len(vals) != tbl.NumColumns() {
 		return fmt.Errorf("proteus: %d values for %d columns", len(vals), tbl.NumColumns())
 	}
-	_, err := s.Exec(InsertOp(tbl, id, vals...))
+	_, err := s.Exec(ctx, InsertOp(tbl, id, vals...))
 	return err
 }
 
 // Update overwrites named columns of one row.
-func (s *Session) Update(tbl *Table, id RowID, set map[string]Value) error {
+func (s *Session) Update(ctx context.Context, tbl *Table, id RowID, set map[string]Value) error {
 	op, err := UpdateOp(tbl, id, set)
 	if err != nil {
 		return err
 	}
-	_, err = s.Exec(op)
+	_, err = s.Exec(ctx, op)
 	return err
 }
 
 // Delete removes one row.
-func (s *Session) Delete(tbl *Table, id RowID) error {
-	_, err := s.Exec(DeleteOp(tbl, id))
+func (s *Session) Delete(ctx context.Context, tbl *Table, id RowID) error {
+	_, err := s.Exec(ctx, DeleteOp(tbl, id))
 	return err
 }
 
 // Get reads named columns of one row; found reports existence.
-func (s *Session) Get(tbl *Table, id RowID, cols ...string) ([]Value, bool, error) {
+func (s *Session) Get(ctx context.Context, tbl *Table, id RowID, cols ...string) ([]Value, bool, error) {
 	ids, err := colIDs(tbl, cols)
 	if err != nil {
 		return nil, false, err
 	}
-	res, err := s.Exec(query.Op{Kind: query.OpRead, Table: tbl.ID, Row: id, Cols: ids})
+	res, err := s.Exec(ctx, query.Op{Kind: query.OpRead, Table: tbl.Table.ID, Row: id, Cols: ids})
 	if err != nil {
 		return nil, false, err
 	}
@@ -222,15 +243,27 @@ func (s *Session) Get(tbl *Table, id RowID, cols ...string) ([]Value, bool, erro
 	return res.rel.Tuples[0], true, nil
 }
 
-// Query executes an analytical query tree.
-func (s *Session) Query(q *query.Query) (Result, error) {
-	rel, err := s.db.eng.ExecuteQuery(s.s, q)
+// Query executes an analytical query — a builder chain from Table.Scan or
+// a prebuilt *query.Query — and materializes the result. Cancelling ctx
+// aborts the distributed scan, closing its morsel feeds.
+func (s *Session) Query(ctx context.Context, q Queryable) (Result, error) {
+	rel, err := s.db.eng.ExecuteQuery(ctx, s.s, q.Build())
 	return Result{rel: rel}, err
 }
 
+// QueryRows executes an analytical query and streams the result rows.
+// The caller must Close the cursor (or drain it) to release the scan.
+func (s *Session) QueryRows(ctx context.Context, q Queryable) (*Rows, error) {
+	cur, err := s.db.eng.ExecuteQueryStream(ctx, s.s, q.Build())
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur}, nil
+}
+
 // QueryScalar executes a query expected to yield a single value.
-func (s *Session) QueryScalar(q *query.Query) (Value, error) {
-	res, err := s.Query(q)
+func (s *Session) QueryScalar(ctx context.Context, q Queryable) (Value, error) {
+	res, err := s.Query(ctx, q)
 	if err != nil {
 		return types.Null(), err
 	}
@@ -254,7 +287,7 @@ func (r Result) Row(i int) []Value { return r.rel.Tuples[i] }
 // Columns returns the output column labels.
 func (r Result) Columns() []string { return r.rel.Cols }
 
-// --- Operation and query-tree builders -----------------------------------
+// --- Operation builders --------------------------------------------------
 
 func colIDs(tbl *Table, names []string) ([]schema.ColID, error) {
 	out := make([]schema.ColID, len(names))
@@ -270,12 +303,12 @@ func colIDs(tbl *Table, names []string) ([]schema.ColID, error) {
 
 // InsertOp builds an insert operation.
 func InsertOp(tbl *Table, id RowID, vals ...Value) query.Op {
-	return query.Op{Kind: query.OpInsert, Table: tbl.ID, Row: id, Vals: vals}
+	return query.Op{Kind: query.OpInsert, Table: tbl.Table.ID, Row: id, Vals: vals}
 }
 
 // UpdateOp builds an update of named columns.
 func UpdateOp(tbl *Table, id RowID, set map[string]Value) (query.Op, error) {
-	op := query.Op{Kind: query.OpUpdate, Table: tbl.ID, Row: id}
+	op := query.Op{Kind: query.OpUpdate, Table: tbl.Table.ID, Row: id}
 	for name, v := range set {
 		cid, ok := tbl.ColumnID(name)
 		if !ok {
@@ -289,7 +322,7 @@ func UpdateOp(tbl *Table, id RowID, set map[string]Value) (query.Op, error) {
 
 // DeleteOp builds a delete operation.
 func DeleteOp(tbl *Table, id RowID) query.Op {
-	return query.Op{Kind: query.OpDelete, Table: tbl.ID, Row: id}
+	return query.Op{Kind: query.OpDelete, Table: tbl.Table.ID, Row: id}
 }
 
 // ReadOp builds a keyed read of named columns (panics on unknown columns;
@@ -299,34 +332,10 @@ func ReadOp(tbl *Table, id RowID, cols ...string) query.Op {
 	if err != nil {
 		panic(err)
 	}
-	return query.Op{Kind: query.OpRead, Table: tbl.ID, Row: id, Cols: ids}
+	return query.Op{Kind: query.OpRead, Table: tbl.Table.ID, Row: id, Cols: ids}
 }
 
-// Scan builds a full-table scan of named columns.
-func Scan(tbl *Table, cols ...string) *query.Query {
-	ids, err := colIDs(tbl, cols)
-	if err != nil {
-		panic(err)
-	}
-	return &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: ids}}
-}
-
-// WhereCol adds a predicate conjunct (col op value) to the query's scan
-// leaf.
-func WhereCol(q *query.Query, tbl *Table, col string, op storage.CmpOp, v Value) *query.Query {
-	cid, ok := tbl.ColumnID(col)
-	if !ok {
-		panic(fmt.Sprintf("proteus: no column %q", col))
-	}
-	scan := findScan(q.Root)
-	if scan == nil || scan.Table != tbl.ID {
-		panic("proteus: WhereCol requires a scan of the same table")
-	}
-	scan.Pred = append(scan.Pred, storage.Cond{Col: cid, Op: op, Val: v})
-	return q
-}
-
-// Comparison operators for WhereCol.
+// Comparison operators for Where.
 const (
 	Eq = storage.CmpEq
 	Ne = storage.CmpNe
@@ -335,104 +344,6 @@ const (
 	Gt = storage.CmpGt
 	Ge = storage.CmpGe
 )
-
-func findScan(n query.Node) *query.ScanNode {
-	switch v := n.(type) {
-	case *query.ScanNode:
-		return v
-	case *query.JoinNode:
-		return findScan(v.Left)
-	case *query.AggNode:
-		return findScan(v.Child)
-	}
-	return nil
-}
-
-// aggOver wraps a query's root in an aggregate over one output position.
-func aggOver(q *query.Query, tbl *Table, col string, fn exec.AggFunc) *query.Query {
-	scan := findScan(q.Root)
-	if scan == nil {
-		panic("proteus: aggregate requires a scan query")
-	}
-	pos := -1
-	if col != "" {
-		cid, ok := tbl.ColumnID(col)
-		if !ok {
-			panic(fmt.Sprintf("proteus: no column %q", col))
-		}
-		for i, c := range scan.Cols {
-			if c == cid {
-				pos = i
-			}
-		}
-		if pos < 0 {
-			panic(fmt.Sprintf("proteus: column %q not in scan output", col))
-		}
-	}
-	return &query.Query{Root: &query.AggNode{
-		Child: q.Root,
-		Aggs:  []exec.AggSpec{{Func: fn, Col: pos}},
-	}}
-}
-
-// Sum aggregates SUM(col) over a scan query. The table is inferred from
-// the query's leaf scan; col must be among the scanned columns.
-func Sum(q *query.Query, tbl *Table, col string) *query.Query {
-	return aggOver(q, tbl, col, exec.AggSum)
-}
-
-// Count aggregates COUNT(*) over a scan query.
-func Count(q *query.Query, tbl *Table) *query.Query {
-	return aggOver(q, tbl, "", exec.AggCount)
-}
-
-// Min aggregates MIN(col) over a scan query.
-func Min(q *query.Query, tbl *Table, col string) *query.Query {
-	return aggOver(q, tbl, col, exec.AggMin)
-}
-
-// Max aggregates MAX(col) over a scan query.
-func Max(q *query.Query, tbl *Table, col string) *query.Query {
-	return aggOver(q, tbl, col, exec.AggMax)
-}
-
-// Avg aggregates AVG(col) over a scan query.
-func Avg(q *query.Query, tbl *Table, col string) *query.Query {
-	return aggOver(q, tbl, col, exec.AggAvg)
-}
-
-// Join builds an inner equi-join of two scan queries on named columns.
-func Join(left *query.Query, ltbl *Table, lcol string, right *query.Query, rtbl *Table, rcol string) *query.Query {
-	ls, rs := findScan(left.Root), findScan(right.Root)
-	if ls == nil || rs == nil {
-		panic("proteus: Join requires scan queries")
-	}
-	lk, rk := -1, -1
-	lcid, _ := ltbl.ColumnID(lcol)
-	rcid, _ := rtbl.ColumnID(rcol)
-	for i, c := range ls.Cols {
-		if c == lcid {
-			lk = i
-		}
-	}
-	for i, c := range rs.Cols {
-		if c == rcid {
-			rk = i
-		}
-	}
-	if lk < 0 || rk < 0 {
-		panic("proteus: join keys must be among scanned columns")
-	}
-	return &query.Query{Root: &query.JoinNode{
-		Left: left.Root, Right: right.Root, LeftKeyCol: lk, RightKeyCol: rk,
-	}}
-}
-
-// GroupBy wraps the query root in a grouped aggregation: group positions
-// and agg specs are positions into the child's output.
-func GroupBy(q *query.Query, groupPositions []int, aggs []exec.AggSpec) *query.Query {
-	return &query.Query{Root: &query.AggNode{Child: q.Root, GroupBy: groupPositions, Aggs: aggs}}
-}
 
 // AggSpec aliases the aggregate specification for GroupBy.
 type AggSpec = exec.AggSpec

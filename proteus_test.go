@@ -1,6 +1,7 @@
 package proteus
 
 import (
+	"context"
 	"testing"
 )
 
@@ -25,7 +26,7 @@ func openTest(t *testing.T) (*DB, *Table) {
 			Int64Value(i), Int64Value(i % 4), Float64Value(float64(i)),
 		}})
 	}
-	if err := db.Load(tbl, rows); err != nil {
+	if err := db.Load(context.Background(), tbl, rows); err != nil {
 		t.Fatal(err)
 	}
 	return db, tbl
@@ -35,31 +36,31 @@ func TestCrudRoundTrip(t *testing.T) {
 	db, tbl := openTest(t)
 	s := db.Session()
 
-	if err := s.Insert(tbl, 500, Int64Value(500), Int64Value(1), Float64Value(12.5)); err != nil {
+	if err := s.Insert(context.Background(), tbl, 500, Int64Value(500), Int64Value(1), Float64Value(12.5)); err != nil {
 		t.Fatal(err)
 	}
-	vals, ok, err := s.Get(tbl, 500, "amount")
+	vals, ok, err := s.Get(context.Background(), tbl, 500, "amount")
 	if err != nil || !ok || vals[0].Float() != 12.5 {
 		t.Fatalf("get: %v %v %v", vals, ok, err)
 	}
-	if err := s.Update(tbl, 500, map[string]Value{"amount": Float64Value(99)}); err != nil {
+	if err := s.Update(context.Background(), tbl, 500, map[string]Value{"amount": Float64Value(99)}); err != nil {
 		t.Fatal(err)
 	}
-	vals, _, _ = s.Get(tbl, 500, "amount")
+	vals, _, _ = s.Get(context.Background(), tbl, 500, "amount")
 	if vals[0].Float() != 99 {
 		t.Fatalf("after update: %v", vals)
 	}
-	if err := s.Delete(tbl, 500); err != nil {
+	if err := s.Delete(context.Background(), tbl, 500); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get(tbl, 500, "id"); ok {
+	if _, ok, _ := s.Get(context.Background(), tbl, 500, "id"); ok {
 		t.Fatal("deleted row still visible")
 	}
 	// Error paths.
-	if err := s.Insert(tbl, 501, Int64Value(1)); err == nil {
+	if err := s.Insert(context.Background(), tbl, 501, Int64Value(1)); err == nil {
 		t.Error("short insert accepted")
 	}
-	if _, _, err := s.Get(tbl, 1, "nope"); err == nil {
+	if _, _, err := s.Get(context.Background(), tbl, 1, "nope"); err == nil {
 		t.Error("unknown column accepted")
 	}
 }
@@ -67,19 +68,19 @@ func TestCrudRoundTrip(t *testing.T) {
 func TestScalarAggregates(t *testing.T) {
 	db, tbl := openTest(t)
 	s := db.Session()
-	sum, err := s.QueryScalar(Sum(Scan(tbl, "amount"), tbl, "amount"))
+	sum, err := s.QueryScalar(context.Background(), tbl.Scan("amount").Sum("amount"))
 	if err != nil || sum.Float() != 4950 {
 		t.Fatalf("sum = %v, %v", sum, err)
 	}
-	cnt, err := s.QueryScalar(Count(Scan(tbl, "id"), tbl))
+	cnt, err := s.QueryScalar(context.Background(), tbl.Scan("id").Count())
 	if err != nil || cnt.Int() != 100 {
 		t.Fatalf("count = %v, %v", cnt, err)
 	}
-	mx, err := s.QueryScalar(Max(Scan(tbl, "amount"), tbl, "amount"))
+	mx, err := s.QueryScalar(context.Background(), tbl.Scan("amount").Max("amount"))
 	if err != nil || mx.Float() != 99 {
 		t.Fatalf("max = %v, %v", mx, err)
 	}
-	avg, err := s.QueryScalar(Avg(Scan(tbl, "amount"), tbl, "amount"))
+	avg, err := s.QueryScalar(context.Background(), tbl.Scan("amount").Avg("amount"))
 	if err != nil || avg.Float() != 49.5 {
 		t.Fatalf("avg = %v, %v", avg, err)
 	}
@@ -88,9 +89,9 @@ func TestScalarAggregates(t *testing.T) {
 func TestWherePredicate(t *testing.T) {
 	db, tbl := openTest(t)
 	s := db.Session()
-	q := Scan(tbl, "amount")
-	q = WhereCol(q, tbl, "amount", Ge, Float64Value(90))
-	cnt, err := s.QueryScalar(Count(q, tbl))
+	cnt, err := s.QueryScalar(context.Background(), tbl.Scan("amount").
+		Where("amount", Ge, Float64Value(90)).
+		Count())
 	if err != nil || cnt.Int() != 10 {
 		t.Fatalf("count >= 90: %v %v", cnt, err)
 	}
@@ -99,8 +100,8 @@ func TestWherePredicate(t *testing.T) {
 func TestGroupByQuery(t *testing.T) {
 	db, tbl := openTest(t)
 	s := db.Session()
-	q := GroupBy(Scan(tbl, "region", "amount"), []int{0}, []AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}})
-	res, err := s.Query(q)
+	q := tbl.Scan("region", "amount").GroupBy([]int{0}, []AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}})
+	res, err := s.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,15 +128,89 @@ func TestJoinBuilder(t *testing.T) {
 	for i := int64(0); i < 4; i++ {
 		rows = append(rows, Row{ID: RowID(i), Values: []Value{Int64Value(i), StringValue("r")}})
 	}
-	if err := db.Load(dim, rows); err != nil {
+	if err := db.Load(context.Background(), dim, rows); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Session()
-	q := Join(Scan(tbl, "region", "amount"), tbl, "region", Scan(dim, "rid"), dim, "rid")
-	q = GroupBy(q, nil, []AggSpec{{Func: AggCount}})
-	res, err := s.Query(q)
+	q := tbl.Scan("region", "amount").
+		Join(dim.Scan("rid"), "region", "rid").
+		GroupBy(nil, []AggSpec{{Func: AggCount}})
+	res, err := s.Query(context.Background(), q)
 	if err != nil || res.NumRows() != 1 || res.Row(0)[0].Int() != 100 {
 		t.Fatalf("join count: %v %v", res, err)
+	}
+}
+
+func TestQueryRowsStreaming(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+
+	rows, err := s.QueryRows(context.Background(), tbl.Scan("id", "amount").
+		Where("amount", Ge, Float64Value(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Columns(); len(got) != 2 {
+		t.Fatalf("columns = %v", got)
+	}
+	n := 0
+	var id, amount Value
+	for rows.Next() {
+		if err := rows.Scan(&id, &amount); err != nil {
+			t.Fatal(err)
+		}
+		if amount.Float() < 50 {
+			t.Fatalf("row %v violates predicate", amount)
+		}
+		n++
+	}
+	if rows.Err() != nil || n != 50 {
+		t.Fatalf("streamed %d rows, err %v", n, rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abandoning a cursor mid-stream must be safe.
+	rows, err = s.QueryRows(context.Background(), tbl.Scan("id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Builder LIMIT flows through to the cursor.
+	rows, err = s.QueryRows(context.Background(), tbl.Scan("id").Limit(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 7 {
+		t.Fatalf("limited stream = %d rows, want 7", n)
+	}
+}
+
+func TestDeprecatedBuildersMatchChainable(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	old, err := s.QueryScalar(context.Background(),
+		Sum(WhereCol(Scan(tbl, "amount"), tbl, "amount", Ge, Float64Value(90)), tbl, "amount"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new_, err := s.QueryScalar(context.Background(),
+		tbl.Scan("amount").Where("amount", Ge, Float64Value(90)).Sum("amount"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Float() != new_.Float() || old.Float() != 945 {
+		t.Fatalf("deprecated %v vs chainable %v, want 945", old, new_)
 	}
 }
 
@@ -143,10 +218,10 @@ func TestSessionReadYourWrites(t *testing.T) {
 	db, tbl := openTest(t)
 	s := db.Session()
 	for i := 0; i < 10; i++ {
-		if err := s.Update(tbl, 1, map[string]Value{"amount": Float64Value(float64(i))}); err != nil {
+		if err := s.Update(context.Background(), tbl, 1, map[string]Value{"amount": Float64Value(float64(i))}); err != nil {
 			t.Fatal(err)
 		}
-		vals, _, err := s.Get(tbl, 1, "amount")
+		vals, _, err := s.Get(context.Background(), tbl, 1, "amount")
 		if err != nil || vals[0].Float() != float64(i) {
 			t.Fatalf("iteration %d: read %v, %v", i, vals, err)
 		}

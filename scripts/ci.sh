@@ -26,4 +26,9 @@ go test -race -count=1 \
     ./internal/faults/ \
     ./internal/obs/
 
+echo "== scan benchmark (non-gating)"
+# Regenerates BENCH_scan.json (morsel executor vs legacy path). Numbers are
+# informational on shared CI hardware; a failure here does not gate the run.
+go run ./cmd/proteus-bench -exp scan -scale quick || echo "scan benchmark failed (non-gating)"
+
 echo "ok"
