@@ -111,6 +111,19 @@ type Config struct {
 	// DisableMorselExec forces analytical scans back onto the legacy
 	// one-goroutine-per-segment executor (A/B comparisons, debugging).
 	DisableMorselExec bool
+	// DisableGroupCommit reverts the write path to appending and
+	// installing each transaction's redo records inline under the
+	// partition locks (A/B comparisons, debugging).
+	DisableGroupCommit bool
+	// GroupCommitMaxBatch bounds how many commit groups one flush cycle
+	// drains. 0 means a 256-group default.
+	GroupCommitMaxBatch int
+	// GroupCommitInterval is how long a flusher lingers for more commits
+	// to coalesce before flushing a non-full batch. 0 (the default)
+	// flushes whatever is pending immediately, so batching emerges only
+	// under concurrent load and an uncontended commit pays no added
+	// latency.
+	GroupCommitInterval time.Duration
 }
 
 // DefaultConfig returns a small cluster sizing suitable for tests.
@@ -148,6 +161,12 @@ type Engine struct {
 	Sites   []*site.Site
 
 	Advisor *Advisor // nil unless ModeProteus
+
+	// gc is the group-commit pipeline: per-master-site queues whose
+	// flushers batch redo appends and version installs off the
+	// partition-lock critical path. Always constructed; transactions
+	// bypass it when cfg.DisableGroupCommit is set.
+	gc *groupCommit
 
 	// Faults is the cluster's fault-injection registry, installed as the
 	// interconnect's fault policy. Tests, the chaos harness and the CLI's
@@ -245,6 +264,7 @@ func New(cfg Config) *Engine {
 	if cfg.Mode == ModeProteus {
 		e.Advisor = newAdvisor(e, cfg.Adapt)
 	}
+	e.gc = newGroupCommit(e)
 	e.startBackground()
 	return e
 }
@@ -370,10 +390,32 @@ func (e *Engine) checkpointAndTruncate() {
 
 // maybeCheckpoint refreshes a partition's broker checkpoint once its log
 // tail outgrows the retention window. The snapshot (rows, version, end
-// offset) is captured under the partition's exclusive lock so it is
-// consistent with commits, which append and install versions while
-// holding it.
+// offset) is captured under the partition's exclusive lock, behind a
+// group-commit barrier: commits stage and enqueue under the lock but
+// append and install from the flusher, so the barrier is what makes the
+// extracted rows, the installed version and the log end offset mutually
+// consistent.
 func (e *Engine) maybeCheckpoint(m *metadata.PartitionMeta) {
+	slack := e.cfg.RedoRetention
+	if slack < 1 {
+		slack = 1
+	}
+	if e.Broker.EndOffset(m.ID)-e.Broker.CheckpointOffset(m.ID) < slack {
+		return
+	}
+	// Pre-drain the (possibly stale) master site's commit queue before
+	// taking the lock: a flush in flight can spend milliseconds on
+	// cross-site acks, and waiting it out under the partition lock would
+	// stall concurrent commits. The authoritative barrier below, under the
+	// lock against the re-resolved master, then returns quickly.
+	e.gc.barrier(m.Master().Site)
+	ls := e.Locks.AcquireAll(nil, []partition.ID{m.ID})
+	defer ls.ReleaseAll()
+	// Resolve the master copy only under the lock: while we waited for it a
+	// failover or master change may have moved the partition, and capturing
+	// a now-stale copy against the current end offset would produce a
+	// checkpoint whose offset covers records its rows lack — silently lost
+	// on the next rebuild.
 	master := m.Master()
 	s := e.siteOf(master.Site)
 	if s.Down() {
@@ -383,27 +425,23 @@ func (e *Engine) maybeCheckpoint(m *metadata.PartitionMeta) {
 	if !ok {
 		return
 	}
-	slack := e.cfg.RedoRetention
-	if slack < 1 {
-		slack = 1
-	}
-	if e.Broker.EndOffset(m.ID)-e.Broker.CheckpointOffset(m.ID) < slack {
-		return
-	}
-	ls := e.Locks.AcquireAll(nil, []partition.ID{m.ID})
+	e.gc.barrier(master.Site)
 	ck := redolog.Checkpoint{
 		Rows:    p.ExtractAll(storage.Latest),
 		Version: p.Version(),
 		Offset:  e.Broker.EndOffset(m.ID),
 	}
-	ls.ReleaseAll()
 	e.Broker.SaveCheckpoint(m.ID, ck)
 }
 
-// Close stops background work and the sites.
+// Close stops background work and the sites. The group-commit flushers
+// are drained after the background loops stop (a maintenance checkpoint
+// may be waiting on a flush barrier) and before the sites close (waiting
+// transactions still occupy site pool workers until their flush resolves).
 func (e *Engine) Close() {
 	close(e.stop)
 	e.wg.Wait()
+	e.gc.close()
 	for _, s := range e.Sites {
 		s.Close()
 	}
@@ -548,6 +586,10 @@ func (e *Engine) installReplica(meta *metadata.PartitionMeta, siteID simnet.Site
 	if err != nil {
 		return err
 	}
+	// Flush pending commits so the captured offset, rows and version are
+	// mutually consistent (callers hold at least the shared partition
+	// lock, keeping them that way until the subscription is installed).
+	e.gc.barrier(masterSite.ID)
 	offset := e.Broker.EndOffset(meta.ID)
 	rows := mp.ExtractAll(storage.Latest)
 	rep := partition.New(meta.ID, meta.Bounds, mp.Kinds(), l, dst.Factory)

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/types"
+)
+
+// groupedConfig returns a fast test config with the commit pipeline in the
+// given state and a coalescing window wide enough that concurrent commits
+// actually share flushes.
+func groupedConfig(sites int, disabled bool) Config {
+	cfg := fastConfig(ModeRowStore, sites)
+	cfg.DisableGroupCommit = disabled
+	if !disabled {
+		cfg.GroupCommitInterval = 500 * time.Microsecond
+	}
+	return cfg
+}
+
+// runWriterWorkload runs writers concurrent single-row update streams over
+// disjoint row stripes and returns the expected final value per row.
+func runWriterWorkload(t *testing.T, e *Engine, tbl *schema.Table, writers, rowsPerWriter, iters int) map[int64]float64 {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := e.NewSession()
+			for i := 1; i <= iters; i++ {
+				row := int64(w*rowsPerWriter + i%rowsPerWriter)
+				v := types.NewFloat64(float64(w*1000000 + i))
+				if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{
+					Ops: []query.Op{updateOp(tbl, row, 2, v)},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	// Each writer hits row w*rowsPerWriter+r on iterations i with
+	// i%rowsPerWriter == r; the last such i wins.
+	want := map[int64]float64{}
+	for w := 0; w < writers; w++ {
+		for r := 0; r < rowsPerWriter; r++ {
+			last := 0
+			for i := iters; i >= 1; i-- {
+				if i%rowsPerWriter == r {
+					last = i
+					break
+				}
+			}
+			if last > 0 {
+				want[int64(w*rowsPerWriter+r)] = float64(w*1000000 + last)
+			}
+		}
+	}
+	return want
+}
+
+// TestGroupCommitEquivalence drives the same concurrent write workload
+// through the batched pipeline and the inline legacy path and checks both
+// converge to the exact per-row final state: group commit may reorder
+// flush timing but never acked writes.
+func TestGroupCommitEquivalence(t *testing.T) {
+	const writers, rowsPerWriter, iters = 4, 25, 60
+	for _, tc := range []struct {
+		name     string
+		disabled bool
+	}{{"grouped", false}, {"inline", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(groupedConfig(2, tc.disabled))
+			defer e.Close()
+			tbl, err := e.CreateTable(TableSpec{
+				Name: "items", Cols: testCols, MaxRows: 100000, Partitions: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := int64(writers * rowsPerWriter)
+			data := make([]schema.Row, 0, rows)
+			for i := int64(0); i < rows; i++ {
+				data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+					types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(0), types.NewString("r"),
+				}})
+			}
+			if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
+				t.Fatal(err)
+			}
+
+			want := runWriterWorkload(t, e, tbl, writers, rowsPerWriter, iters)
+			sess := e.NewSession()
+			for row, v := range want {
+				res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{
+					Ops: []query.Op{readOp(tbl, row, 2)},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.Tuples[0][0].Float(); got != v {
+					t.Errorf("row %d = %v, want %v", row, got, v)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupCommitCrossPartitionDeps checks a multi-partition transaction
+// through the batched pipeline: both writes become visible together, and
+// each partition's redo record carries the co-committed sibling versions
+// in its dependency vector.
+func TestGroupCommitCrossPartitionDeps(t *testing.T) {
+	e, tbl := newTestEngine(t, ModeRowStore, 2, 4, 100)
+	// Rows 7 and 25007 land in different partitions of the 4-way split.
+	rowsAt(t, e, tbl, 25000, 100)
+
+	sess := e.NewSession()
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
+		updateOp(tbl, 7, 2, types.NewFloat64(-7)),
+		updateOp(tbl, 25007, 2, types.NewFloat64(-25007)),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
+		readOp(tbl, 7, 2), readOp(tbl, 25007, 2),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples[0][0].Float() != -7 || res.Tuples[1][0].Float() != -25007 {
+		t.Fatalf("cross-partition read after commit: %v", res.Tuples)
+	}
+
+	// Find the two records the transaction appended and cross-check Deps.
+	metas := e.Dir.TablePartitions(tbl.ID)
+	recOf := func(row schema.RowID) (pid int, ver uint64, deps map[uint64]uint64) {
+		t.Helper()
+		for _, m := range metas {
+			recs, _ := e.Broker.Poll(m.ID, e.Broker.BaseOffset(m.ID), 0)
+			for _, rec := range recs {
+				for _, en := range rec.Entries {
+					if en.Row == row {
+						d := map[uint64]uint64{}
+						for q, v := range rec.Deps {
+							d[uint64(q)] = v
+						}
+						return int(m.ID), rec.Version, d
+					}
+				}
+			}
+		}
+		t.Fatalf("no redo record for row %d", row)
+		return 0, 0, nil
+	}
+	pa, va, da := recOf(7)
+	pb, vb, db := recOf(25007)
+	if pa == pb {
+		t.Fatalf("rows 7 and 25007 share partition %d", pa)
+	}
+	if got, ok := da[uint64(pb)]; !ok || got != vb {
+		t.Errorf("record %d deps = %v, want sibling %d@%d", pa, da, pb, vb)
+	}
+	if got, ok := db[uint64(pa)]; !ok || got != va {
+		t.Errorf("record %d deps = %v, want sibling %d@%d", pb, db, pa, va)
+	}
+}
+
+// TestGroupCommitCoalesces fires a burst of concurrent single-row commits
+// and checks the pipeline actually batched them: fewer flushes than
+// transactions and a recorded group size above one.
+func TestGroupCommitCoalesces(t *testing.T) {
+	e := New(groupedConfig(1, false))
+	defer e.Close()
+	tbl, err := e.CreateTable(TableSpec{
+		Name: "items", Cols: testCols, MaxRows: 100000, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]schema.Row, 0, 256)
+	for i := int64(0); i < 256; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(0), types.NewFloat64(0), types.NewString("r"),
+		}})
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
+		t.Fatal(err)
+	}
+
+	const txns = 64
+	flushes0 := e.Obs.Counter("commit.flushes").Value()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, txns)
+	for i := 0; i < txns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sess := e.NewSession()
+			_, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{
+				Ops: []query.Op{updateOp(tbl, int64(i%256), 2, types.NewFloat64(float64(i)))},
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	flushes := e.Obs.Counter("commit.flushes").Value() - flushes0
+	if flushes == 0 || flushes >= txns {
+		t.Errorf("flushes = %d for %d concurrent txns, want coalescing", flushes, txns)
+	}
+	if n := e.Obs.Counter("commit.flushed_records").Value(); n < txns {
+		t.Errorf("flushed records = %d, want >= %d", n, txns)
+	}
+}
+
+// TestGroupCommitDisabledBypassesQueues checks the escape hatch: with the
+// pipeline disabled, commits append and install inline and the flushers
+// never run a flush.
+func TestGroupCommitDisabledBypassesQueues(t *testing.T) {
+	e := New(groupedConfig(1, true))
+	defer e.Close()
+	tbl, err := e.CreateTable(TableSpec{
+		Name: "items", Cols: testCols, MaxRows: 100000, Partitions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, []schema.Row{
+		{ID: 1, Vals: []types.Value{types.NewInt64(1), types.NewInt64(0), types.NewFloat64(0), types.NewString("r")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess := e.NewSession()
+	if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{
+		Ops: []query.Op{updateOp(tbl, 1, 2, types.NewFloat64(9))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Obs.Counter("commit.flushes").Value(); n != 0 {
+		t.Errorf("inline path ran %d flushes", n)
+	}
+	res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, 1, 2)}})
+	if err != nil || res.Tuples[0][0].Float() != 9 {
+		t.Fatalf("inline commit read: %v %v", res.Tuples, err)
+	}
+}

@@ -47,6 +47,16 @@ func (e *Engine) ChangeCopyLayout(pid partition.ID, siteID simnet.SiteID, next s
 	e.Net.Charge(simnet.ASASite, siteID, 256)
 
 	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
+	// Re-resolve the copy under the lock: a concurrent crash or recovery
+	// may have replaced the object we looked up above, and converting a
+	// stale copy would strand the change on a dead object.
+	if p, err = s.MustPartition(pid); err != nil {
+		ls.ReleaseAll()
+		return err
+	}
+	// Flush queued commits so the rebuild-at-Version() conversion below
+	// cannot strand staged rows whose install is still in a commit queue.
+	e.gc.barrier(m.Master().Site)
 	err = p.ChangeLayout(next, s.Factory, p.Version())
 	ls.ReleaseAll()
 	if err != nil {
@@ -110,6 +120,16 @@ func (e *Engine) SplitH(pid partition.ID, at schema.RowID) error {
 	e.Net.Charge(simnet.ASASite, siteID, 256)
 	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
 	defer ls.ReleaseAll()
+	// A failover or master change while we waited for the lock moves the
+	// authoritative copy; splitting the stale one would register the new
+	// partitions from outdated data.
+	if m.Master().Site != siteID {
+		return ErrStalePlan
+	}
+	if p, err = s.MustPartition(pid); err != nil {
+		return err
+	}
+	e.gc.barrier(siteID) // queued commits must land before the old topic dies
 
 	e.dropAllReplicas(m)
 	ids := [2]partition.ID{e.Dir.AllocID(), e.Dir.AllocID()}
@@ -140,6 +160,14 @@ func (e *Engine) SplitV(pid partition.ID, at schema.ColID, leftLayout, rightLayo
 	e.Net.Charge(simnet.ASASite, siteID, 256)
 	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
 	defer ls.ReleaseAll()
+	// See SplitH: revalidate mastership and the copy under the lock.
+	if m.Master().Site != siteID {
+		return ErrStalePlan
+	}
+	if p, err = s.MustPartition(pid); err != nil {
+		return err
+	}
+	e.gc.barrier(siteID) // queued commits must land before the old topic dies
 
 	e.dropAllReplicas(m)
 	ids := [2]partition.ID{e.Dir.AllocID(), e.Dir.AllocID()}
@@ -179,6 +207,17 @@ func (e *Engine) MergeH(a, b partition.ID) error {
 	e.Net.Charge(simnet.ASASite, siteID, 256)
 	ls := e.Locks.AcquireAll(nil, []partition.ID{a, b})
 	defer ls.ReleaseAll()
+	// See SplitH: revalidate mastership and the copies under the lock.
+	if ma.Master().Site != siteID || mb.Master().Site != siteID {
+		return ErrStalePlan
+	}
+	if pa, err = s.MustPartition(a); err != nil {
+		return err
+	}
+	if pb, err = s.MustPartition(b); err != nil {
+		return err
+	}
+	e.gc.barrier(siteID) // queued commits must land before the old topics die
 
 	e.dropAllReplicas(ma)
 	e.dropAllReplicas(mb)
@@ -255,9 +294,18 @@ func (e *Engine) ChangeMasterOp(pid partition.ID, newSite simnet.SiteID) error {
 	if e.siteOf(oldMaster.Site).Down() {
 		return fmt.Errorf("%w: site %d", faults.ErrSiteDown, oldMaster.Site)
 	}
-	// Block new updates while mastership moves.
+	// Block new updates while mastership moves, and flush the old
+	// master's queued commits so the version the target catches up to
+	// covers every committed write.
 	ls := e.Locks.AcquireAll(nil, []partition.ID{pid})
 	defer ls.ReleaseAll()
+	// A failover while we waited for the lock may have moved mastership
+	// already; draining and catching up against the copy we resolved
+	// before the lock would hand mastership to a stale version.
+	if m.Master().Site != oldMaster.Site {
+		return ErrStalePlan
+	}
+	e.gc.barrier(oldMaster.Site)
 
 	if !m.HasCopyAt(newSite) {
 		if err := e.installReplica(m, newSite, oldMaster.Layout); err != nil {

@@ -124,14 +124,19 @@ func (e *Engine) failoverSite(down simnet.SiteID) {
 // partition stays unavailable (its committed state is safe in the
 // broker) until the master recovers.
 func (e *Engine) failoverPartition(m *metadata.PartitionMeta, down simnet.SiteID) {
-	// Serialize with in-flight commits on this partition: a commit holds
-	// the partition write lock through apply → append, so once we hold it
-	// the broker has every committed record.
+	// Serialize with in-flight commits on this partition: a commit stages
+	// and enqueues its redo records while holding the partition write
+	// lock, so once we hold it every committed record is at worst sitting
+	// in the down site's commit queue. Draining that queue through the
+	// flush barrier puts them all in the broker before any candidate is
+	// measured — batched commits survive failover exactly like inline
+	// ones did.
 	ls := e.Locks.AcquireAll(nil, []partition.ID{m.ID})
 	defer ls.ReleaseAll()
 	if m.Master().Site != down {
 		return // concurrent failover already promoted
 	}
+	e.gc.barrier(down)
 	var best metadata.Replica
 	var bestVersion uint64
 	found := false

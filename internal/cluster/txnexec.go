@@ -279,20 +279,37 @@ func (e *Engine) runTxnAt(coord simnet.SiteID, sess *Session, t *query.Txn, tp *
 
 	// Writes: acquire exclusive locks on the write set in global order
 	// (no deadlocks), then group by master site and apply with 2PC when
-	// more than one site is involved.
+	// more than one site is involved. The locks cover only version
+	// reservation and staging; the redo append and version install run in
+	// the group-commit flusher after the locks are released, and the
+	// transaction acks once its flush completes.
 	if len(tp.WritePIDs) > 0 {
 		lockStart := time.Now()
 		ls := e.Locks.AcquireAll(nil, tp.WritePIDs)
-		waiters, recent := e.Locks.Contention(tp.WritePIDs[0])
+		// Aggregate contention across the whole write set — sampling only
+		// the first partition would blind the ASA's lock cost model to
+		// multi-partition hot spots.
+		var waiters int
+		var recent time.Duration
+		for _, pid := range tp.WritePIDs {
+			w, r := e.Locks.Contention(pid)
+			waiters += w
+			if r > recent {
+				recent = r
+			}
+		}
 		coordSite.Observe(cost.Observation{
 			Op:       cost.OpLock,
 			Features: cost.LockFeatures(waiters, recent),
 			Latency:  time.Since(lockStart),
 		})
-		err := e.applyWrites(coord, tp, snap, sess)
+		finish, err := e.applyWrites(coord, tp, sess)
 		ls.ReleaseAll()
 		if err != nil {
 			return exec.Rel{}, err
+		}
+		if finish != nil {
+			finish()
 		}
 	}
 
@@ -316,10 +333,65 @@ type writeOp struct {
 	meta  *metadata.PartitionMeta
 	cols  []schema.ColID
 	valIx []int
+	// entry is the op's redo entry, built once up front; its Vals (and
+	// Cols, converted to partition-local IDs) are shared with the staging
+	// apply in writeParticipant.Commit instead of being re-allocated there.
+	entry redolog.Entry
 }
 
-func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, snap txn.VersionVector, sess *Session) error {
-	bySite := map[simnet.SiteID]*siteWrites{}
+// buildEntries fills each op's redo entry, packing all of a write group's
+// values (and local column IDs) into two shared arenas so a transaction
+// allocates O(1) slices per site rather than O(ops).
+func buildEntries(sw *siteWrites) {
+	nVals, nCols := 0, 0
+	for _, w := range sw.ops {
+		if w.op.Kind != query.OpDelete {
+			nVals += len(w.cols)
+		}
+		if w.op.Kind == query.OpUpdate {
+			nCols += len(w.cols)
+		}
+	}
+	valArena := make([]types.Value, 0, nVals)
+	colArena := make([]schema.ColID, 0, nCols)
+	for i := range sw.ops {
+		w := &sw.ops[i]
+		switch w.op.Kind {
+		case query.OpInsert:
+			base := len(valArena)
+			for _, vi := range w.valIx {
+				valArena = append(valArena, w.op.Vals[vi])
+			}
+			w.entry = redolog.Entry{Op: redolog.OpInsert, Row: w.op.Row,
+				Vals: valArena[base:len(valArena):len(valArena)]}
+		case query.OpDelete:
+			w.entry = redolog.Entry{Op: redolog.OpDelete, Row: w.op.Row}
+		default:
+			cbase := len(colArena)
+			for _, c := range w.cols {
+				colArena = append(colArena, w.meta.Bounds.LocalCol(c))
+			}
+			base := len(valArena)
+			for _, vi := range w.valIx {
+				valArena = append(valArena, w.op.Vals[vi])
+			}
+			w.entry = redolog.Entry{Op: redolog.OpUpdate, Row: w.op.Row,
+				Cols: colArena[cbase:len(colArena):len(colArena)],
+				Vals: valArena[base:len(valArena):len(valArena)]}
+		}
+	}
+}
+
+// applyWrites runs the write/commit phase under the caller-held exclusive
+// locks: group ops by master site, reserve versions, stage via 2PC, and
+// either commit inline (DisableGroupCommit) or enqueue the redo records on
+// the master sites' commit queues. In the latter case it returns a finish
+// function the caller must invoke after releasing the locks; it blocks
+// until every site's flush completes (the durability point), then records
+// the commit dependencies and the session watermark.
+func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Session) (func(), error) {
+	grouped := !e.cfg.DisableGroupCommit
+	bySite := make(map[simnet.SiteID]*siteWrites, 2)
 	for _, b := range tp.Bindings {
 		if b.Op.Kind == query.OpRead {
 			continue
@@ -339,88 +411,110 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, snap txn.Ver
 		}
 	}
 
-	// Reserve the new version of every written partition.
-	versions := make(txn.VersionVector)
-	masters := map[partition.ID]*partition.Partition{}
+	// Reserve the new version of every written partition. With group
+	// commit the installed version lags the reservation (the flusher
+	// installs after the locks drop), so reservations come from the
+	// partition's reservation counter; version gaps from aborts are
+	// harmless — every consumer compares versions, none counts them.
+	versions := make(txn.VersionVector, len(tp.WritePIDs))
+	masters := make(map[partition.ID]*partition.Partition, len(tp.WritePIDs))
 	for _, sw := range bySite {
+		buildEntries(sw)
 		for _, w := range sw.ops {
 			if _, ok := versions[w.meta.ID]; ok {
 				continue
 			}
 			p, ok := e.siteOf(sw.site).Partition(w.meta.ID)
 			if !ok {
-				return fmt.Errorf("%w: write partition %d moved", ErrStalePlan, w.meta.ID)
+				return nil, fmt.Errorf("%w: write partition %d moved", ErrStalePlan, w.meta.ID)
 			}
 			masters[w.meta.ID] = p
-			versions[w.meta.ID] = p.Version() + 1
+			if grouped {
+				versions[w.meta.ID] = p.ReserveNext()
+			} else {
+				versions[w.meta.ID] = p.Version() + 1
+			}
 		}
 	}
 
 	// Two-phase commit across the write sites (§4.3).
-	var participants []txn.Participant
+	participants := make([]txn.Participant, 0, len(bySite))
 	for _, sw := range bySite {
 		participants = append(participants, &writeParticipant{
 			e: e, coord: coord, sw: sw, versions: versions, masters: masters,
+			inline: !grouped,
 		})
 	}
 	c := &txn.Coordinator{OnePhase: true}
 	commitStart := time.Now()
 	if err := c.Commit(e.nextTxnID(), participants); err != nil {
-		return err
+		return nil, err
 	}
 
-	// Log one redo record per partition, carrying the co-committed
-	// dependency vector, then install versions.
-	entriesByPID := map[partition.ID][]redolog.Entry{}
+	// One redo record per partition, carrying the co-committed dependency
+	// vector, grouped by master site for the commit queues.
+	entriesByPID := make(map[partition.ID][]redolog.Entry, len(tp.WritePIDs))
 	for _, sw := range bySite {
 		for _, w := range sw.ops {
-			entriesByPID[w.meta.ID] = append(entriesByPID[w.meta.ID], toEntry(w))
+			entriesByPID[w.meta.ID] = append(entriesByPID[w.meta.ID], w.entry)
 		}
 	}
-	for pid, entries := range entriesByPID {
+	record := func(pid partition.ID) redolog.Record {
 		deps := make(map[partition.ID]uint64, len(versions)-1)
 		for q, v := range versions {
 			if q != pid {
 				deps[q] = v
 			}
 		}
-		e.Broker.Append(redolog.Record{Partition: pid, Version: versions[pid], Entries: entries, Deps: deps})
-		masters[pid].SetVersion(versions[pid])
+		return redolog.Record{Partition: pid, Version: versions[pid], Entries: entriesByPID[pid], Deps: deps}
 	}
-	e.Deps.RecordCommit(versions)
-	sess.s.Observe(versions)
 
-	// Commit cost: partitions read/written and sites involved.
-	e.siteOf(coord).Observe(cost.Observation{
-		Op:       cost.OpCommit,
-		Features: cost.CommitFeatures(len(tp.ReadPIDs), len(tp.WritePIDs), len(bySite)),
-		Latency:  time.Since(commitStart),
-	})
-	_ = snap
-	return nil
-}
-
-func toEntry(w writeOp) redolog.Entry {
-	switch w.op.Kind {
-	case query.OpInsert:
-		vals := make([]types.Value, len(w.cols))
-		for i, vi := range w.valIx {
-			vals[i] = w.op.Vals[vi]
-		}
-		return redolog.Entry{Op: redolog.OpInsert, Row: w.op.Row, Vals: vals}
-	case query.OpDelete:
-		return redolog.Entry{Op: redolog.OpDelete, Row: w.op.Row}
-	default:
-		local := make([]schema.ColID, len(w.cols))
-		for i, c := range w.cols {
-			local[i] = w.meta.Bounds.LocalCol(c)
-		}
-		vals := make([]types.Value, len(w.cols))
-		for i, vi := range w.valIx {
-			vals[i] = w.op.Vals[vi]
-		}
-		return redolog.Entry{Op: redolog.OpUpdate, Row: w.op.Row, Cols: local, Vals: vals}
+	finishCommit := func() {
+		e.Deps.RecordCommit(versions)
+		sess.s.Observe(versions)
+		// Commit cost: partitions read/written and sites involved.
+		e.siteOf(coord).Observe(cost.Observation{
+			Op:       cost.OpCommit,
+			Features: cost.CommitFeatures(len(tp.ReadPIDs), len(tp.WritePIDs), len(bySite)),
+			Latency:  time.Since(commitStart),
+		})
 	}
+
+	if !grouped {
+		// Legacy inline commit: append and install under the locks.
+		for pid := range entriesByPID {
+			e.Broker.Append(record(pid))
+			masters[pid].SetVersion(versions[pid])
+		}
+		finishCommit()
+		return nil, nil
+	}
+
+	// Group commit: one flush group per master site, a shared completion
+	// channel, and the wait deferred until after the locks are released.
+	nGroups := 0
+	flushed := make(chan struct{}, len(bySite))
+	for _, sw := range bySite {
+		fg := flushGroup{coord: coord, done: flushed}
+		seen := make(map[partition.ID]struct{}, len(sw.ops))
+		for _, w := range sw.ops {
+			pid := w.meta.ID
+			if _, ok := seen[pid]; ok {
+				continue
+			}
+			seen[pid] = struct{}{}
+			fg.recs = append(fg.recs, record(pid))
+			fg.installs = append(fg.installs, versionInstall{p: masters[pid], ver: versions[pid]})
+		}
+		e.gc.enqueue(sw.site, fg)
+		nGroups++
+	}
+	return func() {
+		for i := 0; i < nGroups; i++ {
+			<-flushed
+		}
+		finishCommit()
+	}, nil
 }
 
 // writeParticipant adapts one site's write group to the 2PC interface.
@@ -430,6 +524,10 @@ type writeParticipant struct {
 	sw       *siteWrites
 	versions txn.VersionVector
 	masters  map[partition.ID]*partition.Partition
+	// inline marks the legacy path (group commit disabled): the commit
+	// decision's round trip is charged per transaction here instead of
+	// batched onto the flush.
+	inline bool
 }
 
 // Prepare validates the ops (and charges the prepare round trip). A
@@ -469,7 +567,7 @@ func (wp *writeParticipant) Prepare(txnID uint64) error {
 // prepared participant must apply, or participants would diverge on a
 // decided transaction.
 func (wp *writeParticipant) Commit(txnID uint64) error {
-	if wp.sw.site != wp.coord {
+	if wp.inline && wp.sw.site != wp.coord {
 		wp.e.Net.Charge(wp.coord, wp.sw.site, 128)
 		wp.e.Net.Charge(wp.sw.site, wp.coord, 32)
 	}
@@ -481,19 +579,11 @@ func (wp *writeParticipant) Commit(txnID uint64) error {
 		var err error
 		switch w.op.Kind {
 		case query.OpInsert:
-			vals := make([]types.Value, len(w.cols))
-			for i, vi := range w.valIx {
-				vals[i] = w.op.Vals[vi]
-			}
-			obs, err = exec.Insert(p, schema.Row{ID: w.op.Row, Vals: vals}, ver)
+			obs, err = exec.Insert(p, schema.Row{ID: w.op.Row, Vals: w.entry.Vals}, ver)
 		case query.OpDelete:
 			obs, err = exec.Delete(p, w.op.Row, ver)
 		default:
-			vals := make([]types.Value, len(w.cols))
-			for i, vi := range w.valIx {
-				vals[i] = w.op.Vals[vi]
-			}
-			obs, err = exec.Update(p, w.op.Row, w.cols, vals, ver)
+			obs, err = exec.Update(p, w.op.Row, w.cols, w.entry.Vals, ver)
 		}
 		if err != nil {
 			return err

@@ -81,6 +81,7 @@ var All = []Experiment{
 	{"tab4", "Table 4: time share per operation class", Tab4},
 	{"tab5", "Table 5: planning and layout-change overheads", Tab5},
 	{"scan", "Scan throughput: morsel executor vs legacy path (BENCH_scan.json)", ScanBench},
+	{"oltp", "OLTP writes: group commit vs serial commit (BENCH_oltp.json)", OLTPBench},
 }
 
 // Find locates an experiment by ID.

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/types"
+)
+
+// OLTPBench compares the group-commit write pipeline against the legacy
+// inline append-and-install path on a multi-site single-row update
+// workload, and writes a machine-readable report to BENCH_oltp.json
+// (override the path with PROTEUS_OLTP_BENCH_PATH). Two phases per
+// variant: a multi-client burst measuring committed-transaction throughput
+// and allocations, then a single uncontended client measuring p50/p99
+// commit latency — the pipeline must win the first without regressing the
+// second (flushes are immediate by default, so an uncontended commit pays
+// no coalescing wait).
+func OLTPBench(w io.Writer, s Scale) error {
+	header(w, "OLTP write pipeline: group commit vs serial commit")
+	rows := s.YCSBRows
+	clients := s.Clients * 2
+	perClient := 400 * s.Repeats
+	soloTxns := 1200 * s.Repeats
+
+	serial, err := runOLTPVariant(s, rows, clients, perClient, soloTxns, true)
+	if err != nil {
+		return err
+	}
+	grouped, err := runOLTPVariant(s, rows, clients, perClient, soloTxns, false)
+	if err != nil {
+		return err
+	}
+
+	rep := oltpReport{
+		Rows: rows, Partitions: oltpParts, Sites: s.Sites, Clients: clients,
+		Workload: "two-row cross-partition update txns, uniform rows, per-client sessions",
+		Serial:   serial, Grouped: grouped,
+		Speedup: grouped.TxnsPerSec / serial.TxnsPerSec,
+	}
+	if grouped.AllocsPerOp > 0 {
+		rep.AllocRatio = serial.AllocsPerOp / grouped.AllocsPerOp
+	}
+
+	path := os.Getenv("PROTEUS_OLTP_BENCH_PATH")
+	if path == "" {
+		path = "BENCH_oltp.json"
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "table: %d rows, %d partitions, %d sites; %d clients x %d txns + %d solo txns\n",
+		rows, oltpParts, s.Sites, clients, perClient, soloTxns)
+	fmt.Fprintf(w, "serial:  %9.0f txn/s  solo p50 %6.0f us  p99 %6.0f us  %7.0f allocs/op\n",
+		serial.TxnsPerSec, serial.SoloP50Micros, serial.SoloP99Micros, serial.AllocsPerOp)
+	fmt.Fprintf(w, "grouped: %9.0f txn/s  solo p50 %6.0f us  p99 %6.0f us  %7.0f allocs/op  (%.1f txns/flush)\n",
+		grouped.TxnsPerSec, grouped.SoloP50Micros, grouped.SoloP99Micros, grouped.AllocsPerOp, grouped.TxnsPerFlush)
+	fmt.Fprintf(w, "speedup %.2fx, alloc ratio %.2fx -> %s\n", rep.Speedup, rep.AllocRatio, path)
+	return nil
+}
+
+const oltpParts = 8
+
+type oltpResult struct {
+	TxnsPerSec    float64 `json:"txns_per_sec"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	Txns          int     `json:"txns"`
+	SoloP50Micros float64 `json:"solo_p50_us"`
+	SoloP99Micros float64 `json:"solo_p99_us"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	TxnsPerFlush  float64 `json:"txns_per_flush"`
+}
+
+type oltpReport struct {
+	Rows       int64      `json:"rows"`
+	Partitions int        `json:"partitions"`
+	Sites      int        `json:"sites"`
+	Clients    int        `json:"clients"`
+	Workload   string     `json:"workload"`
+	Serial     oltpResult `json:"serial"`
+	Grouped    oltpResult `json:"grouped"`
+	Speedup    float64    `json:"speedup"`
+	AllocRatio float64    `json:"alloc_ratio"`
+}
+
+// runOLTPVariant loads one engine and runs both measurement phases.
+// ModeRowStore keeps the advisor out of the loop so the A/B isolates the
+// commit pipeline; background intervals are slowed so the allocation delta
+// reflects the transaction path.
+func runOLTPVariant(s Scale, rows int64, clients, perClient, soloTxns int, disabled bool) (oltpResult, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Mode = cluster.ModeRowStore
+	cfg.NumSites = s.Sites
+	cfg.Net = simnet.Config{BaseLatency: 20 * time.Microsecond, BytesPerSecond: 1 << 30}
+	cfg.ReplicationInterval = 5 * time.Millisecond
+	cfg.MaintainInterval = 20 * time.Millisecond
+	cfg.DisableGroupCommit = disabled
+	e := cluster.New(cfg)
+	defer e.Close()
+
+	tbl, err := e.CreateTable(cluster.TableSpec{
+		Name: "oltpbench",
+		Cols: []schema.Column{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "grp", Kind: types.KindInt64},
+			{Name: "val", Kind: types.KindFloat64},
+		},
+		MaxRows: schema.RowID(rows), Partitions: oltpParts,
+	})
+	if err != nil {
+		return oltpResult{}, err
+	}
+	data := make([]schema.Row, 0, rows)
+	for i := int64(0); i < rows; i++ {
+		data = append(data, schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(i), types.NewInt64(i % 10), types.NewFloat64(float64(i)),
+		}})
+	}
+	if err := e.LoadRows(context.Background(), tbl.ID, data); err != nil {
+		return oltpResult{}, err
+	}
+
+	update := func(row int64, v float64) query.Op {
+		return query.Op{Kind: query.OpUpdate, Table: tbl.ID, Row: schema.RowID(row),
+			Cols: []schema.ColID{2}, Vals: []types.Value{types.NewFloat64(v)}}
+	}
+	// crossTxn writes one row in each of two distinct partitions, so with
+	// partition masters spread over the sites roughly half the commits
+	// carry a cross-site 2PC participant — the round trips the batched
+	// pipeline amortizes and moves off the partition-lock window.
+	stride := rows / oltpParts
+	crossTxn := func(rng *rand.Rand, v float64) *query.Txn {
+		pa := rng.Intn(oltpParts)
+		pb := (pa + 1 + rng.Intn(oltpParts-1)) % oltpParts
+		return &query.Txn{Ops: []query.Op{
+			update(int64(pa)*stride+rng.Int63n(stride), v),
+			update(int64(pb)*stride+rng.Int63n(stride), v),
+		}}
+	}
+	ctx := context.Background()
+
+	// Warm plans and locks with one client before measuring.
+	warm := e.NewSession()
+	wrng := rand.New(rand.NewSource(1))
+	for i := 0; i < 32; i++ {
+		if _, err := e.ExecuteTxn(ctx, warm, crossTxn(wrng, 0)); err != nil {
+			return oltpResult{}, err
+		}
+	}
+
+	// Phase 1: multi-client throughput. Clients pick uniform rows from
+	// per-client seeded streams, so partitions (and their locks) are
+	// shared across clients while write-write row conflicts stay rare.
+	flushes0 := e.Obs.Counter("commit.flushes").Value()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*977 + 13))
+			sess := e.NewSession()
+			for i := 0; i < perClient; i++ {
+				if _, err := e.ExecuteTxn(ctx, sess, crossTxn(rng, float64(i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return oltpResult{}, err
+	}
+	txns := clients * perClient
+	flushes := e.Obs.Counter("commit.flushes").Value() - flushes0
+
+	// Phase 2: single uncontended client, commit latency distribution.
+	var lat []time.Duration
+	solo := e.NewSession()
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < soloTxns; i++ {
+		t := crossTxn(rng, float64(i))
+		ts := time.Now()
+		if _, err := e.ExecuteTxn(ctx, solo, t); err != nil {
+			return oltpResult{}, err
+		}
+		lat = append(lat, time.Since(ts))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	res := oltpResult{
+		TxnsPerSec:    float64(txns) / elapsed.Seconds(),
+		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
+		Txns:          txns,
+		SoloP50Micros: float64(lat[len(lat)/2]) / float64(time.Microsecond),
+		SoloP99Micros: float64(lat[len(lat)*99/100]) / float64(time.Microsecond),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(txns),
+	}
+	if flushes > 0 {
+		res.TxnsPerFlush = float64(txns) / float64(flushes)
+	}
+	return res, nil
+}

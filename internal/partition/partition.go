@@ -94,7 +94,8 @@ type Partition struct {
 	kinds []types.Kind
 	zm    *zonemap.ZoneMap
 
-	version atomic.Uint64 // last committed version
+	version  atomic.Uint64 // last committed (installed) version
+	reserved atomic.Uint64 // highest version handed out by ReserveNext
 }
 
 // New creates an empty partition with the given layout. kinds are the
@@ -134,6 +135,24 @@ func (p *Partition) SetVersion(v uint64) {
 
 // NextVersion atomically reserves the next commit version.
 func (p *Partition) NextVersion() uint64 { return p.version.Add(1) }
+
+// ReserveNext hands out the next commit version without making it visible.
+// The reservation survives until a matching SetVersion installs it, so a
+// commit pipeline can release partition locks before the batched install
+// runs while later transactions still get strictly increasing versions.
+func (p *Partition) ReserveNext() uint64 {
+	for {
+		cur := p.reserved.Load()
+		next := cur
+		if v := p.version.Load(); v > next {
+			next = v
+		}
+		next++
+		if p.reserved.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
 
 // ZoneMap exposes the partition's zone map.
 func (p *Partition) ZoneMap() *zonemap.ZoneMap { return p.zm }
@@ -316,19 +335,20 @@ func (p *Partition) Stats() storage.Stats {
 
 // ChangeLayout converts the partition to a new layout by reading a
 // consistent snapshot at version snap and bulk-loading it into a fresh
-// store (§4.4). The swap is atomic with respect to readers.
+// store (§4.4). The write lock is held across the extract, rebuild and
+// swap: a mutation that slipped between a released extract and the swap
+// (e.g. a replica applying a redo record, which does not hold the
+// engine's partition lock) would land in the discarded store and be lost
+// even though the copy's version advanced past it. Readers holding a
+// StoreSnapshot are unaffected.
 func (p *Partition) ChangeLayout(to storage.Layout, f Factory, snap uint64) error {
-	p.mu.RLock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	rows := p.store.ExtractAll(snap)
-	p.mu.RUnlock()
-
 	ns := f.NewStore(p.kinds, to)
 	if err := ns.Load(rows, snap); err != nil {
 		return err
 	}
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.store = ns
 	p.zm.Rebuild(rows)
 	return nil
@@ -339,10 +359,20 @@ func (p *Partition) ChangeLayout(to storage.Layout, f Factory, snap uint64) erro
 // exceed threshold buffered rows. It reports the number of buffered rows
 // folded in and the time the fold took, so maintenance cost can be
 // attributed to the layout's write cost model.
+//
+// The write lock is held across the fold: MergeDelta/Flush rebuild the
+// store from an extract and clear the buffered delta, so a write that
+// landed between the extract and the clear would vanish. Background
+// maintenance runs without the engine's partition locks, so the
+// partition lock is the only thing serializing it against commit
+// staging and replica applies. snap must cover every buffered row —
+// with group commit, staged rows live above the installed version until
+// the flusher installs them, so callers folding live copies pass
+// storage.Latest rather than p.Version().
 func (p *Partition) Maintain(snap uint64, threshold int) (int, time.Duration, error) {
-	p.mu.RLock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st := p.store
-	p.mu.RUnlock()
 	start := time.Now()
 	switch s := st.(type) {
 	case interface {

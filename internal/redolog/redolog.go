@@ -164,6 +164,33 @@ func (b *Broker) Append(rec Record) int64 {
 	return off
 }
 
+// AppendBatch appends a group-commit flush in one pass. Records for the
+// same partition must already be in version order; consecutive records for
+// one partition share a single topic-lock acquisition, and the instruments
+// (append counter, backlog gauge) are updated once per call instead of once
+// per record. Callers that interleave partitions should sort the batch
+// (stably, to preserve per-partition order) so each topic is locked once.
+func (b *Broker) AppendBatch(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Partition == recs[i].Partition {
+			j++
+		}
+		t := b.topic(recs[i].Partition)
+		t.mu.Lock()
+		t.records = append(t.records, recs[i:j]...)
+		t.mu.Unlock()
+		i = j
+	}
+	if b.obsAppends != nil {
+		b.obsAppends.Add(int64(len(recs)))
+		b.obsBacklog.Add(int64(len(recs)))
+	}
+}
+
 // Poll returns up to max records starting at offset from. It returns the
 // records and the next offset to poll from. Offsets below the truncated
 // base resume from the oldest retained record (a log broker's

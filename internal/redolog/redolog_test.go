@@ -175,3 +175,56 @@ func TestTruncateClampsAndNoops(t *testing.T) {
 		t.Errorf("repeat truncate reclaimed %d, want 0", got)
 	}
 }
+
+func TestAppendBatchMatchesSequentialAppend(t *testing.T) {
+	// The same interleaved records, appended one by one and as a batch,
+	// must produce identical per-topic logs and offsets.
+	seq := NewBroker()
+	bat := NewBroker()
+	var recs []Record
+	for i := uint64(1); i <= 6; i++ {
+		recs = append(recs, rec(10, i, schema.RowID(i)))
+		recs = append(recs, rec(11, i, schema.RowID(100+i)))
+	}
+	// Stable-sorted by partition, as the group-commit flusher submits it.
+	var byPid []Record
+	for _, pid := range []partition.ID{10, 11} {
+		for _, r := range recs {
+			if r.Partition == pid {
+				byPid = append(byPid, r)
+			}
+		}
+	}
+	for _, r := range recs {
+		seq.Append(r)
+	}
+	bat.AppendBatch(byPid)
+
+	for _, pid := range []partition.ID{10, 11} {
+		if seq.EndOffset(pid) != bat.EndOffset(pid) {
+			t.Errorf("pid %d end: seq %d, batch %d", pid, seq.EndOffset(pid), bat.EndOffset(pid))
+		}
+		sr, _ := seq.Poll(pid, 0, 0)
+		br, _ := bat.Poll(pid, 0, 0)
+		if len(sr) != len(br) {
+			t.Fatalf("pid %d: seq %d records, batch %d", pid, len(sr), len(br))
+		}
+		for i := range sr {
+			if sr[i].Version != br[i].Version || sr[i].Entries[0].Row != br[i].Entries[0].Row {
+				t.Errorf("pid %d record %d: seq %+v, batch %+v", pid, i, sr[i], br[i])
+			}
+		}
+	}
+}
+
+func TestAppendBatchEmptyAndSingle(t *testing.T) {
+	b := NewBroker()
+	b.AppendBatch(nil)
+	if b.EndOffset(1) != 0 {
+		t.Errorf("empty batch advanced end to %d", b.EndOffset(1))
+	}
+	b.AppendBatch([]Record{rec(1, 1, 1)})
+	if b.EndOffset(1) != 1 {
+		t.Errorf("single batch end = %d", b.EndOffset(1))
+	}
+}

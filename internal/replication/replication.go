@@ -9,10 +9,13 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proteus/internal/faults"
+	"proteus/internal/obs"
 	"proteus/internal/partition"
 	"proteus/internal/redolog"
 	"proteus/internal/simnet"
@@ -41,6 +44,9 @@ type Replicator struct {
 	// PollBackoff is the yield between catch-up polls while waiting for
 	// the master's commit record (DefaultPollBackoff when 0).
 	PollBackoff time.Duration
+	// Workers bounds the subscriptions polled and applied concurrently by
+	// PollOnce (the per-subscription worker pool). <= 1 polls serially.
+	Workers int
 	// brokerSite is where the log broker "runs"; polls charge network
 	// round-trips to it (the paper dedicates two machines to Kafka).
 	brokerSite simnet.SiteID
@@ -48,9 +54,13 @@ type Replicator struct {
 	mu   sync.Mutex
 	subs map[partition.ID]*subscription
 
-	applied int64
+	applied atomic.Int64
 	waits   int64
 	waitDur time.Duration
+
+	// Optional observability instruments (SetObs).
+	obsBatches *obs.Counter // apply batches with at least one record
+	obsRecords *obs.Counter // records applied in batches
 }
 
 type subscription struct {
@@ -58,31 +68,67 @@ type subscription struct {
 	p      *partition.Partition
 	offset int64
 	queue  []redolog.Record // polled but not yet applied
+	// dead is set under mu when the subscription is removed. A PollOnce
+	// round snapshots subscription pointers before working through them, so
+	// an unsubscribe (failover promotion, master change, replica removal)
+	// can race a worker still holding the pointer: without the flag the
+	// worker could apply a stale record to a copy that has since been
+	// promoted and taken newer writes, silently regressing committed data.
+	dead bool
 }
 
 // New creates a replicator for one site.
 func New(broker *redolog.Broker, net *simnet.Network, site, brokerSite simnet.SiteID) *Replicator {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
 	return &Replicator{
 		broker:     broker,
 		net:        net,
 		site:       site,
 		brokerSite: brokerSite,
+		Workers:    workers,
 		subs:       make(map[partition.ID]*subscription),
 	}
+}
+
+// SetObs installs apply-batch instruments under the given name prefix:
+// <prefix>repl.apply.batches (apply rounds that installed at least one
+// record) and <prefix>repl.apply.records (records installed by them).
+func (r *Replicator) SetObs(reg *obs.Registry, prefix string) {
+	r.obsBatches = reg.Counter(prefix + "repl.apply.batches")
+	r.obsRecords = reg.Counter(prefix + "repl.apply.records")
 }
 
 // Subscribe registers a replica partition, consuming the log from offset.
 func (r *Replicator) Subscribe(pid partition.ID, p *partition.Partition, offset int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if old, ok := r.subs[pid]; ok {
+		kill(old)
+	}
 	r.subs[pid] = &subscription{p: p, offset: offset}
 }
 
-// Unsubscribe stops replicating a partition (replica removal, §4.4).
+// kill marks a removed subscription so in-flight poll/apply rounds that
+// still hold its pointer become no-ops instead of mutating the copy.
+func kill(s *subscription) {
+	s.mu.Lock()
+	s.dead = true
+	s.mu.Unlock()
+}
+
+// Unsubscribe stops replicating a partition (replica removal, §4.4). When
+// it returns, no poll or apply will touch the copy again.
 func (r *Replicator) Unsubscribe(pid partition.ID) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	s := r.subs[pid]
 	delete(r.subs, pid)
+	r.mu.Unlock()
+	if s != nil {
+		kill(s)
+	}
 }
 
 // Reset drops every subscription — a site crash loses the subscriber's
@@ -90,8 +136,12 @@ func (r *Replicator) Unsubscribe(pid partition.ID) {
 // copies' replay positions.
 func (r *Replicator) Reset() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	old := r.subs
 	r.subs = make(map[partition.ID]*subscription)
+	r.mu.Unlock()
+	for _, s := range old {
+		kill(s)
+	}
 }
 
 // Subscribed reports whether the partition is replicated here.
@@ -119,8 +169,11 @@ func (r *Replicator) pollInto(pid partition.ID, s *subscription) (int, error) {
 		}
 	}
 	s.mu.Lock()
-	from := s.offset
+	from, dead := s.offset, s.dead
 	s.mu.Unlock()
+	if dead {
+		return 0, nil
+	}
 	recs, next := r.broker.Poll(pid, from, 0)
 	if len(recs) == 0 {
 		return 0, nil
@@ -136,67 +189,144 @@ func (r *Replicator) pollInto(pid partition.ID, s *subscription) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.offset != from {
-		return 0, nil // someone else polled concurrently
+	if s.dead || s.offset != from {
+		return 0, nil // unsubscribed or someone else polled concurrently
 	}
 	s.queue = append(s.queue, recs...)
 	s.offset = next
 	return len(recs), nil
 }
 
+// queueShedCap is the backing-array size above which a fully drained
+// subscription queue is released instead of recycled, so one write burst
+// does not pin a burst-sized array for the life of the subscription.
+const queueShedCap = 1024
+
 // applyQueued drains a subscription's queue up to and including version
-// upTo (or everything if upTo == 0).
+// upTo (or everything if upTo == 0) as one batch under a single queue-lock
+// acquisition. The consumed prefix is recycled in place — records are
+// shifted down and the freed tail slots zeroed so applied records'
+// entries become collectable (the old head-pop `queue = queue[1:]`
+// retained the whole backing array for as long as the subscription lived).
 func (r *Replicator) applyQueued(s *subscription, upTo uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dead {
+		return 0, nil
+	}
 	applied := 0
-	for len(s.queue) > 0 {
-		rec := s.queue[0]
+	var err error
+	for applied < len(s.queue) {
+		rec := s.queue[applied]
 		if upTo != 0 && rec.Version > upTo {
 			break
 		}
-		if err := redolog.Apply(s.p, rec); err != nil {
-			return applied, err
+		// Skip records at or below the copy's version rather than
+		// re-applying them: per-partition versions are strictly increasing,
+		// so a low record is a duplicate and re-applying it would clobber
+		// newer row data the copy already holds.
+		if rec.Version > s.p.Version() {
+			if err = redolog.Apply(s.p, rec); err != nil {
+				break
+			}
 		}
-		s.queue = s.queue[1:]
 		applied++
 	}
-	r.mu.Lock()
-	r.applied += int64(applied)
-	r.mu.Unlock()
-	return applied, nil
+	if applied > 0 {
+		rest := copy(s.queue, s.queue[applied:])
+		tail := s.queue[rest:]
+		for i := range tail {
+			tail[i] = redolog.Record{}
+		}
+		s.queue = s.queue[:rest]
+		if rest == 0 && cap(s.queue) >= queueShedCap {
+			s.queue = nil
+		}
+		r.applied.Add(int64(applied))
+		if r.obsBatches != nil {
+			r.obsBatches.Inc()
+			r.obsRecords.Add(int64(applied))
+		}
+	}
+	return applied, err
+}
+
+// pollAndApply fetches and installs one subscription's pending records,
+// returning how many it applied and the joined poll/apply error.
+func (r *Replicator) pollAndApply(pid partition.ID, s *subscription) (int, error) {
+	var errs []error
+	if _, err := r.pollInto(pid, s); err != nil {
+		errs = append(errs, fmt.Errorf("poll partition %d: %w", pid, err))
+		// Still apply whatever an earlier poll already queued.
+	}
+	n, err := r.applyQueued(s, 0)
+	if err != nil {
+		errs = append(errs, fmt.Errorf("apply partition %d: %w", pid, err))
+	}
+	return n, errors.Join(errs...)
 }
 
 // PollOnce polls every subscription and applies all queued updates,
-// returning the number of records applied. One partition's poll or apply
-// error no longer aborts the remaining subscriptions: every subscription
-// is visited and the errors are joined.
+// returning the number of records applied. Subscriptions are sharded over
+// up to Workers goroutines, so one lagging partition's poll does not delay
+// every other replica's freshness. One partition's poll or apply error does
+// not abort the remaining subscriptions: every subscription is visited and
+// the errors are joined.
 func (r *Replicator) PollOnce() (int, error) {
 	r.mu.Lock()
 	pids := make([]partition.ID, 0, len(r.subs))
-	for pid := range r.subs {
+	subs := make([]*subscription, 0, len(r.subs))
+	for pid, s := range r.subs {
 		pids = append(pids, pid)
+		subs = append(subs, s)
 	}
 	r.mu.Unlock()
 
-	total := 0
-	var errs []error
-	for _, pid := range pids {
-		s := r.sub(pid)
-		if s == nil {
-			continue
-		}
-		if _, err := r.pollInto(pid, s); err != nil {
-			errs = append(errs, fmt.Errorf("poll partition %d: %w", pid, err))
-			// Still apply whatever an earlier poll already queued.
-		}
-		n, err := r.applyQueued(s, 0)
-		total += n
-		if err != nil {
-			errs = append(errs, fmt.Errorf("apply partition %d: %w", pid, err))
-		}
+	workers := r.Workers
+	if workers > len(pids) {
+		workers = len(pids)
 	}
-	return total, errors.Join(errs...)
+	if workers <= 1 {
+		total := 0
+		var errs []error
+		for i, pid := range pids {
+			n, err := r.pollAndApply(pid, subs[i])
+			total += n
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return total, errors.Join(errs...)
+	}
+
+	var (
+		next   atomic.Int64
+		total  atomic.Int64
+		errsMu sync.Mutex
+		errs   []error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pids) {
+					return
+				}
+				n, err := r.pollAndApply(pids[i], subs[i])
+				total.Add(int64(n))
+				if err != nil {
+					errsMu.Lock()
+					errs = append(errs, err)
+					errsMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(total.Load()), errors.Join(errs...)
 }
 
 // Drain polls and applies until the replica has consumed every record the
@@ -332,11 +462,7 @@ func (r *Replicator) Run(interval time.Duration, stop <-chan struct{}) {
 }
 
 // Applied reports cumulative applied records.
-func (r *Replicator) Applied() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.applied
-}
+func (r *Replicator) Applied() int64 { return r.applied.Load() }
 
 // approxRecordBytes estimates a record's wire size for network charging.
 func approxRecordBytes(rec redolog.Record) int {

@@ -213,3 +213,79 @@ func TestOffsetsTrackConsumption(t *testing.T) {
 		t.Error("unsubscribed partition still reported")
 	}
 }
+
+func TestParallelPollOnceAppliesAllSubscriptions(t *testing.T) {
+	// More subscriptions than workers: the sharded PollOnce must still
+	// visit every subscription and apply everything pending.
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	r.Workers = 4
+	const parts = 16
+	ps := make([]*partition.Partition, parts)
+	for i := 0; i < parts; i++ {
+		pid := partition.ID(i + 1)
+		ps[i] = newPart(pid)
+		r.Subscribe(pid, ps[i], 0)
+		for v := uint64(1); v <= 5; v++ {
+			broker.Append(insertRec(pid, v, schema.RowID(v)))
+		}
+	}
+	n, err := r.PollOnce()
+	if err != nil || n != parts*5 {
+		t.Fatalf("applied %d, %v; want %d", n, err, parts*5)
+	}
+	for i, p := range ps {
+		if p.Version() != 5 {
+			t.Errorf("partition %d version = %d", i+1, p.Version())
+		}
+		if _, ok := p.Get(5, []schema.ColID{0}, storage.Latest); !ok {
+			t.Errorf("partition %d missing replicated row", i+1)
+		}
+	}
+}
+
+func TestPollOnceConcurrentWithUnsubscribe(t *testing.T) {
+	// Unsubscribe racing a parallel PollOnce must never let a dead
+	// subscription apply afterwards: once Unsubscribe returns, the
+	// partition's state is frozen from replication's point of view.
+	broker := redolog.NewBroker()
+	r := New(broker, nil, 1, simnet.ASASite)
+	r.Workers = 4
+	const parts = 8
+	ps := make([]*partition.Partition, parts)
+	for i := 0; i < parts; i++ {
+		pid := partition.ID(i + 1)
+		ps[i] = newPart(pid)
+		r.Subscribe(pid, ps[i], 0)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < parts; i++ {
+				broker.Append(insertRec(partition.ID(i+1), v, schema.RowID(v)))
+			}
+			if _, err := r.PollOnce(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	victim := ps[3]
+	r.Unsubscribe(4)
+	frozen := victim.Version()
+	time.Sleep(2 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := victim.Version(); got != frozen {
+		t.Errorf("unsubscribed partition advanced %d -> %d", frozen, got)
+	}
+}

@@ -181,6 +181,7 @@ func (s *Site) SetObs(reg *obs.Registry) {
 	prefix := fmt.Sprintf("site%d.", s.ID)
 	s.maintRows = reg.Counter(prefix + "maintain.rows")
 	s.maintLat = reg.Recorder(prefix+"maintain.latency", 1<<10)
+	s.Repl.SetObs(reg, prefix)
 }
 
 // Close stops the worker pools.
@@ -393,7 +394,11 @@ func (s *Site) DiskUsage() int64 { return s.Dev.Used() }
 // attributed to the layout that deferred it.
 func (s *Site) Maintain(threshold int) {
 	for _, p := range s.Partitions() {
-		merged, d, err := p.Maintain(p.Version(), threshold)
+		// Fold at Latest, not p.Version(): group-committed rows are
+		// staged above the installed version until the commit flusher
+		// installs them, and a fold at the installed version would
+		// discard them.
+		merged, d, err := p.Maintain(storage.Latest, threshold)
 		if err != nil || merged == 0 {
 			continue
 		}

@@ -31,4 +31,11 @@ echo "== scan benchmark (non-gating)"
 # informational on shared CI hardware; a failure here does not gate the run.
 go run ./cmd/proteus-bench -exp scan -scale quick || echo "scan benchmark failed (non-gating)"
 
+echo "== oltp commit-pipeline benchmark (non-gating)"
+# Regenerates BENCH_oltp.json (group commit vs serial inline commit) and
+# prints the commit-path microbenchmarks. Informational on shared CI
+# hardware; a failure here does not gate the run.
+go run ./cmd/proteus-bench -exp oltp -scale quick || echo "oltp benchmark failed (non-gating)"
+go test -run XXX -bench 'BenchmarkTxn(Group|Serial)Commit' -benchtime 0.5s ./internal/cluster/ || echo "txn benchmarks failed (non-gating)"
+
 echo "ok"
