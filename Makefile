@@ -17,5 +17,9 @@ chaos:
 check:
 	./scripts/ci.sh
 
+# bench runs the scan benchmarks and the row-vs-batch kernel
+# microbenchmarks with allocation stats, archiving the run under results/.
 bench:
-	go test -bench . -benchtime 100x .
+	mkdir -p results
+	go test -run XXX -bench 'BenchmarkScan' -benchmem . | tee results/bench-$$(date +%Y-%m-%d).txt
+	go test -run XXX -bench 'BenchmarkBatchKernels' -benchmem ./internal/exec/ | tee -a results/bench-$$(date +%Y-%m-%d).txt

@@ -1,0 +1,133 @@
+package proteus
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/types"
+)
+
+// The deprecated free-function builders must stay observationally identical
+// to the chainable builder now that both execute over the columnar batch
+// path. Each test builds the same logical query both ways and compares
+// results exactly (both run the same plan, so even float aggregates match
+// bit-for-bit).
+
+func runQuery(t *testing.T, s *Session, q Queryable) [][]Value {
+	t.Helper()
+	res, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]Value, res.NumRows())
+	for i := range out {
+		out[i] = append([]Value(nil), res.Row(i)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if c := types.Compare(out[i][k], out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func sameResults(t *testing.T, name string, got, want [][]Value) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s row %d: width %d, want %d", name, i, len(got[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			if types.Compare(got[i][k], want[i][k]) != 0 {
+				t.Fatalf("%s row %d col %d: %v, want %v", name, i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestCompatScanWhereMatchesBuilder(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	old := WhereCol(Scan(tbl, "id", "amount"), tbl, "amount", Ge, Float64Value(40))
+	neu := tbl.Scan("id", "amount").Where("amount", Ge, Float64Value(40))
+	got, want := runQuery(t, s, old), runQuery(t, s, neu)
+	if len(got) != 60 {
+		t.Fatalf("rows = %d, want 60", len(got))
+	}
+	sameResults(t, "scan-where", got, want)
+}
+
+func TestCompatAggregatesMatchBuilder(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	cases := []struct {
+		name string
+		old  Queryable
+		neu  Queryable
+	}{
+		{"sum", Sum(WhereCol(Scan(tbl, "amount"), tbl, "region", Eq, Int64Value(2)), tbl, "amount"),
+			tbl.Scan("amount").Where("region", Eq, Int64Value(2)).Sum("amount")},
+		{"count", Count(Scan(tbl, "id"), tbl),
+			tbl.Scan("id").Count()},
+		{"min", Min(Scan(tbl, "amount"), tbl, "amount"),
+			tbl.Scan("amount").Min("amount")},
+		{"max", Max(Scan(tbl, "amount"), tbl, "amount"),
+			tbl.Scan("amount").Max("amount")},
+		{"avg", Avg(WhereCol(Scan(tbl, "amount"), tbl, "amount", Lt, Float64Value(50)), tbl, "amount"),
+			tbl.Scan("amount").Where("amount", Lt, Float64Value(50)).Avg("amount")},
+	}
+	for _, tc := range cases {
+		got, want := runQuery(t, s, tc.old), runQuery(t, s, tc.neu)
+		if len(got) != 1 {
+			t.Fatalf("%s: %d rows", tc.name, len(got))
+		}
+		sameResults(t, tc.name, got, want)
+	}
+}
+
+func TestCompatJoinMatchesBuilder(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	dim, err := db.CreateTable("regions2", []Column{
+		{Name: "rid", Kind: Int64},
+		{Name: "weight", Kind: Float64},
+	}, TableOptions{MaxRows: 100, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for i := int64(0); i < 4; i++ {
+		rows = append(rows, Row{ID: RowID(i), Values: []Value{Int64Value(i), Float64Value(float64(i) * 10)}})
+	}
+	if err := db.Load(context.Background(), dim, rows); err != nil {
+		t.Fatal(err)
+	}
+	old := Join(Scan(tbl, "id", "region"), tbl, "region", Scan(dim, "rid", "weight"), dim, "rid")
+	neu := tbl.Scan("id", "region").Join(dim.Scan("rid", "weight"), "region", "rid")
+	got, want := runQuery(t, s, old), runQuery(t, s, neu)
+	if len(got) != 100 {
+		t.Fatalf("join rows = %d, want 100", len(got))
+	}
+	sameResults(t, "join", got, want)
+}
+
+func TestCompatGroupByMatchesBuilder(t *testing.T) {
+	db, tbl := openTest(t)
+	s := db.Session()
+	aggs := []exec.AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}, {Func: AggAvg, Col: 1}}
+	old := GroupBy(Scan(tbl, "region", "amount"), []int{0}, aggs)
+	neu := tbl.Scan("region", "amount").GroupBy([]int{0}, aggs)
+	got, want := runQuery(t, s, old), runQuery(t, s, neu)
+	if len(got) != 4 {
+		t.Fatalf("groups = %d, want 4", len(got))
+	}
+	sameResults(t, "groupby", got, want)
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// TestMorselVerticalPieceFallback pins the eligibility rule for vertically
+// partitioned scans: a scan whose projection spans both vertical pieces has
+// no covering piece, must fall back to the legacy row-id-stitching path
+// (scheduling zero morsels), and must still return correct results. A scan
+// confined to one piece stays on the morsel executor.
+func TestMorselVerticalPieceFallback(t *testing.T) {
+	e, tbl := newTestEngine(t, ModeRowStore, 2, 1, 60)
+	sess := e.NewSession()
+	parts := e.Dir.TablePartitions(tbl.ID)
+	// Pieces after the split: cols [0,2) and cols [2,4).
+	if err := e.SplitV(parts[0].ID, 2, storage.DefaultRowLayout(), storage.DefaultColumnLayout()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spanning scan: projection {1, 2} needs both pieces.
+	before := e.MetricsSnapshot().Counters["exec.morsels.scheduled"]
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{1, 2},
+		Pred: storage.Pred{{Col: 0, Op: storage.CmpLt, Val: types.NewInt64(20)}}}}
+	res, err := e.ExecuteQuery(context.Background(), sess, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 20 {
+		t.Fatalf("spanning scan rows = %d, want 20", len(res.Tuples))
+	}
+	if got := e.MetricsSnapshot().Counters["exec.morsels.scheduled"] - before; got != 0 {
+		t.Errorf("spanning vertical scan scheduled %d morsels, want legacy fallback (0)", got)
+	}
+
+	// Confined scan: projection and predicate inside the first piece.
+	before = e.MetricsSnapshot().Counters["exec.morsels.scheduled"]
+	q2 := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 1},
+		Pred: storage.Pred{{Col: 0, Op: storage.CmpGe, Val: types.NewInt64(30)}}}}
+	res2, err := e.ExecuteQuery(context.Background(), sess, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Tuples) != 30 {
+		t.Fatalf("confined scan rows = %d, want 30", len(res2.Tuples))
+	}
+	if got := e.MetricsSnapshot().Counters["exec.morsels.scheduled"] - before; got == 0 {
+		t.Error("confined vertical scan did not use the morsel executor")
+	}
+}
+
+// TestStreamAbandonedCursorReturnsBatches abandons streaming cursors with
+// batches in flight and checks two invariants beyond goroutine cleanup:
+// the workers' backpressure channel drains, and every pooled batch is
+// returned (pool gets == puts once the workers exit), so an abandoned
+// stream leaks neither goroutines nor batch buffers.
+func TestStreamAbandonedCursorReturnsBatches(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeColumnStore, 2, 4, 20000, func(c *Config) {
+		c.MorselRows = 32
+		c.ScanBatchRows = 64
+	})
+	sess := e.NewSession()
+	q := &query.Query{Root: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 1, 2}}}
+
+	baselineGoroutines := runtime.NumGoroutine()
+	baselineBalance := storage.BatchPoolBalance()
+	for i := 0; i < 8; i++ {
+		cur, err := e.ExecuteQueryStream(context.Background(), sess, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3 && cur.Next(); k++ {
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bal := storage.BatchPoolBalance()
+		if runtime.NumGoroutine() <= baselineGoroutines+3 && bal == baselineBalance {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned streams leaked: %d goroutines (baseline %d), pool balance %d (baseline %d)",
+				runtime.NumGoroutine(), baselineGoroutines, bal, baselineBalance)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := storage.ReadBatchStats()
+	if st.Batches == 0 || st.PoolGets == 0 {
+		t.Fatalf("batch pipeline unused: %+v", st)
+	}
+}
+
+// TestBatchMetricsExported checks the engine snapshot carries the batch
+// pipeline counters and derived gauges after a filtered aggregate ran.
+func TestBatchMetricsExported(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeColumnStore, 2, 4, 2000, nil)
+	q := &query.Query{Root: &query.AggNode{
+		Child: &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{2},
+			Pred: storage.Pred{{Col: 1, Op: storage.CmpLt, Val: types.NewInt64(5)}}},
+		Aggs: []exec.AggSpec{{Func: exec.AggSum, Col: 0}},
+	}}
+	if _, err := e.ExecuteQuery(context.Background(), e.NewSession(), q); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.MetricsSnapshot()
+	if snap.Counters["exec.batches.count"] == 0 {
+		t.Error("exec.batches.count not exported")
+	}
+	if snap.Counters["exec.batches.rows_scanned"] == 0 {
+		t.Error("exec.batches.rows_scanned not exported")
+	}
+	if _, ok := snap.Gauges["exec.batches.selectivity_pct"]; !ok {
+		t.Error("exec.batches.selectivity_pct gauge missing")
+	}
+	if snap.Counters["exec.batches.pool_gets"] < snap.Counters["exec.batches.pool_hits"] {
+		t.Error("pool hit accounting inconsistent")
+	}
+}

@@ -687,6 +687,19 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 		applied += s.Repl.Applied()
 	}
 	snap.Counters["repl.applied"] = applied
+	bs := storage.ReadBatchStats()
+	snap.Counters["exec.batches.count"] = bs.Batches
+	snap.Counters["exec.batches.rows_scanned"] = bs.RowsScanned
+	snap.Counters["exec.batches.rows_selected"] = bs.RowsSelected
+	snap.Counters["exec.batches.pool_gets"] = bs.PoolGets
+	snap.Counters["exec.batches.pool_hits"] = bs.PoolHits
+	snap.Counters["exec.batches.pool_puts"] = bs.PoolPuts
+	if bs.RowsScanned > 0 {
+		snap.Gauges["exec.batches.selectivity_pct"] = 100 * bs.RowsSelected / bs.RowsScanned
+	}
+	if bs.PoolGets > 0 {
+		snap.Gauges["exec.batches.pool_hit_pct"] = 100 * bs.PoolHits / bs.PoolGets
+	}
 	snap.Counters["asa.decisions"] = e.Trace.Total()
 	if e.Advisor != nil {
 		snap.Counters["asa.changes"] = e.Advisor.Changes()

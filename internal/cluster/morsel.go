@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,14 +43,50 @@ func (e *Engine) scanBatchRows() int {
 }
 
 // morselEligible reports whether the morsel executor can run a scan: every
-// segment must be a single vertical piece (vertically partitioned scans
-// stitch by row id on the legacy path).
+// segment must resolve to one vertical piece that alone covers the
+// projection and predicate — either the segment's lone piece, or, for
+// vertically partitioned segments, a piece whose partition holds every
+// needed column. Splits with no covering piece stitch results by row id
+// across pieces and stay on the legacy path.
 func (e *Engine) morselEligible(ps *plan.PScan) bool {
 	if e.cfg.DisableMorselExec || len(ps.Segments) == 0 {
 		return false
 	}
 	for _, seg := range ps.Segments {
-		if len(seg.Pieces) != 1 {
+		if _, ok := morselPiece(ps, seg); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// morselPiece selects the vertical piece the morsel executor can scan on
+// its own: the segment's lone piece, or the first piece whose partition
+// bounds contain every projected column and every predicate column (the
+// vertical pieces of one segment tile the same row range, so one covering
+// piece yields exactly the rows the stitched scan would).
+func morselPiece(ps *plan.PScan, seg plan.RowSegment) (plan.ScanPart, bool) {
+	if len(seg.Pieces) == 1 {
+		return seg.Pieces[0], true
+	}
+	for _, piece := range seg.Pieces {
+		if pieceCovers(piece, ps) {
+			return piece, true
+		}
+	}
+	return plan.ScanPart{}, false
+}
+
+// pieceCovers reports whether the piece's partition holds every column the
+// scan projects or filters on.
+func pieceCovers(piece plan.ScanPart, ps *plan.PScan) bool {
+	for _, c := range ps.Cols {
+		if !piece.Meta.Bounds.ContainsCol(c) {
+			return false
+		}
+	}
+	for _, cond := range ps.Pred {
+		if !piece.Meta.Bounds.ContainsCol(cond.Col) {
 			return false
 		}
 	}
@@ -119,7 +156,11 @@ func (e *Engine) buildMorselJob(ctx context.Context, ps *plan.PScan, snap txn.Ve
 	scheduled := 0
 	byPart := map[*partition.Partition]*partScan{}
 	for _, seg := range ps.Segments {
-		piece := seg.Pieces[0]
+		piece, ok := morselPiece(ps, seg)
+		if !ok {
+			cancel()
+			return nil, fmt.Errorf("morsel: no covering piece for segment [%d,%d)", seg.Lo, seg.Hi)
+		}
 		p, err := e.sitePartition(piece.Meta.ID, piece.Copy.Site, snap[piece.Meta.ID])
 		if err != nil {
 			cancel()
@@ -175,6 +216,15 @@ func (e *Engine) buildMorselJob(ctx context.Context, ps *plan.PScan, snap txn.Ve
 func (u morselUnit) scanUnit(fn func(schema.Row) bool) {
 	start := time.Now()
 	partition.ScanStoreRange(u.ps.st, u.ps.lcols, u.ps.lp, u.lo, u.hi, u.ps.snap, fn)
+	u.ps.nanos.Add(int64(time.Since(start)))
+}
+
+// scanUnitBatches runs one morsel through the columnar batch path,
+// streaming pooled batches into fn and charging the work to the unit's
+// partition. Batches are only valid inside fn.
+func (u morselUnit) scanUnitBatches(maxRows int, fn func(*storage.Batch) bool) {
+	start := time.Now()
+	partition.ScanStoreBatchRange(u.ps.st, u.ps.lcols, u.ps.lp, u.lo, u.hi, u.ps.snap, maxRows, fn)
 	u.ps.nanos.Add(int64(time.Since(start)))
 }
 
@@ -249,9 +299,13 @@ func (j *morselJob) runRows(out chan<- exec.Rel) {
 			}
 			for u := range feed {
 				u := u
-				u.scanUnit(func(r schema.Row) bool {
-					u.ps.rows.Add(1)
-					batch = append(batch, r.Vals)
+				u.scanUnitBatches(batchRows, func(b *storage.Batch) bool {
+					n := b.Len()
+					if n == 0 {
+						return j.ctx.Err() == nil
+					}
+					u.ps.rows.Add(int64(n))
+					batch = b.AppendTuples(batch)
 					if len(batch) >= batchRows {
 						return flush()
 					}
@@ -280,6 +334,7 @@ func (j *morselJob) runRows(out chan<- exec.Rel) {
 // finalizes over the concatenated partials exactly as the legacy two-phase
 // path does.
 func (j *morselJob) runAgg(groupBy []int, specs []exec.AggSpec) (exec.Rel, error) {
+	batchRows := j.e.scanBatchRows()
 	var mu sync.Mutex
 	var partials exec.Rel
 	var scatter sync.WaitGroup
@@ -296,9 +351,9 @@ func (j *morselJob) runAgg(groupBy []int, specs []exec.AggSpec) (exec.Rel, error
 					agg := exec.NewAggregator(groupBy, specs)
 					for u := range feed {
 						u := u
-						u.scanUnit(func(r schema.Row) bool {
-							u.ps.rows.Add(1)
-							agg.Observe(r.Vals)
+						u.scanUnitBatches(batchRows, func(b *storage.Batch) bool {
+							u.ps.rows.Add(int64(b.Len()))
+							agg.ObserveBatch(b)
 							return j.ctx.Err() == nil
 						})
 						if j.ctx.Err() != nil {

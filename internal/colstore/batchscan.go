@@ -1,0 +1,195 @@
+package colstore
+
+// Native vectorized scan over the merged column representation. The fast
+// path (no delta rows pending) never materializes rows: predicate
+// conditions run as typed filter kernels composing a selection vector, RLE
+// columns evaluate each run once and skip failing runs wholesale, and the
+// output batch carries zero-copy views over the column arrays (RLE columns
+// expand only the selected chunk into the batch's pooled buffers). With
+// delta rows pending, the existing ordered merge streams through pooled
+// batches instead — correctness is identical either way because the row
+// Scan is itself a shim over this path.
+
+import (
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// batchScan is one merged-view vectorized scan over base positions
+// [lo, hi) with optional row-id clipping (the morsel range contract on
+// value-sorted layouts, where positions interleave ids arbitrarily).
+type batchScan struct {
+	rowIDs     []schema.RowID
+	col        func(schema.ColID) *colData
+	sortBy     schema.ColID
+	lo, hi     int
+	overridden map[schema.RowID]bool
+	live       []deltaRow
+	cols       []schema.ColID
+	pred       storage.Pred
+	clip       bool
+	idLo, idHi schema.RowID
+	maxRows    int
+}
+
+func (s *batchScan) run(fn func(*storage.Batch) bool) {
+	if s.maxRows <= 0 {
+		s.maxRows = storage.DefaultBatchRows
+	}
+	b := storage.GetBatch(len(s.cols))
+	defer storage.PutBatch(b)
+	if len(s.overridden) == 0 && len(s.live) == 0 {
+		s.fast(b, fn)
+		return
+	}
+	s.slow(b, fn)
+}
+
+// fast vectorizes the delta-free case chunk by chunk.
+func (s *batchScan) fast(b *storage.Batch, fn func(*storage.Batch) bool) {
+	var scratchA, scratchB []int32
+	useA := true
+	nextBuf := func() []int32 {
+		if useA {
+			return scratchA[:0]
+		}
+		return scratchB[:0]
+	}
+	keepBuf := func(dst []int32) {
+		if useA {
+			scratchA = dst
+		} else {
+			scratchB = dst
+		}
+		useA = !useA
+	}
+	for p0 := s.lo; p0 < s.hi; p0 += s.maxRows {
+		p1 := p0 + s.maxRows
+		if p1 > s.hi {
+			p1 = s.hi
+		}
+		n := p1 - p0
+
+		var sel []int32 // nil = all n rows selected
+		pruned := false
+		for _, cond := range s.pred {
+			dst := filterColRange(nextBuf(), sel, s.col(cond.Col), p0, p1, cond.Op, cond.Val)
+			keepBuf(dst)
+			sel = dst
+			if len(sel) == 0 {
+				pruned = true
+				break
+			}
+		}
+		if !pruned && s.clip {
+			dst := nextBuf()
+			if sel == nil {
+				for p := p0; p < p1; p++ {
+					if id := s.rowIDs[p]; id >= s.idLo && id < s.idHi {
+						dst = append(dst, int32(p-p0))
+					}
+				}
+			} else {
+				for _, si := range sel {
+					if id := s.rowIDs[p0+int(si)]; id >= s.idLo && id < s.idHi {
+						dst = append(dst, si)
+					}
+				}
+			}
+			keepBuf(dst)
+			sel = dst
+			pruned = len(sel) == 0
+		}
+		if pruned {
+			storage.RecordPrunedRows(n)
+			continue
+		}
+
+		b.Reset(len(s.cols))
+		b.SetRowIDsView(s.rowIDs[p0:p1])
+		b.Sel = sel
+		for i, cID := range s.cols {
+			c := s.col(cID)
+			if c.rle {
+				c.fillVec(&b.Vecs[i], p0, p1)
+			} else {
+				b.Vecs[i] = c.viewVec(p0, p1)
+			}
+		}
+		if !storage.EmitBatch(b, fn) {
+			return
+		}
+	}
+}
+
+// filterColRange appends to dst the batch-relative indexes in [p0, p1)
+// (restricted to sel when non-nil, ascending) whose value satisfies
+// (op, val). RLE columns evaluate each run once and skip failing runs
+// without expansion.
+func filterColRange(dst []int32, sel []int32, c *colData, p0, p1 int, op storage.CmpOp, val types.Value) []int32 {
+	if !c.rle {
+		v := c.viewVec(p0, p1)
+		return storage.FilterVec(dst, sel, p1-p0, &v, op, val)
+	}
+	nr := len(c.runStart) - 1
+	if sel == nil {
+		for r := c.runIndex(p0); r < nr && int(c.runStart[r]) < p1; r++ {
+			if !op.Eval(c.runVal(r), val) {
+				continue // whole run skipped
+			}
+			st := int(c.runStart[r])
+			if st < p0 {
+				st = p0
+			}
+			en := int(c.runStart[r+1])
+			if en > p1 {
+				en = p1
+			}
+			for p := st; p < en; p++ {
+				dst = append(dst, int32(p-p0))
+			}
+		}
+		return dst
+	}
+	r := c.runIndex(p0)
+	cur, keep := -1, false
+	for _, si := range sel {
+		p := p0 + int(si)
+		for r+1 < nr && int(c.runStart[r+1]) <= p {
+			r++
+		}
+		if r != cur {
+			keep = op.Eval(c.runVal(r), val)
+			cur = r
+		}
+		if keep {
+			dst = append(dst, si)
+		}
+	}
+	return dst
+}
+
+// slow streams the ordered delta merge through pooled batches.
+func (s *batchScan) slow(b *storage.Batch, fn func(*storage.Batch) bool) {
+	b.Reset(len(s.cols))
+	getCol := func(cID schema.ColID) func(int) types.Value { return s.col(cID).iter() }
+	stopped := false
+	mergeScan(s.rowIDs, getCol, s.sortBy, s.lo, s.hi, s.overridden, s.live, s.cols, s.pred, func(r schema.Row) bool {
+		if s.clip && (r.ID < s.idLo || r.ID >= s.idHi) {
+			return true
+		}
+		b.AppendRow(r.ID, r.Vals)
+		if b.NumRows() >= s.maxRows {
+			if !storage.EmitBatch(b, fn) {
+				stopped = true
+				return false
+			}
+			b.Reset(len(s.cols))
+		}
+		return true
+	})
+	if !stopped && b.NumRows() > 0 {
+		storage.EmitBatch(b, fn)
+	}
+}

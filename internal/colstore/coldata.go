@@ -1,6 +1,6 @@
 // Package colstore implements Proteus' column-oriented (decomposition
 // storage model) layouts (§4.1.2 of the paper): in-memory columns held in
-// data arrays with offset/position index arrays, optional total sort order
+// typed data arrays with a position index, optional total sort order
 // and run-length-encoded compression, a delta store buffering updates as
 // rows in a hash table keyed by row_id, and a Parquet-like on-disk format
 // storing metadata (index arrays) followed by per-column value blocks.
@@ -11,37 +11,55 @@ import (
 	"sort"
 
 	"proteus/internal/schema"
+	"proteus/internal/storage"
 	"proteus/internal/types"
 )
 
-// colData is one column's storage: values in position order, encoded into a
-// single data array, with a position index giving each entry's byte offset
-// (the paper's "position array"; the shared rowIDs slice is the "offset
-// array" mapping array positions to row_ids). When compressed, values are
-// run-length encoded: each run is prefixed by a 4-byte count (§4.1.2), and
-// operators work directly over the runs without expanding them.
+// colData is one column's storage: values in position order, held in a
+// typed array chosen by kind (the vectorized scan path hands out zero-copy
+// views over these arrays; the shared rowIDs slice is the "offset array"
+// mapping array positions to row_ids). When compressed, values are
+// run-length encoded (§4.1.2): runStart maps run index -> first covered
+// position (with a sentinel n at the end) and the run values live in typed
+// run arrays; operators work directly over the runs without expanding
+// them. The byte-encoded form only exists on disk — serialize renders it
+// and deserializeCol parses it back into typed arrays.
 type colData struct {
 	kind types.Kind
-	// Uncompressed representation.
-	data []byte
-	offs []uint32 // position -> offset into data; len = n+1
+	cnt  int // number of stored positions
+
+	// Uncompressed representation (position-indexed). Exactly one payload
+	// array is populated, per kind; nulls is non-nil only when the column
+	// holds NULLs.
+	i64   []int64
+	f64   []float64
+	str   []string
+	nulls []bool
+	// dataBytes approximates the encoded size of the value bytes (the sum
+	// of types.VarWidth), preserving the byte accounting of the previous
+	// byte-array representation for Stats and the ASA's space model.
+	dataBytes int
+
 	// Compressed (RLE) representation.
 	rle      bool
-	runData  []byte   // concatenated [4-byte count][encoded value] runs
-	runStart []uint32 // run index -> first covered position; sentinel n at end
-	runOff   []uint32 // run index -> offset of the run's value bytes in runData
+	runStart []uint32 // run index -> first covered position; sentinel cnt at end
+	rI64     []int64
+	rF64     []float64
+	rStr     []string
+	rNulls   []bool
+	// runBytes approximates the encoded run bytes ([4-byte count][value]).
+	runBytes int
 }
 
 // buildCol encodes vals (already in position order) into a column.
 func buildCol(kind types.Kind, vals []types.Value, compress bool) *colData {
-	c := &colData{kind: kind}
+	c := &colData{kind: kind, cnt: len(vals)}
 	if !compress {
-		c.offs = make([]uint32, 0, len(vals)+1)
-		for _, v := range vals {
-			c.offs = append(c.offs, uint32(len(c.data)))
-			c.data = types.AppendVar(c.data, v)
+		c.alloc(len(vals))
+		for p, v := range vals {
+			c.setUncompressed(p, v)
+			c.dataBytes += types.VarWidth(v)
 		}
-		c.offs = append(c.offs, uint32(len(c.data)))
 		return c
 	}
 	c.rle = true
@@ -52,60 +70,140 @@ func buildCol(kind types.Kind, vals []types.Value, compress bool) *colData {
 			j++
 		}
 		c.runStart = append(c.runStart, uint32(i))
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], uint32(j-i))
-		c.runData = append(c.runData, cnt[:]...)
-		c.runOff = append(c.runOff, uint32(len(c.runData)))
-		c.runData = types.AppendVar(c.runData, vals[i])
+		c.appendRun(vals[i])
+		c.runBytes += 4 + types.VarWidth(vals[i])
 		i = j
 	}
 	c.runStart = append(c.runStart, uint32(len(vals)))
 	return c
 }
 
-// n reports the number of stored positions.
-func (c *colData) n() int {
-	if c.rle {
-		if len(c.runStart) == 0 {
-			return 0
-		}
-		return int(c.runStart[len(c.runStart)-1])
+// alloc sizes the payload array for n uncompressed positions.
+func (c *colData) alloc(n int) {
+	switch c.kind {
+	case types.KindFloat64:
+		c.f64 = make([]float64, n)
+	case types.KindString:
+		c.str = make([]string, n)
+	default:
+		c.i64 = make([]int64, n)
 	}
-	if len(c.offs) == 0 {
-		return 0
-	}
-	return len(c.offs) - 1
 }
 
-// bytes reports the column's data-array footprint.
+// setUncompressed stores v at position p (the payload array is allocated).
+func (c *colData) setUncompressed(p int, v types.Value) {
+	if v.IsNull() {
+		if c.nulls == nil {
+			c.nulls = make([]bool, c.cnt)
+		}
+		c.nulls[p] = true
+		return
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		c.f64[p] = v.Float()
+	case types.KindString:
+		c.str[p] = v.S
+	default:
+		c.i64[p] = v.I
+	}
+}
+
+// appendRun stores the next run's value (runs arrive in order).
+func (c *colData) appendRun(v types.Value) {
+	if v.IsNull() && c.rNulls == nil {
+		c.rNulls = make([]bool, c.runCount())
+	}
+	if c.rNulls != nil {
+		c.rNulls = append(c.rNulls, v.IsNull())
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		c.rF64 = append(c.rF64, v.Float())
+	case types.KindString:
+		c.rStr = append(c.rStr, v.S)
+	default:
+		c.rI64 = append(c.rI64, v.I)
+	}
+}
+
+// runCount reports the number of runs stored so far.
+func (c *colData) runCount() int {
+	switch c.kind {
+	case types.KindFloat64:
+		return len(c.rF64)
+	case types.KindString:
+		return len(c.rStr)
+	default:
+		return len(c.rI64)
+	}
+}
+
+// uncompressedVal boxes the value at position p of an uncompressed column.
+func (c *colData) uncompressedVal(p int) types.Value {
+	if c.nulls != nil && c.nulls[p] {
+		return types.Null()
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		return types.Value{K: types.KindFloat64, F: c.f64[p]}
+	case types.KindString:
+		return types.Value{K: types.KindString, S: c.str[p]}
+	case types.KindNull:
+		return types.Null()
+	default:
+		return types.Value{K: c.kind, I: c.i64[p]}
+	}
+}
+
+// runVal boxes run r's value.
+func (c *colData) runVal(r int) types.Value {
+	if c.rNulls != nil && c.rNulls[r] {
+		return types.Null()
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		return types.Value{K: types.KindFloat64, F: c.rF64[r]}
+	case types.KindString:
+		return types.Value{K: types.KindString, S: c.rStr[r]}
+	case types.KindNull:
+		return types.Null()
+	default:
+		return types.Value{K: c.kind, I: c.rI64[r]}
+	}
+}
+
+// runIndex finds the run covering position p by binary search.
+func (c *colData) runIndex(p int) int {
+	return sort.Search(len(c.runStart)-1, func(i int) bool { return c.runStart[i+1] > uint32(p) })
+}
+
+// n reports the number of stored positions.
+func (c *colData) n() int { return c.cnt }
+
+// bytes reports the column's data-array footprint (encoded-size accounting,
+// matching the serialized form's index + value bytes).
 func (c *colData) bytes() int {
 	if c.rle {
-		return len(c.runData) + 4*len(c.runStart) + 4*len(c.runOff)
+		return c.runBytes + 4*len(c.runStart) + 4*c.runCount()
 	}
-	return len(c.data) + 4*len(c.offs)
+	return c.dataBytes + 4*(c.cnt+1)
 }
 
 // get decodes the value at position pos (random access; sequential access
 // should prefer iter).
 func (c *colData) get(pos int) types.Value {
 	if c.rle {
-		// Binary search the run covering pos.
-		r := sort.Search(len(c.runStart)-1, func(i int) bool { return c.runStart[i+1] > uint32(pos) })
-		v, _ := types.DecodeVar(c.runData[c.runOff[r]:], c.kind)
-		return v
+		return c.runVal(c.runIndex(pos))
 	}
-	v, _ := types.DecodeVar(c.data[c.offs[pos]:], c.kind)
-	return v
+	return c.uncompressedVal(pos)
 }
 
 // iter returns a sequential accessor: calling it with strictly increasing
-// positions decodes each RLE run only once.
+// positions resolves each RLE run only once.
 func (c *colData) iter() func(pos int) types.Value {
 	if !c.rle {
-		return func(pos int) types.Value {
-			v, _ := types.DecodeVar(c.data[c.offs[pos]:], c.kind)
-			return v
-		}
+		return func(pos int) types.Value { return c.uncompressedVal(pos) }
 	}
 	run := 0
 	var cur types.Value
@@ -116,20 +214,62 @@ func (c *colData) iter() func(pos int) types.Value {
 		}
 		// Allow backward jumps by re-searching.
 		if run < len(c.runStart)-1 && c.runStart[run] > uint32(pos) {
-			run = sort.Search(len(c.runStart)-1, func(i int) bool { return c.runStart[i+1] > uint32(pos) })
+			run = c.runIndex(pos)
 			decoded = -1
 		}
 		if decoded != run {
-			cur, _ = types.DecodeVar(c.runData[c.runOff[run]:], c.kind)
+			cur = c.runVal(run)
 			decoded = run
 		}
 		return cur
 	}
 }
 
-// serialize appends the column's disk representation: a small header, the
+// viewVec wraps positions [lo, hi) of an uncompressed column as a
+// zero-copy vector view (the batch fast path). The column must not be RLE.
+func (c *colData) viewVec(lo, hi int) storage.Vec {
+	var nulls []bool
+	if c.nulls != nil {
+		nulls = c.nulls[lo:hi]
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		return storage.ViewVec(c.kind, nil, c.f64[lo:hi], nil, nulls)
+	case types.KindString:
+		return storage.ViewVec(c.kind, nil, nil, c.str[lo:hi], nulls)
+	default:
+		return storage.ViewVec(c.kind, c.i64[lo:hi], nil, nil, nulls)
+	}
+}
+
+// fillVec expands positions [lo, hi) into v (RLE run expansion path).
+func (c *colData) fillVec(v *storage.Vec, lo, hi int) {
+	nr := len(c.runStart) - 1
+	for r := c.runIndex(lo); r < nr && int(c.runStart[r]) < hi; r++ {
+		s := int(c.runStart[r])
+		if s < lo {
+			s = lo
+		}
+		e := int(c.runStart[r+1])
+		if e > hi {
+			e = hi
+		}
+		v.AppendN(c.runVal(r), e-s)
+	}
+}
+
+// serialize renders the column's disk representation: a small header, the
 // index arrays, then the value bytes (metadata before values, like Parquet).
 func (c *colData) serialize() []byte {
+	img, _, _, _, _ := c.serializeWithIndex()
+	return img
+}
+
+// serializeWithIndex additionally returns the byte-offset index arrays the
+// disk store caches for ranged cell reads (offs for uncompressed columns,
+// runStart/runOff for RLE) and the offset of the value bytes within the
+// image.
+func (c *colData) serializeWithIndex() (img []byte, offs, runStart, runOff []uint32, dataOff int) {
 	var out []byte
 	var b [4]byte
 	put32 := func(v uint32) {
@@ -137,30 +277,53 @@ func (c *colData) serialize() []byte {
 		out = append(out, b[:]...)
 	}
 	if c.rle {
+		nr := len(c.runStart) - 1
+		if nr < 0 {
+			nr = 0
+		}
+		var runData []byte
+		runOff = make([]uint32, 0, nr)
+		for r := 0; r < nr; r++ {
+			binary.LittleEndian.PutUint32(b[:], c.runStart[r+1]-c.runStart[r])
+			runData = append(runData, b[:]...)
+			runOff = append(runOff, uint32(len(runData)))
+			runData = types.AppendVar(runData, c.runVal(r))
+		}
 		out = append(out, 1, byte(c.kind))
 		put32(uint32(len(c.runStart)))
 		for _, s := range c.runStart {
 			put32(s)
 		}
-		put32(uint32(len(c.runOff)))
-		for _, o := range c.runOff {
+		put32(uint32(len(runOff)))
+		for _, o := range runOff {
 			put32(o)
 		}
-		put32(uint32(len(c.runData)))
-		out = append(out, c.runData...)
-		return out
+		put32(uint32(len(runData)))
+		dataOff = len(out)
+		out = append(out, runData...)
+		return out, nil, c.runStart, runOff, dataOff
 	}
+	var data []byte
+	offs = make([]uint32, 0, c.cnt+1)
+	for p := 0; p < c.cnt; p++ {
+		offs = append(offs, uint32(len(data)))
+		data = types.AppendVar(data, c.uncompressedVal(p))
+	}
+	offs = append(offs, uint32(len(data)))
 	out = append(out, 0, byte(c.kind))
-	put32(uint32(len(c.offs)))
-	for _, o := range c.offs {
+	put32(uint32(len(offs)))
+	for _, o := range offs {
 		put32(o)
 	}
-	put32(uint32(len(c.data)))
-	out = append(out, c.data...)
-	return out
+	put32(uint32(len(data)))
+	dataOff = len(out)
+	out = append(out, data...)
+	return out, offs, nil, nil, dataOff
 }
 
-// deserializeCol reconstructs a column from its disk representation.
+// deserializeCol reconstructs a column from its disk representation,
+// decoding the value bytes back into typed arrays. A zero-length value
+// region marks a NULL (types.AppendVar encodes NULL as no bytes).
 func deserializeCol(buf []byte) *colData {
 	c := &colData{}
 	c.rle = buf[0] == 1
@@ -178,21 +341,51 @@ func deserializeCol(buf []byte) *colData {
 			c.runStart[i] = get32()
 		}
 		n = int(get32())
-		c.runOff = make([]uint32, n)
-		for i := range c.runOff {
-			c.runOff[i] = get32()
+		runOff := make([]uint32, n)
+		for i := range runOff {
+			runOff[i] = get32()
 		}
 		dn := int(get32())
-		c.runData = append([]byte(nil), buf[off:off+dn]...)
+		runData := buf[off : off+dn]
+		c.runBytes = dn
+		if len(c.runStart) > 0 {
+			c.cnt = int(c.runStart[len(c.runStart)-1])
+		}
+		for r := range runOff {
+			vo := int(runOff[r])
+			end := dn
+			if r+1 < len(runOff) {
+				end = int(runOff[r+1]) - 4 // exclude next run's count prefix
+			}
+			if vo >= end {
+				c.appendRun(types.Null())
+				continue
+			}
+			v, _ := types.DecodeVar(runData[vo:], c.kind)
+			c.appendRun(v)
+		}
 		return c
 	}
 	n := int(get32())
-	c.offs = make([]uint32, n)
-	for i := range c.offs {
-		c.offs[i] = get32()
+	offs := make([]uint32, n)
+	for i := range offs {
+		offs[i] = get32()
 	}
 	dn := int(get32())
-	c.data = append([]byte(nil), buf[off:off+dn]...)
+	data := buf[off : off+dn]
+	c.dataBytes = dn
+	if n > 0 {
+		c.cnt = n - 1
+	}
+	c.alloc(c.cnt)
+	for p := 0; p < c.cnt; p++ {
+		if offs[p] == offs[p+1] {
+			c.setUncompressed(p, types.Null())
+			continue
+		}
+		v, _ := types.DecodeVar(data[offs[p]:], c.kind)
+		c.setUncompressed(p, v)
+	}
 	return c
 }
 

@@ -82,19 +82,17 @@ func (d *Disk) Load(rows []schema.Row, ver uint64) error {
 	meta := make([]diskColMeta, len(d.kinds))
 	total := 0
 	for ci, c := range b.cols {
-		img := c.serialize()
+		img, offs, runStart, runOff, dataOff := c.serializeWithIndex()
 		blk, err := d.dev.Write(img)
 		if err != nil {
 			return err
 		}
-		m := diskColMeta{block: blk, hasBlock: true, rle: c.rle}
+		m := diskColMeta{block: blk, hasBlock: true, rle: c.rle, dataOff: dataOff}
 		if c.rle {
-			m.runStart = c.runStart
-			m.runOff = c.runOff
-			m.dataOff = len(img) - len(c.runData)
+			m.runStart = runStart
+			m.runOff = runOff
 		} else {
-			m.offs = c.offs
-			m.dataOff = len(img) - len(c.data)
+			m.offs = offs
 		}
 		if schema.ColID(ci) == d.layout.SortBy {
 			n := c.n()
@@ -311,9 +309,16 @@ func (d *Disk) sortedRange(pred storage.Pred) (int, int) {
 	return lo, hi
 }
 
-// Scan implements storage.Store: reads only the column blocks the scan
-// touches, then streams the merged view in layout order.
+// Scan implements storage.Store via the batch shim.
 func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	storage.ScanViaBatches(d, cols, pred, snap, fn)
+}
+
+// ScanBatches implements storage.BatchScanner: reads only the column
+// blocks the scan touches, then streams the merged view in layout order as
+// columnar batches. The deserialized blocks are scan-local, so handing out
+// vector views over their typed arrays is safe for the batch lifetime.
+func (d *Disk) ScanBatches(cols []schema.ColID, pred storage.Pred, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
 	d.mu.RLock()
 	rowIDs := d.rowIDs
 	sortBy := d.layout.SortBy
@@ -324,7 +329,7 @@ func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func
 	lo, hi := d.sortedRange(pred)
 
 	loaded := map[schema.ColID]*colData{}
-	getCol := func(c schema.ColID) func(int) types.Value {
+	col := func(c schema.ColID) *colData {
 		cd, ok := loaded[c]
 		if !ok {
 			var err error
@@ -334,9 +339,14 @@ func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func
 			}
 			loaded[c] = cd
 		}
-		return cd.iter()
+		return cd
 	}
-	mergeScan(rowIDs, getCol, sortBy, lo, hi, overridden, live, cols, pred, fn)
+	s := &batchScan{
+		rowIDs: rowIDs, col: col, sortBy: sortBy, lo: lo, hi: hi,
+		overridden: overridden, live: live,
+		cols: cols, pred: pred, maxRows: maxRows,
+	}
+	s.run(fn)
 }
 
 // ExtractAll implements storage.Store.

@@ -162,22 +162,36 @@ func (m *Mem) sortedRange(pred storage.Pred) (int, int) {
 	return lo, hi
 }
 
-// Scan implements storage.Store. Only the columns named by the predicate
-// and projection are decoded (the columnar advantage of Figure 3); when the
-// layout is sorted, predicate conditions on the sort column narrow the
-// scanned range by binary search, and output arrives in sort order with
-// delta rows merged into their ordered positions.
+// Scan implements storage.Store via the batch shim: the vectorized path
+// below is the only scan implementation, and rows are boxed out of its
+// batches one at a time for legacy callers.
 func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	storage.ScanViaBatches(m, cols, pred, snap, fn)
+}
+
+// ScanBatches implements storage.BatchScanner natively. Only the columns
+// named by the predicate and projection are touched (the columnar
+// advantage of Figure 3); when the layout is sorted, predicate conditions
+// on the sort column narrow the scanned range by binary search, and output
+// arrives in sort order with delta rows merged into their ordered
+// positions. With no delta pending, batches carry zero-copy views over the
+// column arrays and RLE runs are filtered without expansion.
+func (m *Mem) ScanBatches(cols []schema.ColID, pred storage.Pred, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
 	sortBy := m.layout.SortBy
 	overridden, live := prepareDelta(m.delta.snapshot(snap), sortBy, pred)
-
 	lo, hi := m.sortedRange(pred)
 
-	getCol := func(c schema.ColID) func(int) types.Value { return m.base.cols[c].iter() }
-	mergeScan(m.base.rowIDs, getCol, sortBy, lo, hi, overridden, live, cols, pred, fn)
+	s := &batchScan{
+		rowIDs: m.base.rowIDs,
+		col:    func(c schema.ColID) *colData { return m.base.cols[c] },
+		sortBy: sortBy, lo: lo, hi: hi,
+		overridden: overridden, live: live,
+		cols: cols, pred: pred, maxRows: maxRows,
+	}
+	s.run(fn)
 }
 
 // MorselBounds implements storage.RangeScanner. When the layout keeps
@@ -203,11 +217,19 @@ func (m *Mem) MorselBounds(targetRows int) []schema.RowID {
 	return bounds
 }
 
-// ScanRange implements storage.RangeScanner: Scan restricted to
-// lo <= id < hi. Delta rows are pre-filtered to the id range; base
-// positions narrow by binary search when the offset array is id-ordered,
-// and fall back to an id filter on the sorted-layout path.
+// ScanRange implements storage.RangeScanner via the batch shim.
 func (m *Mem) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
+	storage.ScanRangeViaBatches(m, cols, pred, lo, hi, snap, fn)
+}
+
+// ScanBatchesRange implements storage.BatchRangeScanner: ScanBatches
+// restricted to lo <= id < hi. Delta rows are pre-filtered to the id
+// range; base positions narrow by binary search when the offset array is
+// id-ordered, and fall back to an id clip on the sorted-layout path.
+// (Delta rows excluded by the pre-filter have base twins outside [lo,hi)
+// too, so the missing overridden entries cannot leak a superseded base
+// row.)
+func (m *Mem) ScanBatchesRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
@@ -222,23 +244,24 @@ func (m *Mem) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.Ro
 	overridden, live := prepareDelta(inRange, sortBy, pred)
 
 	plo, phi := m.sortedRange(pred)
-	getCol := func(c schema.ColID) func(int) types.Value { return m.base.cols[c].iter() }
+	s := &batchScan{
+		rowIDs: m.base.rowIDs,
+		col:    func(c schema.ColID) *colData { return m.base.cols[c] },
+		sortBy: sortBy,
+		overridden: overridden, live: live,
+		cols: cols, pred: pred, maxRows: maxRows,
+	}
 	if sortBy == storage.NoSort {
 		n := len(m.base.rowIDs)
 		l := sort.Search(n, func(i int) bool { return m.base.rowIDs[i] >= lo })
 		h := sort.Search(n, func(i int) bool { return m.base.rowIDs[i] >= hi })
-		mergeScan(m.base.rowIDs, getCol, sortBy, max(plo, l), min(phi, h), overridden, live, cols, pred, fn)
-		return
+		s.lo, s.hi = max(plo, l), min(phi, h)
+	} else {
+		// Value-sorted positions interleave ids arbitrarily; clip per row.
+		s.lo, s.hi = plo, phi
+		s.clip, s.idLo, s.idHi = true, lo, hi
 	}
-	// Value-sorted positions interleave ids arbitrarily; filter per row.
-	// (Delta rows excluded above have base twins outside [lo,hi) too, so
-	// the missing overridden entries cannot leak a superseded base row.)
-	mergeScan(m.base.rowIDs, getCol, sortBy, plo, phi, overridden, live, cols, pred, func(r schema.Row) bool {
-		if r.ID < lo || r.ID >= hi {
-			return true
-		}
-		return fn(r)
-	})
+	s.run(fn)
 }
 
 // Load implements storage.Store, bulk loading into fresh column arrays.

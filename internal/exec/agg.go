@@ -66,14 +66,18 @@ func (s *aggState) observe(t []types.Value, specs []AggSpec) {
 		if sp.Func == AggCount {
 			continue
 		}
-		v := t[sp.Col]
-		s.sums[i] = types.Add(s.sums[i], v)
-		if s.mins[i].IsNull() || types.Compare(v, s.mins[i]) < 0 {
-			s.mins[i] = v
-		}
-		if s.maxs[i].IsNull() || types.Compare(v, s.maxs[i]) > 0 {
-			s.maxs[i] = v
-		}
+		s.observeVal(i, t[sp.Col])
+	}
+}
+
+// observeVal folds one non-COUNT aggregate input value into slot i.
+func (s *aggState) observeVal(i int, v types.Value) {
+	s.sums[i] = types.Add(s.sums[i], v)
+	if s.mins[i].IsNull() || types.Compare(v, s.mins[i]) < 0 {
+		s.mins[i] = v
+	}
+	if s.maxs[i].IsNull() || types.Compare(v, s.maxs[i]) > 0 {
+		s.maxs[i] = v
 	}
 }
 

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Batch is the columnar execution batch flowing through the scan pipeline.
+// The concrete type lives in internal/storage so stores can produce batches
+// without importing the executor; exec re-exports it as the canonical name
+// operator code uses.
+type Batch = storage.Batch
+
+// Vec is one typed column vector of a Batch.
+type Vec = storage.Vec
+
+// observeBatch folds every selected row of b into the state. Null-free
+// Int64 and Float64 vectors take a typed fold that accumulates raw machine
+// values and boxes once per batch; everything else (Time, Bool, String, or
+// vectors carrying NULLs) falls back to the boxed per-row path so
+// types.Add's kind semantics are preserved exactly.
+func (s *aggState) observeBatch(b *Batch, specs []AggSpec) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	for i, sp := range specs {
+		s.counts[i] += int64(n)
+		if sp.Func == AggCount {
+			continue
+		}
+		v := &b.Vecs[sp.Col]
+		switch {
+		case v.Null == nil && v.Kind == types.KindInt64:
+			s.foldInt64(i, v.I64, b.Sel)
+		case v.Null == nil && v.Kind == types.KindFloat64:
+			s.foldFloat64(i, v.F64, b.Sel)
+		default:
+			if b.Sel == nil {
+				for r := 0; r < v.Len(); r++ {
+					s.observeVal(i, v.Value(r))
+				}
+			} else {
+				for _, r := range b.Sel {
+					s.observeVal(i, v.Value(int(r)))
+				}
+			}
+		}
+	}
+}
+
+func (s *aggState) foldInt64(i int, xs []int64, sel []int32) {
+	var sum, mn, mx int64
+	if sel == nil {
+		if len(xs) == 0 {
+			return
+		}
+		mn, mx = xs[0], xs[0]
+		for _, x := range xs {
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+	} else {
+		if len(sel) == 0 {
+			return
+		}
+		mn = xs[sel[0]]
+		mx = mn
+		for _, r := range sel {
+			x := xs[r]
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+	}
+	s.sums[i] = types.Add(s.sums[i], types.NewInt64(sum))
+	if v := types.NewInt64(mn); s.mins[i].IsNull() || types.Compare(v, s.mins[i]) < 0 {
+		s.mins[i] = v
+	}
+	if v := types.NewInt64(mx); s.maxs[i].IsNull() || types.Compare(v, s.maxs[i]) > 0 {
+		s.maxs[i] = v
+	}
+}
+
+func (s *aggState) foldFloat64(i int, xs []float64, sel []int32) {
+	var sum, mn, mx float64
+	if sel == nil {
+		if len(xs) == 0 {
+			return
+		}
+		mn, mx = xs[0], xs[0]
+		for _, x := range xs {
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+	} else {
+		if len(sel) == 0 {
+			return
+		}
+		mn = xs[sel[0]]
+		mx = mn
+		for _, r := range sel {
+			x := xs[r]
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+	}
+	s.sums[i] = types.Add(s.sums[i], types.NewFloat64(sum))
+	if v := types.NewFloat64(mn); s.mins[i].IsNull() || types.Compare(v, s.mins[i]) < 0 {
+		s.mins[i] = v
+	}
+	if v := types.NewFloat64(mx); s.maxs[i].IsNull() || types.Compare(v, s.maxs[i]) > 0 {
+		s.maxs[i] = v
+	}
+}
+
+// ObserveBatch folds every selected row of a batch into the accumulator.
+// The ungrouped case folds whole vectors per aggregate without boxing each
+// row; grouped aggregation still walks rows to route them to their group,
+// but reuses one key scratch tuple across the batch.
+func (a *Aggregator) ObserveBatch(b *Batch) {
+	if b.Len() == 0 {
+		return
+	}
+	if len(a.groupBy) == 0 {
+		a.entry(nil).state.observeBatch(b, a.specs)
+		return
+	}
+	if len(a.keyScratch) < len(b.Vecs) {
+		a.keyScratch = make([]types.Value, len(b.Vecs))
+	}
+	key := a.keyScratch[:len(b.Vecs)]
+	b.Selected(func(row int) bool {
+		for _, g := range a.groupBy {
+			key[g] = b.Vecs[g].Value(row)
+		}
+		st := a.entry(key).state
+		for i, sp := range a.specs {
+			st.counts[i]++
+			if sp.Func == AggCount {
+				continue
+			}
+			st.observeVal(i, b.Vecs[sp.Col].Value(row))
+		}
+		return true
+	})
+}

@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// randBatch builds a batch of ncols columns: col0 int group key with few
+// distinct values, col1 int, col2 float, col3 string; an optional selection
+// vector keeps a random subset.
+func randBatch(r *rand.Rand, rows int, withSel bool) *Batch {
+	b := storage.GetBatch(4)
+	vals := make([]types.Value, 4)
+	for i := 0; i < rows; i++ {
+		vals[0] = types.NewInt64(int64(r.Intn(4)))
+		vals[1] = types.NewInt64(int64(r.Intn(100) - 50))
+		vals[2] = types.NewFloat64(float64(r.Intn(1000)) / 8)
+		vals[3] = types.NewString([]string{"x", "y", "z"}[r.Intn(3)])
+		b.AppendRow(schema.RowID(i), vals)
+	}
+	if withSel {
+		var sel []int32
+		for i := 0; i < rows; i++ {
+			if r.Intn(3) > 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.Sel = sel
+	}
+	return b
+}
+
+// TestObserveBatchMatchesObserve feeds identical data to the row-at-a-time
+// Observe path and the vectorized ObserveBatch path — grouped and
+// ungrouped, with and without a selection vector, across multiple batches —
+// and requires equal results (floats within ulps: the typed fold sums each
+// batch before merging, so cross-batch association differs).
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	specs := []AggSpec{
+		{Func: AggSum, Col: 1}, {Func: AggCount}, {Func: AggMin, Col: 2},
+		{Func: AggMax, Col: 2}, {Func: AggAvg, Col: 1}, {Func: AggSum, Col: 2},
+		{Func: AggMin, Col: 3}, {Func: AggMax, Col: 3},
+	}
+	for _, tc := range []struct {
+		name    string
+		groupBy []int
+		withSel bool
+	}{
+		{"global", nil, false},
+		{"global-sel", nil, true},
+		{"grouped", []int{0}, false},
+		{"grouped-sel", []int{0}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(17))
+			rowAgg := NewAggregator(tc.groupBy, specs)
+			batchAgg := NewAggregator(tc.groupBy, specs)
+			for bi := 0; bi < 5; bi++ {
+				b := randBatch(r, 100+bi, tc.withSel)
+				b.Selected(func(row int) bool {
+					tuple := make([]types.Value, len(b.Vecs))
+					for i := range b.Vecs {
+						tuple[i] = b.Vecs[i].Value(row)
+					}
+					rowAgg.Observe(tuple)
+					return true
+				})
+				batchAgg.ObserveBatch(b)
+				storage.PutBatch(b)
+			}
+			got, want := batchAgg.Rel(nil), rowAgg.Rel(nil)
+			if len(got.Tuples) != len(want.Tuples) {
+				t.Fatalf("groups: %d, want %d", len(got.Tuples), len(want.Tuples))
+			}
+			for i := range want.Tuples {
+				for k := range want.Tuples[i] {
+					g, w := got.Tuples[i][k], want.Tuples[i][k]
+					if g.K == types.KindFloat64 && w.K == types.KindFloat64 {
+						if d := math.Abs(g.Float() - w.Float()); d > 1e-9*math.Max(1, math.Abs(w.Float())) {
+							t.Fatalf("row %d col %d: %v, want %v", i, k, g, w)
+						}
+						continue
+					}
+					if types.Compare(g, w) != 0 {
+						t.Fatalf("row %d col %d: %v, want %v", i, k, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestObserveBatchEmpty pins the edge cases: an empty batch and a batch
+// whose selection vector is empty contribute nothing.
+func TestObserveBatchEmpty(t *testing.T) {
+	specs := []AggSpec{{Func: AggSum, Col: 1}, {Func: AggCount}}
+	a := NewAggregator(nil, specs)
+	b := storage.GetBatch(2)
+	a.ObserveBatch(b)
+	b.AppendRow(1, []types.Value{types.NewInt64(1), types.NewInt64(2)})
+	b.Sel = []int32{}
+	a.ObserveBatch(b)
+	storage.PutBatch(b)
+	rel := a.Rel(nil)
+	if len(rel.Tuples) != 1 || rel.Tuples[0][1].Int() != 0 {
+		t.Fatalf("rel = %+v", rel.Tuples)
+	}
+	if !rel.Tuples[0][0].IsNull() {
+		t.Fatalf("sum over zero rows = %v, want NULL", rel.Tuples[0][0])
+	}
+}

@@ -53,10 +53,11 @@ func ScanMorsel(st storage.Store, b partition.Bounds, cols []schema.ColID, pred 
 // scan without materializing tuples; worker states merge into one per-site
 // partial relation before shipping to the coordinator.
 type Aggregator struct {
-	groupBy []int
-	specs   []AggSpec
-	groups  map[uint64][]*groupEntry
-	order   []*groupEntry
+	groupBy    []int
+	specs      []AggSpec
+	groups     map[uint64][]*groupEntry
+	order      []*groupEntry
+	keyScratch []types.Value // reused per-row key tuple for ObserveBatch
 }
 
 // NewAggregator creates an accumulator for the groupBy positions and specs

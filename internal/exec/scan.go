@@ -53,8 +53,8 @@ func Scan(p *partition.Partition, cols []schema.ColID, pred storage.Pred, snap u
 		// no features so the cost model is not trained on a no-op.
 		return rel, cost.Observation{Op: cost.OpScan, Layout: p.Layout()}, pushed
 	}
-	p.Scan(lcols, lp, snap, func(r schema.Row) bool {
-		rel.Tuples = append(rel.Tuples, r.Vals)
+	p.ScanBatches(lcols, lp, snap, DefaultBatchRows, func(b *Batch) bool {
+		rel.Tuples = b.AppendTuples(rel.Tuples)
 		return true
 	})
 
@@ -89,9 +89,9 @@ func ScanWithRowIDs(p *partition.Partition, cols []schema.ColID, pred storage.Pr
 	}
 	rel := Rel{}
 	var ids []schema.RowID
-	p.Scan(lcols, lp, snap, func(r schema.Row) bool {
-		rel.Tuples = append(rel.Tuples, r.Vals)
-		ids = append(ids, r.ID)
+	p.ScanBatches(lcols, lp, snap, DefaultBatchRows, func(b *Batch) bool {
+		rel.Tuples = b.AppendTuples(rel.Tuples)
+		ids = b.AppendRowIDs(ids)
 		return true
 	})
 	layout := p.Layout()
@@ -121,12 +121,9 @@ func ScanRows(p *partition.Partition, cols []schema.ColID, pred storage.Pred, lo
 	if p.ZoneMap().CanSkip(lp) {
 		return rel, ids, cost.Observation{Op: cost.OpScan, Layout: p.Layout()}
 	}
-	p.Scan(lcols, lp, snap, func(r schema.Row) bool {
-		if r.ID < lo || r.ID >= hi {
-			return true
-		}
-		rel.Tuples = append(rel.Tuples, r.Vals)
-		ids = append(ids, r.ID)
+	p.ScanBatchesRange(lcols, lp, lo, hi, snap, DefaultBatchRows, func(b *Batch) bool {
+		rel.Tuples = b.AppendTuples(rel.Tuples)
+		ids = b.AppendRowIDs(ids)
 		return true
 	})
 	layout := p.Layout()

@@ -307,6 +307,33 @@ func ScanStoreRange(st storage.Store, cols []schema.ColID, pred storage.Pred, lo
 	})
 }
 
+// ScanBatches streams matching rows as columnar batches, zone-map gated
+// like Scan. Stores without a native batch path are transposed.
+func (p *Partition) ScanBatches(cols []schema.ColID, pred storage.Pred, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.zm.CanSkip(pred) {
+		return
+	}
+	storage.ScanBatchesOn(p.store, cols, pred, snap, maxRows, fn)
+}
+
+// ScanBatchesRange streams matching rows with lo <= id < hi as columnar
+// batches over the current store (no zone-map gate, mirroring ScanRange).
+func (p *Partition) ScanBatchesRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	p.mu.RLock()
+	st := p.store
+	p.mu.RUnlock()
+	storage.ScanBatchRangeOn(st, cols, pred, lo, hi, snap, maxRows, fn)
+}
+
+// ScanStoreBatchRange runs the batch contract over an id range on any
+// captured store snapshot — the morsel executor's entry point, safe under
+// concurrent layout swaps for the same reason StoreSnapshot is.
+func ScanStoreBatchRange(st storage.Store, cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	storage.ScanBatchRangeOn(st, cols, pred, lo, hi, snap, maxRows, fn)
+}
+
 // Load bulk-loads rows and rebuilds the zone map.
 func (p *Partition) Load(rows []schema.Row, ver uint64) error {
 	p.mu.Lock()

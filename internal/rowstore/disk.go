@@ -290,9 +290,19 @@ func project(vals []types.Value, cols []schema.ColID) []types.Value {
 	return out
 }
 
-// Scan implements storage.Store: one sequential image read merged with the
-// update buffer, streamed in RowID order.
+// Scan implements storage.Store via the batch shim, streamed in RowID
+// order.
 func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	storage.ScanViaBatches(d, cols, pred, snap, fn)
+}
+
+// ScanBatches implements storage.BatchScanner: one sequential image read
+// merged with the update buffer, transposed into pooled batches in RowID
+// order.
+func (d *Disk) ScanBatches(cols []schema.ColID, pred storage.Pred, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	if maxRows <= 0 {
+		maxRows = storage.DefaultBatchRows
+	}
 	d.mu.RLock()
 	blk, has := d.block, d.hasBlock
 	order := d.order
@@ -316,6 +326,11 @@ func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func
 		}
 	}
 
+	b := storage.GetBatch(len(cols))
+	defer storage.PutBatch(b)
+	out := make([]types.Value, len(cols))
+	stopped := false
+
 	// Merge disk order with buffered-only ids.
 	ids := mergeIDs(order, bufIDs)
 	for _, id := range ids {
@@ -336,9 +351,20 @@ func (d *Disk) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func
 		if !pred.Match(vals) {
 			continue
 		}
-		if !fn(schema.Row{ID: id, Vals: project(vals, cols)}) {
-			return
+		for i, c := range cols {
+			out[i] = vals[c]
 		}
+		b.AppendRow(id, out)
+		if b.NumRows() >= maxRows {
+			if !storage.EmitBatch(b, fn) {
+				stopped = true
+				break
+			}
+			b.Reset(len(cols))
+		}
+	}
+	if !stopped && b.NumRows() > 0 {
+		storage.EmitBatch(b, fn)
 	}
 }
 

@@ -149,10 +149,16 @@ func visible(v *version, snap uint64) *version {
 
 func (m *Mem) decodeCols(data []byte, cols []schema.ColID) []types.Value {
 	out := make([]types.Value, len(cols))
-	for i, c := range cols {
-		out[i] = types.GetFixed(data[m.offs[c]:], m.kinds[c], m.arena)
-	}
+	m.decodeColsInto(out, data, cols)
 	return out
+}
+
+// decodeColsInto decodes into caller-owned scratch (the batch scan path
+// reuses one slice across every row).
+func (m *Mem) decodeColsInto(dst []types.Value, data []byte, cols []schema.ColID) {
+	for i, c := range cols {
+		dst[i] = types.GetFixed(data[m.offs[c]:], m.kinds[c], m.arena)
+	}
 }
 
 // Get implements storage.Store.
@@ -166,29 +172,68 @@ func (m *Mem) Get(id schema.RowID, cols []schema.ColID, snap uint64) (schema.Row
 	return schema.Row{ID: id, Vals: m.decodeCols(v.data, cols)}, true
 }
 
-// Scan implements storage.Store. Rows stream in RowID order. The predicate
-// is evaluated against the full row (cell-based access is what makes row
-// scans read every attribute — the cost asymmetry of Figure 3).
+// Scan implements storage.Store via the batch shim. Rows stream in RowID
+// order.
 func (m *Mem) Scan(cols []schema.ColID, pred storage.Pred, snap uint64, fn func(schema.Row) bool) {
+	storage.ScanViaBatches(m, cols, pred, snap, fn)
+}
+
+// ScanBatches implements storage.BatchScanner by transposing matching rows
+// into pooled batches. The predicate is still evaluated against the full
+// decoded row (cell-based access is what makes row scans read every
+// attribute — the cost asymmetry of Figure 3), but decode scratch and
+// batch buffers are reused across rows.
+func (m *Mem) ScanBatches(cols []schema.ColID, pred storage.Pred, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	m.scanBatches(cols, pred, 0, 0, false, snap, maxRows, fn)
+}
+
+// ScanBatchesRange implements storage.BatchRangeScanner.
+func (m *Mem) ScanBatchesRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	m.scanBatches(cols, pred, lo, hi, true, snap, maxRows, fn)
+}
+
+func (m *Mem) scanBatches(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, bounded bool, snap uint64, maxRows int, fn func(*storage.Batch) bool) {
+	if maxRows <= 0 {
+		maxRows = storage.DefaultBatchRows
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	b := storage.GetBatch(len(cols))
+	defer storage.PutBatch(b)
 	all := allCols(len(m.kinds))
-	for _, id := range m.ids {
+	full := make([]types.Value, len(all))
+	out := make([]types.Value, len(cols))
+	start := 0
+	if bounded {
+		start = sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= lo })
+	}
+	stopped := false
+	for _, id := range m.ids[start:] {
+		if bounded && id >= hi {
+			break
+		}
 		v := visible(m.rows[id], snap)
 		if v == nil || v.deleted {
 			continue
 		}
-		full := m.decodeCols(v.data, all)
+		m.decodeColsInto(full, v.data, all)
 		if !pred.Match(full) {
 			continue
 		}
-		out := make([]types.Value, len(cols))
 		for i, c := range cols {
 			out[i] = full[c]
 		}
-		if !fn(schema.Row{ID: id, Vals: out}) {
-			return
+		b.AppendRow(id, out)
+		if b.NumRows() >= maxRows {
+			if !storage.EmitBatch(b, fn) {
+				stopped = true
+				break
+			}
+			b.Reset(len(cols))
 		}
+	}
+	if !stopped && b.NumRows() > 0 {
+		storage.EmitBatch(b, fn)
 	}
 }
 
@@ -208,33 +253,10 @@ func (m *Mem) MorselBounds(targetRows int) []schema.RowID {
 	return bounds
 }
 
-// ScanRange implements storage.RangeScanner: Scan restricted to
-// lo <= id < hi via binary search on the sorted id slice.
+// ScanRange implements storage.RangeScanner via the batch shim: Scan
+// restricted to lo <= id < hi via binary search on the sorted id slice.
 func (m *Mem) ScanRange(cols []schema.ColID, pred storage.Pred, lo, hi schema.RowID, snap uint64, fn func(schema.Row) bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	start := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= lo })
-	all := allCols(len(m.kinds))
-	for _, id := range m.ids[start:] {
-		if id >= hi {
-			return
-		}
-		v := visible(m.rows[id], snap)
-		if v == nil || v.deleted {
-			continue
-		}
-		full := m.decodeCols(v.data, all)
-		if !pred.Match(full) {
-			continue
-		}
-		out := make([]types.Value, len(cols))
-		for i, c := range cols {
-			out[i] = full[c]
-		}
-		if !fn(schema.Row{ID: id, Vals: out}) {
-			return
-		}
-	}
+	storage.ScanRangeViaBatches(m, cols, pred, lo, hi, snap, fn)
 }
 
 // Load implements storage.Store, bulk loading by allocating a fixed-size

@@ -1,0 +1,153 @@
+package storage
+
+// Typed predicate kernels: selection-vector filters that compare a vector
+// against a constant without boxing each element into a types.Value. The
+// fast paths mirror types.Compare exactly (int family compared on the raw
+// I payload, float promotion when either side is Float64, lexicographic
+// strings); anything subtle — NULLs, mixed kind tags — falls back to the
+// boxed comparator so batch and row paths can never disagree.
+
+import "proteus/internal/types"
+
+// opMask decomposes a comparison operator into which of {<, =, >} keep a
+// row, matching CmpOp.Eval (unknown ops keep nothing).
+func opMask(op CmpOp) (lt, eq, gt bool) {
+	switch op {
+	case CmpEq:
+		return false, true, false
+	case CmpNe:
+		return true, false, true
+	case CmpLt:
+		return true, false, false
+	case CmpLe:
+		return true, true, false
+	case CmpGt:
+		return false, false, true
+	case CmpGe:
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// intFamilyKind reports kinds whose payload lives in Value.I and which
+// types.Compare orders by raw integer comparison when paired together.
+func intFamilyKind(k types.Kind) bool {
+	return k == types.KindInt64 || k == types.KindTime || k == types.KindBool
+}
+
+func numericKind(k types.Kind) bool {
+	return intFamilyKind(k) || k == types.KindFloat64
+}
+
+func keepFloat(x, c float64, lt, eq, gt bool) bool {
+	if x < c {
+		return lt
+	}
+	if x > c {
+		return gt
+	}
+	return eq
+}
+
+// FilterVec appends to dst the indexes in [0, n) — restricted to sel when
+// sel is non-nil — whose value in v satisfies (op, val), preserving
+// ascending order. n is the vector length; dst is returned grown.
+func FilterVec(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Value) []int32 {
+	lt, eq, gt := opMask(op)
+	if v.Null == nil && !val.IsNull() {
+		switch {
+		case intFamilyKind(v.Kind) && intFamilyKind(val.K):
+			c := val.I
+			xs := v.I64
+			if sel == nil {
+				for i := 0; i < n; i++ {
+					x := xs[i]
+					if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+						dst = append(dst, int32(i))
+					}
+				}
+			} else {
+				for _, si := range sel {
+					x := xs[si]
+					if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+						dst = append(dst, si)
+					}
+				}
+			}
+			return dst
+		case v.Kind == types.KindFloat64 && numericKind(val.K):
+			// Three-way like types.Compare: NaN compares "equal" there, so
+			// x == c must not be the equality test.
+			c := val.Float()
+			xs := v.F64
+			if sel == nil {
+				for i := 0; i < n; i++ {
+					x := xs[i]
+					if keepFloat(x, c, lt, eq, gt) {
+						dst = append(dst, int32(i))
+					}
+				}
+			} else {
+				for _, si := range sel {
+					x := xs[si]
+					if keepFloat(x, c, lt, eq, gt) {
+						dst = append(dst, si)
+					}
+				}
+			}
+			return dst
+		case intFamilyKind(v.Kind) && val.K == types.KindFloat64:
+			c := val.F
+			xs := v.I64
+			if sel == nil {
+				for i := 0; i < n; i++ {
+					if keepFloat(float64(xs[i]), c, lt, eq, gt) {
+						dst = append(dst, int32(i))
+					}
+				}
+			} else {
+				for _, si := range sel {
+					if keepFloat(float64(xs[si]), c, lt, eq, gt) {
+						dst = append(dst, si)
+					}
+				}
+			}
+			return dst
+		case v.Kind == types.KindString && val.K == types.KindString:
+			c := val.S
+			xs := v.Str
+			if sel == nil {
+				for i := 0; i < n; i++ {
+					x := xs[i]
+					if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+						dst = append(dst, int32(i))
+					}
+				}
+			} else {
+				for _, si := range sel {
+					x := xs[si]
+					if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+						dst = append(dst, si)
+					}
+				}
+			}
+			return dst
+		}
+	}
+	// NULLs or mixed kind tags: the boxed comparator is the source of
+	// truth for ordering across kinds.
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if op.Eval(v.Value(i), val) {
+				dst = append(dst, int32(i))
+			}
+		}
+	} else {
+		for _, si := range sel {
+			if op.Eval(v.Value(int(si)), val) {
+				dst = append(dst, si)
+			}
+		}
+	}
+	return dst
+}

@@ -24,7 +24,10 @@ go test -race -count=1 \
     ./internal/txn/ \
     ./internal/replication/ \
     ./internal/faults/ \
-    ./internal/obs/
+    ./internal/obs/ \
+    ./internal/exec/ \
+    ./internal/colstore/ \
+    ./internal/rowstore/
 
 echo "== scan benchmark (non-gating)"
 # Regenerates BENCH_scan.json (morsel executor vs legacy path). Numbers are
