@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"proteus/internal/colstore"
 	"proteus/internal/cost"
 	"proteus/internal/faults"
 	"proteus/internal/forecast"
@@ -699,6 +700,20 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	}
 	if bs.PoolGets > 0 {
 		snap.Gauges["exec.batches.pool_hit_pct"] = 100 * bs.PoolHits / bs.PoolGets
+	}
+	es := storage.ReadEncodedStats()
+	snap.Counters["exec.encoded.vecs"] = es.Vecs
+	snap.Counters["exec.encoded.code_filters"] = es.CodeFilters
+	snap.Counters["exec.encoded.agg_folds"] = es.AggFolds
+	ce := colstore.ReadEncodingStats()
+	snap.Counters["colstore.encoding.cols.plain"] = ce.PlainCols
+	snap.Counters["colstore.encoding.cols.rle"] = ce.RLECols
+	snap.Counters["colstore.encoding.cols.dict"] = ce.DictCols
+	snap.Counters["colstore.encoding.cols.for"] = ce.FoRCols
+	snap.Counters["colstore.encoding.bytes.stored"] = ce.StoredBytes
+	snap.Counters["colstore.encoding.bytes.plain_equiv"] = ce.PlainBytes
+	if ce.PlainBytes > 0 {
+		snap.Gauges["colstore.encoding.stored_pct"] = 100 * ce.StoredBytes / ce.PlainBytes
 	}
 	snap.Counters["asa.decisions"] = e.Trace.Total()
 	if e.Advisor != nil {

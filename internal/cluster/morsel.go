@@ -421,11 +421,15 @@ func (j *morselJob) observeScans() {
 		if st.Rows > 0 {
 			sel = float64(rows) / float64(st.Rows)
 		}
+		encFrac := 0.0
+		if st.Bytes > 0 {
+			encFrac = float64(st.EncodedBytes) / float64(st.Bytes)
+		}
 		j.e.siteOf(sc.siteID).Observe(cost.Observation{
 			Op:       cost.OpScan,
 			Variant:  exec.ScanVariant(layout, sc.lp),
 			Layout:   layout,
-			Features: cost.ScanFeatures(st.Rows, inBytes, outBytes, sel),
+			Features: cost.ScanFeaturesEnc(st.Rows, inBytes, outBytes, sel, encFrac),
 			Latency:  time.Duration(nanos),
 		})
 	}

@@ -111,10 +111,16 @@ func (s *batchScan) fast(b *storage.Batch, fn func(*storage.Batch) bool) {
 		b.Sel = sel
 		for i, cID := range s.cols {
 			c := s.col(cID)
-			if c.rle {
-				c.fillVec(&b.Vecs[i], p0, p1)
-			} else {
+			if c.enc != encRLE {
+				// Plain columns are zero-copy views; dictionary and FoR
+				// columns hand out encoded views over the raw codes.
 				b.Vecs[i] = c.viewVec(p0, p1)
+			} else if rv, ok := runsVecEnabled(c, p0, p1); ok {
+				b.Vecs[i] = rv
+			} else {
+				// NULL-bearing runs (or encodings toggled off for A/B
+				// benchmarking): expand into pooled buffers.
+				c.fillVec(&b.Vecs[i], p0, p1)
 			}
 		}
 		if !storage.EmitBatch(b, fn) {
@@ -123,12 +129,22 @@ func (s *batchScan) fast(b *storage.Batch, fn func(*storage.Batch) bool) {
 	}
 }
 
+// runsVecEnabled hands out a zero-copy run-length view unless encoded
+// execution is toggled off (SetEncodings(false) restores the decode-first
+// behavior end to end, for clean on/off benchmarking).
+func runsVecEnabled(c *colData, p0, p1 int) (storage.Vec, bool) {
+	if encodingsOff.Load() {
+		return storage.Vec{}, false
+	}
+	return c.runsVec(p0, p1)
+}
+
 // filterColRange appends to dst the batch-relative indexes in [p0, p1)
 // (restricted to sel when non-nil, ascending) whose value satisfies
 // (op, val). RLE columns evaluate each run once and skip failing runs
 // without expansion.
 func filterColRange(dst []int32, sel []int32, c *colData, p0, p1 int, op storage.CmpOp, val types.Value) []int32 {
-	if !c.rle {
+	if c.enc != encRLE {
 		v := c.viewVec(p0, p1)
 		return storage.FilterVec(dst, sel, p1-p0, &v, op, val)
 	}

@@ -8,40 +8,128 @@ package colstore
 
 import (
 	"encoding/binary"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"proteus/internal/schema"
 	"proteus/internal/storage"
 	"proteus/internal/types"
 )
 
+// colEncoding identifies how one column's values are physically encoded.
+type colEncoding uint8
+
+const (
+	// encPlain: decoded values in a typed position-indexed array.
+	encPlain colEncoding = iota
+	// encRLE: run-length encoding; runStart maps run -> first position.
+	encRLE
+	// encDict: dictionary encoding for strings; a sorted dictionary of the
+	// distinct values plus a per-position code array, so code order is
+	// value order and predicates translate to code ranges.
+	encDict
+	// encFoR: frame-of-reference encoding for the int family; a per-column
+	// base (the minimum) plus per-position codes stored at a narrow width.
+	encFoR
+)
+
+// String names the encoding (metrics keys and debugging).
+func (e colEncoding) String() string {
+	switch e {
+	case encRLE:
+		return "rle"
+	case encDict:
+		return "dict"
+	case encFoR:
+		return "for"
+	}
+	return "plain"
+}
+
+// maxDictSize bounds the dictionary: above this many distinct values the
+// code array stops paying for the indirection and buildCol falls back to
+// the other encodings.
+const maxDictSize = 1 << 16
+
+// encodingsOff disables dictionary/FoR selection so compressed layouts
+// build plain RLE columns — the pre-encoding behavior, kept reachable for
+// A/B benchmarks (experiments/scan.go) and differential tests.
+var encodingsOff atomic.Bool
+
+// SetEncodings toggles dictionary/FoR encoding selection for newly built
+// columns and reports the previous setting. Existing columns are
+// unaffected; callers rebuild (Load/MergeDelta/ChangeLayout) to re-encode.
+func SetEncodings(on bool) bool {
+	return !encodingsOff.Swap(!on)
+}
+
+// Package-wide encoding counters, surfaced by the engine's metrics
+// snapshot as colstore.encoding.*. They count compressed column builds
+// only (compress=false builds are always plain and say nothing about
+// encoding choice).
+var (
+	statColsPlain   atomic.Int64
+	statColsRLE     atomic.Int64
+	statColsDict    atomic.Int64
+	statColsFoR     atomic.Int64
+	statBytesStored atomic.Int64 // footprint of the chosen encodings
+	statBytesPlain  atomic.Int64 // what plain storage would have cost
+)
+
+// EncodingStats snapshots the encoding-selection counters: columns built
+// per encoding and the byte footprint of the chosen encodings against the
+// plain-storage equivalent.
+type EncodingStats struct {
+	PlainCols, RLECols, DictCols, FoRCols int64
+	StoredBytes, PlainBytes               int64
+}
+
+// ReadEncodingStats reads the cumulative encoding counters.
+func ReadEncodingStats() EncodingStats {
+	return EncodingStats{
+		PlainCols:   statColsPlain.Load(),
+		RLECols:     statColsRLE.Load(),
+		DictCols:    statColsDict.Load(),
+		FoRCols:     statColsFoR.Load(),
+		StoredBytes: statBytesStored.Load(),
+		PlainBytes:  statBytesPlain.Load(),
+	}
+}
+
 // colData is one column's storage: values in position order, held in a
 // typed array chosen by kind (the vectorized scan path hands out zero-copy
 // views over these arrays; the shared rowIDs slice is the "offset array"
-// mapping array positions to row_ids). When compressed, values are
-// run-length encoded (§4.1.2): runStart maps run index -> first covered
-// position (with a sentinel n at the end) and the run values live in typed
-// run arrays; operators work directly over the runs without expanding
-// them. The byte-encoded form only exists on disk — serialize renders it
-// and deserializeCol parses it back into typed arrays.
+// mapping array positions to row_ids). Compressed layouts pick the
+// cheapest of three encodings from the observed values (§4.1.2):
+//
+//   - run-length: runStart maps run index -> first covered position (with
+//     a sentinel n at the end) and run values live in typed run arrays;
+//   - dictionary (strings): a sorted dict plus per-position codes;
+//   - frame-of-reference (int family): a base plus per-position codes.
+//
+// Operators work directly on runs and codes without expanding them. The
+// byte-encoded form only exists on disk — serialize renders it and
+// deserializeCol parses it back into typed arrays.
 type colData struct {
 	kind types.Kind
+	enc  colEncoding
 	cnt  int // number of stored positions
 
-	// Uncompressed representation (position-indexed). Exactly one payload
-	// array is populated, per kind; nulls is non-nil only when the column
-	// holds NULLs.
+	// Plain representation (position-indexed). Exactly one payload array
+	// is populated, per kind; nulls is non-nil only when the column holds
+	// NULLs.
 	i64   []int64
 	f64   []float64
 	str   []string
 	nulls []bool
 	// dataBytes approximates the encoded size of the value bytes (the sum
-	// of types.VarWidth), preserving the byte accounting of the previous
-	// byte-array representation for Stats and the ASA's space model.
+	// of types.VarWidth; for encDict, of the dictionary entries),
+	// preserving the byte accounting of the serialized form for Stats and
+	// the ASA's space model.
 	dataBytes int
 
-	// Compressed (RLE) representation.
-	rle      bool
+	// RLE representation.
 	runStart []uint32 // run index -> first covered position; sentinel cnt at end
 	rI64     []int64
 	rF64     []float64
@@ -49,20 +137,53 @@ type colData struct {
 	rNulls   []bool
 	// runBytes approximates the encoded run bytes ([4-byte count][value]).
 	runBytes int
+
+	// Dictionary / frame-of-reference representation. codes is
+	// position-indexed; dict is the ascending-sorted distinct values
+	// (encDict); forBase is the frame base (encFoR). codeW is the
+	// serialized bytes per code (1, 2 or 4) implied by the dict size or
+	// value range. Both encodings require a NULL-free column.
+	dict    []string
+	codes   []uint32
+	forBase int64
+	codeW   int
 }
 
-// buildCol encodes vals (already in position order) into a column.
+// buildCol encodes vals (already in position order) into a column. With
+// compress set, the cheapest encoding is picked from the observed
+// cardinality, value range and run structure.
 func buildCol(kind types.Kind, vals []types.Value, compress bool) *colData {
 	c := &colData{kind: kind, cnt: len(vals)}
 	if !compress {
-		c.alloc(len(vals))
-		for p, v := range vals {
-			c.setUncompressed(p, v)
-			c.dataBytes += types.VarWidth(v)
-		}
+		c.buildPlain(vals)
 		return c
 	}
-	c.rle = true
+	c.enc = chooseEncoding(kind, vals)
+	switch c.enc {
+	case encPlain:
+		c.buildPlain(vals)
+	case encDict:
+		c.buildDict(vals)
+	case encFoR:
+		c.buildFoR(vals)
+	default:
+		c.buildRLE(vals)
+	}
+	recordEncoding(c, vals)
+	return c
+}
+
+// buildPlain fills the typed position-indexed arrays.
+func (c *colData) buildPlain(vals []types.Value) {
+	c.alloc(len(vals))
+	for p, v := range vals {
+		c.setUncompressed(p, v)
+		c.dataBytes += types.VarWidth(v)
+	}
+}
+
+// buildRLE run-length encodes the values.
+func (c *colData) buildRLE(vals []types.Value) {
 	i := 0
 	for i < len(vals) {
 		j := i + 1
@@ -75,7 +196,155 @@ func buildCol(kind types.Kind, vals []types.Value, compress bool) *colData {
 		i = j
 	}
 	c.runStart = append(c.runStart, uint32(len(vals)))
-	return c
+}
+
+// buildDict dictionary-encodes a NULL-free string column.
+func (c *colData) buildDict(vals []types.Value) {
+	seen := make(map[string]struct{}, 16)
+	for _, v := range vals {
+		seen[v.S] = struct{}{}
+	}
+	c.dict = make([]string, 0, len(seen))
+	for s := range seen {
+		c.dict = append(c.dict, s)
+	}
+	sort.Strings(c.dict)
+	codeOf := make(map[string]uint32, len(c.dict))
+	for i, s := range c.dict {
+		codeOf[s] = uint32(i)
+		c.dataBytes += 4 + len(s)
+	}
+	c.codes = make([]uint32, len(vals))
+	for p, v := range vals {
+		c.codes[p] = codeOf[v.S]
+	}
+	c.codeW = codeWidth(uint64(len(c.dict)) - 1)
+}
+
+// buildFoR frame-of-reference encodes a NULL-free int-family column whose
+// value range fits 32-bit codes.
+func (c *colData) buildFoR(vals []types.Value) {
+	c.forBase = vals[0].I
+	for _, v := range vals {
+		if v.I < c.forBase {
+			c.forBase = v.I
+		}
+	}
+	c.codes = make([]uint32, len(vals))
+	var maxCode uint64
+	for p, v := range vals {
+		d := uint64(v.I) - uint64(c.forBase)
+		c.codes[p] = uint32(d)
+		if d > maxCode {
+			maxCode = d
+		}
+	}
+	c.codeW = codeWidth(maxCode)
+}
+
+// codeWidth picks the narrowest serialized code width covering maxCode.
+func codeWidth(maxCode uint64) int {
+	switch {
+	case maxCode <= math.MaxUint8:
+		return 1
+	case maxCode <= math.MaxUint16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// chooseEncoding scans the values once and picks the encoding with the
+// smallest estimated footprint (matching the bytes() accounting below).
+// Dictionary and FoR require NULL-free columns: NULL sorts below every
+// value in types.Compare, so a NULL cannot be given a code without
+// breaking the code-order-is-value-order invariant the kernels rely on.
+func chooseEncoding(kind types.Kind, vals []types.Value) colEncoding {
+	if len(vals) == 0 {
+		return encRLE // empty columns keep the legacy compressed form
+	}
+	n := len(vals)
+	intish := kind == types.KindInt64 || kind == types.KindTime
+	hasNull := false
+	plainBytes := 0
+	runs, runValueBytes := 0, 0
+	var mn, mx int64
+	sawInt := false
+	var distinct map[string]struct{}
+	if kind == types.KindString {
+		distinct = make(map[string]struct{}, 16)
+	}
+	for i, v := range vals {
+		w := types.VarWidth(v)
+		plainBytes += w
+		if v.IsNull() {
+			hasNull = true
+		}
+		if i == 0 || !types.Equal(v, vals[i-1]) {
+			runs++
+			runValueBytes += 4 + w
+		}
+		if intish && !v.IsNull() {
+			if !sawInt || v.I < mn {
+				mn = v.I
+			}
+			if !sawInt || v.I > mx {
+				mx = v.I
+			}
+			sawInt = true
+		}
+		if distinct != nil && !v.IsNull() && len(distinct) <= maxDictSize {
+			distinct[v.S] = struct{}{}
+		}
+	}
+	if encodingsOff.Load() {
+		return encRLE
+	}
+	best := encPlain
+	bestBytes := plainBytes + 4*(n+1)
+	if rleBytes := runValueBytes + 4*(runs+1) + 4*runs; rleBytes < bestBytes {
+		best, bestBytes = encRLE, rleBytes
+	}
+	if distinct != nil && !hasNull && len(distinct) <= maxDictSize {
+		dictBytes := 0
+		for s := range distinct {
+			dictBytes += 4 + len(s)
+		}
+		w := codeWidth(uint64(len(distinct)) - 1)
+		if db := dictBytes + n*w + 4*(len(distinct)+1) + 16; db < bestBytes {
+			best, bestBytes = encDict, db
+		}
+	}
+	if intish && !hasNull && sawInt {
+		if rng := uint64(mx) - uint64(mn); rng <= math.MaxUint32 {
+			w := codeWidth(rng)
+			if fb := n*w + 24; fb < bestBytes {
+				best, bestBytes = encFoR, fb
+			}
+		}
+	}
+	return best
+}
+
+// recordEncoding updates the package encoding counters for one compressed
+// column build.
+func recordEncoding(c *colData, vals []types.Value) {
+	switch c.enc {
+	case encRLE:
+		statColsRLE.Add(1)
+	case encDict:
+		statColsDict.Add(1)
+	case encFoR:
+		statColsFoR.Add(1)
+	default:
+		statColsPlain.Add(1)
+	}
+	plain := 4 * (len(vals) + 1)
+	for _, v := range vals {
+		plain += types.VarWidth(v)
+	}
+	statBytesPlain.Add(int64(plain))
+	statBytesStored.Add(int64(c.bytes()))
 }
 
 // alloc sizes the payload array for n uncompressed positions.
@@ -184,26 +453,38 @@ func (c *colData) n() int { return c.cnt }
 // bytes reports the column's data-array footprint (encoded-size accounting,
 // matching the serialized form's index + value bytes).
 func (c *colData) bytes() int {
-	if c.rle {
+	switch c.enc {
+	case encRLE:
 		return c.runBytes + 4*len(c.runStart) + 4*c.runCount()
+	case encDict:
+		return c.dataBytes + c.cnt*c.codeW + 4*(len(c.dict)+1) + 16
+	case encFoR:
+		return c.cnt*c.codeW + 24
+	default:
+		return c.dataBytes + 4*(c.cnt+1)
 	}
-	return c.dataBytes + 4*(c.cnt+1)
 }
 
 // get decodes the value at position pos (random access; sequential access
 // should prefer iter).
 func (c *colData) get(pos int) types.Value {
-	if c.rle {
+	switch c.enc {
+	case encRLE:
 		return c.runVal(c.runIndex(pos))
+	case encDict:
+		return types.Value{K: types.KindString, S: c.dict[c.codes[pos]]}
+	case encFoR:
+		return types.Value{K: c.kind, I: c.forBase + int64(c.codes[pos])}
+	default:
+		return c.uncompressedVal(pos)
 	}
-	return c.uncompressedVal(pos)
 }
 
 // iter returns a sequential accessor: calling it with strictly increasing
 // positions resolves each RLE run only once.
 func (c *colData) iter() func(pos int) types.Value {
-	if !c.rle {
-		return func(pos int) types.Value { return c.uncompressedVal(pos) }
+	if c.enc != encRLE {
+		return func(pos int) types.Value { return c.get(pos) }
 	}
 	run := 0
 	var cur types.Value
@@ -225,9 +506,17 @@ func (c *colData) iter() func(pos int) types.Value {
 	}
 }
 
-// viewVec wraps positions [lo, hi) of an uncompressed column as a
-// zero-copy vector view (the batch fast path). The column must not be RLE.
+// viewVec wraps positions [lo, hi) of a non-RLE column as a zero-copy
+// vector view (the batch fast path). Dictionary and FoR columns hand out
+// encoded views over their code arrays — predicates and aggregate folds
+// run on raw codes and only projected output rows decode.
 func (c *colData) viewVec(lo, hi int) storage.Vec {
+	switch c.enc {
+	case encDict:
+		return storage.DictVec(c.codes[lo:hi], c.dict)
+	case encFoR:
+		return storage.FoRVec(c.kind, c.forBase, c.codes[lo:hi])
+	}
 	var nulls []bool
 	if c.nulls != nil {
 		nulls = c.nulls[lo:hi]
@@ -239,6 +528,38 @@ func (c *colData) viewVec(lo, hi int) storage.Vec {
 		return storage.ViewVec(c.kind, nil, nil, c.str[lo:hi], nulls)
 	default:
 		return storage.ViewVec(c.kind, c.i64[lo:hi], nil, nil, nulls)
+	}
+}
+
+// runsVec wraps positions [lo, hi) of an RLE column as a run-length vector
+// without expanding the runs: run values stay zero-copy views into the run
+// arrays and only the clamped run boundaries are computed per chunk. ok is
+// false when a covered run holds NULL (the caller expands via fillVec —
+// NULL-bearing run vectors would need run-indexed null tracking that no
+// kernel wants to reason about).
+func (c *colData) runsVec(lo, hi int) (storage.Vec, bool) {
+	nr := len(c.runStart) - 1
+	r0 := c.runIndex(lo)
+	r1 := r0
+	var runEnds []uint32
+	for r := r0; r < nr && int(c.runStart[r]) < hi; r++ {
+		if c.rNulls != nil && c.rNulls[r] {
+			return storage.Vec{}, false
+		}
+		e := int(c.runStart[r+1])
+		if e > hi {
+			e = hi
+		}
+		runEnds = append(runEnds, uint32(e-lo))
+		r1 = r + 1
+	}
+	switch c.kind {
+	case types.KindFloat64:
+		return storage.RunsVec(c.kind, nil, c.rF64[r0:r1], nil, runEnds), true
+	case types.KindString:
+		return storage.RunsVec(c.kind, nil, nil, c.rStr[r0:r1], runEnds), true
+	default:
+		return storage.RunsVec(c.kind, c.rI64[r0:r1], nil, nil, runEnds), true
 	}
 }
 
@@ -258,31 +579,83 @@ func (c *colData) fillVec(v *storage.Vec, lo, hi int) {
 	}
 }
 
+// colMagic is the version marker of the extended serialized format. The
+// legacy format's first byte is the RLE flag (0 or 1); dictionary and FoR
+// columns open with colMagic followed by the encoding byte, so old images
+// still parse and new readers dispatch on the first byte.
+const colMagic = 0xC2
+
+// colIndex is the metadata the disk store caches for ranged cell reads:
+// the encoding, where the value bytes begin within the image, and the
+// per-encoding index (offs for plain columns, runStart/runOff for RLE,
+// code width plus dictionary/base for the code encodings).
+type colIndex struct {
+	enc     colEncoding
+	dataOff int // offset of value bytes within the image
+	// encPlain: position -> value offset within the data section.
+	offs []uint32
+	// encRLE.
+	runStart []uint32
+	runOff   []uint32
+	// encDict / encFoR: codes are packed at codeW bytes from dataOff.
+	codeW   int
+	forBase int64
+	dict    []string
+}
+
 // serialize renders the column's disk representation: a small header, the
 // index arrays, then the value bytes (metadata before values, like Parquet).
 func (c *colData) serialize() []byte {
-	img, _, _, _, _ := c.serializeWithIndex()
+	img, _ := c.serializeWithIndex()
 	return img
 }
 
-// serializeWithIndex additionally returns the byte-offset index arrays the
-// disk store caches for ranged cell reads (offs for uncompressed columns,
-// runStart/runOff for RLE) and the offset of the value bytes within the
-// image.
-func (c *colData) serializeWithIndex() (img []byte, offs, runStart, runOff []uint32, dataOff int) {
+// putCode appends one code at width w (little-endian).
+func putCode(dst []byte, code uint32, w int) []byte {
+	switch w {
+	case 1:
+		return append(dst, byte(code))
+	case 2:
+		return append(dst, byte(code), byte(code>>8))
+	default:
+		return append(dst, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+	}
+}
+
+// readCodeAt decodes one code of width w from b.
+func readCodeAt(b []byte, w int) uint32 {
+	switch w {
+	case 1:
+		return uint32(b[0])
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(b))
+	default:
+		return binary.LittleEndian.Uint32(b)
+	}
+}
+
+// serializeWithIndex additionally returns the index the disk store caches
+// for ranged cell reads.
+func (c *colData) serializeWithIndex() ([]byte, colIndex) {
 	var out []byte
 	var b [4]byte
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(b[:], v)
 		out = append(out, b[:]...)
 	}
-	if c.rle {
+	put64 := func(v uint64) {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		out = append(out, w[:]...)
+	}
+	switch c.enc {
+	case encRLE:
 		nr := len(c.runStart) - 1
 		if nr < 0 {
 			nr = 0
 		}
 		var runData []byte
-		runOff = make([]uint32, 0, nr)
+		runOff := make([]uint32, 0, nr)
 		for r := 0; r < nr; r++ {
 			binary.LittleEndian.PutUint32(b[:], c.runStart[r+1]-c.runStart[r])
 			runData = append(runData, b[:]...)
@@ -299,12 +672,43 @@ func (c *colData) serializeWithIndex() (img []byte, offs, runStart, runOff []uin
 			put32(o)
 		}
 		put32(uint32(len(runData)))
-		dataOff = len(out)
+		dataOff := len(out)
 		out = append(out, runData...)
-		return out, nil, c.runStart, runOff, dataOff
+		return out, colIndex{enc: encRLE, dataOff: dataOff, runStart: c.runStart, runOff: runOff}
+	case encDict:
+		// [magic, enc, kind] cnt codeW dictLen dataLen | codes dictBlob
+		out = append(out, colMagic, byte(encDict), byte(c.kind))
+		put32(uint32(c.cnt))
+		put32(uint32(c.codeW))
+		put32(uint32(len(c.dict)))
+		var data []byte
+		for _, code := range c.codes {
+			data = putCode(data, code, c.codeW)
+		}
+		for _, s := range c.dict {
+			data = types.AppendVar(data, types.NewString(s))
+		}
+		put32(uint32(len(data)))
+		dataOff := len(out)
+		out = append(out, data...)
+		return out, colIndex{enc: encDict, dataOff: dataOff, codeW: c.codeW, dict: c.dict}
+	case encFoR:
+		// [magic, enc, kind] cnt codeW base dataLen | codes
+		out = append(out, colMagic, byte(encFoR), byte(c.kind))
+		put32(uint32(c.cnt))
+		put32(uint32(c.codeW))
+		put64(uint64(c.forBase))
+		var data []byte
+		for _, code := range c.codes {
+			data = putCode(data, code, c.codeW)
+		}
+		put32(uint32(len(data)))
+		dataOff := len(out)
+		out = append(out, data...)
+		return out, colIndex{enc: encFoR, dataOff: dataOff, codeW: c.codeW, forBase: c.forBase}
 	}
 	var data []byte
-	offs = make([]uint32, 0, c.cnt+1)
+	offs := make([]uint32, 0, c.cnt+1)
 	for p := 0; p < c.cnt; p++ {
 		offs = append(offs, uint32(len(data)))
 		data = types.AppendVar(data, c.uncompressedVal(p))
@@ -316,17 +720,24 @@ func (c *colData) serializeWithIndex() (img []byte, offs, runStart, runOff []uin
 		put32(o)
 	}
 	put32(uint32(len(data)))
-	dataOff = len(out)
+	dataOff := len(out)
 	out = append(out, data...)
-	return out, offs, nil, nil, dataOff
+	return out, colIndex{enc: encPlain, dataOff: dataOff, offs: offs}
 }
 
 // deserializeCol reconstructs a column from its disk representation,
 // decoding the value bytes back into typed arrays. A zero-length value
-// region marks a NULL (types.AppendVar encodes NULL as no bytes).
+// region marks a NULL (types.AppendVar encodes NULL as no bytes). Images
+// opening with colMagic carry the extended encodings; the two legacy
+// leading bytes (0 plain, 1 RLE) parse as before.
 func deserializeCol(buf []byte) *colData {
+	if buf[0] == colMagic {
+		return deserializeEncoded(buf)
+	}
 	c := &colData{}
-	c.rle = buf[0] == 1
+	if buf[0] == 1 {
+		c.enc = encRLE
+	}
 	c.kind = types.Kind(buf[1])
 	off := 2
 	get32 := func() uint32 {
@@ -334,7 +745,7 @@ func deserializeCol(buf []byte) *colData {
 		off += 4
 		return v
 	}
-	if c.rle {
+	if c.enc == encRLE {
 		n := int(get32())
 		c.runStart = make([]uint32, n)
 		for i := range c.runStart {
@@ -385,6 +796,47 @@ func deserializeCol(buf []byte) *colData {
 		}
 		v, _ := types.DecodeVar(data[offs[p]:], c.kind)
 		c.setUncompressed(p, v)
+	}
+	return c
+}
+
+// deserializeEncoded parses the colMagic formats (dictionary and FoR) back
+// into typed code arrays.
+func deserializeEncoded(buf []byte) *colData {
+	c := &colData{enc: colEncoding(buf[1]), kind: types.Kind(buf[2])}
+	off := 3
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v
+	}
+	c.cnt = int(get32())
+	c.codeW = int(get32())
+	switch c.enc {
+	case encDict:
+		dictLen := int(get32())
+		_ = get32() // dataLen
+		c.codes = make([]uint32, c.cnt)
+		for p := 0; p < c.cnt; p++ {
+			c.codes[p] = readCodeAt(buf[off:], c.codeW)
+			off += c.codeW
+		}
+		c.dict = make([]string, dictLen)
+		for i := 0; i < dictLen; i++ {
+			v, n := types.DecodeVar(buf[off:], types.KindString)
+			c.dict[i] = v.S
+			c.dataBytes += 4 + len(v.S)
+			off += n
+		}
+	case encFoR:
+		c.forBase = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		_ = get32() // dataLen
+		c.codes = make([]uint32, c.cnt)
+		for p := 0; p < c.cnt; p++ {
+			c.codes[p] = readCodeAt(buf[off:], c.codeW)
+			off += c.codeW
+		}
 	}
 	return c
 }

@@ -28,23 +28,21 @@ type Disk struct {
 	meta   []diskColMeta
 	delta  *deltaStore
 
-	imageBytes int
-	reads      int
-	writes     int
-	layout     storage.Layout
+	imageBytes   int
+	encodedBytes int // image bytes held in non-plain encodings
+	reads        int
+	writes       int
+	layout       storage.Layout
 }
 
-// diskColMeta is the in-memory metadata for one on-disk column.
+// diskColMeta is the in-memory metadata for one on-disk column: the cached
+// serialization index (encoding, data offset, per-encoding index arrays)
+// plus the block handle.
 type diskColMeta struct {
+	colIndex
 	block    disksim.BlockID
 	hasBlock bool
-	dataOff  int // offset of value bytes within the block
-	// Uncompressed index: position -> value offset within the data section.
-	offs []uint32
-	// RLE index.
-	rle      bool
-	runStart []uint32
-	runOff   []uint32
+	encBytes int // serialized bytes for non-plain encodings, 0 for plain
 	// Sort-column values are additionally cached for binary search; nil for
 	// other columns. (Zone-map-scale metadata, kept per §4.1.3's precedent
 	// of memory-resident per-partition metadata.)
@@ -81,18 +79,17 @@ func (d *Disk) Load(rows []schema.Row, ver uint64) error {
 
 	meta := make([]diskColMeta, len(d.kinds))
 	total := 0
+	encTotal := 0
 	for ci, c := range b.cols {
-		img, offs, runStart, runOff, dataOff := c.serializeWithIndex()
+		img, idx := c.serializeWithIndex()
 		blk, err := d.dev.Write(img)
 		if err != nil {
 			return err
 		}
-		m := diskColMeta{block: blk, hasBlock: true, rle: c.rle, dataOff: dataOff}
-		if c.rle {
-			m.runStart = runStart
-			m.runOff = runOff
-		} else {
-			m.offs = offs
+		m := diskColMeta{colIndex: idx, block: blk, hasBlock: true}
+		if idx.enc != encPlain {
+			m.encBytes = len(img)
+			encTotal += len(img)
 		}
 		if schema.ColID(ci) == d.layout.SortBy {
 			n := c.n()
@@ -113,6 +110,7 @@ func (d *Disk) Load(rows []schema.Row, ver uint64) error {
 	d.meta = meta
 	d.delta.clear()
 	d.imageBytes = total
+	d.encodedBytes = encTotal
 	d.writes += len(meta)
 	d.mu.Unlock()
 
@@ -133,8 +131,25 @@ func (d *Disk) readCell(ci schema.ColID, p int) (types.Value, error) {
 	if !m.hasBlock {
 		return types.Null(), fmt.Errorf("colstore: column %d has no disk block", ci)
 	}
+	switch m.enc {
+	case encDict, encFoR:
+		// One ranged read of the packed code; the dictionary (or base) is
+		// memory-resident metadata.
+		cb, err := d.dev.ReadRange(m.block, m.dataOff+p*m.codeW, m.codeW)
+		if err != nil {
+			return types.Null(), err
+		}
+		d.mu.Lock()
+		d.reads++
+		d.mu.Unlock()
+		code := readCodeAt(cb, m.codeW)
+		if m.enc == encDict {
+			return types.NewString(m.dict[code]), nil
+		}
+		return types.Value{K: kind, I: m.forBase + int64(code)}, nil
+	}
 	var off, n int
-	if m.rle {
+	if m.enc == encRLE {
 		r := sort.Search(len(m.runStart)-1, func(i int) bool { return m.runStart[i+1] > uint32(p) })
 		off = int(m.runOff[r])
 		if r+1 < len(m.runOff) {
@@ -388,11 +403,12 @@ func (d *Disk) Stats() storage.Stats {
 		}
 	}
 	return storage.Stats{
-		Rows:       live,
-		Bytes:      d.imageBytes,
-		Versions:   len(d.rowIDs) + d.delta.versions(),
-		DeltaRows:  d.delta.size(),
-		DiskReads:  d.reads,
-		DiskWrites: d.writes,
+		Rows:         live,
+		Bytes:        d.imageBytes,
+		Versions:     len(d.rowIDs) + d.delta.versions(),
+		DeltaRows:    d.delta.size(),
+		DiskReads:    d.reads,
+		DiskWrites:   d.writes,
+		EncodedBytes: d.encodedBytes,
 	}
 }

@@ -310,8 +310,13 @@ func (m *Mem) Stats() storage.Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	bytes := 8 * len(m.base.rowIDs) // offset array
+	encoded := 0
 	for _, c := range m.base.cols {
-		bytes += c.bytes()
+		cb := c.bytes()
+		bytes += cb
+		if c.enc != encPlain {
+			encoded += cb
+		}
 	}
 	bytes += m.delta.bytes()
 	live := len(m.base.rowIDs)
@@ -325,10 +330,11 @@ func (m *Mem) Stats() storage.Stats {
 		}
 	}
 	return storage.Stats{
-		Rows:      live,
-		Bytes:     bytes,
-		Versions:  len(m.base.rowIDs) + m.delta.versions(),
-		DeltaRows: m.delta.size(),
+		Rows:         live,
+		Bytes:        bytes,
+		Versions:     len(m.base.rowIDs) + m.delta.versions(),
+		DeltaRows:    m.delta.size(),
+		EncodedBytes: encoded,
 	}
 }
 

@@ -36,6 +36,11 @@ func bootstrap(k modelKey, x []float64) float64 {
 		if k.layout.compressed {
 			bytes *= rleDiscount
 		}
+		if enc := x[4]; enc > 0 {
+			// Code-operating kernels skip decoding for the encoded fraction
+			// of the scanned bytes.
+			bytes *= 1 - 0.3*clamp01(enc)
+		}
 		us := bytes * usPerByte
 		if k.variant == ScanSorted && k.layout.sorted {
 			us *= clamp01(sel + 0.05)

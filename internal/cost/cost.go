@@ -90,7 +90,15 @@ const featureDim = 6
 
 // ScanFeatures: cardinality, input bytes/row, output bytes/row, selectivity.
 func ScanFeatures(card int, inBytes, outBytes int, selectivity float64) []float64 {
-	return []float64{float64(card), float64(inBytes), float64(outBytes), selectivity, 0, 0}
+	return ScanFeaturesEnc(card, inBytes, outBytes, selectivity, 0)
+}
+
+// ScanFeaturesEnc extends ScanFeatures with the fraction of the scanned
+// bytes held in encoded column form (RLE/dictionary/FoR), letting the
+// per-layout scan models learn how much code-operating kernels discount a
+// scan — the signal the advisor weighs when choosing compressed layouts.
+func ScanFeaturesEnc(card int, inBytes, outBytes int, selectivity, encodedFrac float64) []float64 {
+	return []float64{float64(card), float64(inBytes), float64(outBytes), selectivity, encodedFrac, 0}
 }
 
 // WriteFeatures: cells accessed, bytes per row.
@@ -224,8 +232,8 @@ func (m *Model) newPredictor(op Op) predictor {
 func derive(op Op, x []float64) []float64 {
 	switch op {
 	case OpScan:
-		card, inB, outB, sel := x[0], x[1], x[2], x[3]
-		return []float64{card, card * inB, card * outB, card * inB * sel, 0, 0}
+		card, inB, outB, sel, enc := x[0], x[1], x[2], x[3], x[4]
+		return []float64{card, card * inB, card * outB, card * inB * sel, card * inB * enc, 0}
 	case OpBulkLoad, OpHashBuild, OpAggregate:
 		card, rowB := x[0], x[1]
 		return []float64{card, card * rowB, x[2], 0, 0, 0}

@@ -7,7 +7,14 @@ import (
 	"proteus/internal/types"
 )
 
-// joinKey hashes a tuple's key columns.
+// NULL-key semantics: all join variants treat NULL keys the way filter
+// predicates do — CmpEq.Eval compares through types.Compare, which orders
+// NULL equal to NULL, so a NULL key matches a NULL key. joinKey hashes
+// NULLs into the table and keysEqual uses types.Equal (Compare == 0);
+// MergeJoin's compareKeys goes through types.Compare directly. All three
+// variants therefore agree: NULL == NULL joins, NULL != non-NULL doesn't.
+
+// joinKey hashes a tuple's key columns (NULLs hash like any other value).
 func joinKey(t []types.Value, keys []int) uint64 {
 	h := uint64(1469598103934665603)
 	for _, k := range keys {
@@ -16,6 +23,8 @@ func joinKey(t []types.Value, keys []int) uint64 {
 	return h
 }
 
+// keysEqual matches keys via types.Equal, i.e. types.Compare == 0, so NULL
+// keys compare equal to NULL keys — consistent with CmpOp.Eval filters.
 func keysEqual(a, b []types.Value, aKeys, bKeys []int) bool {
 	for i := range aKeys {
 		if !types.Equal(a[aKeys[i]], b[bKeys[i]]) {
@@ -39,8 +48,10 @@ func concatTuple(a, b []types.Value) []types.Value {
 
 func joinObs(variant cost.Variant, l, r, out Rel, d time.Duration) cost.Observation {
 	sel := 1.0
-	if denom := l.NumRows() * r.NumRows(); denom > 0 {
-		sel = float64(out.NumRows()) / float64(denom)
+	// The cardinality product overflows int for relations past ~3B rows
+	// each; compute in float64.
+	if denom := float64(l.NumRows()) * float64(r.NumRows()); denom > 0 {
+		sel = float64(out.NumRows()) / denom
 	}
 	return cost.Observation{
 		Op:       cost.OpJoin,
@@ -51,7 +62,10 @@ func joinObs(variant cost.Variant, l, r, out Rel, d time.Duration) cost.Observat
 }
 
 // HashJoin computes the inner equi-join of l and r on the given key
-// positions, building the hash table on the smaller input.
+// positions, building the hash table on the smaller input. Output rows are
+// left-major regardless of which side builds — ascending left index, then
+// ascending right index — matching MergeJoin and NestedLoopJoin, so callers
+// (and the differential tests) can compare variants row for row.
 func HashJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 	start := time.Now()
 	build, probe := r, l
@@ -68,16 +82,29 @@ func HashJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 		ht[k] = append(ht[k], i)
 	}
 	out := Rel{Cols: joinCols(l, r)}
+	if swapped {
+		// Build side is l, probe is r: probing emits right-major order, so
+		// collect each l row's matching r indexes (ascending, since the
+		// probe walks r in order) and emit grouped by l afterwards.
+		matches := make([][]int, build.NumRows())
+		for pi, pt := range probe.Tuples {
+			for _, bi := range ht[joinKey(pt, pKeys)] {
+				if keysEqual(pt, build.Tuples[bi], pKeys, bKeys) {
+					matches[bi] = append(matches[bi], pi)
+				}
+			}
+		}
+		for li, ps := range matches {
+			for _, pi := range ps {
+				out.Tuples = append(out.Tuples, concatTuple(build.Tuples[li], probe.Tuples[pi]))
+			}
+		}
+		return out, joinObs(cost.JoinHash, l, r, out, time.Since(start))
+	}
 	for _, pt := range probe.Tuples {
 		for _, bi := range ht[joinKey(pt, pKeys)] {
 			bt := build.Tuples[bi]
-			if !keysEqual(pt, bt, pKeys, bKeys) {
-				continue
-			}
-			if swapped {
-				// build side is l, probe is r.
-				out.Tuples = append(out.Tuples, concatTuple(bt, pt))
-			} else {
+			if keysEqual(pt, bt, pKeys, bKeys) {
 				out.Tuples = append(out.Tuples, concatTuple(pt, bt))
 			}
 		}

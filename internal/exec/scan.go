@@ -72,10 +72,19 @@ func Scan(p *partition.Partition, cols []schema.ColID, pred storage.Pred, snap u
 		Op:       cost.OpScan,
 		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
-		Features: cost.ScanFeatures(st.Rows, inBytes, rel.RowBytes(), sel),
+		Features: cost.ScanFeaturesEnc(st.Rows, inBytes, rel.RowBytes(), sel, encFracOf(st)),
 		Latency:  time.Since(start),
 	}
 	return rel, obs, pushed
+}
+
+// encFracOf is the fraction of a store's resident bytes held in encoded
+// column form, fed to the scan cost model as a feature.
+func encFracOf(st storage.Stats) float64 {
+	if st.Bytes <= 0 {
+		return 0
+	}
+	return float64(st.EncodedBytes) / float64(st.Bytes)
 }
 
 // ScanWithRowIDs is like Scan but also returns each tuple's row id,
@@ -100,7 +109,7 @@ func ScanWithRowIDs(p *partition.Partition, cols []schema.ColID, pred storage.Pr
 		Op:       cost.OpScan,
 		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
-		Features: cost.ScanFeatures(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows)),
+		Features: cost.ScanFeaturesEnc(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows), encFracOf(st)),
 		Latency:  time.Since(start),
 	}
 	return rel, ids, obs
@@ -132,7 +141,7 @@ func ScanRows(p *partition.Partition, cols []schema.ColID, pred storage.Pred, lo
 		Op:       cost.OpScan,
 		Variant:  ScanVariant(layout, lp),
 		Layout:   layout,
-		Features: cost.ScanFeatures(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows)),
+		Features: cost.ScanFeaturesEnc(st.Rows, st.Bytes/maxInt(st.Rows, 1), rel.RowBytes(), selOf(len(ids), st.Rows), encFracOf(st)),
 		Latency:  time.Since(start),
 	}
 	return rel, ids, obs

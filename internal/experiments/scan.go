@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
 	"proteus/internal/cluster"
+	"proteus/internal/colstore"
 	"proteus/internal/exec"
 	"proteus/internal/query"
 	"proteus/internal/schema"
@@ -51,6 +53,11 @@ func ScanBench(w io.Writer, s Scale) error {
 	if morsel.AllocsPerOp > 0 {
 		rep.AllocRatio = legacy.AllocsPerOp / morsel.AllocsPerOp
 	}
+	enc, err := runEncodedBench(s)
+	if err != nil {
+		return err
+	}
+	rep.Encoded = enc
 
 	path := os.Getenv("PROTEUS_SCAN_BENCH_PATH")
 	if path == "" {
@@ -71,6 +78,13 @@ func ScanBench(w io.Writer, s Scale) error {
 	fmt.Fprintf(w, "morsel: %10.0f rows/s  p95 %6.2f ms  %8.0f allocs/op\n",
 		morsel.RowsPerSec, morsel.P95Millis, morsel.AllocsPerOp)
 	fmt.Fprintf(w, "speedup %.2fx, alloc ratio %.2fx -> %s\n", rep.Speedup, rep.AllocRatio, path)
+	fmt.Fprintf(w, "encoded scans (dict/FoR code kernels vs decode-first):\n")
+	for _, q := range enc.Queries {
+		fmt.Fprintf(w, "  %-16s %10.0f -> %10.0f rows/s  (%.2fx)\n",
+			q.Name, q.DecodedRowsPerSec, q.EncodedRowsPerSec, q.Speedup)
+	}
+	fmt.Fprintf(w, "  bytes/row %0.1f -> %0.1f (%.2fx smaller)\n",
+		enc.DecodedBytesPerRow, enc.EncodedBytesPerRow, enc.BytesRatio)
 	return nil
 }
 
@@ -83,14 +97,35 @@ type scanResult struct {
 }
 
 type scanReport struct {
-	Rows       int64      `json:"rows"`
-	Partitions int        `json:"partitions"`
-	Sites      int        `json:"sites"`
-	Workload   string     `json:"workload"`
-	Legacy     scanResult `json:"legacy"`
-	Morsel     scanResult `json:"morsel"`
-	Speedup    float64    `json:"speedup"`
-	AllocRatio float64    `json:"alloc_ratio"`
+	Rows       int64          `json:"rows"`
+	Partitions int            `json:"partitions"`
+	Sites      int            `json:"sites"`
+	Workload   string         `json:"workload"`
+	Legacy     scanResult     `json:"legacy"`
+	Morsel     scanResult     `json:"morsel"`
+	Speedup    float64        `json:"speedup"`
+	AllocRatio float64        `json:"alloc_ratio"`
+	Encoded    *encodedReport `json:"encoded_scan,omitempty"`
+}
+
+// encodedReport is the encoded-scan A/B section: the same compressed
+// column store scanned with encodings off (the decode-first path: RLE
+// expansion into pooled buffers, boxed per-run predicates) and on
+// (dictionary/FoR code kernels, zero-copy encoded views).
+type encodedReport struct {
+	Rows               int64            `json:"rows"`
+	Queries            []encodedQueryAB `json:"queries"`
+	DecodedBytesPerRow float64          `json:"decoded_bytes_per_row"`
+	EncodedBytesPerRow float64          `json:"encoded_bytes_per_row"`
+	BytesRatio         float64          `json:"bytes_ratio"`
+	EncodingCols       map[string]int64 `json:"encoding_cols"`
+}
+
+type encodedQueryAB struct {
+	Name              string  `json:"name"`
+	DecodedRowsPerSec float64 `json:"decoded_rows_per_sec"`
+	EncodedRowsPerSec float64 `json:"encoded_rows_per_sec"`
+	Speedup           float64 `json:"speedup"`
 }
 
 // runScanVariant loads one engine and times the query mix. Background
@@ -164,6 +199,109 @@ func runScanVariant(s Scale, rows int64, parts, rounds int, disableMorsel bool) 
 		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
 		Queries:       queries,
 	}, nil
+}
+
+// runEncodedBench A/B-tests the encoded scan path at the store level: one
+// compressed column store holding low-cardinality strings (dictionary),
+// narrow integers (frame-of-reference) and random floats (plain), scanned
+// with encodings toggled off (the decode-first path) and on (code-operating
+// kernels). Values are shuffled so RLE runs are short — the regime where
+// decode-first pays per-row boxing and the code kernels do not.
+func runEncodedBench(s Scale) (*encodedReport, error) {
+	rows := int(s.YCSBRows) * 4
+	rounds := 3 * s.Repeats
+	rng := rand.New(rand.NewSource(17))
+	kinds := []types.Kind{types.KindInt64, types.KindString, types.KindFloat64}
+	data := make([]schema.Row, rows)
+	for i := range data {
+		data[i] = schema.Row{ID: schema.RowID(i), Vals: []types.Value{
+			types.NewInt64(500_000 + int64(rng.Intn(256))),
+			types.NewString(fmt.Sprintf("cat-%02d", rng.Intn(12))),
+			types.NewFloat64(rng.Float64()),
+		}}
+	}
+
+	type benchQuery struct {
+		name string
+		cols []schema.ColID
+		pred storage.Pred
+		agg  bool
+	}
+	queries := []benchQuery{
+		{name: "string-eq", cols: []schema.ColID{1},
+			pred: storage.Pred{{Col: 1, Op: storage.CmpEq, Val: types.NewString("cat-03")}}},
+		{name: "low-card-filter", cols: []schema.ColID{0},
+			pred: storage.Pred{{Col: 0, Op: storage.CmpLt, Val: types.NewInt64(500_050)}}},
+		{name: "sum-filtered", cols: []schema.ColID{0},
+			pred: storage.Pred{{Col: 1, Op: storage.CmpGe, Val: types.NewString("cat-06")}}, agg: true},
+	}
+
+	run := func(encodings bool) ([]float64, float64, error) {
+		prev := colstore.SetEncodings(encodings)
+		defer colstore.SetEncodings(prev)
+		st := colstore.NewMem(kinds, storage.NoSort, true)
+		if err := st.Load(data, 1); err != nil {
+			return nil, 0, err
+		}
+		perQuery := make([]float64, len(queries))
+		for qi, q := range queries {
+			var agg *exec.Aggregator
+			if q.agg {
+				agg = exec.NewAggregator(nil, []exec.AggSpec{{Func: exec.AggSum, Col: 0}})
+			}
+			matched := 0
+			st.ScanBatches(q.cols, q.pred, storage.Latest, storage.DefaultBatchRows, func(b *storage.Batch) bool {
+				matched += b.Len()
+				return true
+			}) // warm
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				st.ScanBatches(q.cols, q.pred, storage.Latest, storage.DefaultBatchRows, func(b *storage.Batch) bool {
+					if agg != nil {
+						agg.ObserveBatch(b)
+					} else {
+						matched += b.Len()
+					}
+					return true
+				})
+			}
+			elapsed := time.Since(start)
+			perQuery[qi] = float64(rows) * float64(rounds) / elapsed.Seconds()
+		}
+		bytesPerRow := float64(st.Stats().Bytes) / float64(rows)
+		return perQuery, bytesPerRow, nil
+	}
+
+	decoded, decodedBPR, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	encoded, encodedBPR, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	es := colstore.ReadEncodingStats()
+	rep := &encodedReport{
+		Rows:               int64(rows),
+		DecodedBytesPerRow: decodedBPR,
+		EncodedBytesPerRow: encodedBPR,
+		EncodingCols: map[string]int64{
+			"plain": es.PlainCols, "rle": es.RLECols,
+			"dict": es.DictCols, "for": es.FoRCols,
+		},
+	}
+	if encodedBPR > 0 {
+		rep.BytesRatio = decodedBPR / encodedBPR
+	}
+	for qi, q := range queries {
+		rep.Queries = append(rep.Queries, encodedQueryAB{
+			Name:              q.name,
+			DecodedRowsPerSec: decoded[qi],
+			EncodedRowsPerSec: encoded[qi],
+			Speedup:           encoded[qi] / decoded[qi],
+		})
+	}
+	return rep, nil
 }
 
 // scanMix builds the four-query workload over the bench table.

@@ -16,6 +16,7 @@ package storage
 // process-wide atomics surfaced by the engine's metrics snapshot.
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,19 +29,51 @@ import (
 // to stay cache-resident.
 const DefaultBatchRows = 256
 
+// VecEnc identifies how a vector's payload is physically encoded. Encoded
+// vectors are zero-copy views over a column store's encoded arrays; kernels
+// that understand the encoding (FilterVec, the exec aggregate folds) work
+// on the raw codes and run lengths, and Value decodes one element for
+// everything else. Encoded vectors never carry NULLs — stores fall back to
+// decoded emission for columns holding NULLs.
+type VecEnc uint8
+
+const (
+	// EncNone: the payload lives decoded in I64/F64/Str.
+	EncNone VecEnc = iota
+	// EncDict: a string column; Codes[i] indexes the ascending-sorted
+	// dictionary Dict, so code order is value order.
+	EncDict
+	// EncFoR: an int-family column stored frame-of-reference; the value at
+	// row i is Base + int64(Codes[i]).
+	EncFoR
+	// EncRuns: run-length form; run r covers rows [RunEnds[r-1], RunEnds[r])
+	// (RunEnds[-1] = 0) and its value sits at index r of the payload array
+	// selected by Kind.
+	EncRuns
+)
+
 // Vec is one column of a Batch. Exactly one payload array is populated,
 // chosen by Kind: I64 carries Int64/Time/Bool (matching types.Value.I),
 // F64 carries Float64, Str carries String. Null is non-nil only when the
 // vector holds at least one NULL, in which case it spans the full length.
 // A Vec is either a zero-copy view borrowed from a store's immutable
 // column arrays (valid only while the batch is) or an owned buffer
-// recycled with the batch.
+// recycled with the batch. When Enc is not EncNone the payload is encoded
+// (see VecEnc) and consumers must either dispatch on Enc or box through
+// Value.
 type Vec struct {
 	Kind types.Kind
 	I64  []int64
 	F64  []float64
 	Str  []string
 	Null []bool
+
+	// Encoded-view fields (always borrowed, never pooled).
+	Enc     VecEnc
+	Codes   []uint32 // EncDict/EncFoR: per-row codes
+	Dict    []string // EncDict: sorted dictionary
+	Base    int64    // EncFoR: frame base
+	RunEnds []uint32 // EncRuns: exclusive end row of each run, ascending
 
 	view bool
 }
@@ -52,8 +85,38 @@ func ViewVec(kind types.Kind, i64 []int64, f64 []float64, str []string, null []b
 	return Vec{Kind: kind, I64: i64, F64: f64, Str: str, Null: null, view: true}
 }
 
+// DictVec wraps a dictionary-encoded string column chunk as a zero-copy
+// view: per-row codes into the sorted dictionary. The chunk must be
+// NULL-free.
+func DictVec(codes []uint32, dict []string) Vec {
+	return Vec{Kind: types.KindString, Enc: EncDict, Codes: codes, Dict: dict, view: true}
+}
+
+// FoRVec wraps a frame-of-reference-encoded int-family column chunk as a
+// zero-copy view: value(i) = base + int64(codes[i]). The chunk must be
+// NULL-free.
+func FoRVec(kind types.Kind, base int64, codes []uint32) Vec {
+	return Vec{Kind: kind, Enc: EncFoR, Base: base, Codes: codes, view: true}
+}
+
+// RunsVec wraps a run-length-encoded column chunk without expanding it:
+// the payload arrays hold one entry per run and runEnds holds each run's
+// exclusive end row. The covered runs must be NULL-free.
+func RunsVec(kind types.Kind, i64 []int64, f64 []float64, str []string, runEnds []uint32) Vec {
+	return Vec{Kind: kind, Enc: EncRuns, I64: i64, F64: f64, Str: str, RunEnds: runEnds, view: true}
+}
+
 // Len is the number of rows in the vector.
 func (v *Vec) Len() int {
+	switch v.Enc {
+	case EncDict, EncFoR:
+		return len(v.Codes)
+	case EncRuns:
+		if len(v.RunEnds) == 0 {
+			return 0
+		}
+		return int(v.RunEnds[len(v.RunEnds)-1])
+	}
 	switch v.Kind {
 	case types.KindFloat64:
 		return len(v.F64)
@@ -66,8 +129,33 @@ func (v *Vec) Len() int {
 	}
 }
 
+// runValue boxes run r's value of an EncRuns vector.
+func (v *Vec) runValue(r int) types.Value {
+	switch v.Kind {
+	case types.KindFloat64:
+		return types.Value{K: types.KindFloat64, F: v.F64[r]}
+	case types.KindString:
+		return types.Value{K: types.KindString, S: v.Str[r]}
+	default:
+		return types.Value{K: v.Kind, I: v.I64[r]}
+	}
+}
+
+// RunIndex returns the run covering row i of an EncRuns vector.
+func (v *Vec) RunIndex(i int) int {
+	return sort.Search(len(v.RunEnds), func(r int) bool { return v.RunEnds[r] > uint32(i) })
+}
+
 // Value boxes the value at row i.
 func (v *Vec) Value(i int) types.Value {
+	switch v.Enc {
+	case EncDict:
+		return types.Value{K: types.KindString, S: v.Dict[v.Codes[i]]}
+	case EncFoR:
+		return types.Value{K: v.Kind, I: v.Base + int64(v.Codes[i])}
+	case EncRuns:
+		return v.runValue(v.RunIndex(i))
+	}
 	if v.Null != nil && v.Null[i] {
 		return types.Null()
 	}
@@ -214,6 +302,8 @@ func (v *Vec) reset() {
 	}
 	v.Str = v.Str[:0]
 	v.Null = nil
+	v.Enc = EncNone
+	v.Codes, v.Dict, v.RunEnds, v.Base = nil, nil, nil, 0
 }
 
 // Batch is one unit of vectorized scan output: up to maxRows rows of the
@@ -357,6 +447,10 @@ var (
 	statPoolGets     atomic.Int64
 	statPoolMisses   atomic.Int64
 	statPoolPuts     atomic.Int64
+
+	statEncVecs     atomic.Int64 // encoded vectors emitted in batches
+	statCodeFilters atomic.Int64 // FilterVec calls answered on raw codes
+	statEncFolds    atomic.Int64 // aggregate folds over codes/run lengths
 )
 
 // GetBatch takes a pooled batch, reset for ncols columns.
@@ -389,7 +483,38 @@ func EmitBatch(b *Batch, fn func(*Batch) bool) bool {
 	statBatches.Add(1)
 	statRowsScanned.Add(int64(b.NumRows()))
 	statRowsSelected.Add(int64(b.Len()))
+	enc := 0
+	for i := range b.Vecs {
+		if b.Vecs[i].Enc != EncNone {
+			enc++
+		}
+	}
+	if enc > 0 {
+		statEncVecs.Add(int64(enc))
+	}
 	return fn(b)
+}
+
+// RecordEncodedFold counts one aggregate fold that ran directly over codes
+// or run lengths (called by the executor; surfaced as exec.encoded.*).
+func RecordEncodedFold() { statEncFolds.Add(1) }
+
+// EncodedStats is a snapshot of the encoded-execution counters: how much of
+// the batch pipeline ran on codes instead of decoded values.
+type EncodedStats struct {
+	Vecs        int64 // encoded vectors emitted
+	CodeFilters int64 // predicate kernels answered on raw codes
+	AggFolds    int64 // aggregate folds over codes/run lengths
+}
+
+// ReadEncodedStats snapshots the encoded-execution counters (cumulative
+// since process start).
+func ReadEncodedStats() EncodedStats {
+	return EncodedStats{
+		Vecs:        statEncVecs.Load(),
+		CodeFilters: statCodeFilters.Load(),
+		AggFolds:    statEncFolds.Load(),
+	}
 }
 
 // RecordPrunedRows counts rows a scan inspected (via run metadata or

@@ -7,7 +7,12 @@ package storage
 // strings); anything subtle — NULLs, mixed kind tags — falls back to the
 // boxed comparator so batch and row paths can never disagree.
 
-import "proteus/internal/types"
+import (
+	"math"
+	"sort"
+
+	"proteus/internal/types"
+)
 
 // opMask decomposes a comparison operator into which of {<, =, >} keep a
 // row, matching CmpOp.Eval (unknown ops keep nothing).
@@ -52,7 +57,14 @@ func keepFloat(x, c float64, lt, eq, gt bool) bool {
 // FilterVec appends to dst the indexes in [0, n) — restricted to sel when
 // sel is non-nil — whose value in v satisfies (op, val), preserving
 // ascending order. n is the vector length; dst is returned grown.
+// Encoded vectors are filtered without decoding: dictionary comparisons
+// become a one-time binary search producing a code range tested per row,
+// frame-of-reference columns compare a translated constant against raw
+// codes, and run-length vectors evaluate each run once.
 func FilterVec(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Value) []int32 {
+	if v.Enc != EncNone {
+		return filterEncoded(dst, sel, n, v, op, val)
+	}
 	lt, eq, gt := opMask(op)
 	if v.Null == nil && !val.IsNull() {
 		switch {
@@ -136,6 +148,12 @@ func FilterVec(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Valu
 	}
 	// NULLs or mixed kind tags: the boxed comparator is the source of
 	// truth for ordering across kinds.
+	return filterBoxed(dst, sel, n, v, op, val)
+}
+
+// filterBoxed is the row-at-a-time fallback through Value, correct for any
+// encoding and any constant kind.
+func filterBoxed(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Value) []int32 {
 	if sel == nil {
 		for i := 0; i < n; i++ {
 			if op.Eval(v.Value(i), val) {
@@ -147,6 +165,146 @@ func FilterVec(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Valu
 			if op.Eval(v.Value(int(si)), val) {
 				dst = append(dst, si)
 			}
+		}
+	}
+	return dst
+}
+
+// filterEncoded dispatches on the vector's encoding. Constants whose kind
+// does not fit the fast path (e.g. a float constant against a FoR column,
+// where translation would change float-promotion semantics) fall back to
+// the boxed comparator through Value, which decodes per row.
+func filterEncoded(dst []int32, sel []int32, n int, v *Vec, op CmpOp, val types.Value) []int32 {
+	switch v.Enc {
+	case EncDict:
+		if val.K == types.KindString {
+			statCodeFilters.Add(1)
+			return filterDictCodes(dst, sel, n, v, op, val.S)
+		}
+	case EncFoR:
+		if intFamilyKind(val.K) {
+			statCodeFilters.Add(1)
+			return filterFoRCodes(dst, sel, n, v, op, val.I)
+		}
+	case EncRuns:
+		return filterRuns(dst, sel, v, op, val)
+	}
+	return filterBoxed(dst, sel, n, v, op, val)
+}
+
+// filterDictCodes evaluates the comparison once against the sorted
+// dictionary: rows are kept by comparing their raw code against the code
+// range [loB, hiB) matching the constant (empty when the constant is
+// absent, one code when present — CmpNe keeps everything outside it).
+func filterDictCodes(dst []int32, sel []int32, n int, v *Vec, op CmpOp, c string) []int32 {
+	lt, eq, gt := opMask(op)
+	loB := uint32(sort.SearchStrings(v.Dict, c)) // first code >= c
+	hiB := loB
+	if int(loB) < len(v.Dict) && v.Dict[loB] == c {
+		hiB = loB + 1
+	}
+	keep := func(code uint32) bool {
+		switch {
+		case code < loB:
+			return lt
+		case code >= hiB:
+			return gt
+		default:
+			return eq
+		}
+	}
+	xs := v.Codes
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if keep(xs[i]) {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, si := range sel {
+		if keep(xs[si]) {
+			dst = append(dst, si)
+		}
+	}
+	return dst
+}
+
+// filterFoRCodes translates the integer constant into code space once and
+// compares raw codes. Stored values are base + code with code < 2^32, so a
+// constant below the base (or beyond the code range) resolves the
+// comparison for every row without touching the codes.
+func filterFoRCodes(dst []int32, sel []int32, n int, v *Vec, op CmpOp, cv int64) []int32 {
+	lt, eq, gt := opMask(op)
+	appendAll := func() []int32 {
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				dst = append(dst, int32(i))
+			}
+			return dst
+		}
+		return append(dst, sel...)
+	}
+	if cv < v.Base {
+		if gt { // every stored value > constant
+			return appendAll()
+		}
+		return dst
+	}
+	d := uint64(cv) - uint64(v.Base)
+	if d > math.MaxUint32 {
+		if lt { // every stored value < constant
+			return appendAll()
+		}
+		return dst
+	}
+	c := uint32(d)
+	xs := v.Codes
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			x := xs[i]
+			if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, si := range sel {
+		x := xs[si]
+		if (x < c && lt) || (x > c && gt) || (x == c && eq) {
+			dst = append(dst, si)
+		}
+	}
+	return dst
+}
+
+// filterRuns evaluates the predicate once per run and keeps or skips each
+// run's covered rows wholesale.
+func filterRuns(dst []int32, sel []int32, v *Vec, op CmpOp, val types.Value) []int32 {
+	if sel == nil {
+		lo := 0
+		for r, end := range v.RunEnds {
+			e := int(end)
+			if op.Eval(v.runValue(r), val) {
+				for i := lo; i < e; i++ {
+					dst = append(dst, int32(i))
+				}
+			}
+			lo = e
+		}
+		return dst
+	}
+	r, cur, keep := 0, -1, false
+	for _, si := range sel {
+		for r < len(v.RunEnds) && v.RunEnds[r] <= uint32(si) {
+			r++
+		}
+		if r != cur {
+			keep = op.Eval(v.runValue(r), val)
+			cur = r
+		}
+		if keep {
+			dst = append(dst, si)
 		}
 	}
 	return dst

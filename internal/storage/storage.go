@@ -178,6 +178,10 @@ type Stats struct {
 	DeltaRows  int // buffered, unmerged delta-store rows (column format)
 	DiskReads  int // cumulative simulated block reads (disk tier)
 	DiskWrites int // cumulative simulated block writes (disk tier)
+	// EncodedBytes is the portion of Bytes held in encoded column form
+	// (RLE/dictionary/frame-of-reference); the cost model uses the encoded
+	// fraction as a scan feature.
+	EncodedBytes int
 }
 
 // Store is the uniform interface over every storage layout (§4.3:

@@ -1,0 +1,112 @@
+package twitter_test
+
+// Smoke tests: the social graph loads on a small engine and the OLTP/OLAP
+// generators produce valid, seeded-deterministic requests. Tweet inserts
+// embed wall-clock timestamps, so the determinism check compares request
+// structure (kinds, tables, rows) rather than raw values.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/workload/twitter"
+)
+
+func testEngine(t *testing.T) *cluster.Engine {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.NumSites = 2
+	cfg.Net = simnet.Config{}
+	cfg.ReplicationInterval = time.Millisecond
+	e := cluster.New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func smallConfig() twitter.Config {
+	c := twitter.DefaultConfig()
+	c.Users = 100
+	c.InitialTweets = 300
+	c.MaxTweets = 5000
+	return c
+}
+
+func setup(t *testing.T) *twitter.Workload {
+	t.Helper()
+	w, err := twitter.Setup(testEngine(t), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSetupLoadsSchema(t *testing.T) {
+	w := setup(t)
+	users, tweets, follows := w.Tables()
+	for _, tbl := range []*schema.Table{users, tweets, follows} {
+		if tbl == nil || len(tbl.Columns) == 0 {
+			t.Fatalf("table missing: %+v", tbl)
+		}
+	}
+	if users.ID == tweets.ID || tweets.ID == follows.ID {
+		t.Error("table IDs must be distinct")
+	}
+}
+
+func TestGeneratorsValid(t *testing.T) {
+	w := setup(t)
+	users, tweets, follows := w.Tables()
+	known := map[schema.TableID]bool{users.ID: true, tweets.ID: true, follows.ID: true}
+	c := w.NewClient(0, rand.New(rand.NewSource(5)))
+	for i := 0; i < 30; i++ {
+		txn := c.OLTP()
+		if len(txn.Ops) == 0 {
+			t.Fatal("empty transaction")
+		}
+		for _, op := range txn.Ops {
+			if !known[op.Table] {
+				t.Fatalf("op targets unknown table %d", op.Table)
+			}
+		}
+		q := c.OLAP()
+		if q == nil || q.Root == nil {
+			t.Fatal("nil OLAP query")
+		}
+		for _, tid := range q.Root.Tables() {
+			if !known[tid] {
+				t.Fatalf("query targets unknown table %d", tid)
+			}
+		}
+	}
+}
+
+// renderShape renders a transaction without values (tweet inserts carry
+// wall-clock timestamps).
+func renderShape(txn *query.Txn) string {
+	s := ""
+	for _, op := range txn.Ops {
+		s += fmt.Sprintf("(%d t%d r%d c%v)", op.Kind, op.Table, op.Row, op.Cols)
+	}
+	return s
+}
+
+func TestGeneratorsSeededDeterministic(t *testing.T) {
+	w1, w2 := setup(t), setup(t)
+	c1 := w1.NewClient(1, rand.New(rand.NewSource(11)))
+	c2 := w2.NewClient(1, rand.New(rand.NewSource(11)))
+	for i := 0; i < 15; i++ {
+		if a, b := renderShape(c1.OLTP()), renderShape(c2.OLTP()); a != b {
+			t.Fatalf("iteration %d: OLTP diverged\n%s\n%s", i, a, b)
+		}
+		qa, qb := c1.OLAP(), c2.OLAP()
+		if qa.Root.String() != qb.Root.String() {
+			t.Fatalf("iteration %d: OLAP diverged\n%s\n%s", i, qa.Root, qb.Root)
+		}
+	}
+}

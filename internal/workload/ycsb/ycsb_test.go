@@ -1,0 +1,100 @@
+package ycsb_test
+
+// Smoke tests: the schema loads on a small engine and the OLTP/OLAP
+// generators produce valid, seeded-deterministic requests.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/query"
+	"proteus/internal/simnet"
+	"proteus/internal/workload/ycsb"
+)
+
+func testEngine(t *testing.T) *cluster.Engine {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.NumSites = 2
+	cfg.Net = simnet.Config{}
+	cfg.ReplicationInterval = time.Millisecond
+	e := cluster.New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func smallConfig() ycsb.Config {
+	c := ycsb.DefaultConfig()
+	c.Rows = 500
+	c.Partitions = 4
+	return c
+}
+
+func setup(t *testing.T) *ycsb.Workload {
+	t.Helper()
+	w, err := ycsb.Setup(testEngine(t), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSetupLoadsSchema(t *testing.T) {
+	w := setup(t)
+	tbl := w.Table()
+	if tbl == nil || tbl.Name != "usertable" {
+		t.Fatalf("table = %+v", tbl)
+	}
+	if len(tbl.Columns) != smallConfig().Fields+1 {
+		t.Errorf("cols = %d, want %d", len(tbl.Columns), smallConfig().Fields+1)
+	}
+}
+
+func TestGeneratorsValid(t *testing.T) {
+	w := setup(t)
+	cfg := smallConfig()
+	c := w.NewClient(0, rand.New(rand.NewSource(5)))
+	for i := 0; i < 20; i++ {
+		txn := c.OLTP()
+		if len(txn.Ops) == 0 {
+			t.Fatal("empty transaction")
+		}
+		for _, op := range txn.Ops {
+			if op.Table != w.Table().ID {
+				t.Fatalf("op targets table %d", op.Table)
+			}
+			if int64(op.Row) < 0 || int64(op.Row) >= cfg.Rows {
+				t.Fatalf("op row %d out of [0, %d)", op.Row, cfg.Rows)
+			}
+		}
+		q := c.OLAP()
+		if q == nil || q.Root == nil {
+			t.Fatal("nil OLAP query")
+		}
+		for _, tid := range q.Root.Tables() {
+			if tid != w.Table().ID {
+				t.Fatalf("query targets table %d", tid)
+			}
+		}
+	}
+}
+
+func renderTxn(txn *query.Txn) string { return fmt.Sprintf("%+v", txn.Ops) }
+
+func TestGeneratorsSeededDeterministic(t *testing.T) {
+	w1, w2 := setup(t), setup(t)
+	c1 := w1.NewClient(3, rand.New(rand.NewSource(11)))
+	c2 := w2.NewClient(3, rand.New(rand.NewSource(11)))
+	for i := 0; i < 10; i++ {
+		if a, b := renderTxn(c1.OLTP()), renderTxn(c2.OLTP()); a != b {
+			t.Fatalf("iteration %d: OLTP diverged\n%s\n%s", i, a, b)
+		}
+		qa, qb := c1.OLAP(), c2.OLAP()
+		if qa.Root.String() != qb.Root.String() {
+			t.Fatalf("iteration %d: OLAP diverged\n%s\n%s", i, qa.Root, qb.Root)
+		}
+	}
+}

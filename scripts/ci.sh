@@ -15,6 +15,12 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== colstore encoding fuzz corpus (seeds only, -count=1)"
+# Replays the checked-in round-trip corpus (testdata/fuzz/FuzzColRoundTrip)
+# without cached results; `go test -fuzz FuzzColRoundTrip ./internal/colstore/`
+# explores further locally.
+go test -run FuzzColRoundTrip -count=1 ./internal/colstore/
+
 echo "== go test -race (concurrency-heavy packages)"
 go test -race -count=1 \
     ./internal/cluster/ \
@@ -27,7 +33,8 @@ go test -race -count=1 \
     ./internal/obs/ \
     ./internal/exec/ \
     ./internal/colstore/ \
-    ./internal/rowstore/
+    ./internal/rowstore/ \
+    ./internal/workload/...
 
 echo "== scan benchmark (non-gating)"
 # Regenerates BENCH_scan.json (morsel executor vs legacy path). Numbers are
