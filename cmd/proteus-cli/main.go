@@ -209,38 +209,90 @@ faults: \crash N (fail site N), \recover N (bring it back),
 	}
 }
 
-// printStats renders a metrics snapshot: counters and gauges first, then
-// each latency window with count, average and quantiles.
+// printStats renders a metrics snapshot: the admission/QoS block first,
+// then counters and gauges, then each latency window with count, average
+// and quantiles.
 func printStats(s obs.Snapshot) {
+	printAdmission(s)
 	section := func(title string, vals map[string]int64) {
-		if len(vals) == 0 {
+		rest := make(map[string]int64, len(vals))
+		for name, v := range vals {
+			if !strings.HasPrefix(name, "admission.") {
+				rest[name] = v
+			}
+		}
+		if len(rest) == 0 {
 			return
 		}
 		fmt.Println(title + ":")
-		names := make([]string, 0, len(vals))
-		for name := range vals {
+		names := make([]string, 0, len(rest))
+		for name := range rest {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("  %-36s %d\n", name, vals[name])
+			fmt.Printf("  %-36s %d\n", name, rest[name])
 		}
 	}
 	section("counters", s.Counters)
 	section("gauges", s.Gauges)
-	if len(s.Latencies) == 0 {
+	names := make([]string, 0, len(s.Latencies))
+	for name := range s.Latencies {
+		if !strings.HasPrefix(name, "admission.") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
 		return
 	}
 	fmt.Println("latencies:")
-	names := make([]string, 0, len(s.Latencies))
-	for name := range s.Latencies {
-		names = append(names, name)
-	}
 	sort.Strings(names)
 	for _, name := range names {
 		l := s.Latencies[name]
 		fmt.Printf("  %-36s n=%-8d avg=%-10v p50=%-10v p95=%-10v p99=%v\n",
 			name, l.Count, l.Avg, l.P50, l.P95, l.P99)
+	}
+}
+
+// printAdmission renders the QoS front-end block: policy, queue depths,
+// global admit/shed/queue counters with wait quantiles, then one line per
+// tenant (bucket fill is the admission.tenant.<t>.tokens_milli gauge).
+func printAdmission(s obs.Snapshot) {
+	if _, ok := s.Gauges["admission.policy"]; !ok {
+		return
+	}
+	policy := "always_admit"
+	if s.Gauges["admission.policy"] == 1 {
+		policy = "token_bucket"
+	}
+	fmt.Printf("admission: policy=%s queued oltp=%d olap=%d commit_backlog=%d\n",
+		policy, s.Gauges["admission.queue.oltp"], s.Gauges["admission.queue.olap"],
+		s.Gauges["admission.commit_backlog"])
+	fmt.Printf("  %-22s admitted=%-8d shed=%-8d queued=%-8d",
+		"total", s.Counters["admission.admitted"], s.Counters["admission.shed"],
+		s.Counters["admission.queued"])
+	if l, ok := s.Latencies["admission.wait"]; ok && l.Count > 0 {
+		fmt.Printf(" wait p50=%v p99=%v", l.P50, l.P99)
+	}
+	fmt.Println()
+	var tenants []string
+	for name := range s.Counters {
+		if rest, ok := strings.CutPrefix(name, "admission.tenant."); ok {
+			if t, ok := strings.CutSuffix(rest, ".admitted"); ok {
+				tenants = append(tenants, t)
+			}
+		}
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		pre := "admission.tenant." + t
+		fmt.Printf("  tenant %-15s admitted=%-8d shed=%-8d queued=%-8d tokens=%dm",
+			t, s.Counters[pre+".admitted"], s.Counters[pre+".shed"],
+			s.Counters[pre+".queued"], s.Gauges[pre+".tokens_milli"])
+		if l, ok := s.Latencies[pre+".wait"]; ok && l.Count > 0 {
+			fmt.Printf(" wait p50=%v p99=%v", l.P50, l.P99)
+		}
+		fmt.Println()
 	}
 }
 

@@ -1,0 +1,44 @@
+package admission
+
+import "time"
+
+// SiteState is one site's view in the cached cluster snapshot.
+type SiteState struct {
+	ID int
+	// Up is false while the site is crashed.
+	Up bool
+	// MemBytes is the site's resident partition memory.
+	MemBytes int64
+	// CommitBacklog is the depth of the site's group-commit queue
+	// (pending flush groups not yet durable).
+	CommitBacklog int
+	// OLTPInFlight counts transactions currently executing at the site.
+	OLTPInFlight int
+}
+
+// ClusterState is a periodically refreshed snapshot of engine state used
+// for admission decisions. The controller reads it lock-free via an
+// atomic pointer; the engine's refresher goroutine replaces it wholesale.
+// Decisions made on a snapshot a few milliseconds stale trade perfect
+// accuracy for never contending on live engine locks from the admission
+// hot path.
+type ClusterState struct {
+	// At stamps when the snapshot was taken.
+	At time.Time
+	// Sites holds per-site state, indexed by site ID.
+	Sites []SiteState
+	// MaxCommitBacklog is the deepest group-commit queue across up sites;
+	// the write-backlog shed guard compares against this.
+	MaxCommitBacklog int
+}
+
+// UpdateState installs a fresh snapshot.
+func (c *Controller) UpdateState(st ClusterState) {
+	c.state.Store(&st)
+	c.gaugeBacklog.Set(int64(st.MaxCommitBacklog))
+}
+
+// State returns the most recent snapshot, or nil before the first update.
+func (c *Controller) State() *ClusterState {
+	return c.state.Load()
+}

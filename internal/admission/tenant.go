@@ -1,0 +1,31 @@
+package admission
+
+import "context"
+
+// DefaultTenant is the quota untagged work is charged against: every
+// request whose context carries no tenant tag shares one default bucket,
+// so a cluster with no multi-tenant setup still gets a single global
+// admission limit.
+const DefaultTenant = "default"
+
+// tenantKey is the context key carrying the tenant tag.
+type tenantKey struct{}
+
+// WithTenant tags a context with the tenant the request should be charged
+// against. The public proteus package re-exports this; internal layers
+// read it back with TenantFrom.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant tag, falling back to DefaultTenant for
+// untagged work.
+func TenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	return DefaultTenant
+}

@@ -2,11 +2,15 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"proteus/internal/admission"
+	"proteus/internal/exec"
 	"proteus/internal/faults"
 	"proteus/internal/query"
 	"proteus/internal/simnet"
@@ -20,6 +24,29 @@ import (
 // and every surviving replica converges to its master's version.
 // `make chaos` runs it standalone under the race detector.
 func TestChaos(t *testing.T) {
+	runChaos(t, nil, false)
+}
+
+// TestChaosWithAdmission repeats the chaos run with token-bucket
+// admission enabled at a rate the hot writer loops exceed, so a share of
+// the offered writes is shed mid-chaos. The invariants tighten: every
+// shed is the typed faults.ErrOverload carrying a RetryAfter hint, a
+// shed write is never acknowledged (it never executed, so the
+// acked-exactly-matches-stored check still holds), and zero acked-write
+// loss survives crashes, partitions and shedding together.
+func TestChaosWithAdmission(t *testing.T) {
+	runChaos(t, func(cfg *Config) {
+		cfg.Admission = admission.Config{
+			Policy:           admission.TokenBucket,
+			Default:          admission.Limits{Rate: 2000, Burst: 100},
+			MaxQueue:         128,
+			MaxWait:          2 * time.Millisecond,
+			MaxCommitBacklog: 1 << 12,
+		}
+	}, true)
+}
+
+func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 	const (
 		seed     = 7
 		numSites = 4
@@ -30,6 +57,9 @@ func TestChaos(t *testing.T) {
 	e, tbl := newFaultEngine(t, numSites, 4, numRows, func(cfg *Config) {
 		cfg.FaultSeed = seed
 		cfg.OpDeadline = 300 * time.Millisecond
+		if tune != nil {
+			tune(cfg)
+		}
 	})
 	// Replicate every partition once so crashed masters have failover
 	// candidates (the advisor may add or remove more as it sees fit).
@@ -68,6 +98,7 @@ func TestChaos(t *testing.T) {
 	rowsPer := int64(numRows / writers)
 	acked := make([]map[int64]float64, writers)
 	stop := make(chan struct{})
+	var sheds, badSheds atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		w := w
@@ -85,10 +116,18 @@ func TestChaos(t *testing.T) {
 				}
 				v++
 				row := int64(w)*rowsPer + int64(v)%rowsPer
-				if _, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
+				_, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{
 					updateOp(tbl, row, 2, types.NewFloat64(v)),
-				}}); err == nil {
+				}})
+				switch {
+				case err == nil:
 					acked[w][row] = v
+				case errors.Is(err, faults.ErrOverload):
+					// Shed ⇒ never acked; it must carry the typed hint.
+					sheds.Add(1)
+					if _, ok := faults.RetryAfterHint(err); !ok {
+						badSheds.Add(1)
+					}
 				}
 			}
 		}()
@@ -147,11 +186,21 @@ func TestChaos(t *testing.T) {
 	waitAllConverged(t, e, 5*time.Second)
 
 	// Zero committed-write loss: every acknowledged write reads back.
+	// Verification reads retry through admission sheds — the controller
+	// is still active and the sequential read-back can outrun the bucket.
 	sess := e.NewSession()
 	checked := 0
 	for w := 0; w < writers; w++ {
 		for row, want := range acked[w] {
-			res, err := e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+			var res exec.Rel
+			var err error
+			for {
+				res, err = e.ExecuteTxn(context.Background(), sess, &query.Txn{Ops: []query.Op{readOp(tbl, row, 2)}})
+				if !errors.Is(err, faults.ErrOverload) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 			if err != nil {
 				t.Fatalf("read row %d: %v", row, err)
 			}
@@ -164,8 +213,17 @@ func TestChaos(t *testing.T) {
 	if checked == 0 {
 		t.Fatal("no writes were acknowledged during chaos; nothing was exercised")
 	}
-	t.Logf("chaos: %d events, %d acked rows verified, %d failovers, %d recoveries",
-		len(schedule), checked,
+	if n := badSheds.Load(); n > 0 {
+		t.Errorf("%d sheds lacked the typed RetryAfter hint", n)
+	}
+	if wantSheds && sheds.Load() == 0 {
+		t.Error("admission enabled but no writes were shed; overload path unexercised")
+	}
+	if !wantSheds && sheds.Load() > 0 {
+		t.Errorf("AlwaysAdmit run shed %d writes", sheds.Load())
+	}
+	t.Logf("chaos: %d events, %d acked rows verified, %d sheds, %d failovers, %d recoveries",
+		len(schedule), checked, sheds.Load(),
 		e.Obs.Counter("faults.failovers").Value(),
 		e.Obs.Counter("faults.recoveries").Value())
 }

@@ -13,8 +13,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"proteus/internal/admission"
 	"proteus/internal/colstore"
 	"proteus/internal/cost"
 	"proteus/internal/faults"
@@ -125,6 +127,11 @@ type Config struct {
 	// under concurrent load and an uncontended commit pays no added
 	// latency.
 	GroupCommitInterval time.Duration
+	// Admission configures the multi-tenant QoS front end. The zero value
+	// is policy AlwaysAdmit: every request passes straight through (no
+	// background work, no shedding), preserving the pre-admission
+	// behavior for tests and baselines.
+	Admission admission.Config
 }
 
 // DefaultConfig returns a small cluster sizing suitable for tests.
@@ -174,6 +181,12 @@ type Engine struct {
 	// fault commands all drive it.
 	Faults *faults.Registry
 
+	// Adm is the admission controller fronting every client-visible
+	// operation; oltpInFlight holds the per-site transaction counters the
+	// morsel feeders consult for OLTP-over-OLAP preemption.
+	Adm          *admission.Controller
+	oltpInFlight []atomic.Int64
+
 	// Obs is the cluster-wide metrics registry (simnet traffic, redo-log
 	// broker, per-site maintenance); Trace is the ASA decision trace
 	// (empty outside ModeProteus).
@@ -199,6 +212,7 @@ type Engine struct {
 	cntMorselsPruned    *obs.Counter // units skipped by zone maps at build
 	cntMorselRows       *obs.Counter // rows produced by morsel scans
 	cntScanBatches      *obs.Counter // result batches shipped coordinator-ward
+	cntScanYields       *obs.Counter // feeder yields to in-flight OLTP work
 	recMorselsPerQuery  *obs.Recorder
 
 	tableMax map[schema.TableID]schema.RowID
@@ -248,7 +262,11 @@ func New(cfg Config) *Engine {
 	e.cntMorselsPruned = e.Obs.Counter("exec.morsels.pruned")
 	e.cntMorselRows = e.Obs.Counter("exec.morsels.rows")
 	e.cntScanBatches = e.Obs.Counter("exec.scan.batches")
+	e.cntScanYields = e.Obs.Counter("admission.scan.preempt_yields")
 	e.recMorselsPerQuery = e.Obs.Recorder("exec.morsels.per_query", 1<<10)
+	e.Adm = admission.New(cfg.Admission, e.Obs)
+	e.Obs.Gauge("admission.policy").Set(int64(cfg.Admission.Policy))
+	e.oltpInFlight = make([]atomic.Int64, cfg.NumSites)
 	for i := 0; i < cfg.NumSites; i++ {
 		s := site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite)
 		s.SetObs(e.Obs)
@@ -304,6 +322,7 @@ func (e *Engine) startBackground() {
 			}
 		}()
 	}
+	e.startAdmissionRefresher()
 	if e.Advisor != nil {
 		e.Advisor.start()
 	} else {
@@ -435,11 +454,14 @@ func (e *Engine) maybeCheckpoint(m *metadata.PartitionMeta) {
 	e.Broker.SaveCheckpoint(m.ID, ck)
 }
 
-// Close stops background work and the sites. The group-commit flushers
-// are drained after the background loops stop (a maintenance checkpoint
-// may be waiting on a flush barrier) and before the sites close (waiting
-// transactions still occupy site pool workers until their flush resolves).
+// Close stops background work and the sites. The admission controller
+// closes first so queued waiters shed instead of blocking shutdown; the
+// group-commit flushers are drained after the background loops stop (a
+// maintenance checkpoint may be waiting on a flush barrier) and before
+// the sites close (waiting transactions still occupy site pool workers
+// until their flush resolves).
 func (e *Engine) Close() {
+	e.Adm.Close()
 	close(e.stop)
 	e.wg.Wait()
 	e.gc.close()
@@ -610,6 +632,9 @@ func (e *Engine) siteOf(id simnet.SiteID) *site.Site { return e.Sites[int(id)] }
 // (and any already-installed replicas). ctx cancellation aborts between
 // partitions.
 func (e *Engine) LoadRows(ctx context.Context, table schema.TableID, rows []schema.Row) error {
+	if err := e.admit(ctx, admission.PriorityOLTP); err != nil {
+		return err
+	}
 	byPart := map[partition.ID][]schema.Row{}
 	metas := map[partition.ID]*metadata.PartitionMeta{}
 	for _, r := range rows {

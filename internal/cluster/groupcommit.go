@@ -121,6 +121,19 @@ func (g *groupCommit) enqueue(site simnet.SiteID, fg flushGroup) {
 	q.mu.Unlock()
 }
 
+// depth reports how many commit groups are queued at the site, feeding
+// the admission controller's ClusterState snapshot. The pending slice
+// itself cannot be bounded — groups are enqueued under partition locks
+// past the 2PC commit point and must always flush — so backpressure is
+// applied upstream: admission sheds new writes when this depth exceeds
+// the configured backlog bound.
+func (g *groupCommit) depth(site simnet.SiteID) int {
+	q := g.queues[site]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
 // barrier waits until every group enqueued to the site before the call has
 // been flushed. Callers hold the exclusive (or shared, for read-only
 // captures) lock of the partition(s) they are about to act on, so no new

@@ -239,6 +239,11 @@ func (j *morselJob) runSite(siteID simnet.SiteID, units []morselUnit, wg *sync.W
 	go func() {
 		defer close(feed)
 		for _, u := range units {
+			// OLTP preemption: while a transaction is in flight at this
+			// site, briefly stop feeding the shared scan pool so commits
+			// get the CPU first; the grace is bounded so a steady OLTP
+			// stream cannot starve the scan.
+			j.e.yieldToOLTP(siteID)
 			select {
 			case feed <- u:
 				j.e.cntMorselsScheduled.Inc()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"proteus/internal/admission"
 	"proteus/internal/cost"
 	"proteus/internal/exec"
 	"proteus/internal/faults"
@@ -39,6 +40,12 @@ var ErrStalePlan = errors.New("cluster: physical plan stale after layout change"
 func (e *Engine) ExecuteQuery(ctx context.Context, sess *Session, q *query.Query) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
+	// Admission happens once per client-visible operation, before the
+	// retry loop: a shed is terminal (never internally retried) and an
+	// admitted operation's retries ride on the already-granted token.
+	if err = e.admit(ctx, admission.PriorityOLAP); err != nil {
+		return rel, err
+	}
 	deadline := e.queryDeadline(ctx)
 	delay := e.retryBase()
 	for {
@@ -859,6 +866,9 @@ func (e *Engine) finalizeAgg(pa *plan.PAgg, partials exec.Rel, coord simnet.Site
 // ExecuteQuery retries them; once streaming has begun, failures surface
 // through the cursor's Err and are not retried.
 func (e *Engine) ExecuteQueryStream(ctx context.Context, sess *Session, q *query.Query) (*RowCursor, error) {
+	if err := e.admit(ctx, admission.PriorityOLAP); err != nil {
+		return nil, err
+	}
 	deadline := e.queryDeadline(ctx)
 	delay := e.retryBase()
 	for {

@@ -45,9 +45,11 @@ func (e *Engine) retryBase() time.Duration {
 // retriable reports whether an operation error may succeed on re-plan and
 // retry: stale plans (concurrent layout change), dropped messages,
 // partitions, and down sites (a failover or recovery may restore the
-// copy before the deadline).
+// copy before the deadline). Overload sheds are never retried here — the
+// typed ErrOverload (with its RetryAfter hint) goes straight back to the
+// client, which is the whole point of shedding.
 func (e *Engine) retriable(err error) bool {
-	return errors.Is(err, ErrStalePlan) || faults.IsRetriable(err)
+	return errors.Is(err, ErrStalePlan) || faults.Retryable(err)
 }
 
 // deadlineErr converts the last retry error into the typed timeout the

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"proteus/internal/admission"
 	"proteus/internal/cost"
 	"proteus/internal/exec"
 	"proteus/internal/faults"
@@ -152,6 +153,13 @@ func coordinatorFor(tp *plan.TxnPlan) simnet.SiteID {
 func (e *Engine) ExecuteTxn(ctx context.Context, sess *Session, t *query.Txn) (exec.Rel, error) {
 	var rel exec.Rel
 	var err error
+	// Admission happens once per transaction, before the retry loop, at
+	// OLTP priority: queued commits drain ahead of queued scans, and a
+	// shed (typed faults.ErrOverload) means the transaction never started
+	// — a shed write is never acknowledged.
+	if err = e.admit(ctx, admission.PriorityOLTP); err != nil {
+		return rel, err
+	}
 	deadline := e.queryDeadline(ctx)
 	delay := e.retryBase()
 	for {
@@ -173,7 +181,8 @@ func (e *Engine) ExecuteTxn(ctx context.Context, sess *Session, t *query.Txn) (e
 }
 
 func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn) (exec.Rel, error) {
-	if err := ctx.Err(); err != nil {
+	var err error
+	if err = ctx.Err(); err != nil {
 		return exec.Rel{}, err
 	}
 	planStart := time.Now()
@@ -193,9 +202,15 @@ func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn
 	var result exec.Rel
 	var execErr error
 	start := time.Now()
-	if err := e.siteOf(coord).RunOLTP(func() {
-		result, execErr = e.runTxnAt(coord, sess, t, tp)
-	}); err != nil {
+	// The in-flight marker covers queueing for an OLTP pool slot too:
+	// morsel feeders at the site start yielding as soon as a transaction
+	// is headed its way, not only once a worker picks it up.
+	e.oltpEnter(coord)
+	err = e.siteOf(coord).RunOLTP(func() {
+		result, execErr = e.runTxnAt(ctx, coord, sess, t, tp)
+	})
+	e.oltpExit(coord)
+	if err != nil {
 		return exec.Rel{}, err
 	}
 	d := time.Since(start)
@@ -210,7 +225,7 @@ func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn
 	return result, nil
 }
 
-func (e *Engine) runTxnAt(coord simnet.SiteID, sess *Session, t *query.Txn, tp *plan.TxnPlan) (exec.Rel, error) {
+func (e *Engine) runTxnAt(ctx context.Context, coord simnet.SiteID, sess *Session, t *query.Txn, tp *plan.TxnPlan) (exec.Rel, error) {
 	coordSite := e.siteOf(coord)
 
 	allPids := append(append([]partition.ID{}, tp.ReadPIDs...), tp.WritePIDs...)
@@ -309,7 +324,9 @@ func (e *Engine) runTxnAt(coord simnet.SiteID, sess *Session, t *query.Txn, tp *
 			return exec.Rel{}, err
 		}
 		if finish != nil {
-			finish()
+			if err := finish(ctx); err != nil {
+				return exec.Rel{}, err
+			}
 		}
 	}
 
@@ -388,8 +405,11 @@ func buildEntries(sw *siteWrites) {
 // the master sites' commit queues. In the latter case it returns a finish
 // function the caller must invoke after releasing the locks; it blocks
 // until every site's flush completes (the durability point), then records
-// the commit dependencies and the session watermark.
-func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Session) (func(), error) {
+// the commit dependencies and the session watermark. A cancelled or
+// expired ctx unblocks the wait with ctx.Err(): the flush itself still
+// completes (the groups are past the commit point), only the waiter
+// abandons — so the write may be durable without ever being acked.
+func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Session) (func(context.Context) error, error) {
 	grouped := !e.cfg.DisableGroupCommit
 	bySite := make(map[simnet.SiteID]*siteWrites, 2)
 	for _, b := range tp.Bindings {
@@ -509,11 +529,18 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Sessio
 		e.gc.enqueue(sw.site, fg)
 		nGroups++
 	}
-	return func() {
+	return func(ctx context.Context) error {
+		// flushed is buffered for every group, so a flusher never blocks
+		// signalling a waiter that already abandoned.
 		for i := 0; i < nGroups; i++ {
-			<-flushed
+			select {
+			case <-flushed:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 		finishCommit()
+		return nil
 	}, nil
 }
 

@@ -82,6 +82,7 @@ var All = []Experiment{
 	{"tab5", "Table 5: planning and layout-change overheads", Tab5},
 	{"scan", "Scan throughput: morsel executor vs legacy path (BENCH_scan.json)", ScanBench},
 	{"oltp", "OLTP writes: group commit vs serial commit (BENCH_oltp.json)", OLTPBench},
+	{"overload", "Overload: token-bucket admission vs AlwaysAdmit at 10x capacity (BENCH_overload.json)", OverloadBench},
 }
 
 // Find locates an experiment by ID.

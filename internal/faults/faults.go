@@ -30,16 +30,67 @@ var (
 	ErrUnreachable = errors.New("faults: sites partitioned")
 	// ErrDropped reports that one message was lost on a lossy link.
 	ErrDropped = errors.New("faults: message dropped")
+	// ErrOverload reports that the admission controller shed the request
+	// instead of queuing it: a tenant's token bucket ran dry with a full
+	// wait queue, or a backlog guard tripped. The request was never
+	// executed — a shed write is never acknowledged. Wrapped instances
+	// are usually *OverloadError values carrying a RetryAfter hint.
+	ErrOverload = errors.New("faults: overloaded, request shed")
 )
 
-// IsRetriable reports whether an error may succeed on retry: dropped
+// OverloadError is the concrete shed response: it matches ErrOverload via
+// errors.Is and carries the admission controller's hints. Extract it with
+// errors.As.
+type OverloadError struct {
+	// Tenant is the quota the request was charged against.
+	Tenant string
+	// RetryAfter estimates when retrying has a chance of admission
+	// (token refill for the queue ahead of this request).
+	RetryAfter time.Duration
+	// Reason names the limit that shed the request ("tokens", "queue",
+	// "backlog", "wait").
+	Reason string
+}
+
+// Error renders the shed response.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: tenant %q (%s, retry after %v)",
+		ErrOverload, e.Tenant, e.Reason, e.RetryAfter.Round(time.Microsecond))
+}
+
+// Unwrap makes errors.Is(err, ErrOverload) match.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// RetryAfterHint extracts the retry-after hint from a shed response
+// (0, false for anything that is not an overload shed).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	if errors.Is(err, ErrOverload) {
+		return 0, true
+	}
+	return 0, false
+}
+
+// Retryable reports whether an internal retry may succeed: dropped
 // messages and partitions can heal, and a down site can be failed over or
-// recovered. Timeouts are terminal — the deadline is already spent.
-func IsRetriable(err error) bool {
+// recovered. Timeouts are terminal — the deadline is already spent — and
+// overload sheds are deliberately terminal too: retrying inside the
+// engine would rebuild exactly the queue the controller just refused to
+// grow. Clients may retry a shed after its RetryAfter hint.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrOverload) || errors.Is(err, ErrTimeout) {
+		return false
+	}
 	return errors.Is(err, ErrDropped) ||
 		errors.Is(err, ErrUnreachable) ||
 		errors.Is(err, ErrSiteDown)
 }
+
+// IsRetriable is the legacy name of Retryable.
+func IsRetriable(err error) bool { return Retryable(err) }
 
 // LinkFault degrades one directed site pair.
 type LinkFault struct {
@@ -242,7 +293,7 @@ func (r *Registry) Retry(b Backoff, op func() error) error {
 	delay := b.Base
 	for {
 		err := op()
-		if err == nil || !IsRetriable(err) || errors.Is(err, ErrSiteDown) {
+		if err == nil || !Retryable(err) || errors.Is(err, ErrSiteDown) {
 			return err
 		}
 		if time.Since(start) >= b.Deadline {

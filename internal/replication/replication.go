@@ -381,7 +381,10 @@ func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, e
 		pollErr := error(nil)
 		if _, err := r.pollInto(pid, s); err != nil {
 			pollErr = err
-			if errors.Is(err, faults.ErrSiteDown) {
+			// Keep polling only faults a later poll can outlive (drops,
+			// healing partitions); site-down and other terminal errors
+			// fail fast — waiting out the deadline cannot fix them.
+			if !faults.Retryable(err) || errors.Is(err, faults.ErrSiteDown) {
 				return time.Since(start), err
 			}
 		}

@@ -41,9 +41,12 @@ package proteus
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"proteus/internal/admission"
 	"proteus/internal/cluster"
 	"proteus/internal/exec"
+	"proteus/internal/faults"
 	"proteus/internal/query"
 	"proteus/internal/schema"
 	"proteus/internal/simnet"
@@ -362,3 +365,30 @@ func (db *DB) SiteCount() int { return len(db.eng.Sites) }
 
 // SiteID aliases the site identifier.
 type SiteID = simnet.SiteID
+
+// --- Multi-tenant admission control --------------------------------------
+
+// ErrOverload is returned (possibly wrapped) when the admission
+// controller sheds a request instead of queuing it: the tenant's token
+// bucket ran dry with a full wait queue, or a backlog guard tripped.
+// Match with errors.Is; a shed request was never executed — a shed write
+// is never acknowledged. Use RetryAfter for the controller's hint on
+// when retrying has a chance of admission.
+var ErrOverload = faults.ErrOverload
+
+// DefaultTenant is the tenant untagged work is charged against.
+const DefaultTenant = admission.DefaultTenant
+
+// WithTenant tags a context with the tenant the request is charged
+// against under token-bucket admission. Untagged contexts share the
+// DefaultTenant bucket.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return admission.WithTenant(ctx, tenant)
+}
+
+// Tenant reports the tenant a context's requests are charged against.
+func Tenant(ctx context.Context) string { return admission.TenantFrom(ctx) }
+
+// RetryAfter extracts the admission controller's retry hint from a shed
+// error; ok is false when err is not an overload shed.
+func RetryAfter(err error) (d time.Duration, ok bool) { return faults.RetryAfterHint(err) }

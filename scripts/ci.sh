@@ -23,6 +23,7 @@ go test -run FuzzColRoundTrip -count=1 ./internal/colstore/
 
 echo "== go test -race (concurrency-heavy packages)"
 go test -race -count=1 \
+    ./internal/admission/ \
     ./internal/cluster/ \
     ./internal/site/ \
     ./internal/simnet/ \
@@ -47,5 +48,12 @@ echo "== oltp commit-pipeline benchmark (non-gating)"
 # hardware; a failure here does not gate the run.
 go run ./cmd/proteus-bench -exp oltp -scale quick || echo "oltp benchmark failed (non-gating)"
 go test -run XXX -bench 'BenchmarkTxn(Group|Serial)Commit' -benchtime 0.5s ./internal/cluster/ || echo "txn benchmarks failed (non-gating)"
+
+echo "== overload smoke (non-gating)"
+# Regenerates BENCH_overload.json and exercises the admission front end at
+# 10x capacity. The experiment hard-fails on a shed without the typed
+# ErrOverload/RetryAfter contract or on any acked-write loss; the p99 QoS
+# ratio is informational on shared CI hardware, so the run does not gate.
+go run ./cmd/proteus-bench -exp overload -scale quick || echo "overload smoke failed (non-gating)"
 
 echo "ok"
