@@ -184,6 +184,11 @@ type Controller struct {
 	mu      sync.Mutex
 	tenants map[string]*bucket
 	queues  [numPriorities][]*waiter
+	// live counts non-cancelled waiters per class: cancelled waiters stay
+	// in queues until Tick compacts them, so len(queues[pri]) over-counts
+	// under cancellation churn and must not drive the MaxQueue bound.
+	live   [numPriorities]int
+	closed bool // set by Close under mu; Admit sheds immediately after
 
 	state atomic.Pointer[ClusterState]
 
@@ -304,6 +309,14 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority) err
 	c.mu.Lock()
 	now := c.now()
 	b := c.bucketLocked(tenant, now)
+	if c.closed {
+		// The engine is shutting down; nothing will ever drain the queues
+		// again, so refuse up front rather than enqueue a waiter that can
+		// only leak.
+		err := c.shedLocked(b, "closed")
+		c.mu.Unlock()
+		return err
+	}
 	if c.cfg.Policy == AlwaysAdmit {
 		b.admitted.Inc()
 		c.cntAdmitted.Inc()
@@ -328,13 +341,14 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority) err
 		b.wait.Record(0)
 		return nil
 	}
-	if len(c.queues[pri]) >= c.cfg.MaxQueue {
+	if c.live[pri] >= c.cfg.MaxQueue {
 		err := c.shedLocked(b, "queue")
 		c.mu.Unlock()
 		return err
 	}
 	w := &waiter{b: b, pri: pri, enq: now, ready: make(chan error, 1)}
 	c.queues[pri] = append(c.queues[pri], w)
+	c.live[pri]++
 	b.waiting++
 	b.queued.Inc()
 	c.cntQueued.Inc()
@@ -355,6 +369,7 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority) err
 			// Still queued: abandon in place; the grant pass skips and
 			// compacts cancelled waiters.
 			w.done = true
+			c.live[pri]--
 			b.waiting--
 			c.gaugeQueue[pri].Add(-1)
 			c.mu.Unlock()
@@ -395,11 +410,13 @@ func (c *Controller) Tick() {
 			case w.done: // cancelled; drop
 			case now.Sub(w.enq) > c.cfg.MaxWait:
 				w.done = true
+				c.live[pri]--
 				w.b.waiting--
 				c.gaugeQueue[pri].Add(-1)
 				w.ready <- c.shedLocked(w.b, "wait")
 			case w.b.tokens >= 1:
 				w.done = true
+				c.live[pri]--
 				w.b.waiting--
 				c.gaugeQueue[pri].Add(-1)
 				c.grantLocked(w.b)
@@ -419,13 +436,7 @@ func (c *Controller) Tick() {
 func (c *Controller) QueueDepth(pri Priority) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, w := range c.queues[pri] {
-		if !w.done {
-			n++
-		}
-	}
-	return n
+	return c.live[pri]
 }
 
 // Tokens reports the tenant's current bucket fill (for tests and gauges).
@@ -453,13 +464,19 @@ func (c *Controller) drip() {
 }
 
 // Close stops the background grant pass and sheds every queued waiter, so
-// no Admit call outlives the engine.
+// no Admit call outlives the engine. The closed flag is raised under the
+// mutex before the shed pass: any Admit that enqueued earlier is drained
+// here, and any Admit arriving later sheds on entry instead of queueing
+// into a controller nothing will ever drain again. Safe to call more than
+// once.
 func (c *Controller) Close() {
-	select {
-	case <-c.stop:
-		return // already closed
-	default:
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
 	}
+	c.closed = true
+	c.mu.Unlock()
 	close(c.stop)
 	c.wg.Wait()
 	c.mu.Lock()
@@ -470,6 +487,7 @@ func (c *Controller) Close() {
 				continue
 			}
 			w.done = true
+			c.live[pri]--
 			w.b.waiting--
 			c.gaugeQueue[pri].Add(-1)
 			w.ready <- fmt.Errorf("%w: tenant %q (closed)", faults.ErrOverload, w.b.tenant)

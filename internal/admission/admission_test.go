@@ -390,6 +390,82 @@ func TestCloseShedsWaiters(t *testing.T) {
 	c.Close() // idempotent
 }
 
+func TestAdmitAfterCloseSheds(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{
+		Policy:  TokenBucket,
+		Default: Limits{Rate: 0.001, Burst: 1},
+		MaxWait: time.Hour,
+	}, nil, WithClock(clk.now))
+	c.Close()
+
+	// After Close nothing drains the queues, so a late Admit must shed
+	// immediately instead of enqueueing a waiter that blocks forever.
+	done := make(chan error, 1)
+	go func() { done <- c.Admit(context.Background(), "a", PriorityOLTP) }()
+	select {
+	case err := <-done:
+		var oe *faults.OverloadError
+		if !errors.As(err, &oe) || oe.Reason != "closed" {
+			t.Fatalf("Admit after Close = %v, want OverloadError(closed)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Admit after Close blocked")
+	}
+}
+
+func TestCloseConcurrent(t *testing.T) {
+	c := New(Config{
+		Policy:  TokenBucket,
+		Default: Limits{Rate: 1000, Burst: 10},
+	}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close() // must not panic on double close of the stop channel
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQueueBoundIgnoresCancelledWaiters(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestController(t, Config{
+		Policy:   TokenBucket,
+		Default:  Limits{Rate: 10, Burst: 1},
+		MaxQueue: 2,
+		MaxWait:  time.Hour,
+	}, clk)
+
+	// Drain the burst, fill the queue to its bound, then cancel every
+	// waiter without running a grant pass: the cancelled waiters still
+	// sit in the slice (Tick compacts them later), but their slots must
+	// free immediately for the bound check.
+	if err := c.Admit(context.Background(), "a", PriorityOLTP); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r1 := admitAsync(c, ctx, "a", PriorityOLTP)
+	r2 := admitAsync(c, ctx, "a", PriorityOLTP)
+	waitDepth(t, c, PriorityOLTP, 2)
+	cancel()
+	for _, r := range []<-chan error{r1, r2} {
+		if err := <-r; !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter = %v, want context.Canceled", err)
+		}
+	}
+
+	res := admitAsync(c, context.Background(), "a", PriorityOLTP)
+	waitDepth(t, c, PriorityOLTP, 1) // queued — not shed with reason "queue"
+	clk.advance(time.Second)
+	c.Tick()
+	if err := <-res; err != nil {
+		t.Fatalf("arrival after cancellation churn = %v, want admission", err)
+	}
+}
+
 func TestTenantContext(t *testing.T) {
 	ctx := context.Background()
 	if got := TenantFrom(ctx); got != DefaultTenant {

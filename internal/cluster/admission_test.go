@@ -9,9 +9,11 @@ import (
 
 	"proteus/internal/admission"
 	"proteus/internal/faults"
+	"proteus/internal/partition"
 	"proteus/internal/query"
 	"proteus/internal/schema"
 	"proteus/internal/storage"
+	"proteus/internal/txn"
 	"proteus/internal/types"
 )
 
@@ -196,6 +198,72 @@ func TestGroupCommitWaitCancel(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("abandoned flush never became visible (last: %v, err %v)", res, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// installedVersion reads a partition's installed version at its master site.
+func installedVersion(e *Engine, pid partition.ID) uint64 {
+	m, ok := e.Dir.Get(pid)
+	if !ok {
+		return 0
+	}
+	if p, ok := e.siteOf(m.Master().Site).Partition(pid); ok {
+		return p.Version()
+	}
+	return 0
+}
+
+// TestAbandonedCommitWaitRecordsDeps pins a torn-snapshot fix: when a
+// multi-partition transaction's group-commit wait is abandoned on ctx
+// expiry, the flushers still durably install every partition version, so
+// the co-commit dependency record must still reach the tracker. Without
+// it, a later snapshot could close over one partition's new version
+// without its co-committed sibling — an SI violation visible to every
+// session, not just the cancelled client.
+func TestAbandonedCommitWaitRecordsDeps(t *testing.T) {
+	e, tbl := newMorselEngine(t, ModeRowStore, 2, 2, 100, func(c *Config) {
+		c.GroupCommitInterval = 200 * time.Millisecond
+	})
+	sess := e.NewSession()
+
+	// Rows 5 and 95 land in different horizontal partitions of the
+	// evenly tiled 100-row table.
+	tq := &query.Txn{Ops: []query.Op{
+		updateOp(tbl, 5, 2, types.NewFloat64(-5)),
+		updateOp(tbl, 95, 2, types.NewFloat64(-95)),
+	}}
+	tp, err := e.Planner.PlanTxn(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.WritePIDs) != 2 {
+		t.Fatalf("rows 5 and 95 map to %d partitions, want 2", len(tp.WritePIDs))
+	}
+	p1, p2 := tp.WritePIDs[0], tp.WritePIDs[1]
+	before1, before2 := installedVersion(e, p1), installedVersion(e, p2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.ExecuteTxn(ctx, sess, tq); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("txn blocked on flusher = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Wait for the abandoned flushes to install both versions, then for
+	// the detached finish to record the commit: closing a snapshot that
+	// holds p1's new version must raise p2 to its co-committed version.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v1, v2 := installedVersion(e, p1), installedVersion(e, p2)
+		if v1 > before1 && v2 > before2 {
+			snap := e.Deps.Close(txn.VersionVector{p1: v1, p2: before2})
+			if snap[p2] >= v2 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("co-commit dependency never recorded after abandoned group-commit wait")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -536,6 +536,21 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Sessio
 			select {
 			case <-flushed:
 			case <-ctx.Done():
+				// The groups are past the commit point: every flusher will
+				// still durably install its versions. The dependency record
+				// must not abandon with the waiter — without it, snapshotFor
+				// could observe one partition's new version without its
+				// co-committed siblings, a torn cross-partition snapshot
+				// visible to every session. Detach: drain the remaining
+				// signals, then record the commit (Session and the tracker
+				// are mutex-guarded, so the late finish is safe).
+				remaining := nGroups - i
+				go func() {
+					for j := 0; j < remaining; j++ {
+						<-flushed
+					}
+					finishCommit()
+				}()
 				return ctx.Err()
 			}
 		}
