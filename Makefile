@@ -17,9 +17,11 @@ chaos:
 check:
 	./scripts/ci.sh
 
-# bench runs the scan benchmarks and the row-vs-batch kernel
-# microbenchmarks with allocation stats, archiving the run under results/.
+# bench runs the scan benchmarks, the row-vs-batch kernel benchmarks and
+# the join/group-by A/B benchmarks with allocation stats, archiving the
+# run under results/.
 bench:
 	mkdir -p results
 	go test -run XXX -bench 'BenchmarkScan' -benchmem . | tee results/bench-$$(date +%Y-%m-%d).txt
 	go test -run XXX -bench 'BenchmarkBatchKernels' -benchmem ./internal/exec/ | tee -a results/bench-$$(date +%Y-%m-%d).txt
+	go test -run XXX -bench 'BenchmarkJoin|BenchmarkGroupBy' -benchmem ./internal/exec/ | tee -a results/bench-$$(date +%Y-%m-%d).txt

@@ -1,0 +1,426 @@
+// Batch-native join execution (§4.3): coordinator joins whose inputs are
+// plain scans (or nested coordinator joins) bypass the row-at-a-time
+// evalJoin path entirely. The smaller input — by planner estimate — is
+// evaluated first and folded into a Bloom/min-max runtime filter; the
+// filter's bounds push into the probe scan's predicate, where the morsel
+// scheduler's zone maps prune whole partitions before a single morsel is
+// scheduled and FilterVec narrows batch selections, and the Bloom filter
+// drops the remaining non-matching probe rows inside the scan workers
+// before they are shipped. Both sides stay columnar end to end:
+// exec.BatchHashJoin joins them with typed keys and late materialization,
+// and an aggregation parent folds the join output straight into a grouped
+// accumulator (ObserveCols) without ever boxing tuples.
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/exec"
+	"proteus/internal/plan"
+	"proteus/internal/schema"
+	"proteus/internal/simnet"
+	"proteus/internal/storage"
+	"proteus/internal/txn"
+)
+
+// defaultJoinSpillBudget bounds an in-memory build side before the join
+// grace-partitions through the spill device.
+const defaultJoinSpillBudget = 64 << 20
+
+// joinSpill returns the engine's spill policy for batch hash joins.
+func (e *Engine) joinSpill() *exec.JoinSpill {
+	budget := e.cfg.JoinSpillBudget
+	if budget == 0 {
+		budget = defaultJoinSpillBudget
+	}
+	if budget < 0 {
+		return nil
+	}
+	return &exec.JoinSpill{Device: e.spill, Budget: budget}
+}
+
+// batchJoinOK reports whether a join subtree runs on the batch engine:
+// equi-join trees whose leaves are plain scans. Both planner strategies
+// qualify — a colocated join's site-local row loops are still slower than
+// scanning both sides columnar and joining typed keys at the coordinator,
+// and the runtime filter usually ships fewer probe bytes than the
+// colocated plan's full left side ships partial results. The legacy
+// strategy split remains reachable via DisableBatchJoin.
+func (e *Engine) batchJoinOK(pj *plan.PJoin) bool {
+	if e.cfg.DisableBatchJoin {
+		return false
+	}
+	return batchJoinShape(pj)
+}
+
+func batchJoinShape(n plan.PNode) bool {
+	switch v := n.(type) {
+	case *plan.PScan:
+		return true
+	case *plan.PJoin:
+		return batchJoinShape(v.Left) && batchJoinShape(v.Right)
+	}
+	return false
+}
+
+func nodeEstRows(n plan.PNode) int {
+	switch v := n.(type) {
+	case *plan.PScan:
+		return v.EstRows
+	case *plan.PJoin:
+		return v.EstRows
+	}
+	return 0
+}
+
+// nodeColLabels mirrors the output labels evalNode would produce for a
+// batch-join-eligible subtree.
+func nodeColLabels(n plan.PNode) []string {
+	switch v := n.(type) {
+	case *plan.PScan:
+		return colNames(v.Cols)
+	case *plan.PJoin:
+		return append(append([]string{}, nodeColLabels(v.Left)...), nodeColLabels(v.Right)...)
+	}
+	return nil
+}
+
+// nodeColWidth is the output column count of a batch-join-eligible subtree.
+func nodeColWidth(n plan.PNode) int {
+	switch v := n.(type) {
+	case *plan.PScan:
+		return len(v.Cols)
+	case *plan.PJoin:
+		return nodeColWidth(v.Left) + nodeColWidth(v.Right)
+	}
+	return 0
+}
+
+// addPos inserts p into a sorted unique position list.
+func addPos(ps []int, p int) []int {
+	i := sort.SearchInts(ps, p)
+	if i < len(ps) && ps[i] == p {
+		return ps
+	}
+	ps = append(ps, 0)
+	copy(ps[i+1:], ps[i:])
+	ps[i] = p
+	return ps
+}
+
+// posIndex is p's index in a sorted position list (-1 when absent).
+func posIndex(ps []int, p int) int {
+	i := sort.SearchInts(ps, p)
+	if i < len(ps) && ps[i] == p {
+		return i
+	}
+	return -1
+}
+
+// evalBatchJoin executes a join subtree on the batch engine, returning the
+// joined columnar relation. need lists the output column positions the
+// parent will read, sorted ascending (nil means all): the projection is
+// pushed down so untouched payload columns are neither scanned, shipped,
+// nor gathered — late materialization across the whole join tree.
+func (e *Engine) evalBatchJoin(ctx context.Context, pj *plan.PJoin, snap txn.VersionVector, coord simnet.SiteID, need []int) (exec.ColRel, error) {
+	// Split the projection across the children; each side's join key must
+	// be present to join, even when the parent never reads it.
+	nL := nodeColWidth(pj.Left)
+	var needL, needR []int
+	lKey, rKey := pj.LeftKey, pj.RightKey
+	var projL, projR []int
+	if need != nil {
+		needL = addPos(nil, pj.LeftKey)
+		needR = addPos(nil, pj.RightKey)
+		for _, p := range need {
+			if p < nL {
+				needL = addPos(needL, p)
+			} else {
+				needR = addPos(needR, p-nL)
+			}
+		}
+		lKey, rKey = posIndex(needL, pj.LeftKey), posIndex(needR, pj.RightKey)
+		projL, projR = []int{}, []int{}
+		for _, p := range need {
+			if p < nL {
+				projL = append(projL, posIndex(needL, p))
+			} else {
+				projR = append(projR, posIndex(needR, p-nL))
+			}
+		}
+	}
+
+	// Evaluate the (estimated) smaller side first so its keys seed the
+	// runtime filter pushed into the other side's scan.
+	rightFirst := nodeEstRows(pj.Right) <= nodeEstRows(pj.Left)
+	var left, right exec.ColRel
+	var err error
+	var rf *exec.RuntimeFilter
+	if rightFirst {
+		if right, err = e.evalColInput(ctx, pj.Right, snap, coord, nil, -1, needR); err != nil {
+			return exec.ColRel{}, err
+		}
+		if !e.cfg.DisableRuntimeFilter {
+			rf = exec.BuildRuntimeFilter(&right, rKey)
+		}
+		if left, err = e.evalColInput(ctx, pj.Left, snap, coord, rf, lKey, needL); err != nil {
+			return exec.ColRel{}, err
+		}
+	} else {
+		if left, err = e.evalColInput(ctx, pj.Left, snap, coord, nil, -1, needL); err != nil {
+			return exec.ColRel{}, err
+		}
+		if !e.cfg.DisableRuntimeFilter {
+			rf = exec.BuildRuntimeFilter(&left, lKey)
+		}
+		if right, err = e.evalColInput(ctx, pj.Right, snap, coord, rf, rKey, needR); err != nil {
+			return exec.ColRel{}, err
+		}
+	}
+	out, obs, err := exec.BatchHashJoin(&left, &right, lKey, rKey, e.joinSpill(), projL, projR)
+	if err != nil {
+		return exec.ColRel{}, err
+	}
+	e.siteOf(coord).Observe(obs)
+	return out, nil
+}
+
+// projectLabels picks the labels at need positions (nil need = all).
+func projectLabels(labels []string, need []int) []string {
+	if need == nil {
+		return labels
+	}
+	out := make([]string, len(need))
+	for i, p := range need {
+		out[i] = labels[p]
+	}
+	return out
+}
+
+// projectCols reduces a columnar relation to the need positions without
+// copying column data (the result shares vectors and must stay read-only).
+func projectCols(c *exec.ColRel, need []int) exec.ColRel {
+	if need == nil {
+		return *c
+	}
+	out := exec.NewColRel(projectLabels(c.Cols, need))
+	for i, p := range need {
+		out.Vecs[i] = c.Vecs[p]
+	}
+	out.SetRows(c.NumRows())
+	return out
+}
+
+// evalColInput evaluates one join input to columnar form, applying the
+// runtime filter rf over (projected) key position rfKey when non-nil and
+// restricting output to the need columns (nil means all). An empty build
+// side short-circuits the probe entirely: an inner join against zero rows
+// is empty, so the scan is never scheduled.
+func (e *Engine) evalColInput(ctx context.Context, n plan.PNode, snap txn.VersionVector, coord simnet.SiteID, rf *exec.RuntimeFilter, rfKey int, need []int) (exec.ColRel, error) {
+	if rf != nil && rf.Empty() {
+		return exec.NewColRel(projectLabels(nodeColLabels(n), need)), nil
+	}
+	switch v := n.(type) {
+	case *plan.PScan:
+		scan := v
+		if need != nil && len(need) < len(v.Cols) {
+			// Clone the cached plan node with only the needed columns: the
+			// projection reaches the storage layer, so dropped payload
+			// columns are never decoded or shipped.
+			clone := *v
+			clone.Cols = make([]schema.ColID, len(need))
+			for i, p := range need {
+				clone.Cols[i] = v.Cols[p]
+			}
+			clone.SortedBy = -1
+			if v.SortedBy >= 0 {
+				clone.SortedBy = posIndex(need, v.SortedBy)
+			}
+			scan = &clone
+		}
+		if e.morselEligible(scan) {
+			return e.morselGatherCols(ctx, scan, snap, coord, rf, rfKey)
+		}
+		rel, err := e.evalScan(ctx, scan, snap, coord)
+		if err != nil {
+			return exec.ColRel{}, err
+		}
+		c := exec.ColRelFromRel(rel)
+		if rf != nil {
+			c = rf.FilterCols(&c, rfKey)
+		}
+		return c, nil
+	case *plan.PJoin:
+		c, err := e.evalBatchJoin(ctx, v, snap, coord, need)
+		if err != nil {
+			return exec.ColRel{}, err
+		}
+		if rf != nil {
+			c = rf.FilterCols(&c, rfKey)
+		}
+		return c, nil
+	}
+	rel, err := e.evalNode(ctx, n, snap, coord)
+	if err != nil {
+		return exec.ColRel{}, err
+	}
+	c := exec.ColRelFromRel(rel)
+	c = projectCols(&c, need)
+	if rf != nil {
+		c = rf.FilterCols(&c, rfKey)
+	}
+	return c, nil
+}
+
+// morselGatherCols runs a morsel scan in columnar mode, materializing the
+// result as a ColRel at the coordinator. When a runtime filter is present
+// its min-max bounds are appended to a clone of the scan's predicate
+// (plans are cached — the node itself must never be mutated) so zone maps
+// prune morsels before scheduling, and the Bloom filter narrows each
+// batch's selection inside the scan workers.
+func (e *Engine) morselGatherCols(ctx context.Context, ps *plan.PScan, snap txn.VersionVector, coord simnet.SiteID, rf *exec.RuntimeFilter, rfKey int) (exec.ColRel, error) {
+	scan := ps
+	if rf != nil && rfKey >= 0 {
+		if bounds := rf.BoundsPred(ps.Cols[rfKey]); bounds != nil {
+			clone := *ps
+			clone.Pred = append(append(storage.Pred{}, ps.Pred...), bounds...)
+			scan = &clone
+			exec.RecordRFBoundsPush()
+		}
+	}
+	j, err := e.buildMorselJob(ctx, scan, snap, coord)
+	if err != nil {
+		return exec.ColRel{}, err
+	}
+	defer j.cancel()
+	out := make(chan exec.ColRel, 2*len(e.Sites)+2)
+	j.runCols(rf, rfKey, out)
+	res := exec.NewColRel(j.cols)
+	for chunk := range out {
+		chunk := chunk
+		res.AppendCols(&chunk)
+	}
+	if j.err != nil {
+		return exec.ColRel{}, j.err
+	}
+	if err := ctx.Err(); err != nil {
+		return exec.ColRel{}, err
+	}
+	return res, nil
+}
+
+// runCols streams the scan columnar: workers accumulate decoded column
+// chunks (applying the runtime filter per batch), ship them to the
+// coordinator with network accounting, and hand them over with
+// backpressure — the columnar sibling of runRows.
+func (j *morselJob) runCols(rf *exec.RuntimeFilter, rfKey int, out chan<- exec.ColRel) {
+	batchRows := j.e.scanBatchRows()
+	var wg sync.WaitGroup
+	newWorker := func(siteID simnet.SiteID) func(<-chan morselUnit) {
+		return func(feed <-chan morselUnit) {
+			cur := exec.NewColRel(j.cols)
+			var rfScratch []int32
+			flush := func() bool {
+				if cur.NumRows() == 0 {
+					return true
+				}
+				chunk := cur
+				cur = exec.NewColRel(j.cols)
+				if err := j.e.shipBytesTo(siteID, j.coord, chunk.NumRows()*chunk.RowBytes()+64); err != nil {
+					j.fail(err)
+					return false
+				}
+				select {
+				case out <- chunk:
+					j.e.cntScanBatches.Inc()
+					j.e.cntMorselRows.Add(int64(chunk.NumRows()))
+					return true
+				case <-j.ctx.Done():
+					return false
+				}
+			}
+			for u := range feed {
+				u := u
+				u.scanUnitBatches(batchRows, func(b *storage.Batch) bool {
+					n := b.Len()
+					if n == 0 {
+						return j.ctx.Err() == nil
+					}
+					// rows feeds the per-partition scan observation; count
+					// pre-filter so scan selectivity stays a scan property.
+					u.ps.rows.Add(int64(n))
+					if rf != nil {
+						rfScratch = rf.FilterBatch(b, rfKey, rfScratch)
+					}
+					if b.Len() > 0 {
+						cur.AppendBatch(b)
+					}
+					if cur.NumRows() >= batchRows {
+						return flush()
+					}
+					return j.ctx.Err() == nil
+				})
+				if j.ctx.Err() != nil {
+					return
+				}
+			}
+			flush()
+		}
+	}
+	for siteID, units := range j.units {
+		j.runSite(siteID, units, &wg, newWorker)
+	}
+	go func() {
+		wg.Wait()
+		j.observeScans()
+		close(out)
+	}()
+}
+
+// evalBatchJoinAgg fuses an aggregation directly over a batch join's
+// columnar output: group keys and aggregate inputs fold through the typed
+// accumulator paths without materializing join tuples, replacing the
+// legacy join → partial HashAggregate → finalize chain. The aggregation's
+// column footprint (group keys + aggregate inputs) becomes the join tree's
+// projection, so payload columns nobody aggregates are never materialized.
+func (e *Engine) evalBatchJoinAgg(ctx context.Context, pa *plan.PAgg, pj *plan.PJoin, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
+	need := []int{}
+	for _, g := range pa.GroupBy {
+		need = addPos(need, g)
+	}
+	for _, a := range pa.Aggs {
+		if a.Func != exec.AggCount {
+			need = addPos(need, a.Col)
+		}
+	}
+	c, err := e.evalBatchJoin(ctx, pj, snap, coord, need)
+	if err != nil {
+		return exec.Rel{}, err
+	}
+	groupBy := make([]int, len(pa.GroupBy))
+	for i, g := range pa.GroupBy {
+		groupBy[i] = posIndex(need, g)
+	}
+	specs := make([]exec.AggSpec, len(pa.Aggs))
+	for i, a := range pa.Aggs {
+		specs[i] = a
+		if a.Func != exec.AggCount {
+			specs[i].Col = posIndex(need, a.Col)
+		}
+	}
+	start := time.Now()
+	agg := exec.NewAggregator(groupBy, specs)
+	agg.ObserveCols(&c)
+	rel := agg.Rel(c.Cols)
+	e.siteOf(coord).Observe(cost.Observation{
+		Op:       cost.OpAggregate,
+		Variant:  cost.AggHash,
+		Features: cost.AggFeatures(c.NumRows(), rel.NumRows(), c.RowBytes()),
+		Latency:  time.Since(start),
+	})
+	return rel, nil
+}

@@ -1,0 +1,338 @@
+package cluster
+
+// Engine-level differential tests for the batch join path: the batch
+// engine must return exactly the rows the legacy row-join engine returns —
+// across every storage layout, under concurrent layout changes, with the
+// runtime filter on and off, and when the build side spills — while the
+// exec.join.* counters prove which path actually ran.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// joinDiffLayouts mirrors the partition-level differential layout matrix:
+// row/column × memory/disk, sorted and RLE variants. SortBy is a local
+// column index within the fact partitions.
+var joinDiffLayouts = []struct {
+	name string
+	l    storage.Layout
+}{
+	{"row-mem", storage.Layout{Format: storage.RowFormat, Tier: storage.MemoryTier, SortBy: storage.NoSort}},
+	{"row-disk", storage.Layout{Format: storage.RowFormat, Tier: storage.DiskTier, SortBy: storage.NoSort}},
+	{"col-mem", storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: storage.NoSort}},
+	{"col-mem-sorted", storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: 0}},
+	{"col-mem-rle", storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: storage.NoSort, Compressed: true}},
+	{"col-mem-rle-sorted", storage.Layout{Format: storage.ColumnFormat, Tier: storage.MemoryTier, SortBy: 0, Compressed: true}},
+	{"col-disk-sorted", storage.Layout{Format: storage.ColumnFormat, Tier: storage.DiskTier, SortBy: 0}},
+	{"col-disk-rle", storage.Layout{Format: storage.ColumnFormat, Tier: storage.DiskTier, SortBy: storage.NoSort, Compressed: true}},
+}
+
+// addGroupsTable creates a replicated dimension table with ngroups rows:
+// gid g, weight g*10, tag "even"/"odd".
+func addGroupsTable(t *testing.T, e *Engine, ngroups int64) *schema.Table {
+	t.Helper()
+	dim, err := e.CreateTable(TableSpec{
+		Name: "groups",
+		Cols: []schema.Column{
+			{Name: "gid", Kind: types.KindInt64},
+			{Name: "weight", Kind: types.KindFloat64},
+			{Name: "tag", Kind: types.KindString, AvgSize: 4},
+		},
+		MaxRows: schema.RowID(ngroups), Partitions: 1, ReplicateAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]schema.Row, 0, ngroups)
+	for g := int64(0); g < ngroups; g++ {
+		tag := "even"
+		if g%2 == 1 {
+			tag = "odd"
+		}
+		rows = append(rows, schema.Row{ID: schema.RowID(g), Vals: []types.Value{
+			types.NewInt64(g), types.NewFloat64(float64(g) * 10), types.NewString(tag),
+		}})
+	}
+	if err := e.LoadRows(context.Background(), dim.ID, rows); err != nil {
+		t.Fatal(err)
+	}
+	return dim
+}
+
+// factDimJoin joins fact(grp, val) with groups(gid, weight, tag) on
+// grp = gid, returning the full five-column output.
+func factDimJoin(fact, dim *schema.Table) *query.Query {
+	return &query.Query{Root: &query.JoinNode{
+		Left:        &query.ScanNode{Table: fact.ID, Cols: []schema.ColID{1, 2}},
+		Right:       &query.ScanNode{Table: dim.ID, Cols: []schema.ColID{0, 1, 2}},
+		LeftKeyCol:  0,
+		RightKeyCol: 0,
+	}}
+}
+
+// factDimJoinAgg groups the join by the dimension tag and aggregates —
+// the fused join→group-by path, which also exercises projection pushdown
+// (the aggregate reads two of five join columns).
+func factDimJoinAgg(fact, dim *schema.Table) *query.Query {
+	return &query.Query{Root: &query.AggNode{
+		Child:   factDimJoin(fact, dim).Root,
+		GroupBy: []int{4},
+		Aggs:    []exec.AggSpec{{Func: exec.AggCount}, {Func: exec.AggSum, Col: 1}, {Func: exec.AggAvg, Col: 3}},
+	}}
+}
+
+func runSorted(t *testing.T, e *Engine, q *query.Query) exec.Rel {
+	t.Helper()
+	res, err := e.ExecuteQuery(context.Background(), e.NewSession(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortTuples(res)
+	return res
+}
+
+// setFactLayouts moves every copy of every fact partition to layout l.
+func setFactLayouts(t *testing.T, e *Engine, fact *schema.Table, l storage.Layout) {
+	t.Helper()
+	for _, m := range e.Dir.TablePartitions(fact.ID) {
+		for _, c := range m.AllCopies() {
+			if c.Layout == l {
+				continue
+			}
+			if err := e.ChangeCopyLayout(m.ID, c.Site, l); err != nil {
+				t.Fatalf("layout %v on site %d: %v", l, c.Site, err)
+			}
+		}
+	}
+}
+
+// TestBatchJoinMatchesRowEngineAcrossLayouts runs the join and the fused
+// join-aggregate on two identical engines — batch path on, batch path
+// off — across the full layout matrix, and requires identical answers.
+// The counters double-check routing: the batch engine bumps
+// exec.join.count, the legacy engine never does.
+func TestBatchJoinMatchesRowEngineAcrossLayouts(t *testing.T) {
+	batch, factB := newMorselEngine(t, ModeColumnStore, 2, 4, 240, nil)
+	row, factR := newMorselEngine(t, ModeColumnStore, 2, 4, 240, func(c *Config) {
+		c.DisableBatchJoin = true
+	})
+	dimB := addGroupsTable(t, batch, 10)
+	dimR := addGroupsTable(t, row, 10)
+
+	for _, lc := range joinDiffLayouts {
+		t.Run(lc.name, func(t *testing.T) {
+			setFactLayouts(t, batch, factB, lc.l)
+			setFactLayouts(t, row, factR, lc.l)
+
+			before := exec.ReadJoinStats().Joins
+			gotJoin := runSorted(t, batch, factDimJoin(factB, dimB))
+			if exec.ReadJoinStats().Joins == before {
+				t.Fatal("batch engine did not take the batch join path")
+			}
+			before = exec.ReadJoinStats().Joins
+			wantJoin := runSorted(t, row, factDimJoin(factR, dimR))
+			if exec.ReadJoinStats().Joins != before {
+				t.Fatal("DisableBatchJoin engine took the batch join path")
+			}
+			sameRels(t, "join", gotJoin, wantJoin)
+
+			gotAgg := runSorted(t, batch, factDimJoinAgg(factB, dimB))
+			wantAgg := runSorted(t, row, factDimJoinAgg(factR, dimR))
+			sameRels(t, "join-agg", gotAgg, wantAgg)
+		})
+	}
+}
+
+// TestBatchJoinUnderConcurrentLayoutChanges races join queries against
+// continuous layout flipping on the fact partitions (run with -race): every
+// answer must equal the quiescent answer, regardless of which layout each
+// morsel scan observed.
+func TestBatchJoinUnderConcurrentLayoutChanges(t *testing.T) {
+	e, fact := newMorselEngine(t, ModeColumnStore, 2, 4, 300, func(c *Config) {
+		c.MorselRows = 64
+	})
+	dim := addGroupsTable(t, e, 10)
+	want := runSorted(t, e, factDimJoin(fact, dim))
+	wantAgg := runSorted(t, e, factDimJoinAgg(fact, dim))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		parts := e.Dir.TablePartitions(fact.ID)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := parts[i%len(parts)]
+			l := joinDiffLayouts[i%len(joinDiffLayouts)].l
+			// Master copy only: enough to race the scan path, cheap enough
+			// to flip continuously.
+			if err := e.ChangeCopyLayout(m.ID, m.Master().Site, l); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 15; i++ {
+		got := runSorted(t, e, factDimJoin(fact, dim))
+		sameRels(t, "join under layout churn", got, want)
+		gotAgg := runSorted(t, e, factDimJoinAgg(fact, dim))
+		sameRels(t, "join-agg under layout churn", gotAgg, wantAgg)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// addSparseGroups loads a dimension holding only gids 0 and 9: the
+// min-max bounds [0,9] prune nothing (the fact side has 0-9), so any
+// probe-row rejection is the Bloom filter's doing.
+func addSparseGroups(t *testing.T, e *Engine) *schema.Table {
+	t.Helper()
+	dim, err := e.CreateTable(TableSpec{
+		Name: "groups",
+		Cols: []schema.Column{
+			{Name: "gid", Kind: types.KindInt64},
+			{Name: "weight", Kind: types.KindFloat64},
+			{Name: "tag", Kind: types.KindString, AvgSize: 4},
+		},
+		MaxRows: 10, Partitions: 1, ReplicateAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadRows(context.Background(), dim.ID, []schema.Row{
+		{ID: 0, Vals: []types.Value{types.NewInt64(0), types.NewFloat64(1), types.NewString("lo")}},
+		{ID: 9, Vals: []types.Value{types.NewInt64(9), types.NewFloat64(2), types.NewString("hi")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dim
+}
+
+// TestBatchJoinRuntimeFilterPruning joins against a dimension holding only
+// gids {0, 9} while the fact side has 0-9: the runtime filter must push
+// bounds predicates into the probe scans and Bloom-reject the probe rows
+// with gids 1-8, and the answers must match a DisableRuntimeFilter engine
+// exactly.
+func TestBatchJoinRuntimeFilterPruning(t *testing.T) {
+	rf, factF := newMorselEngine(t, ModeColumnStore, 2, 4, 240, nil)
+	norf, factN := newMorselEngine(t, ModeColumnStore, 2, 4, 240, func(c *Config) {
+		c.DisableRuntimeFilter = true
+	})
+	dimF := addSparseGroups(t, rf)
+	dimN := addSparseGroups(t, norf)
+
+	before := exec.ReadJoinStats()
+	got := runSorted(t, rf, factDimJoin(factF, dimF))
+	d := exec.ReadJoinStats()
+	if d.BoundsPreds == before.BoundsPreds {
+		t.Error("no min-max bounds predicate was pushed into the probe scan")
+	}
+	if d.BloomTested == before.BloomTested {
+		t.Error("no probe rows were Bloom-tested")
+	}
+	// 2 of 10 group values survive and the bounds [0,9] prune nothing, so
+	// the Bloom filter must reject the grp 1..8 rows itself.
+	if passed, tested := d.BloomPassed-before.BloomPassed, d.BloomTested-before.BloomTested; passed >= tested {
+		t.Errorf("Bloom filter rejected nothing: %d/%d passed", passed, tested)
+	}
+
+	before = exec.ReadJoinStats()
+	want := runSorted(t, norf, factDimJoin(factN, dimN))
+	if after := exec.ReadJoinStats(); after.BloomTested != before.BloomTested {
+		t.Error("DisableRuntimeFilter engine still Bloom-tested probe rows")
+	}
+	sameRels(t, "runtime filter", got, want)
+
+	// 48 fact rows have grp in {0, 9} (240 rows, grp = i%10 → 24 each).
+	if len(got.Tuples) != 48 {
+		t.Errorf("join rows = %d, want 48", len(got.Tuples))
+	}
+}
+
+// TestBatchJoinEmptyBuildSide joins against an empty dimension: the
+// runtime filter reports Empty, the probe side is never scanned, and the
+// result is zero rows (with the aggregate seeing an empty input).
+func TestBatchJoinEmptyBuildSide(t *testing.T) {
+	e, fact := newMorselEngine(t, ModeColumnStore, 2, 4, 100, nil)
+	dim := addGroupsTable(t, e, 0)
+	res := runSorted(t, e, factDimJoin(fact, dim))
+	if len(res.Tuples) != 0 {
+		t.Fatalf("join with empty build side returned %d rows", len(res.Tuples))
+	}
+}
+
+// TestBatchJoinEngineSpill self-joins the fact table on id with a tiny
+// JoinSpillBudget: the build side exceeds the budget, grace-partitions
+// through the engine's disksim device, and still matches the in-memory
+// answer of a default-budget engine.
+func TestBatchJoinEngineSpill(t *testing.T) {
+	selfJoin := func(tbl *schema.Table) *query.Query {
+		return &query.Query{Root: &query.JoinNode{
+			Left:        &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 1}},
+			Right:       &query.ScanNode{Table: tbl.ID, Cols: []schema.ColID{0, 2}},
+			LeftKeyCol:  0,
+			RightKeyCol: 0,
+		}}
+	}
+	spill, factS := newMorselEngine(t, ModeColumnStore, 2, 4, 500, func(c *Config) {
+		c.JoinSpillBudget = 1 << 10
+	})
+	mem, factM := newMorselEngine(t, ModeColumnStore, 2, 4, 500, nil)
+
+	before := exec.ReadJoinStats()
+	got := runSorted(t, spill, selfJoin(factS))
+	d := exec.ReadJoinStats()
+	if d.SpillPartitions == before.SpillPartitions || d.SpillBytes == before.SpillBytes {
+		t.Fatal("join did not spill under a 1 KiB budget")
+	}
+
+	before = exec.ReadJoinStats()
+	want := runSorted(t, mem, selfJoin(factM))
+	if after := exec.ReadJoinStats(); after.SpillPartitions != before.SpillPartitions {
+		t.Fatal("default-budget engine spilled a tiny build side")
+	}
+	sameRels(t, "spilled self-join", got, want)
+	if len(got.Tuples) != 500 {
+		t.Errorf("self-join rows = %d, want 500", len(got.Tuples))
+	}
+}
+
+// TestBatchJoinMetricsExported checks the engine snapshot surfaces the
+// exec.join.* and exec.groupby.* counters after a fused join-aggregate.
+func TestBatchJoinMetricsExported(t *testing.T) {
+	e, fact := newMorselEngine(t, ModeColumnStore, 2, 4, 200, nil)
+	dim := addGroupsTable(t, e, 10)
+	runSorted(t, e, factDimJoinAgg(fact, dim))
+
+	snap := e.MetricsSnapshot()
+	for _, key := range []string{
+		"exec.join.count", "exec.join.build_rows", "exec.join.probe_rows",
+		"exec.join.out_rows", "exec.groupby.batches",
+	} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("%s not exported or zero", key)
+		}
+	}
+	if snap.Counters["exec.join.bloom_tested"] > 0 {
+		if _, ok := snap.Gauges["exec.join.bloom_pass_pct"]; !ok {
+			t.Error("exec.join.bloom_pass_pct gauge missing")
+		}
+	}
+	typed := snap.Counters["exec.groupby.rows_typed"] + snap.Counters["exec.groupby.rows_coded"]
+	if typed == 0 {
+		t.Error("grouped aggregation never took a typed key path")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"proteus/internal/admission"
 	"proteus/internal/colstore"
 	"proteus/internal/cost"
+	"proteus/internal/disksim"
+	"proteus/internal/exec"
 	"proteus/internal/faults"
 	"proteus/internal/forecast"
 	"proteus/internal/metadata"
@@ -132,6 +134,16 @@ type Config struct {
 	// background work, no shedding), preserving the pre-admission
 	// behavior for tests and baselines.
 	Admission admission.Config
+	// DisableBatchJoin forces coordinator joins back onto the legacy
+	// row-at-a-time HashJoin/MergeJoin path (A/B comparisons, debugging).
+	DisableBatchJoin bool
+	// DisableRuntimeFilter keeps the batch join but skips building the
+	// Bloom/min-max runtime filter from the build side (ablations).
+	DisableRuntimeFilter bool
+	// JoinSpillBudget is the in-memory build-side byte budget above which a
+	// batch hash join grace-partitions its keys through the simulated spill
+	// device. 0 means a 64 MiB default; negative disables spilling.
+	JoinSpillBudget int64
 }
 
 // DefaultConfig returns a small cluster sizing suitable for tests.
@@ -215,6 +227,9 @@ type Engine struct {
 	cntScanYields       *obs.Counter // feeder yields to in-flight OLTP work
 	recMorselsPerQuery  *obs.Recorder
 
+	// spill is the simulated disk backing batch-join grace partitioning.
+	spill *disksim.Device
+
 	tableMax map[schema.TableID]schema.RowID
 
 	txnID uint64
@@ -246,6 +261,7 @@ func New(cfg Config) *Engine {
 		Trace:    obs.NewDecisionTrace(4096),
 		Faults:   faults.New(cfg.FaultSeed),
 		crashed:  make(map[simnet.SiteID][]site.HostedCopy),
+		spill:    disksim.New(disksim.DefaultConfig()),
 		tableMax: make(map[schema.TableID]schema.RowID),
 		stop:     make(chan struct{}),
 	}
@@ -740,6 +756,27 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	if ce.PlainBytes > 0 {
 		snap.Gauges["colstore.encoding.stored_pct"] = 100 * ce.StoredBytes / ce.PlainBytes
 	}
+	js := exec.ReadJoinStats()
+	snap.Counters["exec.join.count"] = js.Joins
+	snap.Counters["exec.join.build_rows"] = js.BuildRows
+	snap.Counters["exec.join.probe_rows"] = js.ProbeRows
+	snap.Counters["exec.join.out_rows"] = js.OutRows
+	snap.Counters["exec.join.build_ns"] = js.BuildNanos
+	snap.Counters["exec.join.probe_ns"] = js.ProbeNanos
+	snap.Counters["exec.join.bloom_tested"] = js.BloomTested
+	snap.Counters["exec.join.bloom_passed"] = js.BloomPassed
+	snap.Counters["exec.join.rf_bounds_preds"] = js.BoundsPreds
+	snap.Counters["exec.join.spill_partitions"] = js.SpillPartitions
+	snap.Counters["exec.join.spill_bytes"] = js.SpillBytes
+	snap.Counters["exec.join.spill_recursions"] = js.SpillRecursions
+	if js.BloomTested > 0 {
+		snap.Gauges["exec.join.bloom_pass_pct"] = 100 * js.BloomPassed / js.BloomTested
+	}
+	gs := exec.ReadGroupByStats()
+	snap.Counters["exec.groupby.batches"] = gs.Batches
+	snap.Counters["exec.groupby.rows_typed"] = gs.IntRows
+	snap.Counters["exec.groupby.rows_coded"] = gs.CodeRows
+	snap.Counters["exec.groupby.rows_boxed"] = gs.BoxRows
 	snap.Counters["asa.decisions"] = e.Trace.Total()
 	if e.Advisor != nil {
 		snap.Counters["asa.changes"] = e.Advisor.Changes()

@@ -309,6 +309,13 @@ func (e *Engine) evalNode(ctx context.Context, n plan.PNode, snap txn.VersionVec
 		}
 		return e.evalScan(ctx, v, snap, coord)
 	case *plan.PJoin:
+		if e.batchJoinOK(v) {
+			c, err := e.evalBatchJoin(ctx, v, snap, coord, nil)
+			if err != nil {
+				return exec.Rel{}, err
+			}
+			return c.Rel(), nil
+		}
 		return e.evalJoin(ctx, v, nil, snap, coord)
 	case *plan.PAgg:
 		return e.evalAgg(ctx, v, snap, coord)
@@ -368,10 +375,15 @@ func (e *Engine) scanPieceAt(piece plan.ScanPart, siteID simnet.SiteID, seg plan
 // records the network observation. A persistent fault surfaces as the
 // typed error so the query can re-plan around it.
 func (e *Engine) shipTo(from, to simnet.SiteID, rel exec.Rel) error {
+	return e.shipBytesTo(from, to, rel.NumRows()*rel.RowBytes()+64)
+}
+
+// shipBytesTo is shipTo for callers that already know the payload size
+// (columnar chunks from the batch-join scan path).
+func (e *Engine) shipBytesTo(from, to simnet.SiteID, bytes int) error {
 	if from == to {
 		return nil
 	}
-	bytes := rel.NumRows()*rel.RowBytes() + 64
 	var d time.Duration
 	if err := e.Faults.Retry(e.sendBackoff(), func() error {
 		dd, err := e.Net.Send(from, to, bytes)
@@ -729,6 +741,9 @@ func localCopy(piece plan.ScanPart, siteID simnet.SiteID) metadata.Replica {
 func (e *Engine) evalAgg(ctx context.Context, pa *plan.PAgg, snap txn.VersionVector, coord simnet.SiteID) (exec.Rel, error) {
 	if ps, ok := pa.Child.(*plan.PScan); ok && e.morselEligible(ps) {
 		return e.morselAgg(ctx, pa, ps, snap, coord)
+	}
+	if pj, ok := pa.Child.(*plan.PJoin); ok && e.batchJoinOK(pj) {
+		return e.evalBatchJoinAgg(ctx, pa, pj, snap, coord)
 	}
 	if pa.TwoPhase {
 		switch child := pa.Child.(type) {

@@ -245,9 +245,9 @@ func (m *Mem) ScanBatchesRange(cols []schema.ColID, pred storage.Pred, lo, hi sc
 
 	plo, phi := m.sortedRange(pred)
 	s := &batchScan{
-		rowIDs: m.base.rowIDs,
-		col:    func(c schema.ColID) *colData { return m.base.cols[c] },
-		sortBy: sortBy,
+		rowIDs:     m.base.rowIDs,
+		col:        func(c schema.ColID) *colData { return m.base.cols[c] },
+		sortBy:     sortBy,
 		overridden: overridden, live: live,
 		cols: cols, pred: pred, maxRows: maxRows,
 	}

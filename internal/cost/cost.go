@@ -72,11 +72,15 @@ const (
 	JoinNested
 	AggHash
 	AggSort
+	// JoinHashBatch is the batch-native hash join (columnar build/probe,
+	// runtime filter, optional spill); it learns its own model per layout
+	// so observations never contaminate the row JoinHash curve.
+	JoinHashBatch
 )
 
 // String names the variant.
 func (v Variant) String() string {
-	names := [...]string{"", "seq", "sorted", "index", "hash", "merge", "nested", "agghash", "aggsort"}
+	names := [...]string{"", "seq", "sorted", "index", "hash", "merge", "nested", "agghash", "aggsort", "hashbatch"}
 	if int(v) < len(names) {
 		return names[v]
 	}
@@ -125,6 +129,16 @@ func SortFeatures(card, rowBytes int) []float64 {
 // join selectivity.
 func JoinFeatures(lCard, rCard, outCard, rowBytes int, selectivity float64) []float64 {
 	return []float64{float64(lCard), float64(rCard), float64(outCard), float64(rowBytes), selectivity, 0}
+}
+
+// JoinFeaturesBatch: the batch hash join's feature layout — build/probe/
+// output cardinalities, bytes per row, probe selectivity after runtime
+// filtering, and bytes spilled through the grace-join device. Unlike
+// JoinFeatures it keys on build (not left/right) cardinality, since the
+// batch join's cost is dominated by the build table and the post-filter
+// probe stream, and it uses the sixth slot for spill volume.
+func JoinFeaturesBatch(buildCard, probeCard, outCard, rowBytes int, probeSel float64, spillBytes int64) []float64 {
+	return []float64{float64(buildCard), float64(probeCard), float64(outCard), float64(rowBytes), probeSel, float64(spillBytes)}
 }
 
 // AggFeatures: input and output cardinality, bytes per row.

@@ -317,6 +317,11 @@ func (a *Aggregator) ObserveBatch(b *Batch) {
 		a.entry(nil).state.observeBatch(b, a.specs)
 		return
 	}
+	statGroupByBatches.Add(1)
+	if len(a.groupBy) == 1 && a.observeSingleKey(b) {
+		return
+	}
+	statGroupByBoxRows.Add(int64(b.Len()))
 	if len(a.keyScratch) < len(b.Vecs) {
 		a.keyScratch = make([]types.Value, len(b.Vecs))
 	}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Single-key grouped aggregation fast paths (the tentpole's group-by half):
+// where PR 6 taught the ungrouped folds to operate on raw dictionary and
+// frame-of-reference codes, these extend the same idea to grouping. A batch
+// whose single group-by column is a null-free typed or encoded vector
+// resolves each row's group entry without boxing a key tuple — dictionary
+// vectors memoize one entry per distinct code, FoR and plain int-family
+// vectors key a typed int64 map — and the aggregate inputs then fold
+// through typed adders that replicate types.Add's kind semantics exactly.
+// Anything else falls back to the boxed per-row path in ObserveBatch.
+
+// entryInt64 resolves the group entry for a typed int-family key, boxing
+// only on first sight of a key.
+func (a *Aggregator) entryInt64(x int64, kind types.Kind, g int) *groupEntry {
+	if ge, ok := a.intGroups[x]; ok {
+		return ge
+	}
+	if a.intGroups == nil {
+		a.intGroups = make(map[int64]*groupEntry)
+	}
+	if len(a.keyScratch) <= g {
+		a.keyScratch = make([]types.Value, g+1)
+	}
+	a.keyScratch[g] = types.Value{K: kind, I: x}
+	ge := a.entry(a.keyScratch)
+	a.intGroups[x] = ge
+	return ge
+}
+
+// entryString resolves the group entry for a string key.
+func (a *Aggregator) entryString(s string, g int) *groupEntry {
+	if ge, ok := a.strGroups[s]; ok {
+		return ge
+	}
+	if a.strGroups == nil {
+		a.strGroups = make(map[string]*groupEntry)
+	}
+	if len(a.keyScratch) <= g {
+		a.keyScratch = make([]types.Value, g+1)
+	}
+	a.keyScratch[g] = types.NewString(s)
+	ge := a.entry(a.keyScratch)
+	a.strGroups[s] = ge
+	return ge
+}
+
+// observeSingleKey handles one batch when the single group-by column
+// supports a typed key path, reporting whether it did.
+func (a *Aggregator) observeSingleKey(b *Batch) bool {
+	g := a.groupBy[0]
+	v := &b.Vecs[g]
+	ents := a.entScratch[:0]
+	rows := a.rowScratch[:0]
+	switch {
+	case v.Enc == storage.EncFoR:
+		b.Selected(func(r int) bool {
+			ents = append(ents, a.entryInt64(v.Base+int64(v.Codes[r]), v.Kind, g))
+			rows = append(rows, int32(r))
+			return true
+		})
+		statGroupByCodeRows.Add(int64(len(rows)))
+		storage.RecordEncodedFold()
+	case v.Enc == storage.EncDict:
+		// Group on raw dictionary codes: one entry lookup per distinct
+		// code per batch, every further row is a slice index.
+		de := a.dictEnts
+		if cap(de) < len(v.Dict) {
+			de = make([]*groupEntry, len(v.Dict))
+		} else {
+			de = de[:len(v.Dict)]
+			for i := range de {
+				de[i] = nil
+			}
+		}
+		a.dictEnts = de
+		b.Selected(func(r int) bool {
+			c := v.Codes[r]
+			e := de[c]
+			if e == nil {
+				e = a.entryString(v.Dict[c], g)
+				de[c] = e
+			}
+			ents = append(ents, e)
+			rows = append(rows, int32(r))
+			return true
+		})
+		statGroupByCodeRows.Add(int64(len(rows)))
+		storage.RecordEncodedFold()
+	case v.Enc == storage.EncNone && v.Null == nil &&
+		(v.Kind == types.KindInt64 || v.Kind == types.KindTime || v.Kind == types.KindBool):
+		b.Selected(func(r int) bool {
+			ents = append(ents, a.entryInt64(v.I64[r], v.Kind, g))
+			rows = append(rows, int32(r))
+			return true
+		})
+		statGroupByIntRows.Add(int64(len(rows)))
+	case v.Enc == storage.EncNone && v.Null == nil && v.Kind == types.KindString:
+		b.Selected(func(r int) bool {
+			ents = append(ents, a.entryString(v.Str[r], g))
+			rows = append(rows, int32(r))
+			return true
+		})
+		statGroupByIntRows.Add(int64(len(rows)))
+	default:
+		return false
+	}
+	a.entScratch = ents
+	a.rowScratch = rows
+	a.foldSpecs(b, rows, ents)
+	return true
+}
+
+// foldSpecs folds each aggregate input column for the resolved entries,
+// using typed adders for null-free Int64/Float64 vectors and raw FoR codes.
+func (a *Aggregator) foldSpecs(b *Batch, rows []int32, ents []*groupEntry) {
+	for i, sp := range a.specs {
+		if sp.Func == AggCount {
+			for _, e := range ents {
+				e.state.counts[i]++
+			}
+			continue
+		}
+		av := &b.Vecs[sp.Col]
+		switch {
+		case av.Enc == storage.EncNone && av.Null == nil && av.Kind == types.KindInt64:
+			for j, e := range ents {
+				e.state.counts[i]++
+				e.state.addInt64(i, av.I64[rows[j]])
+			}
+		case av.Enc == storage.EncNone && av.Null == nil && av.Kind == types.KindFloat64:
+			for j, e := range ents {
+				e.state.counts[i]++
+				e.state.addFloat64(i, av.F64[rows[j]])
+			}
+		case av.Enc == storage.EncFoR && av.Kind == types.KindInt64:
+			for j, e := range ents {
+				e.state.counts[i]++
+				e.state.addInt64(i, av.Base+int64(av.Codes[rows[j]]))
+			}
+			storage.RecordEncodedFold()
+		default:
+			for j, e := range ents {
+				e.state.counts[i]++
+				e.state.observeVal(i, av.Value(int(rows[j])))
+			}
+		}
+	}
+}
+
+// addInt64 folds one int64 aggregate input. Once the accumulators hold
+// Int64 kinds the updates are raw machine adds/compares; any other kind
+// (first value, float contamination, Time inputs) routes through the boxed
+// observeVal so types.Add semantics are preserved bit for bit.
+func (s *aggState) addInt64(i int, x int64) {
+	if s.sums[i].K == types.KindInt64 && s.mins[i].K == types.KindInt64 && s.maxs[i].K == types.KindInt64 {
+		s.sums[i].I += x
+		if x < s.mins[i].I {
+			s.mins[i].I = x
+		}
+		if x > s.maxs[i].I {
+			s.maxs[i].I = x
+		}
+		return
+	}
+	s.observeVal(i, types.NewInt64(x))
+}
+
+// addFloat64 folds one float64 aggregate input, mirroring addInt64.
+func (s *aggState) addFloat64(i int, x float64) {
+	if s.sums[i].K == types.KindFloat64 && s.mins[i].K == types.KindFloat64 && s.maxs[i].K == types.KindFloat64 {
+		s.sums[i].F += x
+		if x < s.mins[i].F {
+			s.mins[i].F = x
+		}
+		if x > s.maxs[i].F {
+			s.maxs[i].F = x
+		}
+		return
+	}
+	s.observeVal(i, types.NewFloat64(x))
+}
+
+// ObserveCols folds every row of a columnar relation — the join→aggregate
+// fusion path: a batch join's output feeds grouped aggregation without a
+// row detour.
+func (a *Aggregator) ObserveCols(c *ColRel) {
+	n := c.NumRows()
+	if n == 0 {
+		return
+	}
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	b := c.selView(sel)
+	a.ObserveBatch(&b)
+}

@@ -1,0 +1,500 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"proteus/internal/cost"
+	"proteus/internal/disksim"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Batch-native hash join (§4.3). The row HashJoin boxes every tuple and
+// allocates one concatenated tuple per output row; this engine instead
+// keeps both inputs columnar (ColRel), canonicalizes the single join key
+// into a typed int64 array when the column is null-free int-family (or
+// integral float), builds a chained-index hash table with zero per-bucket
+// allocations, probes to a (left,right) row-index pair list, and
+// late-materializes every payload column with one typed gather per column.
+// Output order matches the row variants exactly: ascending left index,
+// then ascending right index, so differential tests compare row for row.
+//
+// Oversized build sides degrade gracefully: when the build relation
+// exceeds the spill budget both key columns hash-partition (grace hash
+// join) through the disksim spill device — keys and original row indexes
+// are serialized out and joined partition-pair at a time, recursively
+// repartitioning skewed partitions — and the matched index pairs are
+// sorted back into left-major order. Payload columns are never spilled:
+// the scan pipeline has already materialized them, so spilling bounds the
+// join's hash-table working set (keys + table), which is what grows with
+// the build side; materialization still gathers from the in-memory
+// payload vectors.
+
+// JoinSpill configures build-side spilling: when the estimated build
+// relation exceeds Budget bytes, key partitions round-trip through Device.
+type JoinSpill struct {
+	Device *disksim.Device
+	Budget int64
+}
+
+const (
+	graceFanout   = 8
+	maxGraceDepth = 8
+)
+
+// keyCol is a join key column in canonical form: ints is the typed path
+// (null-free int-family values, also used for integral floats — equality
+// and hashing match types.Equal / types.Value.Hash exactly within that
+// domain); vals is the boxed path for everything else, including NULLs.
+type keyCol struct {
+	ints []int64
+	vals []types.Value
+}
+
+func canonKeyCol(v *storage.Vec, n int) keyCol {
+	if n == 0 {
+		return keyCol{}
+	}
+	if v.Null == nil {
+		switch {
+		case v.Enc == storage.EncNone && (v.Kind == types.KindInt64 || v.Kind == types.KindTime || v.Kind == types.KindBool):
+			return keyCol{ints: v.I64[:n]}
+		case v.Enc == storage.EncFoR:
+			ints := make([]int64, n)
+			for i := range ints {
+				ints[i] = v.Base + int64(v.Codes[i])
+			}
+			return keyCol{ints: ints}
+		case v.Enc == storage.EncNone && v.Kind == types.KindFloat64:
+			// Integral floats canonicalize to int64 under the same criterion
+			// types.Value.Hash uses, so typed hashing/equality stay exact.
+			ints := make([]int64, n)
+			for i, f := range v.F64[:n] {
+				if f != math.Trunc(f) || f < math.MinInt64 || f > math.MaxInt64 {
+					ints = nil
+					break
+				}
+				ints[i] = int64(f)
+			}
+			if ints != nil {
+				return keyCol{ints: ints}
+			}
+		}
+	}
+	vals := make([]types.Value, n)
+	for i := range vals {
+		vals[i] = v.Value(i)
+	}
+	return keyCol{vals: vals}
+}
+
+func (k keyCol) n() int {
+	if k.ints != nil {
+		return len(k.ints)
+	}
+	return len(k.vals)
+}
+
+func (k keyCol) hash(i int) uint64 {
+	if k.ints != nil {
+		return hashInt64(k.ints[i])
+	}
+	return k.vals[i].Hash()
+}
+
+func (k keyCol) val(i int) types.Value {
+	if k.ints != nil {
+		return types.NewInt64(k.ints[i])
+	}
+	return k.vals[i]
+}
+
+func (k keyCol) eq(i int, o keyCol, j int) bool {
+	if k.ints != nil && o.ints != nil {
+		return k.ints[i] == o.ints[j]
+	}
+	return types.Equal(k.val(i), o.val(j))
+}
+
+// keySet is one side of a (possibly spilled) join partition: canonical
+// keys plus the original row indexes they came from. idx == nil means
+// identity (row i is original row i).
+type keySet struct {
+	kc  keyCol
+	idx []int32
+}
+
+func (s keySet) n() int { return s.kc.n() }
+
+func (s keySet) orig(i int) int32 {
+	if s.idx == nil {
+		return int32(i)
+	}
+	return s.idx[i]
+}
+
+// pairBuf accumulates matched (left,right) original row index pairs.
+type pairBuf struct {
+	li, ri []int32
+}
+
+func (p *pairBuf) add(li, ri int32) {
+	p.li = append(p.li, li)
+	p.ri = append(p.ri, ri)
+}
+
+// joinPairs hash-joins two keySets in memory, appending matched original
+// index pairs. buildIsLeft says which side of the output the build keys
+// belong to. Within one call pairs come out left-major (the probe walks in
+// order and chains are built in ascending build order).
+func joinPairs(build, probe keySet, buildIsLeft bool, pairs *pairBuf) {
+	nb := build.n()
+	if nb == 0 || probe.n() == 0 {
+		return
+	}
+	nbk := uint64(2)
+	for nbk < uint64(nb)*2 {
+		nbk <<= 1
+	}
+	mask := nbk - 1
+	head := make([]int32, nbk)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, nb)
+	hashes := make([]uint64, nb)
+	for i := 0; i < nb; i++ {
+		hashes[i] = build.kc.hash(i)
+	}
+	// Reverse insertion makes each chain ascend in build index, preserving
+	// the row HashJoin's emission order.
+	for i := nb - 1; i >= 0; i-- {
+		slot := hashes[i] & mask
+		next[i] = head[slot]
+		head[slot] = int32(i)
+	}
+	np := probe.n()
+	if buildIsLeft {
+		// Probing emits probe-major order; group matches per build row so
+		// output stays left-major (ascending build, then probe) like the
+		// swapped row HashJoin.
+		matches := make([][]int32, nb)
+		for pi := 0; pi < np; pi++ {
+			h := probe.kc.hash(pi)
+			for bi := head[h&mask]; bi >= 0; bi = next[bi] {
+				if hashes[bi] == h && build.kc.eq(int(bi), probe.kc, pi) {
+					matches[bi] = append(matches[bi], int32(pi))
+				}
+			}
+		}
+		for bi, ps := range matches {
+			for _, pi := range ps {
+				pairs.add(build.orig(bi), probe.orig(int(pi)))
+			}
+		}
+		return
+	}
+	for pi := 0; pi < np; pi++ {
+		h := probe.kc.hash(pi)
+		for bi := head[h&mask]; bi >= 0; bi = next[bi] {
+			if hashes[bi] == h && build.kc.eq(int(bi), probe.kc, pi) {
+				pairs.add(probe.orig(pi), build.orig(int(bi)))
+			}
+		}
+	}
+}
+
+// keySetBytes estimates the serialized/working size of a keySet.
+func keySetBytes(s keySet) int64 {
+	n := int64(s.n())
+	if s.kc.ints != nil {
+		return n * 12
+	}
+	var b int64
+	for _, v := range s.kc.vals {
+		b += 12 + int64(len(v.S))
+	}
+	return b
+}
+
+// gracePartition derives a partition index from a key hash, using a
+// different bit range per recursion depth so repartitioning actually
+// splits (the table slot bits are the low bits, untouched here).
+func gracePartition(h uint64, depth int) int {
+	h *= 0x9E3779B97F4A7C15
+	return int((h >> (61 - 3*uint(depth))) & (graceFanout - 1))
+}
+
+// serializeKeySet encodes a keySet as one spill block: row count, a typed
+// flag, then per row the original index and the key payload.
+func serializeKeySet(s keySet) []byte {
+	n := s.n()
+	buf := make([]byte, 0, 5+n*12)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	if s.kc.ints != nil {
+		buf = append(buf, 1)
+		for i := 0; i < n; i++ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s.orig(i)))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(s.kc.ints[i]))
+		}
+		return buf
+	}
+	buf = append(buf, 0)
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.orig(i)))
+		v := s.kc.vals[i]
+		buf = append(buf, byte(v.K))
+		switch v.K {
+		case types.KindNull:
+		case types.KindString:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.S)))
+			buf = append(buf, v.S...)
+		case types.KindFloat64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		default:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+		}
+	}
+	return buf
+}
+
+func deserializeKeySet(buf []byte) (keySet, error) {
+	if len(buf) < 5 {
+		return keySet{}, fmt.Errorf("spill block too short: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	typed := buf[4] == 1
+	off := 5
+	s := keySet{idx: make([]int32, 0, n)}
+	if typed {
+		s.kc.ints = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			if off+12 > len(buf) {
+				return keySet{}, fmt.Errorf("truncated spill block")
+			}
+			s.idx = append(s.idx, int32(binary.LittleEndian.Uint32(buf[off:])))
+			s.kc.ints = append(s.kc.ints, int64(binary.LittleEndian.Uint64(buf[off+4:])))
+			off += 12
+		}
+		return s, nil
+	}
+	s.kc.vals = make([]types.Value, 0, n)
+	for i := 0; i < n; i++ {
+		if off+5 > len(buf) {
+			return keySet{}, fmt.Errorf("truncated spill block")
+		}
+		s.idx = append(s.idx, int32(binary.LittleEndian.Uint32(buf[off:])))
+		k := types.Kind(buf[off+4])
+		off += 5
+		var v types.Value
+		switch k {
+		case types.KindNull:
+			v = types.Null()
+		case types.KindString:
+			if off+4 > len(buf) {
+				return keySet{}, fmt.Errorf("truncated spill block")
+			}
+			ln := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if off+ln > len(buf) {
+				return keySet{}, fmt.Errorf("truncated spill block")
+			}
+			v = types.NewString(string(buf[off : off+ln]))
+			off += ln
+		default:
+			if off+8 > len(buf) {
+				return keySet{}, fmt.Errorf("truncated spill block")
+			}
+			u := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			if k == types.KindFloat64 {
+				v = types.Value{K: k, F: math.Float64frombits(u)}
+			} else {
+				v = types.Value{K: k, I: int64(u)}
+			}
+		}
+		s.kc.vals = append(s.kc.vals, v)
+	}
+	return s, nil
+}
+
+// graceJoin hash-partitions both keySets through the spill device and
+// joins partition pairs, recursing on build partitions that still exceed
+// the budget. Pair order across partitions is arbitrary; BatchHashJoin
+// sorts the full pair list afterwards.
+func graceJoin(sp *JoinSpill, build, probe keySet, buildIsLeft bool, pairs *pairBuf, depth int) error {
+	var bparts, pparts [graceFanout]keySet
+	split := func(s keySet, parts *[graceFanout]keySet) {
+		n := s.n()
+		for i := 0; i < n; i++ {
+			p := gracePartition(s.kc.hash(i), depth)
+			dst := &parts[p]
+			dst.idx = append(dst.idx, s.orig(i))
+			if s.kc.ints != nil {
+				dst.kc.ints = append(dst.kc.ints, s.kc.ints[i])
+			} else {
+				dst.kc.vals = append(dst.kc.vals, s.kc.vals[i])
+			}
+		}
+	}
+	split(build, &bparts)
+	split(probe, &pparts)
+	parentBuild := build.n()
+	for p := 0; p < graceFanout; p++ {
+		if bparts[p].n() == 0 || pparts[p].n() == 0 {
+			continue
+		}
+		// Round-trip both partitions through the spill device so the
+		// in-memory working set at any moment is one partition pair.
+		bblob := serializeKeySet(bparts[p])
+		pblob := serializeKeySet(pparts[p])
+		bid, err := sp.Device.Write(bblob)
+		if err != nil {
+			return fmt.Errorf("join spill write: %w", err)
+		}
+		pid, err := sp.Device.Write(pblob)
+		if err != nil {
+			sp.Device.Free(bid)
+			return fmt.Errorf("join spill write: %w", err)
+		}
+		statSpillPartitions.Add(2)
+		statSpillBytes.Add(int64(len(bblob) + len(pblob)))
+		bparts[p], pparts[p] = keySet{}, keySet{}
+
+		bback, err := sp.Device.Read(bid)
+		if err == nil {
+			var pback []byte
+			pback, err = sp.Device.Read(pid)
+			if err == nil {
+				var bs, ps keySet
+				if bs, err = deserializeKeySet(bback); err == nil {
+					if ps, err = deserializeKeySet(pback); err == nil {
+						if depth+1 < maxGraceDepth && keySetBytes(bs) > sp.Budget && bs.n() < parentBuild {
+							statSpillRecursions.Add(1)
+							err = graceJoin(sp, bs, ps, buildIsLeft, pairs, depth+1)
+						} else {
+							joinPairs(bs, ps, buildIsLeft, pairs)
+						}
+					}
+				}
+			}
+		}
+		sp.Device.Free(bid)
+		sp.Device.Free(pid)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchHashJoin computes the inner single-key equi-join of two columnar
+// relations, returning the joined relation (left columns then right
+// columns, left-major row order matching HashJoin) and a cost observation
+// carrying the batch-join feature vector. spill may be nil to disable
+// build-side spilling. projL/projR select which columns of each input to
+// materialize (nil means all): late materialization's payoff — a parent
+// aggregation that reads two of six join columns gathers only those two.
+func BatchHashJoin(l, r *ColRel, lKey, rKey int, spill *JoinSpill, projL, projR []int) (ColRel, cost.Observation, error) {
+	start := time.Now()
+	buildIsLeft := l.NumRows() < r.NumRows()
+	build, probe := r, l
+	bKey, pKey := rKey, lKey
+	if buildIsLeft {
+		build, probe = l, r
+		bKey, pKey = lKey, rKey
+	}
+	bset := keySet{kc: canonKeyCol(&build.Vecs[bKey], build.NumRows())}
+	pset := keySet{kc: canonKeyCol(&probe.Vecs[pKey], probe.NumRows())}
+
+	var pairs pairBuf
+	var spilled bool
+	var spillBytesBefore int64
+	if spill != nil && spill.Device != nil && spill.Budget > 0 && build.Bytes() > spill.Budget && build.NumRows() > 1 {
+		spilled = true
+		spillBytesBefore = statSpillBytes.Load()
+		if err := graceJoin(spill, bset, pset, buildIsLeft, &pairs, 0); err != nil {
+			return ColRel{}, cost.Observation{}, err
+		}
+		// Partition order interleaves left indexes; restore the row
+		// HashJoin's left-major contract.
+		sort.Sort(pairSorter{&pairs})
+	} else {
+		joinPairs(bset, pset, buildIsLeft, &pairs)
+	}
+	buildDone := time.Now()
+
+	if projL == nil {
+		projL = identityProj(len(l.Vecs))
+	}
+	if projR == nil {
+		projR = identityProj(len(r.Vecs))
+	}
+	cols := make([]string, 0, len(projL)+len(projR))
+	for _, c := range projL {
+		cols = append(cols, l.Cols[c])
+	}
+	for _, c := range projR {
+		cols = append(cols, r.Cols[c])
+	}
+	out := NewColRel(cols)
+	for i, c := range projL {
+		out.Vecs[i].AppendVec(&l.Vecs[c], pairs.li)
+	}
+	for i, c := range projR {
+		out.Vecs[len(projL)+i].AppendVec(&r.Vecs[c], pairs.ri)
+	}
+	out.rows = len(pairs.li)
+
+	d := time.Since(start)
+	statJoins.Add(1)
+	statJoinBuildRows.Add(int64(build.NumRows()))
+	statJoinProbeRows.Add(int64(probe.NumRows()))
+	statJoinOutRows.Add(int64(out.rows))
+	statJoinBuildNanos.Add(buildDone.Sub(start).Nanoseconds())
+	statJoinProbeNanos.Add(time.Since(buildDone).Nanoseconds())
+
+	sel := 1.0
+	if denom := float64(l.NumRows()) * float64(r.NumRows()); denom > 0 {
+		sel = float64(out.rows) / denom
+	}
+	var spillBytes int64
+	if spilled {
+		spillBytes = statSpillBytes.Load() - spillBytesBefore
+	}
+	obs := cost.Observation{
+		Op:      cost.OpJoin,
+		Variant: cost.JoinHashBatch,
+		Features: cost.JoinFeaturesBatch(build.NumRows(), probe.NumRows(), out.rows,
+			l.RowBytes()+r.RowBytes(), sel, spillBytes),
+		Latency: d,
+	}
+	return out, obs, nil
+}
+
+func identityProj(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// pairSorter orders matched pairs by (left, right) original index.
+type pairSorter struct{ p *pairBuf }
+
+func (s pairSorter) Len() int { return len(s.p.li) }
+func (s pairSorter) Less(i, j int) bool {
+	if s.p.li[i] != s.p.li[j] {
+		return s.p.li[i] < s.p.li[j]
+	}
+	return s.p.ri[i] < s.p.ri[j]
+}
+func (s pairSorter) Swap(i, j int) {
+	s.p.li[i], s.p.li[j] = s.p.li[j], s.p.li[i]
+	s.p.ri[i], s.p.ri[j] = s.p.ri[j], s.p.ri[i]
+}

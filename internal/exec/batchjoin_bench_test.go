@@ -1,0 +1,182 @@
+package exec
+
+// A/B benchmarks for the batch join and group-by engine against the row
+// operators they replace. `make bench` runs these with -benchmem; the two
+// columns that matter are ns/op (typed keys + index-pair probe vs boxed
+// tuples) and allocs/op (one gather per column vs one concat per row).
+
+import (
+	"math/rand"
+	"testing"
+
+	"proteus/internal/disksim"
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// benchJoinInputs builds a dup-heavy pair of relations: nl left rows, nr
+// right rows, int keys over a domain that yields roughly 4*nl matches.
+func benchJoinInputs(nl, nr int) (Rel, Rel) {
+	rng := rand.New(rand.NewSource(5))
+	domain := nr / 4
+	if domain < 1 {
+		domain = 1
+	}
+	l := Rel{Cols: []string{"k", "la", "lb"}}
+	for i := 0; i < nl; i++ {
+		l.Tuples = append(l.Tuples, []types.Value{
+			types.NewInt64(int64(rng.Intn(domain))),
+			types.NewInt64(int64(i)),
+			types.NewFloat64(float64(i) / 3),
+		})
+	}
+	r := Rel{Cols: []string{"k", "ra"}}
+	for i := 0; i < nr; i++ {
+		r.Tuples = append(r.Tuples, []types.Value{
+			types.NewInt64(int64(rng.Intn(domain))),
+			types.NewInt64(int64(100000 + i)),
+		})
+	}
+	return l, r
+}
+
+func BenchmarkJoinRow(b *testing.B) {
+	l, r := benchJoinInputs(20000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := HashJoin(l, r, []int{0}, []int{0})
+		_ = out
+	}
+}
+
+func BenchmarkJoinBatch(b *testing.B) {
+	l, r := benchJoinInputs(20000, 5000)
+	lc, rc := ColRelFromRel(l), ColRelFromRel(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := BatchHashJoin(&lc, &rc, 0, 0, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// BenchmarkJoinBatchProjected adds late materialization: the caller needs
+// one payload column of five, so four gathers never happen.
+func BenchmarkJoinBatchProjected(b *testing.B) {
+	l, r := benchJoinInputs(20000, 5000)
+	lc, rc := ColRelFromRel(l), ColRelFromRel(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := BatchHashJoin(&lc, &rc, 0, 0, nil, []int{2}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// BenchmarkJoinBatchRuntimeFilter measures building a runtime filter from
+// the build side and Bloom-probing the full probe side through FilterCols
+// (the pushdown the cluster executor performs before the join proper).
+func BenchmarkJoinBatchRuntimeFilter(b *testing.B) {
+	l, r := benchJoinInputs(20000, 5000)
+	lc, rc := ColRelFromRel(l), ColRelFromRel(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := BuildRuntimeFilter(&rc, 0)
+		filtered := rf.FilterCols(&lc, 0)
+		out, _, err := BatchHashJoin(&filtered, &rc, 0, 0, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// BenchmarkJoinBatchSpill forces grace partitioning through a zero-latency
+// disksim device: the cost of serialize/round-trip/deserialize plus the
+// restoring pair sort, against the same in-memory join above.
+func BenchmarkJoinBatchSpill(b *testing.B) {
+	l, r := benchJoinInputs(20000, 5000)
+	lc, rc := ColRelFromRel(l), ColRelFromRel(r)
+	spill := &JoinSpill{Device: disksim.New(disksim.Config{}), Budget: 1 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := BatchHashJoin(&lc, &rc, 0, 0, spill, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// benchGroupInputs builds a 3-column relation: int group key (8 groups),
+// int payload, float payload.
+func benchGroupInputs(n int) Rel {
+	rng := rand.New(rand.NewSource(9))
+	r := Rel{Cols: []string{"g", "x", "y"}}
+	for i := 0; i < n; i++ {
+		r.Tuples = append(r.Tuples, []types.Value{
+			types.NewInt64(int64(rng.Intn(8))),
+			types.NewInt64(int64(rng.Intn(1000))),
+			types.NewFloat64(float64(rng.Intn(1000)) / 4),
+		})
+	}
+	return r
+}
+
+var benchAggSpecs = []AggSpec{
+	{Func: AggCount}, {Func: AggSum, Col: 1}, {Func: AggSum, Col: 2}, {Func: AggMin, Col: 2},
+}
+
+func BenchmarkGroupByRow(b *testing.B) {
+	r := benchGroupInputs(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := HashAggregate(r, []int{0}, benchAggSpecs)
+		_ = out
+	}
+}
+
+func BenchmarkGroupByBatch(b *testing.B) {
+	r := benchGroupInputs(50000)
+	c := ColRelFromRel(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := NewAggregator([]int{0}, benchAggSpecs)
+		agg.ObserveCols(&c)
+		out := agg.Rel(c.Cols)
+		_ = out
+	}
+}
+
+// BenchmarkGroupByBatchDict groups on raw dictionary codes: the group key
+// is a dict-encoded string vector, so entry resolution is one slice index
+// per row after the first sight of each code.
+func BenchmarkGroupByBatchDict(b *testing.B) {
+	const n = 50000
+	rng := rand.New(rand.NewSource(13))
+	dict := []string{"ca", "il", "ny", "or", "tx", "ut", "va", "wa"}
+	codes := make([]uint32, n)
+	x := make([]int64, n)
+	for i := range codes {
+		codes[i] = uint32(rng.Intn(len(dict)))
+		x[i] = int64(rng.Intn(1000))
+	}
+	batch := &Batch{Vecs: []Vec{
+		storage.DictVec(codes, dict),
+		storage.ViewVec(types.KindInt64, x, nil, nil, nil),
+	}}
+	batch.SetRowIDsView(make([]schema.RowID, n))
+	specs := []AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := NewAggregator([]int{0}, specs)
+		agg.ObserveBatch(batch)
+		out := agg.Rel([]string{"g", "x"})
+		_ = out
+	}
+}

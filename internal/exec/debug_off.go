@@ -1,0 +1,8 @@
+//go:build !proteusdebug
+
+package exec
+
+// debugChecks gates expensive invariant assertions (e.g. MergeJoin's
+// sorted-input check). Off in normal builds; the `proteusdebug` build tag
+// turns it on, and regression tests flip the variable directly.
+var debugChecks = false

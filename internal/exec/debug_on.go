@@ -1,0 +1,7 @@
+//go:build proteusdebug
+
+package exec
+
+// debugChecks gates expensive invariant assertions; the `proteusdebug`
+// build tag compiles them in.
+var debugChecks = true

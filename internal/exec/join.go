@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"time"
 
 	"proteus/internal/cost"
@@ -46,6 +47,76 @@ func concatTuple(a, b []types.Value) []types.Value {
 	return append(t, b...)
 }
 
+// tupleArena hands out concatenated output tuples from chunked slabs, so a
+// join emitting k rows costs O(k/chunk) allocations instead of one per row.
+// Returned tuples are full-slice-capped, so they never alias later ones.
+type tupleArena struct {
+	buf []types.Value
+}
+
+const tupleArenaChunk = 8192
+
+func (ar *tupleArena) concat(a, b []types.Value) []types.Value {
+	n := len(a) + len(b)
+	if cap(ar.buf)-len(ar.buf) < n {
+		c := tupleArenaChunk
+		if n > c {
+			c = n
+		}
+		ar.buf = make([]types.Value, 0, c)
+	}
+	start := len(ar.buf)
+	ar.buf = append(ar.buf, a...)
+	ar.buf = append(ar.buf, b...)
+	return ar.buf[start:len(ar.buf):len(ar.buf)]
+}
+
+// rowHashTable is a chained-index hash table over build tuples: head/next
+// arrays preallocated from the build cardinality replace the former
+// map[uint64][]int and its per-bucket slice growth. Chains are threaded in
+// reverse so iteration ascends in build index.
+type rowHashTable struct {
+	head   []int32
+	next   []int32
+	hashes []uint64
+	mask   uint64
+}
+
+func buildRowHashTable(tuples [][]types.Value, keys []int) rowHashTable {
+	n := len(tuples)
+	nb := uint64(2)
+	for nb < uint64(n)*2 {
+		nb <<= 1
+	}
+	t := rowHashTable{
+		head:   make([]int32, nb),
+		next:   make([]int32, n),
+		hashes: make([]uint64, n),
+		mask:   nb - 1,
+	}
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	for i, tup := range tuples {
+		t.hashes[i] = joinKey(tup, keys)
+	}
+	for i := n - 1; i >= 0; i-- {
+		slot := t.hashes[i] & t.mask
+		t.next[i] = t.head[slot]
+		t.head[slot] = int32(i)
+	}
+	return t
+}
+
+// each calls fn with every build index whose hash matches h, ascending.
+func (t *rowHashTable) each(h uint64, fn func(bi int)) {
+	for bi := t.head[h&t.mask]; bi >= 0; bi = t.next[bi] {
+		if t.hashes[bi] == h {
+			fn(int(bi))
+		}
+	}
+}
+
 func joinObs(variant cost.Variant, l, r, out Rel, d time.Duration) cost.Observation {
 	sel := 1.0
 	// The cardinality product overflows int for relations past ~3B rows
@@ -76,38 +147,36 @@ func HashJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 		bKeys, pKeys = lKeys, rKeys
 		swapped = true
 	}
-	ht := make(map[uint64][]int, build.NumRows())
-	for i, t := range build.Tuples {
-		k := joinKey(t, bKeys)
-		ht[k] = append(ht[k], i)
-	}
+	ht := buildRowHashTable(build.Tuples, bKeys)
 	out := Rel{Cols: joinCols(l, r)}
+	var arena tupleArena
 	if swapped {
 		// Build side is l, probe is r: probing emits right-major order, so
 		// collect each l row's matching r indexes (ascending, since the
 		// probe walks r in order) and emit grouped by l afterwards.
 		matches := make([][]int, build.NumRows())
 		for pi, pt := range probe.Tuples {
-			for _, bi := range ht[joinKey(pt, pKeys)] {
+			ht.each(joinKey(pt, pKeys), func(bi int) {
 				if keysEqual(pt, build.Tuples[bi], pKeys, bKeys) {
 					matches[bi] = append(matches[bi], pi)
 				}
-			}
+			})
 		}
 		for li, ps := range matches {
 			for _, pi := range ps {
-				out.Tuples = append(out.Tuples, concatTuple(build.Tuples[li], probe.Tuples[pi]))
+				out.Tuples = append(out.Tuples, arena.concat(build.Tuples[li], probe.Tuples[pi]))
 			}
 		}
 		return out, joinObs(cost.JoinHash, l, r, out, time.Since(start))
 	}
 	for _, pt := range probe.Tuples {
-		for _, bi := range ht[joinKey(pt, pKeys)] {
+		pk := joinKey(pt, pKeys)
+		ht.each(pk, func(bi int) {
 			bt := build.Tuples[bi]
 			if keysEqual(pt, bt, pKeys, bKeys) {
-				out.Tuples = append(out.Tuples, concatTuple(pt, bt))
+				out.Tuples = append(out.Tuples, arena.concat(pt, bt))
 			}
-		}
+		})
 	}
 	return out, joinObs(cost.JoinHash, l, r, out, time.Since(start))
 }
@@ -115,8 +184,20 @@ func HashJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 // MergeJoin computes the inner equi-join of inputs already sorted by their
 // key columns — the storage-aware fast path when both partitions maintain
 // sort orders on the join attribute (§4.3, Figure 7b).
+//
+// Contract: BOTH inputs must be sorted ascending by their key columns in
+// types.Compare order (NULLs first). The merge walk silently drops or
+// duplicates matches on unsorted input — it does not detect disorder.
+// Callers that cannot guarantee order must sort first (as the cluster
+// executor's joinRels does) or use HashJoin. Builds tagged `proteusdebug`
+// (and the regression tests) enable an O(n+m) ordering assertion that
+// panics on contract violations instead of returning wrong rows.
 func MergeJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 	start := time.Now()
+	if debugChecks {
+		assertSorted(l, lKeys, "MergeJoin left input")
+		assertSorted(r, rKeys, "MergeJoin right input")
+	}
 	out := Rel{Cols: joinCols(l, r)}
 	i, j := 0, 0
 	for i < len(l.Tuples) && j < len(r.Tuples) {
@@ -141,6 +222,16 @@ func MergeJoin(l, r Rel, lKeys, rKeys []int) (Rel, cost.Observation) {
 		}
 	}
 	return out, joinObs(cost.JoinMerge, l, r, out, time.Since(start))
+}
+
+// assertSorted panics if r is not ascending by keys — the debug-build
+// enforcement of MergeJoin's sorted-input contract.
+func assertSorted(r Rel, keys []int, what string) {
+	for i := 1; i < len(r.Tuples); i++ {
+		if compareKeys(r.Tuples[i-1], r.Tuples[i], keys, keys) > 0 {
+			panic(fmt.Sprintf("%s violates the sorted-input contract: tuple %d sorts before tuple %d", what, i, i-1))
+		}
+	}
 }
 
 // NestedLoopJoin joins with an arbitrary predicate (non-equi joins).

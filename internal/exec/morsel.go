@@ -58,6 +58,16 @@ type Aggregator struct {
 	groups     map[uint64][]*groupEntry
 	order      []*groupEntry
 	keyScratch []types.Value // reused per-row key tuple for ObserveBatch
+
+	// Single-key fast-path state (batchagg.go): typed key → entry indexes
+	// that bypass per-row boxing. Entries are shared with the canonical
+	// groups table — the typed maps only memoize entry() results — so the
+	// generic path, MergeFrom and Rel see one consistent group set.
+	intGroups  map[int64]*groupEntry
+	strGroups  map[string]*groupEntry
+	entScratch []*groupEntry
+	rowScratch []int32
+	dictEnts   []*groupEntry
 }
 
 // NewAggregator creates an accumulator for the groupBy positions and specs

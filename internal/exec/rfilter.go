@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"proteus/internal/schema"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// RuntimeFilter is a Bloom + min-max filter computed from a hash join's
+// build-side key column and pushed into the probe side's scan (§4.3): the
+// min-max bounds become ordinary predicate conjuncts that the morsel
+// scheduler's zone maps can prune whole morsels with and FilterVec applies
+// within batches, while the Bloom filter drops non-matching probe rows
+// batch-at-a-time before they are materialized or shipped. The filter
+// hashes through types.Value.Hash, so NULL build keys are representable
+// and NULL==NULL join semantics survive filtering.
+type RuntimeFilter struct {
+	bits     []uint64
+	mask     uint64 // bit-index mask (bit count - 1); bits may be nil (filter disabled)
+	n        int    // build rows folded in
+	hasNull  bool   // build side contained a NULL key
+	min, max types.Value
+}
+
+// maxBloomBuildRows caps the build cardinality beyond which the Bloom
+// filter is not built (the bitset would be large and a filter that big
+// rarely rejects much); min-max bounds are still tracked.
+const maxBloomBuildRows = 4 << 20
+
+// hashInt64 replicates types.Value.Hash for the int-family kinds (Int64,
+// Time, Bool) without boxing; integral floats hash identically.
+func hashInt64(x int64) uint64 {
+	const prime64 = 1099511627776003
+	h := uint64(14695981039346656037)
+	h ^= 2
+	h *= prime64
+	u := uint64(x)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(u >> (8 * i)))
+		h *= prime64
+	}
+	return h
+}
+
+// BuildRuntimeFilter folds the key column of a build-side relation into a
+// new runtime filter.
+func BuildRuntimeFilter(c *ColRel, key int) *RuntimeFilter {
+	f := &RuntimeFilter{}
+	n := c.NumRows()
+	if n > 0 && n <= maxBloomBuildRows {
+		bits := uint64(256)
+		for bits < uint64(n)*10 {
+			bits <<= 1
+		}
+		f.bits = make([]uint64, bits/64)
+		f.mask = bits - 1
+	}
+	v := &c.Vecs[key]
+	for r := 0; r < n; r++ {
+		f.AddValue(v.Value(r))
+	}
+	return f
+}
+
+// AddValue folds one build-side key into the filter.
+func (f *RuntimeFilter) AddValue(v types.Value) {
+	f.n++
+	if v.IsNull() {
+		f.hasNull = true
+	} else {
+		if f.min.IsNull() || types.Compare(v, f.min) < 0 {
+			f.min = v
+		}
+		if f.max.IsNull() || types.Compare(v, f.max) > 0 {
+			f.max = v
+		}
+	}
+	f.setHash(v.Hash())
+}
+
+func (f *RuntimeFilter) setHash(h uint64) {
+	if f.bits == nil {
+		return
+	}
+	d := h>>32 | 1
+	for k := uint64(0); k < 2; k++ {
+		i := (h + k*d) & f.mask
+		f.bits[i>>6] |= 1 << (i & 63)
+	}
+}
+
+func (f *RuntimeFilter) testHash(h uint64) bool {
+	if f.bits == nil {
+		return true
+	}
+	d := h>>32 | 1
+	for k := uint64(0); k < 2; k++ {
+		i := (h + k*d) & f.mask
+		if f.bits[i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the build side had zero rows, in which case an
+// inner join's probe side need not be scanned at all.
+func (f *RuntimeFilter) Empty() bool { return f == nil || f.n == 0 }
+
+// TestValue reports whether a probe key may have a build-side match.
+func (f *RuntimeFilter) TestValue(v types.Value) bool {
+	return f.testHash(v.Hash())
+}
+
+// BoundsPred returns min-max conjuncts on the probe key column, suitable
+// for appending to a scan predicate (zone-map morsel pruning + FilterVec).
+// Nil when the filter saw no rows or a NULL build key: predicate Eval
+// drops NULL probe rows, which is only equivalent to the join when the
+// build side holds no NULL keys.
+func (f *RuntimeFilter) BoundsPred(col schema.ColID) storage.Pred {
+	if f == nil || f.n == 0 || f.hasNull {
+		return nil
+	}
+	return storage.Pred{
+		{Col: col, Op: storage.CmpGe, Val: f.min},
+		{Col: col, Op: storage.CmpLe, Val: f.max},
+	}
+}
+
+// FilterBatch narrows a scan batch's selection to the rows whose key
+// column passes the Bloom filter, writing the surviving selection into
+// scratch (which must not alias b.Sel) and installing it as b.Sel. It
+// returns the scratch slice for reuse. Encoded key vectors are tested on
+// raw codes: FoR rows hash base+code without decoding and dictionary
+// vectors memoize one verdict per distinct code.
+func (f *RuntimeFilter) FilterBatch(b *storage.Batch, key int, scratch []int32) []int32 {
+	n := b.Len()
+	if n == 0 {
+		return scratch
+	}
+	out := scratch[:0]
+	v := &b.Vecs[key]
+	statBloomTested.Add(int64(n))
+	switch {
+	case v.Enc == storage.EncFoR:
+		b.Selected(func(r int) bool {
+			if f.testHash(hashInt64(v.Base + int64(v.Codes[r]))) {
+				out = append(out, int32(r))
+			}
+			return true
+		})
+	case v.Enc == storage.EncDict:
+		verdict := make([]uint8, len(v.Dict)) // 0 untested, 1 pass, 2 fail
+		b.Selected(func(r int) bool {
+			c := v.Codes[r]
+			if verdict[c] == 0 {
+				if f.TestValue(types.NewString(v.Dict[c])) {
+					verdict[c] = 1
+				} else {
+					verdict[c] = 2
+				}
+			}
+			if verdict[c] == 1 {
+				out = append(out, int32(r))
+			}
+			return true
+		})
+	case v.Enc == storage.EncNone && v.Null == nil && v.Kind != types.KindFloat64 && v.Kind != types.KindString && v.Kind != types.KindNull:
+		b.Selected(func(r int) bool {
+			if f.testHash(hashInt64(v.I64[r])) {
+				out = append(out, int32(r))
+			}
+			return true
+		})
+	default:
+		b.Selected(func(r int) bool {
+			if f.TestValue(v.Value(r)) {
+				out = append(out, int32(r))
+			}
+			return true
+		})
+	}
+	statBloomPassed.Add(int64(len(out)))
+	b.Sel = out
+	return out
+}
+
+// FilterCols returns the rows of c whose key passes the filter — the
+// materialized-input counterpart of FilterBatch, used when the probe side
+// is itself a join output or a non-morsel scan.
+func (f *RuntimeFilter) FilterCols(c *ColRel, key int) ColRel {
+	n := c.NumRows()
+	sel := make([]int32, 0, n)
+	v := &c.Vecs[key]
+	statBloomTested.Add(int64(n))
+	for r := 0; r < n; r++ {
+		if f.TestValue(v.Value(r)) {
+			sel = append(sel, int32(r))
+		}
+	}
+	statBloomPassed.Add(int64(len(sel)))
+	if len(sel) == n {
+		return *c
+	}
+	out := NewColRel(c.Cols)
+	out.Gather(c, sel)
+	return out
+}

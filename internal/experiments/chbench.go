@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/exec"
+	"proteus/internal/query"
+	"proteus/internal/simnet"
+	"proteus/internal/types"
+	"proteus/internal/workload/chbench"
+)
+
+// chQueryNames labels the workload's eight analytical queries in
+// chbench.Query index order.
+var chQueryNames = [chbench.NumQueries]string{
+	"q1", "q6", "q14", "q4", "q12", "q3", "q7", "q19",
+}
+
+// chJoinMix indexes the join/group-by queries — the mix the batch engine
+// targets; the remaining queries are single-table scan-aggregates that
+// take the same morsel path under both configurations.
+var chJoinMix = []int{2, 4, 5, 6, 7}
+
+// CHBench runs the full CH-benCHmark analytical matrix at 10x (quick) or
+// 25x (full) the default loaded-order row counts, A/B-comparing the legacy
+// row-at-a-time join path (DisableBatchJoin) against the batch-native
+// join/group-by engine with runtime filter pushdown, verifying answer
+// agreement per query, timing a mixed OLTP+OLAP phase, and forcing a
+// spill pass through the disksim-backed grace join. Writes
+// BENCH_chbench.json (override with PROTEUS_CHBENCH_PATH).
+func CHBench(w io.Writer, s Scale) error {
+	header(w, "CH-benCHmark: batch join/group-by engine vs row engine")
+	mult := 10
+	if s.Name == "full" {
+		mult = 25
+	}
+	rounds := s.Rounds * s.Repeats
+	if rounds < 2 {
+		rounds = 2
+	}
+
+	row, err := newCHRun(s, mult, func(cfg *cluster.Config) {
+		cfg.DisableBatchJoin = true
+	})
+	if err != nil {
+		return err
+	}
+	defer row.close()
+	batch, err := newCHRun(s, mult, nil)
+	if err != nil {
+		return err
+	}
+	defer batch.close()
+
+	rep := chbenchReport{
+		Scale:             s.Name,
+		Warehouses:        row.cfg.Warehouses,
+		Districts:         row.cfg.Warehouses * row.cfg.DistrictsPerW,
+		OrdersPerDistrict: row.cfg.LoadedOrdersPerDistrict,
+		Rounds:            rounds,
+	}
+
+	// Warm both engines (plan caches, cost models, layout decisions).
+	if _, err := row.runAll(); err != nil {
+		return err
+	}
+	if _, err := batch.runAll(); err != nil {
+		return err
+	}
+
+	// Answer agreement: every query must produce the same relation (order
+	// and float-tolerance insensitive) on both paths.
+	rowRes, err := row.runAll()
+	if err != nil {
+		return err
+	}
+	js0 := exec.ReadJoinStats()
+	batchRes, err := batch.runAll()
+	if err != nil {
+		return err
+	}
+	js1 := exec.ReadJoinStats()
+	allMatch := true
+	matches := make([]bool, chbench.NumQueries)
+	for i := range rowRes {
+		matches[i] = relsApprox(rowRes[i], batchRes[i])
+		allMatch = allMatch && matches[i]
+	}
+	rep.AnswersMatch = allMatch
+	rep.RuntimeFilter.Tested = js1.BloomTested - js0.BloomTested
+	rep.RuntimeFilter.Passed = js1.BloomPassed - js0.BloomPassed
+	rep.RuntimeFilter.BoundsPreds = js1.BoundsPreds - js0.BoundsPreds
+	if rep.RuntimeFilter.Tested > 0 {
+		rep.RuntimeFilter.PassPct = 100 * float64(rep.RuntimeFilter.Passed) / float64(rep.RuntimeFilter.Tested)
+	}
+
+	// Timed rounds, per query.
+	rowMean, err := row.timeQueries(rounds)
+	if err != nil {
+		return err
+	}
+	batchMean, err := batch.timeQueries(rounds)
+	if err != nil {
+		return err
+	}
+	var joinRow, joinBatch, allRow, allBatch float64
+	inMix := map[int]bool{}
+	for _, qi := range chJoinMix {
+		inMix[qi] = true
+	}
+	for i := 0; i < chbench.NumQueries; i++ {
+		q := chQueryAB{
+			Name:        chQueryNames[i],
+			JoinMix:     inMix[i],
+			RowMillis:   rowMean[i],
+			BatchMillis: batchMean[i],
+			OutRows:     batchRes[i].NumRows(),
+			Match:       matches[i],
+		}
+		if q.BatchMillis > 0 {
+			q.Speedup = q.RowMillis / q.BatchMillis
+		}
+		rep.Queries = append(rep.Queries, q)
+		allRow += rowMean[i]
+		allBatch += batchMean[i]
+		if inMix[i] {
+			joinRow += rowMean[i]
+			joinBatch += batchMean[i]
+		}
+	}
+	rep.JoinMixRowMillis, rep.JoinMixBatchMillis = joinRow, joinBatch
+	if joinBatch > 0 {
+		rep.JoinMixSpeedup = joinRow / joinBatch
+	}
+	if allBatch > 0 {
+		rep.AllSpeedup = allRow / allBatch
+	}
+
+	// Mixed OLTP+OLAP phase on the batch engine: CH clients interleave
+	// TPC-C transactions with the analytical sequence, as in the paper's
+	// mixed-workload runs.
+	if err := batch.runMixed(&rep.Mixed); err != nil {
+		return err
+	}
+
+	// Forced spill: a tiny build-side budget pushes every batch join
+	// through disksim-backed grace partitioning; answers must still match
+	// the row engine.
+	spillRun, err := newCHRun(s, mult, func(cfg *cluster.Config) {
+		cfg.JoinSpillBudget = 4 << 10
+	})
+	if err != nil {
+		return err
+	}
+	defer spillRun.close()
+	if _, err := spillRun.runAll(); err != nil { // warm
+		return err
+	}
+	sj0 := exec.ReadJoinStats()
+	spillStart := time.Now()
+	spillRes, err := spillRun.runAll()
+	if err != nil {
+		return err
+	}
+	rep.Spill.Millis = float64(time.Since(spillStart)) / float64(time.Millisecond)
+	sj1 := exec.ReadJoinStats()
+	rep.Spill.Partitions = sj1.SpillPartitions - sj0.SpillPartitions
+	rep.Spill.Bytes = sj1.SpillBytes - sj0.SpillBytes
+	rep.Spill.Recursions = sj1.SpillRecursions - sj0.SpillRecursions
+	rep.Spill.Match = true
+	for _, qi := range chJoinMix {
+		if !relsApprox(rowRes[qi], spillRes[qi]) {
+			rep.Spill.Match = false
+		}
+	}
+
+	path := os.Getenv("PROTEUS_CHBENCH_PATH")
+	if path == "" {
+		path = "BENCH_chbench.json"
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "scale %s: %d warehouses, %d districts, %d orders/district, %d timed rounds\n",
+		rep.Scale, rep.Warehouses, rep.Districts, rep.OrdersPerDistrict, rounds)
+	for _, q := range rep.Queries {
+		tag := " "
+		if q.JoinMix {
+			tag = "*"
+		}
+		fmt.Fprintf(w, "  %s%-4s row %8.2f ms  batch %8.2f ms  (%5.2fx)  match=%v\n",
+			tag, q.Name, q.RowMillis, q.BatchMillis, q.Speedup, q.Match)
+	}
+	fmt.Fprintf(w, "join/group-by mix (*): %.2f ms -> %.2f ms, speedup %.2fx (all queries %.2fx)\n",
+		rep.JoinMixRowMillis, rep.JoinMixBatchMillis, rep.JoinMixSpeedup, rep.AllSpeedup)
+	fmt.Fprintf(w, "runtime filter: %d probed, %d passed (%.1f%%), %d bounds preds pushed\n",
+		rep.RuntimeFilter.Tested, rep.RuntimeFilter.Passed, rep.RuntimeFilter.PassPct,
+		rep.RuntimeFilter.BoundsPreds)
+	fmt.Fprintf(w, "mixed phase: %d txns + %d queries in %.0f ms\n",
+		rep.Mixed.Txns, rep.Mixed.Queries, rep.Mixed.Millis)
+	fmt.Fprintf(w, "forced spill: %d partitions, %d bytes, %d recursions, answers match=%v -> %s\n",
+		rep.Spill.Partitions, rep.Spill.Bytes, rep.Spill.Recursions, rep.Spill.Match, path)
+	if !allMatch {
+		return fmt.Errorf("chbench: batch and row answers diverge")
+	}
+	if !rep.Spill.Match {
+		return fmt.Errorf("chbench: spilled answers diverge")
+	}
+	return nil
+}
+
+type chQueryAB struct {
+	Name        string  `json:"name"`
+	JoinMix     bool    `json:"join_mix"`
+	RowMillis   float64 `json:"row_ms"`
+	BatchMillis float64 `json:"batch_ms"`
+	Speedup     float64 `json:"speedup"`
+	OutRows     int     `json:"out_rows"`
+	Match       bool    `json:"answers_match"`
+}
+
+type chbenchReport struct {
+	Scale              string      `json:"scale"`
+	Warehouses         int         `json:"warehouses"`
+	Districts          int         `json:"districts"`
+	OrdersPerDistrict  int         `json:"orders_per_district"`
+	Rounds             int         `json:"rounds"`
+	Queries            []chQueryAB `json:"queries"`
+	JoinMixRowMillis   float64     `json:"join_mix_row_ms"`
+	JoinMixBatchMillis float64     `json:"join_mix_batch_ms"`
+	JoinMixSpeedup     float64     `json:"join_mix_speedup"`
+	AllSpeedup         float64     `json:"all_speedup"`
+	AnswersMatch       bool        `json:"answers_match"`
+	RuntimeFilter      struct {
+		Tested      int64   `json:"probed"`
+		Passed      int64   `json:"passed"`
+		PassPct     float64 `json:"pass_pct"`
+		BoundsPreds int64   `json:"bounds_preds"`
+	} `json:"runtime_filter"`
+	Mixed chMixedResult `json:"mixed_phase"`
+	Spill struct {
+		Partitions int64   `json:"partitions"`
+		Bytes      int64   `json:"bytes"`
+		Recursions int64   `json:"recursions"`
+		Millis     float64 `json:"elapsed_ms"`
+		Match      bool    `json:"answers_match"`
+	} `json:"forced_spill"`
+}
+
+type chMixedResult struct {
+	Txns    int     `json:"txns"`
+	Queries int     `json:"queries"`
+	Millis  float64 `json:"elapsed_ms"`
+}
+
+// chRun is one loaded CH engine plus its fixed query set.
+type chRun struct {
+	e       *cluster.Engine
+	w       *chbench.Workload
+	cfg     chbench.Config
+	sess    *cluster.Session
+	queries []*query.Query
+}
+
+// newCHRun builds a column-store engine (fixed layouts keep the A/B about
+// the join engine, not ASA decisions), loads CH at mult times the scale's
+// order count, and materializes the eight queries with a fixed seed so
+// every run — and both sides of the A/B — parameterizes q19 identically.
+func newCHRun(s Scale, mult int, tweak func(*cluster.Config)) (*chRun, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Mode = cluster.ModeColumnStore
+	cfg.NumSites = s.Sites
+	cfg.Net = simnet.Config{}
+	cfg.ReplicationInterval = 50 * time.Millisecond
+	cfg.MaintainInterval = 100 * time.Millisecond
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	e := cluster.New(cfg)
+	ch := chConfig(s)
+	ch.LoadedOrdersPerDistrict = s.CHOrders * mult
+	if ch.MaxOrdersPerDistrict < ch.LoadedOrdersPerDistrict*2 {
+		ch.MaxOrdersPerDistrict = ch.LoadedOrdersPerDistrict * 2
+	}
+	w, err := chbench.Setup(e, ch)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	r := &chRun{e: e, w: w, cfg: ch, sess: e.NewSession()}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < chbench.NumQueries; i++ {
+		r.queries = append(r.queries, w.Query(i, rng))
+	}
+	return r, nil
+}
+
+func (r *chRun) close() { r.e.Close() }
+
+// runAll executes the full query set once, returning per-query results.
+func (r *chRun) runAll() ([]exec.Rel, error) {
+	ctx := context.Background()
+	res := make([]exec.Rel, len(r.queries))
+	for i, q := range r.queries {
+		rel, err := r.e.ExecuteQuery(ctx, r.sess, q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", chQueryNames[i], err)
+		}
+		res[i] = rel
+	}
+	return res, nil
+}
+
+// timeQueries runs the set for rounds rounds and returns each query's mean
+// latency in milliseconds.
+func (r *chRun) timeQueries(rounds int) ([]float64, error) {
+	ctx := context.Background()
+	total := make([]time.Duration, len(r.queries))
+	for round := 0; round < rounds; round++ {
+		for i, q := range r.queries {
+			start := time.Now()
+			if _, err := r.e.ExecuteQuery(ctx, r.sess, q); err != nil {
+				return nil, fmt.Errorf("%s: %w", chQueryNames[i], err)
+			}
+			total[i] += time.Since(start)
+		}
+	}
+	mean := make([]float64, len(r.queries))
+	for i, d := range total {
+		mean[i] = float64(d) / float64(rounds) / float64(time.Millisecond)
+	}
+	return mean, nil
+}
+
+// runMixed interleaves TPC-C transactions with the analytical sequence —
+// the CH-benCHmark's defining mix — on this engine. Aborted transactions
+// (write conflicts) are part of the workload, not errors.
+func (r *chRun) runMixed(out *chMixedResult) error {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	client := r.w.NewClient(0, rng)
+	start := time.Now()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 5; j++ {
+			if _, err := r.e.ExecuteTxn(ctx, r.sess, client.OLTP()); err == nil {
+				out.Txns++
+			}
+		}
+		if _, err := r.e.ExecuteQuery(ctx, r.sess, client.OLAP()); err != nil {
+			return err
+		}
+		out.Queries++
+	}
+	out.Millis = float64(time.Since(start)) / float64(time.Millisecond)
+	return nil
+}
+
+// relsApprox compares two relations ignoring row order, with a relative
+// float tolerance (the batch path computes AVG natively rather than
+// reconstructing it from shipped SUM/COUNT pairs).
+func relsApprox(a, b exec.Rel) bool {
+	if len(a.Cols) != len(b.Cols) || a.NumRows() != b.NumRows() {
+		return false
+	}
+	at, bt := sortedTuples(a), sortedTuples(b)
+	for i := range at {
+		for c := range at[i] {
+			if !valsApprox(at[i][c], bt[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedTuples(r exec.Rel) [][]types.Value {
+	ts := append([][]types.Value{}, r.Tuples...)
+	sort.Slice(ts, func(i, j int) bool {
+		for c := range ts[i] {
+			if cmp := types.Compare(ts[i][c], ts[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return ts
+}
+
+func valsApprox(a, b types.Value) bool {
+	if a.K == types.KindFloat64 || b.K == types.KindFloat64 {
+		af, bf := a.Float(), b.Float()
+		if af == bf {
+			return true
+		}
+		return math.Abs(af-bf) <= 1e-6*math.Max(math.Abs(af), math.Abs(bf))
+	}
+	return types.Equal(a, b)
+}

@@ -83,6 +83,7 @@ var All = []Experiment{
 	{"scan", "Scan throughput: morsel executor vs legacy path (BENCH_scan.json)", ScanBench},
 	{"oltp", "OLTP writes: group commit vs serial commit (BENCH_oltp.json)", OLTPBench},
 	{"overload", "Overload: token-bucket admission vs AlwaysAdmit at 10x capacity (BENCH_overload.json)", OverloadBench},
+	{"chbench", "CH-benCHmark matrix: batch join/group-by engine vs row engine (BENCH_chbench.json)", CHBench},
 }
 
 // Find locates an experiment by ID.

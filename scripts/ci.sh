@@ -49,6 +49,20 @@ echo "== oltp commit-pipeline benchmark (non-gating)"
 go run ./cmd/proteus-bench -exp oltp -scale quick || echo "oltp benchmark failed (non-gating)"
 go test -run XXX -bench 'BenchmarkTxn(Group|Serial)Commit' -benchtime 0.5s ./internal/cluster/ || echo "txn benchmarks failed (non-gating)"
 
+echo "== CH-benCHmark smoke (non-gating)"
+# Regenerates BENCH_chbench.json (batch join/group-by engine vs the legacy
+# row engine over the CH-benCHmark query mix, plus a forced-spill run).
+# The experiment hard-fails if the two engines' answers ever diverge or if
+# the spilled join returns wrong rows; the speedups themselves are
+# informational on shared CI hardware, so the run does not gate. Set
+# PROTEUS_CHBENCH_FULL=1 to run the full-scale matrix instead (minutes,
+# not seconds; this is what the committed BENCH_chbench.json comes from).
+if [[ "${PROTEUS_CHBENCH_FULL:-0}" == "1" ]]; then
+    go run ./cmd/proteus-bench -exp chbench -scale full || echo "chbench failed (non-gating)"
+else
+    go run ./cmd/proteus-bench -exp chbench -scale quick || echo "chbench failed (non-gating)"
+fi
+
 echo "== overload smoke (non-gating)"
 # Regenerates BENCH_overload.json and exercises the admission front end at
 # 10x capacity. The experiment hard-fails on a shed without the typed
