@@ -1,4 +1,4 @@
-.PHONY: build test check bench chaos
+.PHONY: build test check bench chaos sim
 
 build:
 	go build ./...
@@ -9,8 +9,17 @@ test:
 # chaos runs the seeded kill/partition/restore harness under the race
 # detector: >=3 site crashes and >=1 network partition against an active
 # mixed workload, asserting zero committed-write loss and convergence.
+# TestChaosSimClock replays the same schedule on the simulated clock, so
+# this covers both clock implementations.
 chaos:
 	go test -race -count=1 -v -run TestChaos ./internal/cluster/
+
+# sim replays the whole scenarios/ corpus on the virtual clock: hours of
+# simulated mixed traffic, diurnal shifts, partitions, overload and crash
+# failover in under a minute of wall clock, asserting zero acked-write
+# loss, replica convergence and the per-scenario bounds.
+sim:
+	go run ./cmd/proteus-sim run scenarios/*.json
 
 # check is the CI pipeline: vet + build + tests + race detector over the
 # concurrency-heavy packages.

@@ -22,6 +22,7 @@ import (
 
 	"proteus/internal/faults"
 	"proteus/internal/obs"
+	"proteus/internal/vclock"
 )
 
 // Priority classes order queue drain: all waiting OLTP work is considered
@@ -180,6 +181,7 @@ type Controller struct {
 	cfg Config
 	reg *obs.Registry
 	now func() time.Time
+	clk vclock.Clock // drives the background drip ticker
 
 	mu      sync.Mutex
 	tenants map[string]*bucket
@@ -216,6 +218,18 @@ func WithClock(now func() time.Time) Option {
 	}
 }
 
+// WithTimeSource runs the controller on the given vclock.Clock: token
+// refills and wait accounting read its Now, and — unlike WithClock — the
+// background grant pass keeps running, ticking on the same clock. This is
+// what lets the QoS front end run unmodified under the simulation clock.
+func WithTimeSource(clk vclock.Clock) Option {
+	return func(c *Controller) {
+		clk = vclock.OrWall(clk)
+		c.clk = clk
+		c.now = clk.Now
+	}
+}
+
 // New creates a Controller recording into reg (a private registry is
 // created when reg is nil). Unless a test clock is installed the
 // background grant pass starts immediately; Close stops it.
@@ -227,6 +241,7 @@ func New(cfg Config, reg *obs.Registry, opts ...Option) *Controller {
 		cfg:     cfg.withDefaults(),
 		reg:     reg,
 		now:     time.Now,
+		clk:     vclock.Wall{},
 		tenants: make(map[string]*bucket),
 		stop:    make(chan struct{}),
 
@@ -355,6 +370,12 @@ func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority) err
 	c.gaugeQueue[pri].Add(1)
 	c.mu.Unlock()
 
+	// The grant that resolves this wait comes from virtual-time progress
+	// (the drip ticker or another request's release), so let a simulated
+	// clock treat the queued goroutine as parked.
+	release := vclock.Park(c.clk)
+	defer release()
+
 	select {
 	case err := <-w.ready:
 		if err == nil {
@@ -451,7 +472,7 @@ func (c *Controller) Tokens(tenant string) float64 {
 // drip is the background grant pass.
 func (c *Controller) drip() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.cfg.DripInterval)
+	t := c.clk.NewTicker(c.cfg.DripInterval)
 	defer t.Stop()
 	for {
 		select {

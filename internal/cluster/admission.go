@@ -31,7 +31,7 @@ func (e *Engine) admit(ctx context.Context, pri admission.Priority) error {
 // is installed atomically and read lock-free by the admission hot path.
 func (e *Engine) refreshAdmissionState() {
 	st := admission.ClusterState{
-		At:    time.Now(),
+		At:    e.clk.Now(),
 		Sites: make([]admission.SiteState, len(e.Sites)),
 	}
 	for i, s := range e.Sites {
@@ -62,7 +62,7 @@ func (e *Engine) startAdmissionRefresher() {
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		t := time.NewTicker(e.Adm.SnapshotInterval())
+		t := e.clk.NewTicker(e.Adm.SnapshotInterval())
 		defer t.Stop()
 		for {
 			select {
@@ -95,8 +95,8 @@ func (e *Engine) yieldToOLTP(site simnet.SiteID) {
 		return
 	}
 	e.cntScanYields.Inc()
-	deadline := time.Now().Add(scanYieldGrace)
-	for e.oltpInFlight[int(site)].Load() > 0 && time.Now().Before(deadline) {
-		time.Sleep(scanYieldGrace / 4)
+	deadline := e.clk.Now().Add(scanYieldGrace)
+	for e.oltpInFlight[int(site)].Load() > 0 && e.clk.Now().Before(deadline) {
+		e.clk.Sleep(scanYieldGrace / 4)
 	}
 }

@@ -124,7 +124,7 @@ func (a *Advisor) start() {
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
-			t := time.NewTicker(a.cfg.PredictiveInterval)
+			t := a.e.clk.NewTicker(a.cfg.PredictiveInterval)
 			defer t.Stop()
 			for {
 				select {
@@ -140,7 +140,7 @@ func (a *Advisor) start() {
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
-			t := time.NewTicker(a.cfg.CapacityInterval)
+			t := a.e.clk.NewTicker(a.cfg.CapacityInterval)
 			defer t.Stop()
 			for {
 				select {
@@ -163,7 +163,7 @@ func (a *Advisor) trace(pid partition.ID, trigger string, c asa.Candidate, planD
 		return
 	}
 	d := obs.Decision{
-		At:        time.Now(),
+		At:        a.e.clk.Now(),
 		Partition: uint64(pid),
 		Trigger:   trigger,
 		Kind:      c.Kind.String(),
@@ -397,7 +397,7 @@ func (a *Advisor) predictedRates(m *metadata.PartitionMeta, horizonSec float64) 
 func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, trigger string, planClass, execClass OpClass) {
 	const cooldown = 400 * time.Millisecond
 	a.lcMu.Lock()
-	if last, ok := a.lastChange[pid]; ok && time.Since(last) < cooldown {
+	if last, ok := a.lastChange[pid]; ok && a.e.clk.Since(last) < cooldown {
 		a.lcMu.Unlock()
 		return
 	}
@@ -414,7 +414,7 @@ func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, trigger strin
 		if !ok {
 			return
 		}
-		planStart := time.Now()
+		planStart := a.e.clk.Now()
 		view, ok := a.buildView(m, predicted)
 		if !ok {
 			return
@@ -423,7 +423,7 @@ func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, trigger strin
 			return // nothing stored; no change can pay off
 		}
 		best, found := a.bestCandidate(view)
-		planDur := time.Since(planStart)
+		planDur := a.e.clk.Since(planStart)
 		a.e.stats.Record(planClass, planDur)
 		if debugAdvisor {
 			fmt.Printf("[advisor] pid=%d layout=%v rates={u:%.1f p:%.1f s:%.1f} best=%v net=%.0f found=%v\n",
@@ -433,16 +433,16 @@ func (a *Advisor) adaptPartition(pid partition.ID, predicted bool, trigger strin
 		if !found || best.Net <= 0 {
 			return
 		}
-		execStart := time.Now()
+		execStart := a.e.clk.Now()
 		err := a.execute(view, best)
-		a.trace(pid, trigger, best, planDur, time.Since(execStart), err)
+		a.trace(pid, trigger, best, planDur, a.e.clk.Since(execStart), err)
 		if err != nil {
 			return
 		}
 		a.changes.Add(1)
-		a.e.stats.Record(execClass, time.Since(execStart))
+		a.e.stats.Record(execClass, a.e.clk.Since(execStart))
 		a.lcMu.Lock()
-		a.lastChange[pid] = time.Now()
+		a.lastChange[pid] = a.e.clk.Now()
 		a.lcMu.Unlock()
 		// After structural changes the partition ID is gone; stop.
 		switch best.Kind {
@@ -618,7 +618,7 @@ func (a *Advisor) considerMerges() {
 				continue
 			}
 			a.mu.Lock()
-			planStart := time.Now()
+			planStart := a.e.clk.Now()
 			view, ok := a.buildView(l, false)
 			if !ok || view.Rows == 0 {
 				a.mu.Unlock()
@@ -627,14 +627,14 @@ func (a *Advisor) considerMerges() {
 			cand := a.eval.Evaluate(view, asa.Candidate{
 				Kind: asa.MergeWith, PID: l.ID, Other: r.ID, Site: l.Master().Site,
 			})
-			planDur := time.Since(planStart)
+			planDur := a.e.clk.Since(planStart)
 			if cand.Net > 0 {
-				start := time.Now()
+				start := a.e.clk.Now()
 				err := a.e.MergeH(l.ID, r.ID)
-				a.trace(l.ID, "merge", cand, planDur, time.Since(start), err)
+				a.trace(l.ID, "merge", cand, planDur, a.e.clk.Since(start), err)
 				if err == nil {
 					a.changes.Add(1)
-					a.e.stats.Record(ClassOLAPLayoutExec, time.Since(start))
+					a.e.stats.Record(ClassOLAPLayoutExec, a.e.clk.Since(start))
 					a.mu.Unlock()
 					return // one merge per tick
 				}
@@ -715,9 +715,9 @@ func (a *Advisor) relieveSite(siteID simnet.SiteID, need int64) {
 		if !ok {
 			continue
 		}
-		execStart := time.Now()
+		execStart := a.e.clk.Now()
 		err := a.execute(view, o.o.Candidate)
-		a.trace(o.o.Candidate.PID, "capacity", o.o.Candidate, 0, time.Since(execStart), err)
+		a.trace(o.o.Candidate.PID, "capacity", o.o.Candidate, 0, a.e.clk.Since(execStart), err)
 		if err == nil {
 			a.changes.Add(1)
 			freed += o.o.BytesFreed

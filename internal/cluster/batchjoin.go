@@ -16,7 +16,6 @@ import (
 	"context"
 	"sort"
 	"sync"
-	"time"
 
 	"proteus/internal/cost"
 	"proteus/internal/exec"
@@ -412,7 +411,7 @@ func (e *Engine) evalBatchJoinAgg(ctx context.Context, pa *plan.PAgg, pj *plan.P
 			specs[i].Col = posIndex(need, a.Col)
 		}
 	}
-	start := time.Now()
+	start := e.clk.Now()
 	agg := exec.NewAggregator(groupBy, specs)
 	agg.ObserveCols(&c)
 	rel := agg.Rel(c.Cols)
@@ -420,7 +419,7 @@ func (e *Engine) evalBatchJoinAgg(ctx context.Context, pa *plan.PAgg, pj *plan.P
 		Op:       cost.OpAggregate,
 		Variant:  cost.AggHash,
 		Features: cost.AggFeatures(c.NumRows(), rel.NumRows(), c.RowBytes()),
-		Latency:  time.Since(start),
+		Latency:  e.clk.Since(start),
 	})
 	return rel, nil
 }

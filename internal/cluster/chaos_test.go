@@ -16,6 +16,7 @@ import (
 	"proteus/internal/simnet"
 	"proteus/internal/storage"
 	"proteus/internal/types"
+	"proteus/internal/vclock"
 )
 
 // TestChaos runs a seeded kill/partition/restore schedule against an
@@ -24,7 +25,24 @@ import (
 // and every surviving replica converges to its master's version.
 // `make chaos` runs it standalone under the race detector.
 func TestChaos(t *testing.T) {
-	runChaos(t, nil, false)
+	runChaos(t, vclock.Wall{}, nil, false)
+}
+
+// TestChaosSimClock replays the identical seeded chaos schedule on the
+// simulated clock: every sleep — interconnect charges, retry backoff,
+// schedule pacing, the convergence wait — runs in virtual time, so the
+// same invariants (zero acked-write loss, live masters, replica
+// convergence) are checked without spending the schedule's wall duration.
+func TestChaosSimClock(t *testing.T) {
+	sim := vclock.NewSim(vclock.SimConfig{})
+	defer sim.Stop()
+	runChaos(t, sim, func(cfg *Config) {
+		// fastConfig zeroes link latency, which is right for wall runs but
+		// starves the simulation: the hot writer loops then have no virtual
+		// cost per op, so the clock can only advance at commit boundaries.
+		// Model the LAN instead so writers spend virtual time in Send.
+		cfg.Net = simnet.Config{BaseLatency: 50 * time.Microsecond, BytesPerSecond: 1 << 30}
+	}, false)
 }
 
 // TestChaosWithAdmission repeats the chaos run with token-bucket
@@ -35,7 +53,7 @@ func TestChaos(t *testing.T) {
 // acked-exactly-matches-stored check still holds), and zero acked-write
 // loss survives crashes, partitions and shedding together.
 func TestChaosWithAdmission(t *testing.T) {
-	runChaos(t, func(cfg *Config) {
+	runChaos(t, vclock.Wall{}, func(cfg *Config) {
 		cfg.Admission = admission.Config{
 			Policy:           admission.TokenBucket,
 			Default:          admission.Limits{Rate: 2000, Burst: 100},
@@ -46,7 +64,7 @@ func TestChaosWithAdmission(t *testing.T) {
 	}, true)
 }
 
-func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
+func runChaos(t *testing.T, clk vclock.Clock, tune func(*Config), wantSheds bool) {
 	const (
 		seed     = 7
 		numSites = 4
@@ -55,6 +73,7 @@ func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 		duration = 1500 * time.Millisecond
 	)
 	e, tbl := newFaultEngine(t, numSites, 4, numRows, func(cfg *Config) {
+		cfg.Clock = clk
 		cfg.FaultSeed = seed
 		cfg.OpDeadline = 300 * time.Millisecond
 		if tune != nil {
@@ -143,22 +162,23 @@ func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 			default:
 			}
 			_, _ = e.ExecuteQuery(context.Background(), sess, scanSumQuery(tbl))
-			time.Sleep(5 * time.Millisecond)
+			clk.Sleep(5 * time.Millisecond)
 		}
 	}()
 
-	// Drive the seeded schedule.
-	start := time.Now()
+	// Drive the seeded schedule on the clock: identical virtual pacing
+	// whether the clock is wall or simulated.
+	start := clk.Now()
 	for _, ev := range schedule {
-		if d := time.Until(start.Add(ev.At)); d > 0 {
-			time.Sleep(d)
+		if d := ev.At - clk.Since(start); d > 0 {
+			clk.Sleep(d)
 		}
 		if err := e.ApplyFault(ev); err != nil {
 			t.Errorf("apply %v: %v", ev.Kind, err)
 		}
 	}
-	if d := time.Until(start.Add(duration)); d > 0 {
-		time.Sleep(d)
+	if d := duration - clk.Since(start); d > 0 {
+		clk.Sleep(d)
 	}
 
 	// Restore the cluster: heal any partition, recover any down site.
@@ -183,7 +203,7 @@ func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 	}
 
 	// Surviving replicas converge to their master's version.
-	waitAllConverged(t, e, 5*time.Second)
+	waitAllConverged(t, e, clk, 5*time.Second)
 
 	// Zero committed-write loss: every acknowledged write reads back.
 	// Verification reads retry through admission sheds — the controller
@@ -199,7 +219,7 @@ func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 				if !errors.Is(err, faults.ErrOverload) {
 					break
 				}
-				time.Sleep(time.Millisecond)
+				clk.Sleep(time.Millisecond)
 			}
 			if err != nil {
 				t.Fatalf("read row %d: %v", row, err)
@@ -230,9 +250,9 @@ func runChaos(t *testing.T, tune func(*Config), wantSheds bool) {
 
 // waitAllConverged waits until every replica of every partition has
 // applied at least its master's current version.
-func waitAllConverged(t *testing.T, e *Engine, timeout time.Duration) {
+func waitAllConverged(t *testing.T, e *Engine, clk vclock.Clock, timeout time.Duration) {
 	t.Helper()
-	end := time.Now().Add(timeout)
+	start := clk.Now()
 	for {
 		lagging := ""
 		for _, m := range e.Dir.All() {
@@ -260,9 +280,9 @@ func waitAllConverged(t *testing.T, e *Engine, timeout time.Duration) {
 		if lagging == "" {
 			return
 		}
-		if time.Now().After(end) {
+		if clk.Since(start) > timeout {
 			t.Fatalf("replicas did not converge: %s", lagging)
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"proteus/internal/storage"
 	"proteus/internal/txn"
 	"proteus/internal/types"
+	"proteus/internal/vclock"
 )
 
 // Mode selects the system architecture under evaluation (§6.2).
@@ -73,6 +74,12 @@ func (m Mode) String() string {
 
 // Config parameterizes an Engine.
 type Config struct {
+	// Clock is the time source every modelled latency, backoff, deadline
+	// and background ticker runs on. nil means the wall clock (production
+	// and existing benches); cmd/proteus-sim installs a vclock.Sim so
+	// hours of simulated traffic run in seconds.
+	Clock vclock.Clock
+
 	Mode     Mode
 	NumSites int
 	Site     site.Config
@@ -168,6 +175,7 @@ func DefaultConfig() Config {
 // Engine is a running Proteus cluster.
 type Engine struct {
 	cfg Config
+	clk vclock.Clock
 
 	Catalog *schema.Catalog
 	Dir     *metadata.Directory
@@ -249,6 +257,7 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{
 		cfg:      cfg,
+		clk:      vclock.OrWall(cfg.Clock),
 		Catalog:  schema.NewCatalog(),
 		Dir:      metadata.NewDirectory(cfg.Tracker),
 		Model:    cost.NewModel(),
@@ -265,8 +274,11 @@ func New(cfg Config) *Engine {
 		tableMax: make(map[schema.TableID]schema.RowID),
 		stop:     make(chan struct{}),
 	}
+	e.Net.SetClock(e.clk)
 	e.Net.SetObs(e.Obs)
 	e.Net.SetFaults(e.Faults)
+	e.Faults.SetClock(e.clk)
+	e.spill.SetClock(e.clk)
 	e.Broker.SetObs(e.Obs)
 	e.cntRetries = e.Obs.Counter("faults.retries")
 	e.cntTimeouts = e.Obs.Counter("faults.timeouts")
@@ -280,11 +292,12 @@ func New(cfg Config) *Engine {
 	e.cntScanBatches = e.Obs.Counter("exec.scan.batches")
 	e.cntScanYields = e.Obs.Counter("admission.scan.preempt_yields")
 	e.recMorselsPerQuery = e.Obs.Recorder("exec.morsels.per_query", 1<<10)
-	e.Adm = admission.New(cfg.Admission, e.Obs)
+	e.Adm = admission.New(cfg.Admission, e.Obs, admission.WithTimeSource(e.clk))
 	e.Obs.Gauge("admission.policy").Set(int64(cfg.Admission.Policy))
 	e.oltpInFlight = make([]atomic.Int64, cfg.NumSites)
 	for i := 0; i < cfg.NumSites; i++ {
 		s := site.New(simnet.SiteID(i), cfg.Site, e.Broker, e.Net, simnet.ASASite)
+		s.SetClock(e.clk)
 		s.SetObs(e.Obs)
 		e.Sites = append(e.Sites, s)
 	}
@@ -319,7 +332,7 @@ func (e *Engine) startBackground() {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			t := time.NewTicker(e.cfg.MaintainInterval)
+			t := e.clk.NewTicker(e.cfg.MaintainInterval)
 			defer t.Stop()
 			for {
 				select {
@@ -488,6 +501,10 @@ func (e *Engine) Close() {
 
 // Mode reports the configured architecture.
 func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Clock reports the engine's time source (the wall clock unless a
+// virtual clock was configured).
+func (e *Engine) Clock() vclock.Clock { return e.clk }
 
 // nextTxnID issues transaction identifiers.
 func (e *Engine) nextTxnID() uint64 {

@@ -184,15 +184,21 @@ func (g *groupCommit) run(q *siteQueue) {
 		// is pending immediately, so batching emerges only under
 		// concurrent load and an uncontended commit pays no added latency.
 		if g.interval > 0 && q.kickAt <= q.done && !q.closed && len(q.pending) < g.maxBatch {
-			deadline := time.Now().Add(g.interval)
-			for {
-				q.mu.Unlock()
-				time.Sleep(g.interval / 4)
+			// Timer-driven linger: sleep on the cond until an arrival,
+			// barrier kick, close or the window timer wakes us — no
+			// quarter-interval polling. Every state change Broadcasts, and
+			// the timer callback flips expired under the queue lock.
+			expired := false
+			tm := g.e.clk.AfterFunc(g.interval, func() {
 				q.mu.Lock()
-				if q.kickAt > q.done || q.closed || len(q.pending) >= g.maxBatch || !time.Now().Before(deadline) {
-					break
-				}
+				expired = true
+				q.cond.Broadcast()
+				q.mu.Unlock()
+			})
+			for !expired && q.kickAt <= q.done && !q.closed && len(q.pending) < g.maxBatch {
+				q.cond.Wait()
 			}
+			tm.Stop()
 		}
 		batch := q.pending
 		if len(batch) > g.maxBatch {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"time"
 
 	"proteus/internal/faults"
 	"proteus/internal/metadata"
@@ -33,7 +32,7 @@ func classOfLayoutChange(cur, next storage.Layout) OpClass {
 // ChangeCopyLayout converts the copy of pid at a site to a new layout
 // (format, tier, sort order or compression change).
 func (e *Engine) ChangeCopyLayout(pid partition.ID, siteID simnet.SiteID, next storage.Layout) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -64,7 +63,7 @@ func (e *Engine) ChangeCopyLayout(pid partition.ID, siteID simnet.SiteID, next s
 	}
 	m.SetReplicaLayout(siteID, next)
 	e.Epoch.Bump()
-	e.stats.Record(classOfLayoutChange(cur, next), time.Since(start))
+	e.stats.Record(classOfLayoutChange(cur, next), e.clk.Since(start))
 	return nil
 }
 
@@ -106,7 +105,7 @@ func (e *Engine) replaceInDirectory(siteID simnet.SiteID, old []*metadata.Partit
 
 // SplitH splits pid horizontally at row `at` (§4.4).
 func (e *Engine) SplitH(pid partition.ID, at schema.RowID) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -138,7 +137,7 @@ func (e *Engine) SplitH(pid partition.ID, at schema.RowID) error {
 		return err
 	}
 	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{m}, []*partition.Partition{lo, hi})
-	e.stats.Record(ClassPartitionChange, time.Since(start))
+	e.stats.Record(ClassPartitionChange, e.clk.Since(start))
 	return nil
 }
 
@@ -146,7 +145,7 @@ func (e *Engine) SplitH(pid partition.ID, at schema.RowID) error {
 // The write-hot side keeps a row layout; the other side keeps the current
 // layout.
 func (e *Engine) SplitV(pid partition.ID, at schema.ColID, leftLayout, rightLayout storage.Layout) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -176,13 +175,13 @@ func (e *Engine) SplitV(pid partition.ID, at schema.ColID, leftLayout, rightLayo
 		return err
 	}
 	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{m}, []*partition.Partition{l, r})
-	e.stats.Record(ClassPartitionChange, time.Since(start))
+	e.stats.Record(ClassPartitionChange, e.clk.Since(start))
 	return nil
 }
 
 // MergeH merges two row-adjacent partitions mastered at the same site.
 func (e *Engine) MergeH(a, b partition.ID) error {
-	start := time.Now()
+	start := e.clk.Now()
 	ma, ok := e.Dir.Get(a)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", a)
@@ -226,13 +225,13 @@ func (e *Engine) MergeH(a, b partition.ID) error {
 		return err
 	}
 	e.replaceInDirectory(siteID, []*metadata.PartitionMeta{ma, mb}, []*partition.Partition{merged})
-	e.stats.Record(ClassPartitionChange, time.Since(start))
+	e.stats.Record(ClassPartitionChange, e.clk.Since(start))
 	return nil
 }
 
 // AddReplicaOp snapshots pid's master and installs a replica at a site.
 func (e *Engine) AddReplicaOp(pid partition.ID, siteID simnet.SiteID, l storage.Layout) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -249,13 +248,13 @@ func (e *Engine) AddReplicaOp(pid partition.ID, siteID simnet.SiteID, l storage.
 	}
 	e.Net.Charge(m.Master().Site, siteID, 1024)
 	e.Epoch.Bump()
-	e.stats.Record(ClassReplicationChange, time.Since(start))
+	e.stats.Record(ClassReplicationChange, e.clk.Since(start))
 	return nil
 }
 
 // RemoveReplicaOp drops the replica of pid at a site (§4.4).
 func (e *Engine) RemoveReplicaOp(pid partition.ID, siteID simnet.SiteID) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -271,7 +270,7 @@ func (e *Engine) RemoveReplicaOp(pid partition.ID, siteID simnet.SiteID) error {
 	s.RemovePartition(pid)
 	e.Net.Charge(simnet.ASASite, siteID, 128)
 	e.Epoch.Bump()
-	e.stats.Record(ClassReplicationChange, time.Since(start))
+	e.stats.Record(ClassReplicationChange, e.clk.Since(start))
 	return nil
 }
 
@@ -279,7 +278,7 @@ func (e *Engine) RemoveReplicaOp(pid partition.ID, siteID simnet.SiteID) error {
 // catches up to the old master's version, new update transactions route to
 // it, and the old master becomes a replica.
 func (e *Engine) ChangeMasterOp(pid partition.ID, newSite simnet.SiteID) error {
-	start := time.Now()
+	start := e.clk.Now()
 	m, ok := e.Dir.Get(pid)
 	if !ok {
 		return fmt.Errorf("cluster: unknown partition %d", pid)
@@ -355,6 +354,6 @@ func (e *Engine) ChangeMasterOp(pid partition.ID, newSite simnet.SiteID) error {
 	e.Net.Charge(oldMaster.Site, newSite, 512)
 	e.Net.Charge(newSite, oldMaster.Site, 128)
 	e.Epoch.Bump()
-	e.stats.Record(ClassMasterChange, time.Since(start))
+	e.stats.Record(ClassMasterChange, e.clk.Since(start))
 	return nil
 }

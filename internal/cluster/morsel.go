@@ -26,6 +26,7 @@ import (
 	"proteus/internal/storage"
 	"proteus/internal/txn"
 	"proteus/internal/types"
+	"proteus/internal/vclock"
 )
 
 func (e *Engine) morselRows() int {
@@ -105,6 +106,7 @@ type partScan struct {
 	lcols  []schema.ColID
 	lp     storage.Pred
 	snap   uint64
+	clk    vclock.Clock
 
 	rows  atomic.Int64
 	nanos atomic.Int64
@@ -197,7 +199,7 @@ func (e *Engine) buildMorselJob(ctx context.Context, ps *plan.PScan, snap txn.Ve
 			}
 			sc = &partScan{
 				p: p, st: p.StoreSnapshot(), siteID: piece.Copy.Site,
-				lcols: lcols, lp: lp, snap: snap[piece.Meta.ID],
+				lcols: lcols, lp: lp, snap: snap[piece.Meta.ID], clk: e.clk,
 			}
 			byPart[p] = sc
 			j.parts = append(j.parts, sc)
@@ -214,18 +216,18 @@ func (e *Engine) buildMorselJob(ctx context.Context, ps *plan.PScan, snap txn.Ve
 // scanUnit runs one morsel through the layout-native range path, streaming
 // matching rows into fn and charging the work to the unit's partition.
 func (u morselUnit) scanUnit(fn func(schema.Row) bool) {
-	start := time.Now()
+	start := u.ps.clk.Now()
 	partition.ScanStoreRange(u.ps.st, u.ps.lcols, u.ps.lp, u.lo, u.hi, u.ps.snap, fn)
-	u.ps.nanos.Add(int64(time.Since(start)))
+	u.ps.nanos.Add(int64(u.ps.clk.Since(start)))
 }
 
 // scanUnitBatches runs one morsel through the columnar batch path,
 // streaming pooled batches into fn and charging the work to the unit's
 // partition. Batches are only valid inside fn.
 func (u morselUnit) scanUnitBatches(maxRows int, fn func(*storage.Batch) bool) {
-	start := time.Now()
+	start := u.ps.clk.Now()
 	partition.ScanStoreBatchRange(u.ps.st, u.ps.lcols, u.ps.lp, u.lo, u.hi, u.ps.snap, maxRows, fn)
-	u.ps.nanos.Add(int64(time.Since(start)))
+	u.ps.nanos.Add(int64(u.ps.clk.Since(start)))
 }
 
 // runSite drains one site's morsel feed through its scan pool: a feeder

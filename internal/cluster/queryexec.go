@@ -22,6 +22,7 @@ import (
 	"proteus/internal/storage"
 	"proteus/internal/txn"
 	"proteus/internal/types"
+	"proteus/internal/vclock"
 )
 
 // ErrStalePlan reports that a physical plan referenced a partition copy
@@ -53,7 +54,7 @@ func (e *Engine) ExecuteQuery(ctx context.Context, sess *Session, q *query.Query
 		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
-		if time.Now().After(deadline) {
+		if e.clk.Now().After(deadline) {
 			return rel, e.deadlineErr(err)
 		}
 		e.cntRetries.Inc()
@@ -72,31 +73,24 @@ func (e *Engine) queryDeadline(ctx context.Context) time.Time {
 	if d, ok := ctx.Deadline(); ok {
 		return d
 	}
-	return time.Now().Add(e.opDeadline())
+	return e.clk.Now().Add(e.opDeadline())
 }
 
 // sleepRetry waits out a backoff delay, aborting early when ctx ends.
 func (e *Engine) sleepRetry(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return vclock.SleepCtx(ctx, e.clk, d)
 }
 
 func (e *Engine) executeQueryOnce(ctx context.Context, sess *Session, q *query.Query) (exec.Rel, error) {
 	if err := ctx.Err(); err != nil {
 		return exec.Rel{}, err
 	}
-	planStart := time.Now()
+	planStart := e.clk.Now()
 	pn, err := e.Planner.PlanQuery(q)
 	if err != nil {
 		return exec.Rel{}, err
 	}
-	e.stats.Record(ClassOLAPPlan, time.Since(planStart))
+	e.stats.Record(ClassOLAPPlan, e.clk.Since(planStart))
 
 	pids := collectPIDs(pn)
 	snap := e.snapshotFor(pids, sess)
@@ -111,13 +105,13 @@ func (e *Engine) executeQueryOnce(ctx context.Context, sess *Session, q *query.Q
 
 	var result exec.Rel
 	var execErr error
-	start := time.Now()
+	start := e.clk.Now()
 	if err := e.siteOf(coord).RunOLAP(func() {
 		result, execErr = e.evalRoot(ctx, pn, snap, coord, q.Limit)
 	}); err != nil {
 		return exec.Rel{}, err
 	}
-	d := time.Since(start)
+	d := e.clk.Since(start)
 	if execErr != nil {
 		return exec.Rel{}, execErr
 	}
@@ -345,14 +339,14 @@ func (e *Engine) sitePartition(pid partition.ID, siteID simnet.SiteID, snapVer u
 		}
 	}
 	if !s.IsMaster(pid) && p.Version() < snapVer {
-		start := time.Now()
+		start := e.clk.Now()
 		if _, err := s.Repl.CatchUp(pid, snapVer); err != nil {
 			return nil, err
 		}
 		s.Observe(cost.Observation{
 			Op:       cost.OpWaitUpdates,
 			Features: cost.WaitFeatures(1),
-			Latency:  time.Since(start),
+			Latency:  e.clk.Since(start),
 		})
 	}
 	return p, nil
@@ -891,7 +885,7 @@ func (e *Engine) ExecuteQueryStream(ctx context.Context, sess *Session, q *query
 		if err == nil || !e.retriable(err) {
 			return cur, err
 		}
-		if time.Now().After(deadline) {
+		if e.clk.Now().After(deadline) {
 			return nil, e.deadlineErr(err)
 		}
 		e.cntRetries.Inc()
@@ -908,12 +902,12 @@ func (e *Engine) streamOnce(ctx context.Context, sess *Session, q *query.Query) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	planStart := time.Now()
+	planStart := e.clk.Now()
 	pn, err := e.Planner.PlanQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	e.stats.Record(ClassOLAPPlan, time.Since(planStart))
+	e.stats.Record(ClassOLAPPlan, e.clk.Since(planStart))
 
 	pids := collectPIDs(pn)
 	snap := e.snapshotFor(pids, sess)
@@ -931,10 +925,10 @@ func (e *Engine) streamOnce(ctx context.Context, sess *Session, q *query.Query) 
 	}
 	sess.s.Observe(readVec)
 
-	start := time.Now()
+	start := e.clk.Now()
 	onEOF := func(err error) {
 		if err == nil {
-			d := time.Since(start)
+			d := e.clk.Since(start)
 			e.stats.Record(ClassOLAP, d)
 			if e.Advisor != nil {
 				e.Advisor.onQueryExecuted(pn, d)

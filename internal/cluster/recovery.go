@@ -179,7 +179,7 @@ func (e *Engine) RecoverSite(id simnet.SiteID) error {
 	if !s.Down() {
 		return nil
 	}
-	start := time.Now()
+	start := e.clk.Now()
 	e.crashMu.Lock()
 	hosted := e.crashed[id]
 	delete(e.crashed, id)
@@ -206,7 +206,7 @@ func (e *Engine) RecoverSite(id simnet.SiteID) error {
 	s.Recover()
 	e.Faults.SetSiteDown(id, false)
 	e.cntRecoveries.Inc()
-	e.recoveryLat.Record(time.Since(start))
+	e.recoveryLat.Record(e.clk.Since(start))
 	e.Epoch.Bump()
 	return nil
 }

@@ -102,7 +102,7 @@ func (e *Engine) startTiering(interval time.Duration) {
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		t := time.NewTicker(interval)
+		t := e.clk.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {

@@ -21,6 +21,7 @@ import (
 	"proteus/internal/storage"
 	"proteus/internal/txn"
 	"proteus/internal/types"
+	"proteus/internal/vclock"
 )
 
 // Session is one client's connection; it carries the SSSI watermark.
@@ -89,7 +90,7 @@ func (e *Engine) readCopy(m *metadata.PartitionMeta, copyAt metadata.Replica, co
 		}
 	}
 	if !s.IsMaster(m.ID) && p.Version() < snapVer {
-		start := time.Now()
+		start := e.clk.Now()
 		if _, err := s.Repl.CatchUp(m.ID, snapVer); err != nil {
 			// The replica cannot reach the snapshot (broker partitioned
 			// away, or catch-up timed out): surface the typed error rather
@@ -99,7 +100,7 @@ func (e *Engine) readCopy(m *metadata.PartitionMeta, copyAt metadata.Replica, co
 		obs = append(obs, cost.Observation{
 			Op:       cost.OpWaitUpdates,
 			Features: cost.WaitFeatures(int(snapVer - p.Version() + 1)),
-			Latency:  time.Since(start),
+			Latency:  e.clk.Since(start),
 		})
 	}
 	r, found, o := exec.PointRead(p, row, cols, snapVer)
@@ -167,7 +168,7 @@ func (e *Engine) ExecuteTxn(ctx context.Context, sess *Session, t *query.Txn) (e
 		if err == nil || !e.retriable(err) {
 			return rel, err
 		}
-		if time.Now().After(deadline) {
+		if e.clk.Now().After(deadline) {
 			return rel, e.deadlineErr(err)
 		}
 		e.cntRetries.Inc()
@@ -185,12 +186,12 @@ func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn
 	if err = ctx.Err(); err != nil {
 		return exec.Rel{}, err
 	}
-	planStart := time.Now()
+	planStart := e.clk.Now()
 	tp, err := e.Planner.PlanTxn(t)
 	if err != nil {
 		return exec.Rel{}, err
 	}
-	e.stats.Record(ClassOLTPPlan, time.Since(planStart))
+	e.stats.Record(ClassOLTPPlan, e.clk.Since(planStart))
 	e.recordTxnAccesses(tp)
 
 	coord := coordinatorFor(tp)
@@ -201,7 +202,7 @@ func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn
 
 	var result exec.Rel
 	var execErr error
-	start := time.Now()
+	start := e.clk.Now()
 	// The in-flight marker covers queueing for an OLTP pool slot too:
 	// morsel feeders at the site start yielding as soon as a transaction
 	// is headed its way, not only once a worker picks it up.
@@ -213,7 +214,7 @@ func (e *Engine) executeTxnOnce(ctx context.Context, sess *Session, t *query.Txn
 	if err != nil {
 		return exec.Rel{}, err
 	}
-	d := time.Since(start)
+	d := e.clk.Since(start)
 	if execErr != nil {
 		e.stats.RecordAbort()
 		return exec.Rel{}, execErr
@@ -299,7 +300,7 @@ func (e *Engine) runTxnAt(ctx context.Context, coord simnet.SiteID, sess *Sessio
 	// the group-commit flusher after the locks are released, and the
 	// transaction acks once its flush completes.
 	if len(tp.WritePIDs) > 0 {
-		lockStart := time.Now()
+		lockStart := e.clk.Now()
 		ls := e.Locks.AcquireAll(nil, tp.WritePIDs)
 		// Aggregate contention across the whole write set — sampling only
 		// the first partition would blind the ASA's lock cost model to
@@ -316,7 +317,7 @@ func (e *Engine) runTxnAt(ctx context.Context, coord simnet.SiteID, sess *Sessio
 		coordSite.Observe(cost.Observation{
 			Op:       cost.OpLock,
 			Features: cost.LockFeatures(waiters, recent),
-			Latency:  time.Since(lockStart),
+			Latency:  e.clk.Since(lockStart),
 		})
 		finish, err := e.applyWrites(coord, tp, sess)
 		ls.ReleaseAll()
@@ -466,7 +467,7 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Sessio
 		})
 	}
 	c := &txn.Coordinator{OnePhase: true}
-	commitStart := time.Now()
+	commitStart := e.clk.Now()
 	if err := c.Commit(e.nextTxnID(), participants); err != nil {
 		return nil, err
 	}
@@ -496,7 +497,7 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Sessio
 		e.siteOf(coord).Observe(cost.Observation{
 			Op:       cost.OpCommit,
 			Features: cost.CommitFeatures(len(tp.ReadPIDs), len(tp.WritePIDs), len(bySite)),
-			Latency:  time.Since(commitStart),
+			Latency:  e.clk.Since(commitStart),
 		})
 	}
 
@@ -530,6 +531,11 @@ func (e *Engine) applyWrites(coord simnet.SiteID, tp *plan.TxnPlan, sess *Sessio
 		nGroups++
 	}
 	return func(ctx context.Context) error {
+		// The flush that resolves this wait is kicked by arrivals or the
+		// linger timer — virtual-time progress — so a simulated clock may
+		// count the waiter as parked.
+		release := vclock.Park(e.clk)
+		defer release()
 		// flushed is buffered for every group, so a flusher never blocks
 		// signalling a waiter that already abandoned.
 		for i := 0; i < nGroups; i++ {

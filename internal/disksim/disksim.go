@@ -11,6 +11,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"proteus/internal/vclock"
 )
 
 // BlockID names one stored extent on a device.
@@ -42,6 +44,7 @@ func DefaultConfig() Config {
 // Device is a simulated block device. It is safe for concurrent use.
 type Device struct {
 	cfg Config
+	clk vclock.Clock
 
 	mu     sync.Mutex
 	blocks map[BlockID][]byte
@@ -53,7 +56,13 @@ type Device struct {
 
 // New creates a device with the given configuration.
 func New(cfg Config) *Device {
-	return &Device{cfg: cfg, blocks: make(map[BlockID][]byte)}
+	return &Device{cfg: cfg, clk: vclock.Wall{}, blocks: make(map[BlockID][]byte)}
+}
+
+// SetClock installs the clock access charges sleep on. Install before
+// I/O starts (cluster.New does); nil restores the wall clock.
+func (d *Device) SetClock(c vclock.Clock) {
+	d.clk = vclock.OrWall(c)
 }
 
 // charge sleeps for the modelled access time of n bytes.
@@ -63,7 +72,7 @@ func (d *Device) charge(n int) {
 		delay += time.Duration(float64(n) / d.cfg.BytesPerSecond * float64(time.Second))
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		d.clk.Sleep(delay)
 	}
 }
 

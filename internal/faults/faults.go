@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"proteus/internal/simnet"
+	"proteus/internal/vclock"
 )
 
 // Typed failure errors. Every cross-site path returns one of these
@@ -104,6 +105,7 @@ type LinkFault struct {
 // simnet.FaultPolicy, so installing it on the network makes every
 // cross-site message consult it. All methods are safe for concurrent use.
 type Registry struct {
+	clk   vclock.Clock
 	mu    sync.Mutex
 	rng   *rand.Rand
 	down  map[simnet.SiteID]bool
@@ -118,10 +120,36 @@ type Registry struct {
 // from seed.
 func New(seed int64) *Registry {
 	return &Registry{
+		clk:   vclock.Wall{},
 		rng:   rand.New(rand.NewSource(seed)),
 		down:  make(map[simnet.SiteID]bool),
 		links: make(map[[2]simnet.SiteID]LinkFault),
 	}
+}
+
+// SetClock installs the clock Retry backoffs sleep on and measure
+// deadlines against. Install before traffic starts (cluster.New does);
+// nil restores the wall clock.
+func (r *Registry) SetClock(c vclock.Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clk = vclock.OrWall(c)
+}
+
+func (r *Registry) clock() vclock.Clock {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clk
+}
+
+// InjectedLatency implements simnet.LatencyEstimator: the deterministic
+// added latency currently configured on the directed link. Unlike
+// Intercept it consumes no randomness and counts no traffic, so cost
+// estimators can consult it freely.
+func (r *Registry) InjectedLatency(from, to simnet.SiteID) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.links[[2]simnet.SiteID{from, to}].Latency
 }
 
 // SetSiteDown marks a site crashed (true) or recovered (false).
@@ -289,17 +317,18 @@ func (b Backoff) withDefaults() Backoff {
 // Base up to Max.
 func (r *Registry) Retry(b Backoff, op func() error) error {
 	b = b.withDefaults()
-	start := time.Now()
+	clk := r.clock()
+	start := clk.Now()
 	delay := b.Base
 	for {
 		err := op()
 		if err == nil || !Retryable(err) || errors.Is(err, ErrSiteDown) {
 			return err
 		}
-		if time.Since(start) >= b.Deadline {
-			return fmt.Errorf("%w after %v: %v", ErrTimeout, time.Since(start).Round(time.Microsecond), err)
+		if clk.Since(start) >= b.Deadline {
+			return fmt.Errorf("%w after %v: %v", ErrTimeout, clk.Since(start).Round(time.Microsecond), err)
 		}
-		time.Sleep(r.Jitter(delay))
+		clk.Sleep(r.Jitter(delay))
 		delay *= 2
 		if delay > b.Max {
 			delay = b.Max

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/simnet"
+	"proteus/internal/vclock"
+)
+
+// TestSendEstimateParity pins the contract between Network.Send and
+// Network.EstimateLatency under fault injection: the deterministic link
+// latency the registry injects must appear identically in what Send
+// charges and what EstimateLatency predicts, on healthy and degraded
+// links alike. Without this parity the ASA's cost model prices a crawling
+// link as healthy. Runs on the simulated clock so the injected multi-
+// millisecond charges cost no wall time.
+func TestSendEstimateParity(t *testing.T) {
+	sim := vclock.NewSim(vclock.SimConfig{})
+	defer sim.Stop()
+
+	nw := simnet.New(simnet.Config{BaseLatency: 100 * time.Microsecond, BytesPerSecond: 1 << 20})
+	nw.SetClock(sim)
+	reg := New(42)
+	reg.SetClock(sim)
+	nw.SetFaults(reg)
+
+	const n = 1 << 16 // 64 KiB at 1 MiB/s -> 62.5 ms transfer charge
+	cases := []struct {
+		name    string
+		latency time.Duration
+	}{
+		{"healthy", 0},
+		{"degraded-5ms", 5 * time.Millisecond},
+		{"degraded-80ms", 80 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg.SetLink(1, 2, LinkFault{Latency: tc.latency})
+			est := nw.EstimateLatency(1, 2, n)
+			got, err := nw.Send(1, 2, n)
+			if err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			if got != est {
+				t.Errorf("send charged %v, estimate said %v", got, est)
+			}
+			if tc.latency > 0 && est < tc.latency {
+				t.Errorf("estimate %v does not include injected %v", est, tc.latency)
+			}
+			// The estimator must be side-effect free: repeated estimates
+			// return the same value and count no traffic.
+			before := nw.Stats(1, 2)
+			for i := 0; i < 3; i++ {
+				if e := nw.EstimateLatency(1, 2, n); e != est {
+					t.Errorf("estimate drifted: %v != %v", e, est)
+				}
+			}
+			if after := nw.Stats(1, 2); after != before {
+				t.Errorf("estimates counted as traffic: %+v -> %+v", before, after)
+			}
+		})
+	}
+
+	// The injected latency is directional: the reverse link stays at the
+	// healthy estimate.
+	reg.SetLink(1, 2, LinkFault{Latency: 50 * time.Millisecond})
+	if fwd, rev := nw.EstimateLatency(1, 2, n), nw.EstimateLatency(2, 1, n); rev >= fwd {
+		t.Errorf("reverse link estimate %v should be below degraded forward %v", rev, fwd)
+	}
+}

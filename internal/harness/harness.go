@@ -18,6 +18,7 @@ import (
 	"proteus/internal/cluster"
 	"proteus/internal/exec"
 	"proteus/internal/query"
+	"proteus/internal/vclock"
 )
 
 // Client produces one logical client's requests. Implementations carry
@@ -58,6 +59,10 @@ type Config struct {
 	// OnRound, when set, is invoked after every client round (for
 	// mid-run workload shifts).
 	OnRound func(client, round int)
+	// Clock is the time source the run is measured and bounded on; nil
+	// means the wall clock. Pass the engine's virtual clock so Duration,
+	// per-op latencies and timeline buckets are all in virtual time.
+	Clock vclock.Clock
 }
 
 // Bucket is one timeline interval.
@@ -124,6 +129,8 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 		cfg.RoundsPerClient = 10
 	}
 
+	clk := vclock.OrWall(cfg.Clock)
+
 	var mu sync.Mutex
 	var samples []sample
 	var errs int64
@@ -133,7 +140,7 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 	// class stats cover exactly this run (warm-up runs are separate Runs).
 	e.Stats().Reset()
 
-	start := time.Now()
+	start := clk.Now()
 	deadline := time.Time{}
 	if cfg.Duration > 0 {
 		deadline = start.Add(cfg.Duration)
@@ -145,6 +152,7 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer vclock.Enter(clk)()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			client := factory(c, r)
 			sess := e.NewSession()
@@ -152,32 +160,32 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 			round := 0
 			for {
 				if cfg.Duration > 0 {
-					if time.Now().After(deadline) {
+					if clk.Now().After(deadline) {
 						break
 					}
 				} else if round >= cfg.RoundsPerClient {
 					break
 				}
 				// One round: 1 OLAP + OLTPPerOLAP transactions.
-				t0 := time.Now()
+				t0 := clk.Now()
 				res, err := e.ExecuteQuery(context.Background(), sess, client.OLAP())
 				if err != nil {
 					atomic.AddInt64(&errs, 1)
 				} else {
-					local = append(local, sample{at: t0.Sub(start), lat: time.Since(t0), olap: true})
+					local = append(local, sample{at: t0.Sub(start), lat: clk.Since(t0), olap: true})
 					mu.Lock()
 					lastOLAP = res
 					mu.Unlock()
 				}
 				for i := 0; i < cfg.Mix.OLTPPerOLAP; i++ {
-					if cfg.Duration > 0 && time.Now().After(deadline) {
+					if cfg.Duration > 0 && clk.Now().After(deadline) {
 						break
 					}
-					t1 := time.Now()
+					t1 := clk.Now()
 					if _, err := e.ExecuteTxn(context.Background(), sess, client.OLTP()); err != nil {
 						atomic.AddInt64(&errs, 1)
 					} else {
-						local = append(local, sample{at: t1.Sub(start), lat: time.Since(t1), olap: false})
+						local = append(local, sample{at: t1.Sub(start), lat: clk.Since(t1), olap: false})
 					}
 				}
 				if cfg.OnRound != nil {
@@ -191,7 +199,7 @@ func Run(e *cluster.Engine, factory ClientFactory, cfg Config) Result {
 		}()
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	wall := clk.Since(start)
 
 	res := Result{Wall: wall, Errors: errs, LastOLAP: lastOLAP}
 	for _, s := range samples {

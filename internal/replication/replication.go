@@ -19,6 +19,7 @@ import (
 	"proteus/internal/partition"
 	"proteus/internal/redolog"
 	"proteus/internal/simnet"
+	"proteus/internal/vclock"
 )
 
 // DefaultCatchUpDeadline bounds synchronous catch-up waits.
@@ -47,6 +48,9 @@ type Replicator struct {
 	// Workers bounds the subscriptions polled and applied concurrently by
 	// PollOnce (the per-subscription worker pool). <= 1 polls serially.
 	Workers int
+	// Clk is the clock the poll ticker and catch-up waits run on; nil
+	// means the wall clock. Set before Run/CatchUp are first used.
+	Clk vclock.Clock
 	// brokerSite is where the log broker "runs"; polls charge network
 	// round-trips to it (the paper dedicates two machines to Kafka).
 	brokerSite simnet.SiteID
@@ -96,6 +100,8 @@ func New(broker *redolog.Broker, net *simnet.Network, site, brokerSite simnet.Si
 // SetObs installs apply-batch instruments under the given name prefix:
 // <prefix>repl.apply.batches (apply rounds that installed at least one
 // record) and <prefix>repl.apply.records (records installed by them).
+func (r *Replicator) clock() vclock.Clock { return vclock.OrWall(r.Clk) }
+
 func (r *Replicator) SetObs(reg *obs.Registry, prefix string) {
 	r.obsBatches = reg.Counter(prefix + "repl.apply.batches")
 	r.obsRecords = reg.Counter(prefix + "repl.apply.records")
@@ -376,7 +382,8 @@ func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, e
 	if backoff <= 0 {
 		backoff = DefaultPollBackoff
 	}
-	start := time.Now()
+	clk := r.clock()
+	start := clk.Now()
 	for s.p.Version() < version {
 		pollErr := error(nil)
 		if _, err := r.pollInto(pid, s); err != nil {
@@ -385,27 +392,27 @@ func (r *Replicator) CatchUp(pid partition.ID, version uint64) (time.Duration, e
 			// healing partitions); site-down and other terminal errors
 			// fail fast — waiting out the deadline cannot fix them.
 			if !faults.Retryable(err) || errors.Is(err, faults.ErrSiteDown) {
-				return time.Since(start), err
+				return clk.Since(start), err
 			}
 		}
 		if _, err := r.applyQueued(s, version); err != nil {
-			return time.Since(start), err
+			return clk.Since(start), err
 		}
 		if s.p.Version() >= version {
 			break
 		}
-		if time.Since(start) > deadline {
+		if clk.Since(start) > deadline {
 			err := fmt.Errorf("replication: partition %d below version %d (at %d): %w",
 				pid, version, s.p.Version(), faults.ErrTimeout)
 			if pollErr != nil {
 				err = fmt.Errorf("%w (last poll: %v)", err, pollErr)
 			}
-			return time.Since(start), err
+			return clk.Since(start), err
 		}
 		// The master may not have appended the commit record yet; yield.
-		time.Sleep(backoff)
+		clk.Sleep(backoff)
 	}
-	d := time.Since(start)
+	d := clk.Since(start)
 	r.mu.Lock()
 	r.waits++
 	r.waitDur += d
@@ -448,7 +455,7 @@ func (r *Replicator) Lag(pid partition.ID) int64 {
 // Run polls in the background until stop is closed (the paper's
 // replication threads). interval is the poll period.
 func (r *Replicator) Run(interval time.Duration, stop <-chan struct{}) {
-	t := time.NewTicker(interval)
+	t := r.clock().NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Counts is the workload outcome tally. In rounds mode with faults off
+// these are fully determined by the spec and seed, which is what the
+// clock-equivalence and determinism tests key on.
+type Counts struct {
+	OLTPAttempted int64 `json:"oltp_attempted"`
+	OLTPAcked     int64 `json:"oltp_acked"`
+	OLAPAttempted int64 `json:"olap_attempted"`
+	OLAPAcked     int64 `json:"olap_acked"`
+	Shed          int64 `json:"shed"`
+	Errors        int64 `json:"errors"`
+	RowsVerified  int64 `json:"rows_verified"`
+	AckedLost     int64 `json:"acked_lost"`
+	Converged     bool  `json:"converged"`
+}
+
+// CanonicalReport is the deterministic slice of a run's outcome: no
+// wall-clock durations, no latency quantiles, nothing that depends on
+// host speed. Two virtual-clock runs of a controlled scenario (rounds
+// mode, single client, no faults) must produce byte-identical
+// CanonicalJSON.
+type CanonicalReport struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Mode     string `json:"mode"`
+	Sites    int    `json:"sites"`
+	Clients  int    `json:"clients"`
+	Counts   Counts `json:"counts"`
+	Messages int64  `json:"messages"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// CanonicalJSON renders the canonical report with stable field order.
+func (c CanonicalReport) CanonicalJSON() []byte {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil { // struct of scalars: cannot fail
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Report is the full run outcome: the canonical counts plus clocks,
+// latency quantiles, fault bookkeeping, simulator internals and any
+// invariant violations.
+type Report struct {
+	Canonical CanonicalReport
+
+	Virtual time.Duration // virtual elapsed (equals wall on Wall clock)
+	Wall    time.Duration // real elapsed
+
+	OLTPP50, OLTPP99 time.Duration // admitted-work latency (virtual)
+	OLAPP50, OLAPP99 time.Duration
+
+	FaultsApplied int
+	ConvergeLag   string // last lagging replica when convergence failed
+
+	// SimAdvances/SimIdleAdvances report the virtual clock's event-loop
+	// work (zero on the wall clock).
+	SimAdvances     uint64
+	SimIdleAdvances uint64
+
+	Violations []string
+}
+
+// Passed reports whether every asserted invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders a one-line human-readable digest.
+func (r *Report) Summary() string {
+	c := r.Canonical.Counts
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %s  virtual=%v wall=%v  oltp=%d/%d olap=%d/%d shed=%d err=%d",
+		r.Canonical.Scenario, status, r.Virtual.Round(time.Millisecond), r.Wall.Round(time.Millisecond),
+		c.OLTPAcked, c.OLTPAttempted, c.OLAPAcked, c.OLAPAttempted, c.Shed, c.Errors)
+	fmt.Fprintf(&b, "  verified=%d lost=%d converged=%v", c.RowsVerified, c.AckedLost, c.Converged)
+	fmt.Fprintf(&b, "  p99(oltp)=%v msgs=%d", r.OLTPP99.Round(10*time.Microsecond), r.Canonical.Messages)
+	if r.FaultsApplied > 0 {
+		fmt.Fprintf(&b, " faults=%d", r.FaultsApplied)
+	}
+	if r.SimAdvances > 0 {
+		fmt.Fprintf(&b, " advances=%d(%d idle)", r.SimAdvances, r.SimIdleAdvances)
+	}
+	return b.String()
+}

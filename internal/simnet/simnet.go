@@ -8,9 +8,11 @@ package simnet
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proteus/internal/obs"
+	"proteus/internal/vclock"
 )
 
 // SiteID identifies a data site. The ASA is site -1 by convention.
@@ -39,6 +41,16 @@ type LinkStats struct {
 	Bytes    int64
 }
 
+// linkCounters is the live, lock-free form of LinkStats: every site pair
+// gets its own pair of atomics, so concurrent senders on different links
+// never touch the same cache line and senders on the same link only
+// contend on two atomic adds (the map itself is read-mostly after the
+// first message on a link).
+type linkCounters struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
 // FaultPolicy lets a fault-injection layer (internal/faults) intercept
 // cross-site traffic without simnet depending on it.
 type FaultPolicy interface {
@@ -51,13 +63,31 @@ type FaultPolicy interface {
 	Intercept(from, to SiteID, bytes int) (time.Duration, error)
 }
 
+// LatencyEstimator is an optional extension of FaultPolicy: policies that
+// inject deterministic link latency expose it here so EstimateLatency can
+// price degraded links the same way Send charges them. Without it the
+// ASA's cost model sees a healthy network while traffic actually crawls.
+type LatencyEstimator interface {
+	// InjectedLatency returns the deterministic extra latency currently
+	// configured on the directed link (0 when healthy). It must not
+	// consume randomness or count as traffic.
+	InjectedLatency(from, to SiteID) time.Duration
+}
+
+// policyBox wraps the FaultPolicy interface so it can live in an
+// atomic.Pointer (interfaces of varying concrete type cannot).
+type policyBox struct{ p FaultPolicy }
+
 // Network charges and accounts cross-site traffic. Safe for concurrent use.
 type Network struct {
 	cfg Config
+	clk vclock.Clock
 
-	mu     sync.Mutex
-	links  map[[2]SiteID]*LinkStats
-	policy FaultPolicy
+	// links maps [2]SiteID -> *linkCounters. sync.Map because the key set
+	// is tiny and stabilizes after startup (sites^2 entries), after which
+	// every lookup is a lock-free read.
+	links  sync.Map
+	policy atomic.Pointer[policyBox]
 
 	// Optional observability instruments (SetObs).
 	obsMsgs    *obs.Counter
@@ -67,7 +97,13 @@ type Network struct {
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
-	return &Network{cfg: cfg, links: make(map[[2]SiteID]*LinkStats)}
+	return &Network{cfg: cfg, clk: vclock.Wall{}}
+}
+
+// SetClock installs the clock latency charges sleep on. Install before
+// traffic starts (cluster.New does); nil restores the wall clock.
+func (nw *Network) SetClock(c vclock.Clock) {
+	nw.clk = vclock.OrWall(c)
 }
 
 // SetObs installs interconnect instruments: net.messages and net.bytes
@@ -82,15 +118,18 @@ func (nw *Network) SetObs(reg *obs.Registry) {
 // Install before traffic starts (cluster.New does); a nil policy means a
 // perfect network.
 func (nw *Network) SetFaults(p FaultPolicy) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.policy = p
+	if p == nil {
+		nw.policy.Store(nil)
+		return
+	}
+	nw.policy.Store(&policyBox{p: p})
 }
 
 func (nw *Network) faults() FaultPolicy {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.policy
+	if box := nw.policy.Load(); box != nil {
+		return box.p
+	}
+	return nil
 }
 
 // Reachable reports whether messages can currently flow between the sites
@@ -103,6 +142,17 @@ func (nw *Network) Reachable(from, to SiteID) error {
 		return p.Check(from, to)
 	}
 	return nil
+}
+
+// link returns the counters for one directed pair, creating them on the
+// first message.
+func (nw *Network) link(from, to SiteID) *linkCounters {
+	key := [2]SiteID{from, to}
+	if v, ok := nw.links.Load(key); ok {
+		return v.(*linkCounters)
+	}
+	v, _ := nw.links.LoadOrStore(key, &linkCounters{})
+	return v.(*linkCounters)
 }
 
 // Send models delivering n bytes from one site to another: it consults the
@@ -124,16 +174,9 @@ func (nw *Network) Send(from, to SiteID, n int) (time.Duration, error) {
 			return 0, err
 		}
 	}
-	nw.mu.Lock()
-	key := [2]SiteID{from, to}
-	ls, ok := nw.links[key]
-	if !ok {
-		ls = &LinkStats{}
-		nw.links[key] = ls
-	}
-	ls.Messages++
-	ls.Bytes += int64(n)
-	nw.mu.Unlock()
+	lc := nw.link(from, to)
+	lc.messages.Add(1)
+	lc.bytes.Add(int64(n))
 	if nw.obsMsgs != nil {
 		nw.obsMsgs.Inc()
 		nw.obsBytes.Add(int64(n))
@@ -144,7 +187,7 @@ func (nw *Network) Send(from, to SiteID, n int) (time.Duration, error) {
 		delay += time.Duration(float64(n) / nw.cfg.BytesPerSecond * float64(time.Second))
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		nw.clk.Sleep(delay)
 	}
 	return delay, nil
 }
@@ -156,7 +199,10 @@ func (nw *Network) Charge(from, to SiteID, n int) time.Duration {
 	return d
 }
 
-// EstimateLatency predicts the charge for n bytes without sleeping.
+// EstimateLatency predicts the charge for n bytes without sleeping. It
+// includes any deterministic fault-injected link latency the policy
+// exposes via LatencyEstimator, matching what Send would charge on the
+// degraded link (random per-message jitter is by nature not estimable).
 func (nw *Network) EstimateLatency(from, to SiteID, n int) time.Duration {
 	if from == to {
 		return 0
@@ -165,26 +211,37 @@ func (nw *Network) EstimateLatency(from, to SiteID, n int) time.Duration {
 	if nw.cfg.BytesPerSecond > 0 {
 		delay += time.Duration(float64(n) / nw.cfg.BytesPerSecond * float64(time.Second))
 	}
+	if est, ok := nw.faults().(LatencyEstimator); ok {
+		delay += est.InjectedLatency(from, to)
+	}
 	return delay
 }
 
 // Stats returns a copy of the traffic counters for one directed link.
 func (nw *Network) Stats(from, to SiteID) LinkStats {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if ls, ok := nw.links[[2]SiteID{from, to}]; ok {
-		return *ls
+	if v, ok := nw.links.Load([2]SiteID{from, to}); ok {
+		lc := v.(*linkCounters)
+		return LinkStats{Messages: lc.messages.Load(), Bytes: lc.bytes.Load()}
 	}
 	return LinkStats{}
 }
 
 // TotalBytes sums traffic over every link.
 func (nw *Network) TotalBytes() int64 {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	var total int64
-	for _, ls := range nw.links {
-		total += ls.Bytes
-	}
+	nw.links.Range(func(_, v any) bool {
+		total += v.(*linkCounters).bytes.Load()
+		return true
+	})
+	return total
+}
+
+// TotalMessages sums message counts over every link.
+func (nw *Network) TotalMessages() int64 {
+	var total int64
+	nw.links.Range(func(_, v any) bool {
+		total += v.(*linkCounters).messages.Load()
+		return true
+	})
 	return total
 }

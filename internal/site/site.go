@@ -22,6 +22,7 @@ import (
 	"proteus/internal/simnet"
 	"proteus/internal/storage"
 	"proteus/internal/txn"
+	"proteus/internal/vclock"
 )
 
 // pool is a fixed-size worker pool.
@@ -172,6 +173,14 @@ func New(id simnet.SiteID, cfg Config, broker *redolog.Broker, net *simnet.Netwo
 	}
 	s.Repl.Exec = func(f func()) { _ = s.oltp.Do(f) }
 	return s
+}
+
+// SetClock installs the clock this site's simulated disk charges and
+// replication waits run on. Install before traffic starts (cluster.New
+// does); nil restores the wall clock.
+func (s *Site) SetClock(c vclock.Clock) {
+	s.Dev.SetClock(c)
+	s.Repl.Clk = c
 }
 
 // SetObs installs this site's maintenance instruments: siteN.maintain.rows

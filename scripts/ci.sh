@@ -21,10 +21,20 @@ echo "== colstore encoding fuzz corpus (seeds only, -count=1)"
 # explores further locally.
 go test -run FuzzColRoundTrip -count=1 ./internal/colstore/
 
+echo "== scenario corpus on the virtual clock (gating)"
+# Replays every scenarios/*.json on vclock.Sim (hours of virtual traffic
+# in well under a minute of wall clock) and fails the pipeline on any
+# invariant violation: acked-write loss, non-convergence, error-rate or
+# latency bounds, shed minimums, wall-time budget.
+go run ./cmd/proteus-sim run scenarios/*.json
+
 echo "== go test -race (concurrency-heavy packages)"
 go test -race -count=1 \
     ./internal/admission/ \
     ./internal/cluster/ \
+    ./internal/vclock/ \
+    ./internal/scenario/ \
+    ./cmd/proteus-sim/ \
     ./internal/site/ \
     ./internal/simnet/ \
     ./internal/redolog/ \
